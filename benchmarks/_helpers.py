@@ -1,0 +1,18 @@
+"""Benchmark helpers.
+
+Figure benchmarks execute a full reduced-scale simulation once per round
+(``pedantic`` mode) and assert the paper's shape criteria on the result, so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction run.
+"""
+
+import pytest
+
+# Phase scale for timeline figures: 0.1 => 10 s phases (steady state settles
+# within ~2 s; the assertions use settled means).
+FIGURE_SCALE = 0.15
+
+
+def run_figure(benchmark, fn, **kwargs):
+    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    assert result.ok, f"{result.figure} deviations: {result.deviations()}"
+    return result

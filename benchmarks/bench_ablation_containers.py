@@ -1,0 +1,67 @@
+"""Ablation — resource containers for long-lived requests.
+
+The paper defers long-lived requests (media streams, parallel jobs) to
+"a sandbox or a resource container environment" on the server side.  This
+benchmark exercises the :class:`repro.cluster.containers.ContainerServer`
+substitute: streams reserve rate within their container's guarantee while
+short requests keep their WFQ share, and container isolation holds under a
+hostile mix.
+"""
+
+import pytest
+
+from repro.cluster.containers import ContainerServer
+from repro.cluster.request import Request
+from repro.sim.engine import Simulator
+
+
+def _req(principal):
+    return Request(principal=principal, client_id="c", created_at=0.0)
+
+
+def _drive(with_streams: bool) -> dict:
+    sim = Simulator()
+    srv = ContainerServer(sim, "CS", 320.0, {"A": 0.5, "B": 0.5})
+    if with_streams:
+        # B dedicates most of its container to two long-lived streams.
+        assert srv.open_stream("B", rate=80.0, duration=20.0)
+        assert srv.open_stream("B", rate=40.0, duration=20.0)
+
+    def offer(p):
+        while sim.now < 20.0:
+            srv.submit(_req(p))
+            yield 1.0 / 400.0
+    sim.process(offer("A"))
+    sim.process(offer("B"))
+    sim.run(until=20.0)
+    return {"A": srv.served("A") / 20.0, "B": srv.served("B") / 20.0,
+            "reserved": srv.reserved_rate}
+
+
+def test_streams_charge_their_own_container(benchmark):
+    plain, mixed = benchmark.pedantic(
+        lambda: (_drive(False), _drive(True)), rounds=1, iterations=1
+    )
+    print(f"\nno streams:  A {plain['A']:.0f}  B {plain['B']:.0f} req/s")
+    print(f"with streams: A {mixed['A']:.0f}  B {mixed['B']:.0f} req/s "
+          f"(B also holds {mixed['reserved']:.0f} units/s of streams)")
+    # Without streams: a fair 160/160 split under saturation.
+    assert plain["A"] == pytest.approx(160.0, rel=0.08)
+    # B's streams consume B's share; A's short-request service is intact.
+    assert mixed["A"] == pytest.approx(plain["A"], rel=0.15)
+    assert mixed["B"] < 0.5 * plain["B"]
+
+
+def test_wfq_overhead(benchmark):
+    """Cost of the WFQ pick relative to plain FIFO service."""
+    def run():
+        sim = Simulator()
+        srv = ContainerServer(
+            sim, "CS", 1e6, {f"P{i}": 1.0 / 8 for i in range(8)}
+        )
+        for i in range(5_000):
+            srv.submit(_req(f"P{i % 8}"))
+        sim.run()
+        return sum(srv.served(f"P{i}") for i in range(8))
+
+    assert benchmark.pedantic(run, rounds=1, iterations=3) == 5_000

@@ -1,0 +1,54 @@
+"""Ablation — flow computation strategies (§3.1.1).
+
+The paper's Formulae 1-4 enumerate simple transitive paths; the closed
+form solves two linear systems.  This benchmark times both on layered
+agreement DAGs of growing size and checks they agree — quantifying why the
+closed form is the production default (path enumeration is exponential in
+the worst case but exact for the paper's "small number of principals").
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.agreements import Agreement, AgreementGraph
+from repro.core.flows import closed_form_flows, path_flows
+
+
+def _layered_dag(layers: int, width: int) -> AgreementGraph:
+    g = AgreementGraph()
+    for l in range(layers):
+        for w in range(width):
+            g.add_principal(f"L{l}W{w}", capacity=100.0)
+    for l in range(layers - 1):
+        for w in range(width):
+            for w2 in range(width):
+                g.add_agreement(
+                    Agreement(f"L{l}W{w}", f"L{l+1}W{w2}",
+                              0.8 / width, 0.9 / width)
+                )
+    return g
+
+
+@pytest.mark.parametrize("layers,width", [(3, 2), (4, 2), (3, 3)])
+def test_closed_form_time(benchmark, layers, width):
+    g = _layered_dag(layers, width)
+    flows = benchmark(closed_form_flows, g)
+    flows.check_conservation()
+
+
+@pytest.mark.parametrize("layers,width", [(3, 2), (4, 2), (3, 3)])
+def test_path_enumeration_time(benchmark, layers, width):
+    g = _layered_dag(layers, width)
+    flows = benchmark(path_flows, g)
+    flows.check_conservation()
+
+
+def test_methods_agree_on_dense_dag(benchmark):
+    g = _layered_dag(4, 2)
+
+    def both():
+        return closed_form_flows(g), path_flows(g)
+
+    f1, f2 = benchmark.pedantic(both, rounds=1, iterations=1)
+    np.testing.assert_allclose(f1.MI, f2.MI, atol=1e-8)
+    np.testing.assert_allclose(f1.OI, f2.OI, atol=1e-8)

@@ -1,0 +1,58 @@
+"""Ablation — the multi-resource (vector) extension of §3.1.1.
+
+Two effects are quantified on a server with equal CPU and network
+capacity shared half/half between a CPU-bound and a network-bound
+principal:
+
+1. *Packing*: the vector LP co-schedules complementary profiles at nearly
+   double the request rate a single-bottleneck view allows.
+2. *Cost*: the vector solve stays a per-window-affordable LP as resource
+   types are added.
+"""
+
+import pytest
+
+from repro.core.agreements import Agreement, AgreementGraph
+from repro.core.multiresource import compute_multiresource_access
+from repro.scheduling.multiresource import MultiResourceCommunityScheduler
+from repro.scheduling.window import WindowConfig
+
+W = WindowConfig(0.1)
+
+
+def _access(resources):
+    g = AgreementGraph()
+    g.add_principal("S")
+    g.add_principal("A")
+    g.add_principal("B")
+    g.add_agreement(Agreement("S", "A", 0.5, 1.0))
+    g.add_agreement(Agreement("S", "B", 0.5, 1.0))
+    caps = {"S": {r: 1000.0 for r in resources}}
+    return compute_multiresource_access(g, caps, resources)
+
+
+def test_complementary_packing(benchmark):
+    acc = _access(("cpu", "net"))
+    sched = MultiResourceCommunityScheduler(
+        acc,
+        {"A": {"cpu": 2.0, "net": 0.1}, "B": {"cpu": 0.1, "net": 2.0}},
+        window=W,
+    )
+    plan = benchmark(sched.schedule, {"A": 1000.0, "B": 1000.0})
+    total = plan.served("A") + plan.served("B")
+    # A alone: 100 cpu-units/window / 2 = 50 requests.  Jointly: ~95.
+    print(f"\njoint rate {total:.1f} req/window vs 50 for either alone")
+    assert total > 85.0
+
+
+@pytest.mark.parametrize("m", [1, 2, 4, 8])
+def test_solve_cost_vs_resource_types(benchmark, m):
+    resources = tuple(f"r{i}" for i in range(m))
+    acc = _access(resources)
+    profiles = {
+        "A": {r: 1.0 + 0.1 * i for i, r in enumerate(resources)},
+        "B": {r: 2.0 - 0.1 * i for i, r in enumerate(resources)},
+    }
+    sched = MultiResourceCommunityScheduler(acc, profiles, window=W)
+    plan = benchmark(sched.schedule, {"A": 200.0, "B": 200.0})
+    assert plan.theta > 0.0

@@ -1,0 +1,54 @@
+"""Ablation — size-proportional request costs (§4).
+
+"Large requests are treated as multiple small ones for the purpose of
+scheduling": with ``RequestMix(size_cost=True)`` a request consumes
+``max(1, size / 6KB)`` scheduling units of quota and of server capacity.
+Enforcement must then hold in *units*, not request counts — a principal
+sending bulky requests gets proportionally fewer of them through.
+"""
+
+import pytest
+
+from repro.cluster.workload import ReplySizeSampler, RequestMix
+from repro.core.agreements import Agreement, AgreementGraph
+from repro.experiments.harness import Scenario
+
+
+def _run():
+    g = AgreementGraph()
+    g.add_principal("S", capacity=320.0)       # 320 units/s
+    g.add_principal("A")
+    g.add_principal("B")
+    g.add_agreement(Agreement("S", "A", 0.5, 1.0))
+    g.add_agreement(Agreement("S", "B", 0.5, 1.0))
+    sc = Scenario(g, seed=9)
+    srv = sc.server("S", "S", 320.0)
+    red = sc.l7("R", {"S": srv})
+    # A sends bulky requests (~3 units each); B sends small ones (1 unit).
+    bulky = RequestMix(
+        size_cost=True,
+        sampler=ReplySizeSampler(mean_bytes=18_000.0, min_bytes=6_000,
+                                 max_bytes=120_000),
+        unit_bytes=6144.0,   # the system's 6 KB average-request unit
+    )
+    small = RequestMix(size_cost=False)
+    sc.client("CA", "A", red, rate=400.0, mix=bulky)
+    sc.client("CB", "B", red, rate=400.0, mix=small)
+    sc.run(20.0)
+    return {
+        "A_requests": sc.meter.mean_rate("A", 8.0, 20.0),
+        "B_requests": sc.meter.mean_rate("B", 8.0, 20.0),
+        "A_units": sc.meter.mean_rate("units:A", 8.0, 20.0),
+        "B_units": sc.meter.mean_rate("units:B", 8.0, 20.0),
+    }
+
+
+def test_unit_enforcement_with_mixed_sizes(benchmark):
+    r = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(f"\nA (bulky): {r['A_requests']:.0f} req/s = {r['A_units']:.0f} units/s")
+    print(f"B (small): {r['B_requests']:.0f} req/s = {r['B_units']:.0f} units/s")
+    # The 50/50 agreement is enforced in UNITS...
+    assert r["A_units"] == pytest.approx(160.0, rel=0.12)
+    assert r["B_units"] == pytest.approx(160.0, rel=0.12)
+    # ...which means far fewer bulky requests get through.
+    assert r["A_requests"] < 0.5 * r["B_requests"]

@@ -1,0 +1,58 @@
+"""Ablation — LP solver backends: from-scratch simplex vs scipy HiGHS.
+
+The paper argues per-window LP solving is cheap because "the complexity of
+this strategy only depends on the number of principals involved".  This
+benchmark times one community-scheduler window for growing principal
+counts on both backends (the LP has ~n^2 variables) and verifies they
+agree on the schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.access import compute_access_levels
+from repro.core.agreements import Agreement, AgreementGraph
+from repro.scheduling.community import CommunityScheduler
+from repro.scheduling.window import WindowConfig
+
+
+def _ring_graph(n: int) -> AgreementGraph:
+    """n principals in a sharing ring, each granting [0.3, 0.6] onward."""
+    g = AgreementGraph()
+    for i in range(n):
+        g.add_principal(f"P{i}", capacity=100.0 * (1 + i % 3))
+    for i in range(n):
+        g.add_agreement(Agreement(f"P{i}", f"P{(i + 1) % n}", 0.3, 0.6))
+    return g
+
+
+def _demands(n: int) -> dict:
+    rng = np.random.default_rng(0)
+    return {f"P{i}": float(rng.uniform(0, 40)) for i in range(n)}
+
+
+@pytest.mark.parametrize("n", [3, 6, 10])
+@pytest.mark.parametrize("backend", ["simplex", "bounded", "scipy"])
+def test_window_solve_time(benchmark, n, backend):
+    sched = CommunityScheduler(
+        compute_access_levels(_ring_graph(n)), WindowConfig(0.1), backend=backend
+    )
+    q = _demands(n)
+    result = benchmark(sched.schedule, q)
+    assert result.theta >= 0.0
+
+
+@pytest.mark.parametrize("n", [3, 6, 10])
+def test_backends_agree(benchmark, n):
+    acc = compute_access_levels(_ring_graph(n))
+    q = _demands(n)
+
+    def both():
+        s1 = CommunityScheduler(acc, WindowConfig(0.1), backend="simplex").schedule(q)
+        s2 = CommunityScheduler(acc, WindowConfig(0.1), backend="scipy").schedule(q)
+        return s1, s2
+
+    s1, s2 = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert s1.theta == pytest.approx(s2.theta, abs=1e-6)
+    for name in acc.names:
+        assert s1.served(name) == pytest.approx(s2.served(name), abs=1e-5)

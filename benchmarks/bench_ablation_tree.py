@@ -1,0 +1,85 @@
+"""Ablation — combining tree vs pairwise exchange (§3.2).
+
+The paper: aggregating queue lengths over a combining tree costs 2(n-1)
+messages per round versus O(n^2) for neighbour-wise exchange.  This
+benchmark measures actual protocol traffic for growing redirector counts
+and times a full aggregation round on each overlay shape.
+"""
+
+import pytest
+
+from repro.coordination.messages import MessageCounter
+from repro.coordination.protocol import build_protocol
+from repro.coordination.tree import CombiningTree
+from repro.sim.engine import Simulator
+
+
+def _measure_round_traffic(n: int, kind: str) -> tuple:
+    sim = Simulator()
+    ids = [f"r{i}" for i in range(n)]
+    tree = (
+        CombiningTree.star(ids) if kind == "star"
+        else CombiningTree.balanced(ids, 2) if kind == "balanced"
+        else CombiningTree.chain(ids)
+    )
+    counter = MessageCounter()
+    build_protocol(
+        sim, tree, period=0.1,
+        suppliers={i: (lambda i=i: {"A": 1.0}) for i in ids},
+        link_delay=0.001, counter=counter,
+    )
+    rounds = 50
+    sim.run(until=rounds * 0.1 + 0.05)
+    return counter.total / rounds, tree
+
+
+def _measure_pairwise_traffic(n: int) -> float:
+    from repro.coordination.pairwise import build_pairwise
+
+    sim = Simulator()
+    ids = [f"r{i}" for i in range(n)]
+    counter = MessageCounter()
+    build_pairwise(
+        sim, ids, period=0.1,
+        suppliers={i: (lambda i=i: {"A": 1.0}) for i in ids},
+        link_delay=0.001, counter=counter,
+    )
+    rounds = 50
+    sim.run(until=rounds * 0.1 + 0.05)
+    return counter.reports / (rounds + 1)
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_tree_message_complexity(benchmark, n):
+    per_round, tree = benchmark.pedantic(
+        lambda: _measure_round_traffic(n, "balanced"), rounds=1, iterations=1
+    )
+    pairwise = CombiningTree.pairwise_messages_per_round(n)
+    print(f"\nn={n}: tree {per_round:.1f} msg/round vs pairwise {pairwise}")
+    assert per_round == pytest.approx(2 * (n - 1), rel=0.1)
+    assert per_round < pairwise
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_tree_vs_pairwise_measured(benchmark, n):
+    """Both protocols actually run; the measured traffic ratio matches the
+    paper's 2(n-1) vs n(n-1) claim."""
+    tree_msgs, pairwise_msgs = benchmark.pedantic(
+        lambda: (_measure_round_traffic(n, "balanced")[0], _measure_pairwise_traffic(n)),
+        rounds=1, iterations=1,
+    )
+    print(f"\nn={n}: tree {tree_msgs:.1f} vs pairwise {pairwise_msgs:.1f} msg/round "
+          f"(ratio {pairwise_msgs / tree_msgs:.1f}x, theory {n / 2:.1f}x)")
+    assert pairwise_msgs == pytest.approx(n * (n - 1), rel=0.1)
+    assert pairwise_msgs / tree_msgs == pytest.approx(n / 2.0, rel=0.25)
+
+
+@pytest.mark.parametrize("kind", ["star", "balanced", "chain"])
+def test_overlay_shapes(benchmark, kind):
+    """All overlay shapes deliver the same aggregate at 2(n-1) messages;
+    they differ only in round latency (height x link delay)."""
+    per_round, tree = benchmark.pedantic(
+        lambda: _measure_round_traffic(12, kind), rounds=1, iterations=1
+    )
+    print(f"\n{kind}: height {tree.height()}, {per_round:.1f} msg/round")
+    assert per_round == pytest.approx(22.0, rel=0.15)

@@ -1,0 +1,16 @@
+"""Fig 10 — L4 switch maximises provider income.
+
+A provider with two 320 req/s servers, A [0.8,1] paying more than B
+[0.2,1]: B is pinned to its mandatory 128 req/s while A is active, and the
+four phases reproduce (512,128) -> (0,400) -> (400,240) -> (0,400).
+"""
+
+from _helpers import FIGURE_SCALE, run_figure
+
+from repro.experiments.figures import run_fig10
+
+
+def test_fig10_l4_income(benchmark):
+    result = run_figure(benchmark, run_fig10, duration_scale=FIGURE_SCALE, seed=0)
+    for stats in result.phases:
+        print(f"\n{stats.name}: A {stats.rate('A'):.1f}  B {stats.rate('B'):.1f}")

@@ -1,0 +1,42 @@
+"""Fig 1 — end-point enforcement violates the SLA; coordination restores it.
+
+Regenerates the paper's motivating numbers: aggregate (A 30, B 70) under
+independent per-server enforcement versus (A 20, B 80) under coordinated
+scheduling.
+"""
+
+from repro.experiments.figures import run_fig1
+
+
+def test_fig1_motivating_example(benchmark):
+    result = benchmark(run_fig1)
+    assert result.ok
+    assert result.endpoint["B"] < 80.0 - 5.0      # SLA violated by baseline
+    assert abs(result.coordinated["B"] - 80.0) < 1.0
+
+
+def test_fig1_report_rows(benchmark):
+    """Print the exact rows the paper's figure annotates."""
+    result = benchmark(run_fig1)
+    print(
+        f"\nend-point:   A {result.endpoint['A']:.1f}  B {result.endpoint['B']:.1f}"
+        f"\ncoordinated: A {result.coordinated['A']:.1f}  B {result.coordinated['B']:.1f}"
+    )
+
+
+def test_fig1_full_simulation(benchmark):
+    """The same comparison end-to-end: biased pass-through redirectors in
+    front of independently enforcing servers, vs coordinated L7
+    redirectors over a combining tree — with real clients and windows."""
+    from repro.experiments.figures import run_fig1_distributed
+
+    result = benchmark.pedantic(
+        lambda: run_fig1_distributed(duration=25.0, seed=0),
+        rounds=1, iterations=1,
+    )
+    print(
+        f"\nend-point:   A {result.endpoint['A']:.1f}  B {result.endpoint['B']:.1f}"
+        f"\ncoordinated: A {result.coordinated['A']:.1f}  B {result.coordinated['B']:.1f}"
+    )
+    assert result.endpoint["B"] < 75.0          # SLA violated
+    assert abs(result.coordinated["B"] - 80.0) < 4.0

@@ -1,0 +1,17 @@
+"""Fig 3 — the ticket/currency valuation worked example.
+
+Regenerates every number in the paper's Fig 3: gross currency values,
+ticket real values, and the final (mandatory, optional) pairs.
+"""
+
+from repro.experiments.figures import run_fig3
+
+
+def test_fig3_currency_valuation(benchmark):
+    result = benchmark(run_fig3)
+    assert result.ok
+    print("\nfinal (mandatory, optional):")
+    for p, (m, o) in sorted(result.finals.items()):
+        print(f"  {p}: ({m:.0f}, {o:.0f})")
+    for t, v in result.tickets.items():
+        print(f"  {t}: {v:.0f}")

@@ -1,0 +1,16 @@
+"""Fig 6 — L7 redirectors respect sharing agreements (provider context).
+
+Three phases over two redirectors and a 320 req/s server; B [0.8,1] is
+fully served at its single-client 135 req/s while A [0.2,1] absorbs the
+remainder, recovering when B pauses.
+"""
+
+from _helpers import FIGURE_SCALE, run_figure
+
+from repro.experiments.figures import run_fig6
+
+
+def test_fig6_l7_provider(benchmark):
+    result = run_figure(benchmark, run_fig6, duration_scale=FIGURE_SCALE, seed=0)
+    for stats in result.phases:
+        print(f"\n{stats.name}: A {stats.rate('A'):.1f}  B {stats.rate('B'):.1f}")

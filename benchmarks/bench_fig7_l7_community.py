@@ -1,0 +1,17 @@
+"""Fig 7 — community metric: busier principals get more optional capacity.
+
+Both principals hold [0.2, 1] of a 250 req/s server; A offers twice B's
+load and is served at twice B's rate (max-min fraction optimisation).
+"""
+
+from _helpers import FIGURE_SCALE, run_figure
+
+from repro.experiments.figures import run_fig7
+
+
+def test_fig7_l7_community(benchmark):
+    result = run_figure(benchmark, run_fig7, duration_scale=FIGURE_SCALE, seed=0)
+    steady = result.phase("steady")
+    ratio = steady.rate("A") / steady.rate("B")
+    print(f"\nA {steady.rate('A'):.1f}  B {steady.rate('B'):.1f}  ratio {ratio:.2f}")
+    assert 1.8 <= ratio <= 2.2

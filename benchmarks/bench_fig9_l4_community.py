@@ -1,0 +1,15 @@
+"""Fig 9 — L4 switch enforces community agreements across owned servers.
+
+A and B own one 320 req/s server each; B shares [0.5, 0.5] with A.  Four
+phases reproduce (480,160) -> (0,320) -> (400,240) -> (0,320).
+"""
+
+from _helpers import FIGURE_SCALE, run_figure
+
+from repro.experiments.figures import run_fig9
+
+
+def test_fig9_l4_community(benchmark):
+    result = run_figure(benchmark, run_fig9, duration_scale=FIGURE_SCALE, seed=0)
+    for stats in result.phases:
+        print(f"\n{stats.name}: A {stats.rate('A'):.1f}  B {stats.rate('B'):.1f}")

@@ -1,0 +1,84 @@
+"""Micro-benchmarks: the substrate hot paths.
+
+These quantify the headroom behind the paper's claims — e.g. that a
+redirector can afford an LP solve plus quota bookkeeping every 100 ms.
+"""
+
+import numpy as np
+
+from repro.core.access import compute_access_levels
+from repro.core.agreements import Agreement, AgreementGraph
+from repro.scheduling.queueing import ImplicitQuota
+from repro.scheduling.wrr import SmoothWeightedRoundRobin
+from repro.sim.engine import Simulator
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw kernel throughput: schedule+dispatch of 100k chained events."""
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark.pedantic(run, rounds=1, iterations=3) == 100_000
+
+
+def test_engine_process_switching(benchmark):
+    """Generator-process context switches (10k processes x 10 yields)."""
+    def run():
+        sim = Simulator()
+        done = [0]
+
+        def proc():
+            for _ in range(10):
+                yield 0.01
+            done[0] += 1
+
+        for _ in range(1_000):
+            sim.process(proc())
+        sim.run()
+        return done[0]
+
+    assert benchmark.pedantic(run, rounds=1, iterations=3) == 1_000
+
+
+def test_access_level_computation(benchmark):
+    """Closed-form flow solve for a 12-principal agreement mesh."""
+    g = AgreementGraph()
+    for i in range(12):
+        g.add_principal(f"P{i}", capacity=100.0)
+    for i in range(12):
+        g.add_agreement(Agreement(f"P{i}", f"P{(i + 1) % 12}", 0.2, 0.4))
+        g.add_agreement(Agreement(f"P{i}", f"P{(i + 5) % 12}", 0.2, 0.3))
+    acc = benchmark(compute_access_levels, g)
+    assert acc.MC.sum() > 0
+
+
+def test_quota_admission_path(benchmark):
+    """Per-request admission cost (the L7 fast path)."""
+    quota = ImplicitQuota([f"P{i}" for i in range(8)])
+    quota.new_window({f"P{i}": 1e12 for i in range(8)})
+
+    def run():
+        for _ in range(10_000):
+            quota.try_admit("P3")
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_smooth_wrr_pick(benchmark):
+    wrr = SmoothWeightedRoundRobin({f"s{i}": float(i + 1) for i in range(8)})
+
+    def run():
+        for _ in range(10_000):
+            wrr.next()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,40 @@
+"""Scaling study: enforcement and LP cost vs community size.
+
+The paper expects "small" principal counts; this measures how far the
+architecture stretches before the 100 ms window budget is threatened.
+"""
+
+import pytest
+
+from repro.experiments.scaling import run_scaling_point, run_scaling_sweep
+
+
+@pytest.mark.parametrize("n", [6, 10, 18])
+def test_scaling_point(benchmark, n):
+    point = benchmark.pedantic(
+        lambda: run_scaling_point(n, seed=0, duration=10.0),
+        rounds=1, iterations=1,
+    )
+    print(
+        f"\nn={n}: LP {point.lp_ms_mean:.2f} ms mean / {point.lp_ms_p95:.2f} ms p95, "
+        f"guarantees {point.guarantee_satisfaction * 100:.0f}%, "
+        f"throughput {point.throughput:.0f}/{point.capacity:.0f} req/s"
+    )
+    # Guarantees hold and the solve fits comfortably inside a 100 ms window.
+    assert point.guarantee_satisfaction >= 0.99
+    assert point.lp_ms_p95 < 50.0
+
+
+def test_scaling_sweep_lp_growth(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_scaling_sweep(sizes=(6, 14, 30), duration=8.0),
+        rounds=1, iterations=1,
+    )
+    print(f"\n{'n':>4} | {'LP ms':>7} | {'p95':>7} | {'guar %':>6} | {'util %':>6}")
+    for p in points:
+        util = 100.0 * p.throughput / p.capacity
+        print(f"{p.n_principals:4d} | {p.lp_ms_mean:7.2f} | {p.lp_ms_p95:7.2f} "
+              f"| {p.guarantee_satisfaction * 100:6.0f} | {util:6.1f}")
+    assert all(p.guarantee_satisfaction >= 0.99 for p in points)
+    # Cost grows with n^2 variables but stays within the window at n=30.
+    assert points[-1].lp_ms_p95 < 100.0

@@ -1,0 +1,69 @@
+"""Sensitivity sweeps around the paper's fixed parameters.
+
+Each test runs one sweep from :mod:`repro.experiments.sweeps` and asserts
+the qualitative conclusion; the printed tables are the series a sweep
+figure would plot.
+"""
+
+from repro.experiments.sweeps import (
+    sweep_cache,
+    sweep_delay,
+    sweep_redirectors,
+    sweep_window,
+)
+
+
+def _show(points, knob_name, extras=()):
+    print(f"\n{knob_name:>12} | {'B req/s':>8} | {'A req/s':>8} | {'err %':>6}", end="")
+    for e in extras:
+        print(f" | {e:>14}", end="")
+    print()
+    for p in points:
+        print(f"{p.knob:12.3f} | {p.b_rate:8.1f} | {p.a_rate:8.1f} "
+              f"| {p.enforcement_error * 100:6.1f}", end="")
+        for e in extras:
+            print(f" | {p.extra.get(e, float('nan')):14.1f}", end="")
+        print()
+
+
+def test_sweep_window(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_window(lengths=(0.05, 0.1, 0.25), duration=20.0),
+        rounds=1, iterations=1,
+    )
+    _show(points, "window (s)")
+    assert all(p.enforcement_error < 0.1 for p in points)
+
+
+def test_sweep_delay(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_delay(delays=(0.005, 0.5, 2.0), duration=30.0),
+        rounds=1, iterations=1,
+    )
+    _show(points, "delay (s)", extras=("ramp_b",))
+    # Steady-state enforcement is delay-insensitive...
+    assert all(p.enforcement_error < 0.1 for p in points)
+    # ...but the start-up ramp degrades with delay (conservative fallback
+    # lasts until the first broadcast).
+    assert points[-1].extra["ramp_b"] <= points[0].extra["ramp_b"] + 5.0
+
+
+def test_sweep_redirectors(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_redirectors(counts=(1, 2, 4), duration=25.0),
+        rounds=1, iterations=1,
+    )
+    _show(points, "redirectors", extras=("messages_per_round",))
+    assert all(p.enforcement_error < 0.1 for p in points)
+
+
+def test_sweep_cache(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_cache(tolerances=(0.0, 0.05, 0.25), duration=20.0),
+        rounds=1, iterations=1,
+    )
+    _show(points, "cache tol", extras=("lp_solves", "cache_hits"))
+    # Enforcement holds across the whole tolerance range...
+    assert all(p.enforcement_error < 0.1 for p in points)
+    # ...while solve counts collapse.
+    assert points[-1].extra["lp_solves"] < 0.5 * points[0].extra["lp_solves"]

@@ -1,0 +1,69 @@
+"""Long-lived requests via server-side resource containers.
+
+The paper's architecture handles short requests; for continuous media
+streams it prescribes "a sandbox or a resource container environment" on
+the server (§2, citing Cluster Reserves in §6).  This example runs the
+:class:`repro.cluster.containers.ContainerServer`: principal B opens
+long-lived streams inside its container while A's short-request guarantee
+stays untouched.
+
+Run:  python examples/long_lived_streams.py
+"""
+
+from repro.cluster.containers import ContainerServer
+from repro.cluster.request import Request
+from repro.sim.engine import Simulator
+
+
+def main() -> None:
+    sim = Simulator()
+    server = ContainerServer(
+        sim, "media-server", capacity=320.0,
+        shares={"A": 0.5, "B": 0.5}, borrow_limit=1.2,
+    )
+
+    # B starts two media streams at t=5 for 20 s.
+    def start_streams():
+        s1 = server.open_stream("B", rate=100.0, duration=20.0)
+        s2 = server.open_stream("B", rate=60.0, duration=20.0)
+        print(f"t={sim.now:4.1f}  B opened streams: "
+              f"{[h.rate for h in (s1, s2) if h]} units/s "
+              f"(container usage {server.container_usage('B')[0]:.0f}"
+              f"/{server.container_usage('B')[1]:.0f})")
+        denied = server.open_stream("B", rate=60.0, duration=20.0)
+        print(f"t={sim.now:4.1f}  a third 60 units/s stream is "
+              f"{'admitted' if denied else 'rejected (container full)'}")
+
+    sim.schedule(5.0, start_streams)
+
+    def offer(principal):
+        while sim.now < 40.0:
+            server.submit(Request(principal=principal, client_id="c",
+                                  created_at=sim.now))
+            yield 1.0 / 400.0
+
+    sim.process(offer("A"))
+    sim.process(offer("B"))
+
+    last = {"t": 0.0, "A": 0, "B": 0}
+
+    def snapshot():
+        dt = sim.now - last["t"]
+        a, b = server.served("A"), server.served("B")
+        print(f"t={sim.now:4.1f}  interval rates: "
+              f"A {(a - last['A']) / dt:6.1f} req/s  "
+              f"B {(b - last['B']) / dt:6.1f} req/s  "
+              f"reserved {server.reserved_rate:5.1f} units/s  "
+              f"streams {len(server.active_streams)}")
+        last.update(t=sim.now, A=a, B=b)
+
+    for t in (4.0, 10.0, 20.0, 30.0, 39.0):
+        sim.schedule_at(t, snapshot)
+
+    sim.run(until=40.0)
+    print("\nB's streams consumed B's own container: A's short-request "
+          "service held at ~160 req/s throughout (its 50% guarantee).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Multiple resource types: the vector extension of §3.1.1.
+
+A server has both CPU and network capacity.  A CPU-bound principal and a
+network-bound principal share it half/half.  The vector LP co-schedules
+their complementary profiles at nearly twice the rate either bottleneck
+alone would allow, while per-type guarantees hold.
+
+Run:  python examples/multi_resource.py
+"""
+
+from repro.core.agreements import Agreement, AgreementGraph
+from repro.core.multiresource import compute_multiresource_access
+from repro.scheduling import WindowConfig
+from repro.scheduling.multiresource import MultiResourceCommunityScheduler
+
+RES = ("cpu", "net")
+
+
+def main() -> None:
+    g = AgreementGraph()
+    g.add_principal("S")
+    g.add_principal("render-farm")   # CPU-heavy requests
+    g.add_principal("cdn-edge")      # network-heavy requests
+    g.add_agreement(Agreement("S", "render-farm", 0.5, 1.0))
+    g.add_agreement(Agreement("S", "cdn-edge", 0.5, 1.0))
+
+    access = compute_multiresource_access(
+        g, {"S": {"cpu": 1000.0, "net": 1000.0}}, RES
+    )
+    print("per-type access levels (units/s):")
+    for p in ("render-farm", "cdn-edge"):
+        for r in RES:
+            print(f"  {p:12s} {r}: mandatory {access.mandatory(p, r):6.1f} "
+                  f"optional {access.optional(p, r):6.1f}")
+
+    profiles = {
+        "render-farm": {"cpu": 2.0, "net": 0.1},
+        "cdn-edge": {"cpu": 0.1, "net": 2.0},
+    }
+    sched = MultiResourceCommunityScheduler(access, profiles, WindowConfig(0.1))
+
+    print("\nrequest-rate guarantees given each profile:")
+    for p in profiles:
+        print(f"  {p:12s} {sched.guaranteed_requests(p) / 0.1:6.1f} req/s")
+
+    plan = sched.schedule({"render-farm": 1000.0, "cdn-edge": 1000.0})
+    a = plan.served("render-farm") / 0.1
+    b = plan.served("cdn-edge") / 0.1
+    print(f"\nco-scheduled under flood: render-farm {a:.0f} req/s, "
+          f"cdn-edge {b:.0f} req/s (joint {a + b:.0f})")
+    print("either principal alone would cap at ~500 req/s on its bottleneck "
+          "type;\ncomplementary profiles let the vector LP pack both.")
+    for r in RES:
+        load = plan.load("S", r, profiles)
+        print(f"  server {r} load: {load / 0.1:6.1f} of 1000 units/s")
+
+
+if __name__ == "__main__":
+    main()

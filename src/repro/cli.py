@@ -1,0 +1,203 @@
+"""Command-line interface.
+
+::
+
+    python -m repro figures [--scale 0.3] [--seed 0] [--only fig6,fig9]
+    python -m repro report  [--scale 0.5] [-o EXPERIMENTS.md]
+    python -m repro inspect A:1000 B:1500 C A-B:0.4:0.6 B-C:0.6:1.0
+    python -m repro baseline [--duration 20]
+
+``figures`` reruns the paper's evaluation and prints pass/fail per figure;
+``report`` renders the full paper-vs-measured markdown; ``inspect`` values
+an agreement graph given on the command line; ``baseline`` compares
+coordinated enforcement against a WRR front end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.agreements import Agreement, AgreementGraph
+from repro.core.valuation import value_currencies
+from repro.core.access import compute_access_levels
+
+__all__ = ["main", "build_parser", "parse_graph_spec"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Enforcing Resource Sharing Agreements "
+                    "among Distributed Server Clusters' (IPDPS 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="rerun the paper's figures")
+    p_fig.add_argument("--scale", type=float, default=0.3,
+                       help="phase-duration scale (1.0 = paper timeline)")
+    p_fig.add_argument("--seed", type=int, default=0)
+    p_fig.add_argument("--only", type=str, default="",
+                       help="comma-separated figure ids (default: all)")
+    p_fig.add_argument("--plot", action="store_true",
+                       help="render each figure's rate series as a terminal chart")
+
+    p_rep = sub.add_parser("report", help="render the paper-vs-measured report")
+    p_rep.add_argument("--scale", type=float, default=0.5)
+    p_rep.add_argument("--seed", type=int, default=0)
+    p_rep.add_argument("-o", "--output", type=str, default="",
+                       help="write to a file instead of stdout")
+
+    p_ins = sub.add_parser(
+        "inspect", help="value an agreement graph (CLI spec or JSON file)"
+    )
+    p_ins.add_argument(
+        "spec", nargs="*",
+        help="principals as NAME[:CAPACITY], agreements as FROM-TO:LB[:UB]",
+    )
+    p_ins.add_argument("--file", type=str, default="",
+                       help="load the graph from a JSON file instead")
+    p_ins.add_argument("--save", type=str, default="",
+                       help="also write the graph to this JSON file")
+
+    p_base = sub.add_parser("baseline", help="coordinated vs WRR comparison")
+    p_base.add_argument("--duration", type=float, default=20.0)
+    p_base.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def parse_graph_spec(tokens: List[str]) -> AgreementGraph:
+    """Build a graph from CLI tokens.
+
+    ``A:1000`` declares principal A with 1000 units/s (``A`` alone means
+    zero capacity); ``A-B:0.4:0.6`` is an agreement A->B [0.4, 0.6]
+    (``A-B:0.4`` means [0.4, 0.4]).
+    """
+    g = AgreementGraph()
+    agreements = []
+    for tok in tokens:
+        head = tok.split(":", 1)[0]
+        if "-" in head:
+            parts = tok.split(":")
+            endpoints = parts[0].split("-")
+            if len(endpoints) != 2 or len(parts) not in (2, 3):
+                raise ValueError(f"malformed agreement {tok!r}")
+            lb = float(parts[1])
+            ub = float(parts[2]) if len(parts) == 3 else lb
+            agreements.append((endpoints[0], endpoints[1], lb, ub))
+        else:
+            parts = tok.split(":")
+            if len(parts) > 2:
+                raise ValueError(f"malformed principal {tok!r}")
+            capacity = float(parts[1]) if len(parts) == 2 else 0.0
+            g.add_principal(parts[0], capacity=capacity)
+    for grantor, grantee, lb, ub in agreements:
+        g.add_agreement(Agreement(grantor, grantee, lb, ub))
+    return g
+
+
+def _cmd_figures(args) -> int:
+    from repro.experiments.figures import ALL_FIGURES
+
+    wanted = [f.strip() for f in args.only.split(",") if f.strip()] or list(ALL_FIGURES)
+    failures = 0
+    for name in wanted:
+        fn = ALL_FIGURES.get(name)
+        if fn is None:
+            print(f"{name}: unknown figure (have {', '.join(ALL_FIGURES)})")
+            failures += 1
+            continue
+        if name in ("fig1", "fig3"):
+            result = fn()
+        elif name == "fig1d":
+            result = fn(duration=max(20.0, 100.0 * args.scale), seed=args.seed)
+        else:
+            result = fn(duration_scale=args.scale, seed=args.seed)
+        status = "ok" if result.ok else "FAILED"
+        print(f"{name}: {status}")
+        if not result.ok and hasattr(result, "deviations"):
+            for phase, principal, got, want, ok in result.deviations():
+                if not ok:
+                    print(f"    {phase}/{principal}: measured {got:.1f}, "
+                          f"paper {want:.1f}")
+        if args.plot and getattr(result, "series", None):
+            from repro.experiments.ascii import timeseries_plot
+
+            print(timeseries_plot(result.series, title=f"  {result.title}"))
+        failures += 0 if result.ok else 1
+    return 1 if failures else 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import render_all
+
+    text = render_all(duration_scale=args.scale, seed=args.seed)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.core.serialization import dump_graph, load_graph
+
+    if args.file:
+        if args.spec:
+            raise ValueError("give either a CLI spec or --file, not both")
+        g = load_graph(args.file)
+    elif args.spec:
+        g = parse_graph_spec(args.spec)
+    else:
+        raise ValueError("need a graph: CLI spec tokens or --file")
+    if args.save:
+        dump_graph(g, args.save)
+        print(f"wrote {args.save}\n")
+    val = value_currencies(g)
+    access = compute_access_levels(g)
+    print(f"{'principal':>12} | {'capacity':>9} | {'mandatory':>9} | {'optional':>9}")
+    for name in g.names:
+        m, o = val.final(name)
+        print(f"{name:>12} | {g.principal(name).capacity:9.1f} | {m:9.1f} | {o:9.1f}")
+    print("\nper-pair mandatory entitlements (holder on owner's servers):")
+    for holder in g.names:
+        for owner in g.names:
+            mi, oi = access.entitlement(holder, owner)
+            if mi > 1e-9 or oi > 1e-9:
+                print(f"  {holder} on {owner}: mandatory {mi:.1f}, optional {oi:.1f}")
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    from repro.experiments.baselines import run_enforcement_comparison
+
+    cmp = run_enforcement_comparison(duration=args.duration, seed=args.seed)
+    print(f"{'strategy':>12} | {'A req/s':>8} | {'B req/s':>8}")
+    print(f"{'coordinated':>12} | {cmp.coordinated['A']:8.1f} | {cmp.coordinated['B']:8.1f}")
+    print(f"{'wrr':>12} | {cmp.passthrough['A']:8.1f} | {cmp.passthrough['B']:8.1f}")
+    floor = min(cmp.demands["B"], cmp.guarantees["B"])
+    print(f"\nB's effective guarantee: {floor:.0f} req/s — "
+          f"{'violated by WRR' if cmp.passthrough_violates else 'met by both'}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "figures": _cmd_figures,
+        "report": _cmd_report,
+        "inspect": _cmd_inspect,
+        "baseline": _cmd_baseline,
+    }
+    try:
+        return handlers[args.command](args)
+    except Exception as exc:  # surfaced as a message, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Experiment phase schedules.
+
+Every figure in §5 runs in phases during which specific client machines
+are active ("in the first and third phases, both A's and B's clients are
+active, while in the second phase only A's clients are active").
+:class:`PhaseSchedule` owns the timeline; clients ask it whether they are
+active, and the reporting layer uses it to compute per-phase mean rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+__all__ = ["PhaseSchedule"]
+
+
+@dataclass(frozen=True)
+class _Phase:
+    name: str
+    duration: float
+    active: FrozenSet[str]
+
+
+class PhaseSchedule:
+    """An ordered list of (name, duration, active client set) phases.
+
+    >>> ps = PhaseSchedule([("p1", 10.0, {"c1", "c2"}), ("p2", 5.0, {"c1"})])
+    >>> ps.is_active("c2", t=12.0)
+    False
+    >>> ps.total_duration
+    15.0
+    """
+
+    def __init__(self, phases: Sequence[Tuple[str, float, Iterable[str]]]):
+        if not phases:
+            raise ValueError("need at least one phase")
+        self._phases: List[_Phase] = []
+        for name, duration, active in phases:
+            if duration <= 0:
+                raise ValueError(f"phase {name!r} has non-positive duration")
+            self._phases.append(_Phase(name, float(duration), frozenset(active)))
+
+    @property
+    def total_duration(self) -> float:
+        return sum(p.duration for p in self._phases)
+
+    @property
+    def names(self) -> List[str]:
+        return [p.name for p in self._phases]
+
+    def bounds(self) -> List[Tuple[str, float, float]]:
+        """(name, start, end) per phase."""
+        out, t = [], 0.0
+        for p in self._phases:
+            out.append((p.name, t, t + p.duration))
+            t += p.duration
+        return out
+
+    def phase_at(self, t: float) -> str:
+        for name, t0, t1 in self.bounds():
+            if t0 <= t < t1:
+                return name
+        return self._phases[-1].name
+
+    def is_active(self, client: str, t: float) -> bool:
+        for p, (name, t0, t1) in zip(self._phases, self.bounds()):
+            if t0 <= t < t1:
+                return client in p.active
+        return False
+
+    def windows(self, client: str) -> List[Tuple[float, float]]:
+        """Merged (start, end) activity windows for a client."""
+        out: List[Tuple[float, float]] = []
+        for p, (name, t0, t1) in zip(self._phases, self.bounds()):
+            if client in p.active:
+                if out and abs(out[-1][1] - t0) < 1e-12:
+                    out[-1] = (out[-1][0], t1)
+                else:
+                    out.append((t0, t1))
+        return out
+
+    def clients(self) -> List[str]:
+        names = set()
+        for p in self._phases:
+            names |= p.active
+        return sorted(names)

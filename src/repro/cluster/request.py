@@ -1,0 +1,55 @@
+"""The request record.
+
+Requests are short-lived and their resource consumption is known a priori
+(paper §2's model), so a request carries a ``cost`` in average-request
+units — "large requests are treated as multiple small ones for the purpose
+of scheduling" (§4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Request"]
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class Request:
+    """One client request for a principal's service.
+
+    Attributes:
+        principal: the organisation whose agreement funds this request.
+        client_id: originating client machine.
+        created_at: simulation time of first issue.
+        size_bytes: reply size (drawn from the workload mix).
+        cost: scheduling cost in average-request units (>= 0).
+        attempts: how many times the request has been (re)submitted.
+        url: requested path; the paper's redirectors map URL -> principal.
+    """
+
+    principal: str
+    client_id: str
+    created_at: float
+    size_bytes: int = 6144
+    cost: float = 1.0
+    url: str = "/"
+    attempts: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    completed_at: Optional[float] = None
+    served_by: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.cost <= 0:
+            raise ValueError(f"request cost must be positive, got {self.cost}")
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+
+    @property
+    def response_time(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.created_at

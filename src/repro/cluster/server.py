@@ -1,0 +1,110 @@
+"""Capacity-rate server model.
+
+The paper's servers are Apache instances whose measured capacity is a
+request rate (V = 320 req/s on their 1 GHz PCs).  :class:`Server` models
+exactly that: a FIFO service queue drained at ``capacity`` request-units
+per second (deterministic service time ``cost / capacity`` per request).
+Offered load beyond capacity accumulates in the queue — the saturation
+behaviour every figure in §5 exercises — optionally bounded, with
+overflow drops counted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.cluster.request import Request
+from repro.sim.engine import Simulator
+
+__all__ = ["Server"]
+
+DoneFn = Callable[[Request], None]
+
+
+class Server:
+    """A single server with rate capacity ``capacity`` request-units/sec."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        capacity: float,
+        owner: Optional[str] = None,
+        max_queue: int = 0,
+        on_complete: Optional[Callable[[Request, "Server"], None]] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError("server capacity must be positive")
+        self.sim = sim
+        self.name = name
+        self.capacity = float(capacity)
+        self.owner = owner or name
+        self.max_queue = int(max_queue)
+        self.on_complete = on_complete
+        self._queue: Deque[Tuple[Request, Optional[DoneFn]]] = deque()
+        self._busy = False
+        self.completed: Dict[str, int] = {}
+        self.dropped = 0
+        self.busy_time = 0.0
+        self._started_at = sim.now
+
+    # -- capacity dynamics -------------------------------------------------
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change the service rate (node upgrades, partial failures).
+
+        Takes effect from the next request served; pair with
+        :class:`repro.core.dynamic.DynamicAccessManager` so agreements are
+        reinterpreted against the new physical resources (§2.2).
+        """
+        if capacity <= 0:
+            raise ValueError("server capacity must be positive")
+        self.capacity = float(capacity)
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, request: Request, done: Optional[DoneFn] = None) -> bool:
+        """Accept a request for service; returns False on queue overflow."""
+        if self.max_queue and len(self._queue) >= self.max_queue:
+            self.dropped += 1
+            return False
+        self._queue.append((request, done))
+        if not self._busy:
+            self._busy = True
+            self.sim.schedule(0.0, self._serve_next)
+        return True
+
+    # -- service loop -------------------------------------------------------------
+
+    def _serve_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        request, done = self._queue.popleft()
+        service = request.cost / self.capacity
+        self.busy_time += service
+        self.sim.schedule(service, self._finish, request, done)
+
+    def _finish(self, request: Request, done: Optional[DoneFn]) -> None:
+        request.completed_at = self.sim.now
+        request.served_by = self.name
+        self.completed[request.principal] = self.completed.get(request.principal, 0) + 1
+        if self.on_complete is not None:
+            self.on_complete(request, self)
+        if done is not None:
+            done(request)
+        self._serve_next()
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def utilization(self) -> float:
+        elapsed = self.sim.now - self._started_at
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+    def total_completed(self) -> int:
+        return sum(self.completed.values())

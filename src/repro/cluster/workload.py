@@ -1,0 +1,111 @@
+"""WebBench-like request mixes.
+
+The paper's WebBench configuration "produces static and dynamic web page
+requests with an average reply size of 6 KB (individual responses range
+from 200 bytes to 500 KB)".  :class:`ReplySizeSampler` reproduces that
+marginal with a clipped lognormal calibrated so the post-clipping mean
+stays at the target; :class:`RequestMix` adds the static/dynamic split and
+optional per-unit cost accounting for large requests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ReplySizeSampler", "RequestMix"]
+
+
+class ReplySizeSampler:
+    """Clipped lognormal reply sizes (defaults: 200 B – 500 KB, mean 6 KB).
+
+    The lognormal ``mu`` is solved numerically so the *clipped* mean hits
+    the target — naive moment matching then clipping at 500 KB would bias
+    the mean low.
+    """
+
+    def __init__(
+        self,
+        mean_bytes: float = 6144.0,
+        min_bytes: int = 200,
+        max_bytes: int = 512_000,
+        sigma: float = 1.2,
+    ):
+        if not (0 < min_bytes < mean_bytes < max_bytes):
+            raise ValueError("need 0 < min < mean < max")
+        self.mean_bytes = float(mean_bytes)
+        self.min_bytes = int(min_bytes)
+        self.max_bytes = int(max_bytes)
+        self.sigma = float(sigma)
+        self.mu = self._calibrate_mu()
+
+    def _clipped_mean(self, mu: float) -> float:
+        """E[clip(X, lo, hi)] for X ~ LogNormal(mu, sigma) in closed form."""
+        from math import erf, exp, log, sqrt
+
+        s = self.sigma
+        lo, hi = math.log(self.min_bytes), math.log(self.max_bytes)
+
+        def phi(z: float) -> float:
+            return 0.5 * (1.0 + erf(z / sqrt(2.0)))
+
+        a = (lo - mu) / s
+        b = (hi - mu) / s
+        # mass below lo contributes lo; above hi contributes hi; middle is a
+        # truncated lognormal mean.
+        mid = exp(mu + s * s / 2.0) * (phi(b - s) - phi(a - s))
+        return self.min_bytes * phi(a) + mid + self.max_bytes * (1.0 - phi(b))
+
+    def _calibrate_mu(self) -> float:
+        lo, hi = math.log(self.min_bytes), math.log(self.max_bytes)
+        for _ in range(80):  # bisection; the clipped mean is monotone in mu
+            mid = 0.5 * (lo + hi)
+            if self._clipped_mean(mid) < self.mean_bytes:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        raw = rng.lognormal(mean=self.mu, sigma=self.sigma, size=size)
+        return np.clip(raw, self.min_bytes, self.max_bytes).astype(int)
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """Static/dynamic request mix with size-proportional cost accounting.
+
+    ``dynamic_fraction`` of requests are dynamic pages (the paper's
+    WebBench mix includes both).  When ``size_cost`` is set, a request's
+    scheduling cost is ``max(1, size / unit_bytes)`` rounded — the paper's
+    "large requests are treated as multiple small ones".  ``unit_bytes``
+    is the *system-wide* average request size defining one scheduling unit
+    (the paper's 6 KB); it defaults to this mix's own mean, which is only
+    right when every principal sends the same mix.
+    """
+
+    dynamic_fraction: float = 0.2
+    size_cost: bool = False
+    sampler: ReplySizeSampler = ReplySizeSampler()
+    unit_bytes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dynamic_fraction <= 1.0:
+            raise ValueError("dynamic_fraction must be in [0, 1]")
+        if self.unit_bytes is not None and self.unit_bytes <= 0:
+            raise ValueError("unit_bytes must be positive")
+
+    def draw(self, rng: np.random.Generator) -> tuple:
+        """(url, size_bytes, cost) for one request."""
+        size = int(self.sampler.sample(rng))
+        dynamic = bool(rng.random() < self.dynamic_fraction)
+        url = "/cgi/page" if dynamic else "/static/page"
+        if self.size_cost:
+            unit = self.unit_bytes or self.sampler.mean_bytes
+            cost = max(1.0, round(size / unit))
+        else:
+            cost = 1.0
+        return url, size, cost

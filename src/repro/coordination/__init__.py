@@ -1,0 +1,37 @@
+"""Coordinated scheduling across redirectors (paper §3.2).
+
+Redirector nodes are organised into a *combining tree*: leaves periodically
+send per-principal queue-length vectors up, interior nodes merge children
+with their own local vector, the root broadcasts the global aggregate back
+down.  One round costs 2(n-1) messages versus O(n^2) for pairwise exchange.
+
+- :mod:`repro.coordination.tree` — tree overlay construction (star,
+  balanced, chain, latency-aware) with dynamic join/leave.
+- :mod:`repro.coordination.aggregation` — mergeable aggregates: vector
+  sums plus max/min/mean/variance via Chan's parallel combine.
+- :mod:`repro.coordination.messages` — wire records and counters.
+- :mod:`repro.coordination.protocol` — the periodic aggregate-up /
+  broadcast-down protocol over simulated links, with staleness tracking
+  and the conservative 1/R fallback that produces Fig 8's phase-1
+  half-mandatory behaviour.
+"""
+
+from repro.coordination.aggregation import StreamStats, VectorAggregate
+from repro.coordination.messages import AggregateBroadcast, MessageCounter, QueueReport
+from repro.coordination.pairwise import PairwiseNode, build_pairwise
+from repro.coordination.protocol import AggregationNode, GlobalView, build_protocol
+from repro.coordination.tree import CombiningTree
+
+__all__ = [
+    "CombiningTree",
+    "PairwiseNode",
+    "build_pairwise",
+    "VectorAggregate",
+    "StreamStats",
+    "QueueReport",
+    "AggregateBroadcast",
+    "MessageCounter",
+    "AggregationNode",
+    "GlobalView",
+    "build_protocol",
+]

@@ -1,0 +1,50 @@
+"""Wire records exchanged over combining-tree links, plus counters used by
+the message-complexity ablation (2(n-1) tree vs O(n^2) pairwise)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.coordination.aggregation import VectorAggregate
+
+__all__ = ["QueueReport", "AggregateBroadcast", "MessageCounter"]
+
+
+@dataclass(frozen=True)
+class QueueReport:
+    """Child -> parent: partial aggregate for one protocol round."""
+
+    sender: str
+    round_id: int
+    aggregate: VectorAggregate
+
+
+@dataclass(frozen=True)
+class AggregateBroadcast:
+    """Parent -> child: the global aggregate for one protocol round."""
+
+    round_id: int
+    aggregate: VectorAggregate
+    issued_at: float
+
+
+@dataclass
+class MessageCounter:
+    """Counts protocol traffic by message type."""
+
+    reports: int = 0
+    broadcasts: int = 0
+    by_link: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.reports + self.broadcasts
+
+    def count(self, msg: object, link_name: str = "") -> None:
+        if isinstance(msg, QueueReport):
+            self.reports += 1
+        elif isinstance(msg, AggregateBroadcast):
+            self.broadcasts += 1
+        if link_name:
+            self.by_link[link_name] = self.by_link.get(link_name, 0) + 1

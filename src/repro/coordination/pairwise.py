@@ -1,0 +1,124 @@
+"""Pairwise (all-to-all) queue-state exchange — the paper's strawman.
+
+§3.2 justifies the combining tree by comparison: "a total of 2(n−1)
+message transmissions as opposed to O(n²) messages required for pair-wise
+exchange".  This module implements that alternative for real, so the
+ablation benchmark measures both sides:
+
+every period, each node unicasts its local vector to every other node and
+sums the freshest vector it holds from each peer (its own sampled live).
+The aggregate converges after one one-way delay — *faster* than the tree's
+up+down — at n(n−1) messages per round; the trade the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Mapping, Optional
+
+import numpy as np
+
+from repro.coordination.aggregation import VectorAggregate
+from repro.coordination.messages import MessageCounter
+from repro.coordination.protocol import GlobalView
+from repro.sim.engine import Simulator
+from repro.sim.network import Endpoint, Link
+
+__all__ = ["PairwiseNode", "build_pairwise"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class PeerUpdate:
+    """One node's local vector, unicast to a peer."""
+
+    sender: str
+    round_id: int
+    vector: Dict[str, float]
+
+
+class PairwiseNode(Endpoint):
+    """One participant in the all-to-all exchange."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: NodeId,
+        period: float,
+        local_supplier: Callable[[], Mapping[str, float]],
+        counter: Optional[MessageCounter] = None,
+    ):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.node_id = node_id
+        self.period = float(period)
+        self.local_supplier = local_supplier
+        self.counter = counter
+        self.peers: Dict[NodeId, Link] = {}
+        self.view = GlobalView()
+        self._latest: Dict[str, Dict[str, float]] = {}
+        self._round = 0
+        sim.process(self._driver(), name=f"pairwise[{node_id}]")
+
+    def _driver(self):
+        while True:
+            local = dict(self.local_supplier())
+            update = PeerUpdate(
+                sender=str(self.node_id), round_id=self._round, vector=local
+            )
+            for link in self.peers.values():
+                if self.counter is not None:
+                    self.counter.reports += 1
+                link.send(update)
+            self._refresh_view(local)
+            self._round += 1
+            yield self.period
+
+    def on_message(self, msg, sender) -> None:
+        if not isinstance(msg, PeerUpdate):  # pragma: no cover - defensive
+            raise TypeError(f"unexpected message {msg!r}")
+        self._latest[msg.sender] = dict(msg.vector)
+        self._refresh_view(dict(self.local_supplier()))
+
+    def _refresh_view(self, local: Dict[str, float]) -> None:
+        total: Dict[str, float] = dict(local)
+        for vec in self._latest.values():
+            for k, v in vec.items():
+                total[k] = total.get(k, 0.0) + v
+        self.view = GlobalView(
+            aggregate=VectorAggregate(
+                values=total, contributors=1 + len(self._latest)
+            ),
+            round_id=self.view.round_id + 1,
+            received_at=self.sim.now,
+            local_contribution=VectorAggregate(values=local, contributors=1),
+        )
+
+
+def build_pairwise(
+    sim: Simulator,
+    node_ids,
+    period: float,
+    suppliers: Mapping[NodeId, Callable[[], Mapping[str, float]]],
+    link_delay: float = 0.0,
+    jitter: float = 0.0,
+    loss: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    counter: Optional[MessageCounter] = None,
+) -> Dict[NodeId, PairwiseNode]:
+    """Wire a full mesh of :class:`PairwiseNode` s."""
+    nodes = {
+        nid: PairwiseNode(sim, nid, period, suppliers[nid], counter=counter)
+        for nid in node_ids
+    }
+    for a in node_ids:
+        for b in node_ids:
+            if a == b:
+                continue
+            nodes[a].peers[b] = Link(
+                sim, nodes[a], nodes[b], delay=link_delay, jitter=jitter,
+                loss=loss, rng=rng,
+            )
+    return nodes

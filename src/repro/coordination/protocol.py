@@ -1,0 +1,258 @@
+"""The periodic aggregate-up / broadcast-down protocol (paper §3.2).
+
+Every ``period`` seconds a protocol *round* starts: each node samples its
+local per-principal queue-length vector; leaves send it to their parent;
+interior nodes merge children's reports with their own and forward; the
+root broadcasts the global sum back down the tree.  One round therefore
+costs 2(n-1) messages and completes after roughly twice the tree height
+times the link delay — the broadcast each node eventually receives is an
+*estimate that lags actual conditions* by that much, which is precisely
+the effect the paper's Fig 8 experiment injects (a 10 s lag) and that the
+redirectors must tolerate.
+
+Robustness: an interior node flushes a round after ``flush_after`` seconds
+even if some children have not reported (their contribution is simply
+missing from that round); reports arriving after the flush are dropped and
+counted as late.  Rounds pipeline freely — round k+1 may start while k is
+still propagating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Mapping, Optional
+
+import numpy as np
+
+from repro.coordination.aggregation import VectorAggregate
+from repro.coordination.messages import AggregateBroadcast, MessageCounter, QueueReport
+from repro.coordination.tree import CombiningTree
+from repro.sim.engine import Simulator
+from repro.sim.network import Endpoint, Link
+
+__all__ = ["GlobalView", "AggregationNode", "build_protocol"]
+
+NodeId = Hashable
+
+
+@dataclass
+class GlobalView:
+    """A node's latest knowledge of the global aggregate.
+
+    ``local_contribution`` is the node's *own* sample for that round, so a
+    consumer can form a consistent updated estimate by substituting its
+    current local value: ``global - local_contribution + local_now``.
+    """
+
+    aggregate: Optional[VectorAggregate] = None
+    round_id: int = -1
+    received_at: float = float("-inf")
+    local_contribution: Optional[VectorAggregate] = None
+
+    def fresh(self, now: float, max_age: float) -> Optional[VectorAggregate]:
+        """The aggregate if it is younger than ``max_age``, else None."""
+        if self.aggregate is None or now - self.received_at > max_age:
+            return None
+        return self.aggregate
+
+    def age(self, now: float) -> float:
+        return now - self.received_at
+
+
+class AggregationNode(Endpoint):
+    """One redirector's protocol engine.
+
+    Args:
+        sim: the simulation kernel.
+        node_id: this node's id in the tree.
+        tree: the combining tree overlay.
+        period: round period in seconds.
+        local_supplier: callable returning this node's current local
+            per-principal queue-length vector (sampled at round start).
+        on_global: called with ``(VectorAggregate, round_id)`` whenever a
+            broadcast arrives (and immediately at round completion on the
+            root itself).
+        flush_after: seconds after round start at which an interior node
+            forwards a partial aggregate (default: 90% of the period).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: NodeId,
+        tree: CombiningTree,
+        period: float,
+        local_supplier: Callable[[], Mapping[str, float]],
+        on_global: Optional[Callable[[VectorAggregate, int], None]] = None,
+        flush_after: Optional[float] = None,
+        counter: Optional[MessageCounter] = None,
+    ):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.node_id = node_id
+        self.tree = tree
+        self.period = float(period)
+        self.local_supplier = local_supplier
+        self.on_global = on_global
+        self.flush_after = float(flush_after) if flush_after is not None else 0.9 * period
+        self.counter = counter
+        self.view = GlobalView()
+        self.late_reports = 0
+
+        self.up_link: Optional[Link] = None            # to parent
+        self.down_links: Dict[NodeId, Link] = {}       # to children
+
+        self._expected_children = len(tree.children(node_id))
+        self._pending: Dict[int, VectorAggregate] = {}
+        self._reported_children: Dict[int, int] = {}
+        self._sent: set = set()
+        self._local_history: Dict[int, VectorAggregate] = {}
+        self._round = 0
+        sim.process(self._round_driver(), name=f"agg[{node_id}]")
+
+    # -- protocol rounds ----------------------------------------------------
+
+    def _round_driver(self):
+        while True:
+            self._start_round(self._round)
+            self.sim.schedule(self.flush_after, self._flush, self._round)
+            self._round += 1
+            # Bound protocol state: anything older than 100 rounds is dead
+            # (reports that stale are dropped as late anyway).
+            horizon = self._round - 1000
+            if horizon > 0 and len(self._sent) > 2000:
+                self._sent = {r for r in self._sent if r >= horizon}
+                for stale in [r for r in self._pending if r < horizon]:
+                    del self._pending[stale]
+                    self._reported_children.pop(stale, None)
+                for stale in [r for r in self._local_history if r < horizon]:
+                    del self._local_history[stale]
+            yield self.period
+
+    def _start_round(self, r: int) -> None:
+        local = VectorAggregate.local(self.local_supplier())
+        self._local_history[r] = local
+        self._pending[r] = self._pending[r].merge(local) if r in self._pending else local
+        self._maybe_send(r)
+
+    def _maybe_send(self, r: int) -> None:
+        if r in self._sent:
+            return
+        # Complete when our own sample is in (round started) and every
+        # child has reported.
+        if r not in self._pending:
+            return
+        if self._reported_children.get(r, 0) < self._expected_children:
+            return
+        self._send(r)
+
+    def _flush(self, r: int) -> None:
+        if r not in self._sent and r in self._pending:
+            self._send(r)
+
+    def _send(self, r: int) -> None:
+        self._sent.add(r)
+        agg = self._pending.pop(r)
+        self._reported_children.pop(r, None)
+        if self.up_link is None:
+            # Root: round complete — broadcast the global aggregate.
+            self._deliver_global(agg, r)
+            bcast = AggregateBroadcast(round_id=r, aggregate=agg, issued_at=self.sim.now)
+            for link in self.down_links.values():
+                if self.counter:
+                    self.counter.count(bcast)
+                link.send(bcast)
+        else:
+            report = QueueReport(sender=str(self.node_id), round_id=r, aggregate=agg)
+            if self.counter:
+                self.counter.count(report)
+            self.up_link.send(report)
+
+    # -- message handling ------------------------------------------------------
+
+    def on_message(self, msg, sender) -> None:
+        if isinstance(msg, QueueReport):
+            r = msg.round_id
+            if r in self._sent:
+                self.late_reports += 1
+                return
+            self._pending[r] = (
+                self._pending[r].merge(msg.aggregate) if r in self._pending else msg.aggregate.copy()
+            )
+            self._reported_children[r] = self._reported_children.get(r, 0) + 1
+            self._maybe_send(r)
+        elif isinstance(msg, AggregateBroadcast):
+            self._deliver_global(msg.aggregate, msg.round_id)
+            for link in self.down_links.values():
+                if self.counter:
+                    self.counter.count(msg)
+                link.send(msg)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected message {msg!r}")
+
+    def _deliver_global(self, agg: VectorAggregate, round_id: int) -> None:
+        if round_id >= self.view.round_id:
+            self.view = GlobalView(
+                aggregate=agg,
+                round_id=round_id,
+                received_at=self.sim.now,
+                local_contribution=self._local_history.get(round_id),
+            )
+        if self.on_global is not None:
+            self.on_global(agg, round_id)
+
+
+def build_protocol(
+    sim: Simulator,
+    tree: CombiningTree,
+    period: float,
+    suppliers: Mapping[NodeId, Callable[[], Mapping[str, float]]],
+    on_global: Optional[Mapping[NodeId, Callable[[VectorAggregate, int], None]]] = None,
+    link_delay: float = 0.0,
+    jitter: float = 0.0,
+    loss: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    counter: Optional[MessageCounter] = None,
+    flush_after: Optional[float] = None,
+) -> Dict[NodeId, AggregationNode]:
+    """Wire up :class:`AggregationNode` s and links for an entire tree.
+
+    ``link_delay`` applies symmetrically to every tree edge (Fig 8 uses a
+    delay large enough that broadcasts lag by ~10 s).
+
+    ``flush_after`` defaults to ``0.9 * period + 2.5 * height * link_delay``:
+    an interior node must wait long enough for its children's reports to
+    cross the links before giving up on a round, otherwise every aggregate
+    would be forwarded partial and the reports dropped as late.
+    """
+    callbacks = dict(on_global or {})
+    if flush_after is None:
+        flush_after = 0.9 * period + 2.5 * tree.height() * (link_delay + jitter)
+    nodes: Dict[NodeId, AggregationNode] = {}
+    for nid in tree.nodes:
+        if nid not in suppliers:
+            raise ValueError(f"no local supplier for node {nid!r}")
+        nodes[nid] = AggregationNode(
+            sim,
+            nid,
+            tree,
+            period,
+            suppliers[nid],
+            on_global=callbacks.get(nid),
+            flush_after=flush_after,
+            counter=counter,
+        )
+    for nid in tree.nodes:
+        par = tree.parent(nid)
+        if par is None:
+            continue
+        nodes[nid].up_link = Link(
+            sim, nodes[nid], nodes[par], delay=link_delay, jitter=jitter,
+            loss=loss, rng=rng,
+        )
+        nodes[par].down_links[nid] = Link(
+            sim, nodes[par], nodes[nid], delay=link_delay, jitter=jitter,
+            loss=loss, rng=rng,
+        )
+    return nodes

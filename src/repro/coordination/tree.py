@@ -1,0 +1,184 @@
+"""Combining-tree overlays.
+
+The paper notes "several algorithms exist for dynamically overlaying trees
+on a set of nodes in a wide area network" and does not fix one; we provide
+the useful family — star, balanced k-ary, chain (worst case), and a
+latency-aware tree built by Prim's algorithm over a pairwise latency
+matrix — plus dynamic join/leave, all behind one :class:`CombiningTree`
+interface the protocol layer consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["CombiningTree"]
+
+NodeId = Hashable
+
+
+class CombiningTree:
+    """A rooted tree over node ids with parent/children accessors."""
+
+    def __init__(self, root: NodeId, parent: Mapping[NodeId, NodeId]):
+        self.root = root
+        self._parent: Dict[NodeId, Optional[NodeId]] = {root: None}
+        self._children: Dict[NodeId, List[NodeId]] = {root: []}
+        for node, par in parent.items():
+            if node == root:
+                continue
+            self._parent[node] = par
+            self._children.setdefault(node, [])
+        for node, par in self._parent.items():
+            if par is not None:
+                if par not in self._parent:
+                    raise ValueError(f"parent {par!r} of {node!r} not in tree")
+                self._children.setdefault(par, []).append(node)
+        self._validate()
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def star(cls, nodes: Sequence[NodeId]) -> "CombiningTree":
+        """Every node reports directly to the first (depth 1)."""
+        if not nodes:
+            raise ValueError("need at least one node")
+        root = nodes[0]
+        return cls(root, {n: root for n in nodes[1:]})
+
+    @classmethod
+    def chain(cls, nodes: Sequence[NodeId]) -> "CombiningTree":
+        """A path — the deepest (worst-latency) overlay; useful in tests."""
+        if not nodes:
+            raise ValueError("need at least one node")
+        parent = {nodes[i]: nodes[i - 1] for i in range(1, len(nodes))}
+        return cls(nodes[0], parent)
+
+    @classmethod
+    def balanced(cls, nodes: Sequence[NodeId], fanout: int = 2) -> "CombiningTree":
+        """Complete k-ary tree in node order (depth O(log_k n))."""
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        if not nodes:
+            raise ValueError("need at least one node")
+        parent = {
+            nodes[i]: nodes[(i - 1) // fanout] for i in range(1, len(nodes))
+        }
+        return cls(nodes[0], parent)
+
+    @classmethod
+    def latency_aware(
+        cls,
+        nodes: Sequence[NodeId],
+        latency: np.ndarray,
+        root: Optional[NodeId] = None,
+    ) -> "CombiningTree":
+        """Minimum-latency spanning tree (Prim), rooted at ``root``.
+
+        ``latency[i, j]`` is the delay between ``nodes[i]`` and
+        ``nodes[j]``; the tree minimises total link latency, a standard
+        proxy for aggregate round time on WAN overlays.
+        """
+        n = len(nodes)
+        latency = np.asarray(latency, dtype=float)
+        if latency.shape != (n, n):
+            raise ValueError(f"latency matrix must be {n}x{n}")
+        root_idx = 0 if root is None else list(nodes).index(root)
+        in_tree = {root_idx}
+        parent: Dict[NodeId, NodeId] = {}
+        dist = latency[root_idx].copy()
+        near = np.full(n, root_idx)
+        dist[root_idx] = np.inf
+        for _ in range(n - 1):
+            j = int(np.argmin(dist))
+            if not np.isfinite(dist[j]):
+                raise ValueError("latency matrix is disconnected (inf row)")
+            parent[nodes[j]] = nodes[int(near[j])]
+            in_tree.add(j)
+            dist[j] = np.inf
+            closer = latency[j] < dist
+            near[closer] = j
+            dist = np.minimum(dist, latency[j])
+            dist[list(in_tree)] = np.inf
+        return cls(nodes[root_idx], parent)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        return list(self._parent)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def parent(self, node: NodeId) -> Optional[NodeId]:
+        return self._parent[node]
+
+    def children(self, node: NodeId) -> List[NodeId]:
+        return list(self._children.get(node, []))
+
+    def is_leaf(self, node: NodeId) -> bool:
+        return not self._children.get(node)
+
+    def depth(self, node: NodeId) -> int:
+        d = 0
+        while (node := self._parent[node]) is not None:  # type: ignore[assignment]
+            d += 1
+        return d
+
+    def height(self) -> int:
+        return max((self.depth(n) for n in self.nodes), default=0)
+
+    def messages_per_round(self) -> int:
+        """2(n-1): one report up and one broadcast down per edge."""
+        return 2 * (len(self) - 1)
+
+    @staticmethod
+    def pairwise_messages_per_round(n: int) -> int:
+        """The O(n^2) alternative the paper compares against."""
+        return n * (n - 1)
+
+    # -- dynamics ---------------------------------------------------------------
+
+    def join(self, node: NodeId, parent: NodeId) -> None:
+        """Attach a new node under ``parent``."""
+        if node in self._parent:
+            raise ValueError(f"{node!r} already in tree")
+        if parent not in self._parent:
+            raise ValueError(f"unknown parent {parent!r}")
+        self._parent[node] = parent
+        self._children[node] = []
+        self._children[parent].append(node)
+
+    def leave(self, node: NodeId) -> None:
+        """Remove a node; its children are re-attached to its parent."""
+        if node == self.root:
+            raise ValueError("cannot remove the root; re-root first")
+        par = self._parent[node]
+        assert par is not None
+        for child in self._children.get(node, []):
+            self._parent[child] = par
+            self._children[par].append(child)
+        self._children[par].remove(node)
+        del self._parent[node]
+        self._children.pop(node, None)
+
+    # -- internal -----------------------------------------------------------------
+
+    def _validate(self) -> None:
+        seen = set()
+        for node in self._parent:
+            cur: Optional[NodeId] = node
+            path = set()
+            while cur is not None:
+                if cur in path:
+                    raise ValueError(f"cycle through {cur!r}")
+                path.add(cur)
+                if cur in seen:
+                    break
+                cur = self._parent.get(cur, None)
+            seen |= path
+        if len(seen) != len(self._parent):
+            raise ValueError("tree is disconnected")

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: the agreement calculus (§2) and the
+flow computations that reduce an arbitrary agreement graph to per-principal
+mandatory/optional access levels (§3.1.1).
+
+Modules:
+
+- :mod:`repro.core.principals` — principals owning rate resources.
+- :mod:`repro.core.tickets` — tickets (mandatory/optional) and currencies.
+- :mod:`repro.core.agreements` — `[lb, ub]` agreements and the agreement graph.
+- :mod:`repro.core.flows` — transitive mandatory/optional resource flows
+  (paper Formulae 1–4), via simple-path enumeration and closed-form matrices.
+- :mod:`repro.core.valuation` — real currency values (the Fig 3 arithmetic).
+- :mod:`repro.core.access` — MC/OC access levels and MI/OI entitlement
+  matrices consumed by the LP schedulers.
+"""
+
+from repro.core.access import AccessLevels, compute_access_levels
+from repro.core.agreements import Agreement, AgreementGraph, AgreementError
+from repro.core.dynamic import DynamicAccessManager
+from repro.core.flows import FlowMatrices, closed_form_flows, path_flows
+from repro.core.hierarchy import Tier, build_hierarchy, effective_entitlements
+from repro.core.multiresource import MultiResourceAccess, compute_multiresource_access
+from repro.core.principals import Principal
+from repro.core.serialization import dump_graph, graph_from_dict, graph_to_dict, load_graph
+from repro.core.tickets import Currency, Ticket, TicketKind
+from repro.core.valuation import CurrencyValuation, value_currencies
+
+__all__ = [
+    "Principal",
+    "Currency",
+    "Ticket",
+    "TicketKind",
+    "Agreement",
+    "AgreementGraph",
+    "AgreementError",
+    "FlowMatrices",
+    "closed_form_flows",
+    "path_flows",
+    "CurrencyValuation",
+    "value_currencies",
+    "AccessLevels",
+    "compute_access_levels",
+    "DynamicAccessManager",
+    "MultiResourceAccess",
+    "compute_multiresource_access",
+    "Tier",
+    "build_hierarchy",
+    "effective_entitlements",
+    "graph_to_dict",
+    "graph_from_dict",
+    "dump_graph",
+    "load_graph",
+]

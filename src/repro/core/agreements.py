@@ -1,0 +1,224 @@
+"""`[lb, ub]` agreements and the agreement graph (paper §2.2).
+
+An agreement gives principal ``grantee`` access to a fraction of
+``grantor``'s resources over a time window, modelled as a tuple
+``[lb, ub]``: the lower bound is a guaranteed reservation during overload,
+the upper bound a best-effort ceiling.  Unlike classical reservation
+systems, resources reserved for the grantee may be used by others when the
+grantee is idle — the calculus in :mod:`repro.core.flows` encodes this by
+crediting unclaimed mandatory outflow back as *optional* value.
+
+:class:`AgreementGraph` is the container the rest of the system consumes:
+it validates agreements (a grantor may not guarantee more than 100% of its
+currency) and exposes the matrices L (lower bounds), U (upper bounds) and
+the capacity vector V used by the flow computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.principals import Principal
+from repro.core.tickets import Currency, TicketKind
+
+__all__ = ["Agreement", "AgreementGraph", "AgreementError"]
+
+_EPS = 1e-9
+
+
+class AgreementError(ValueError):
+    """Raised when an agreement or graph is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class Agreement:
+    """grantor grants grantee access to [lb, ub] of its resources."""
+
+    grantor: str
+    grantee: str
+    lb: float
+    ub: float
+
+    def __post_init__(self) -> None:
+        if self.grantor == self.grantee:
+            raise AgreementError("self-agreements are meaningless")
+        if not (0.0 <= self.lb <= self.ub):
+            raise AgreementError(
+                f"need 0 <= lb <= ub, got [{self.lb}, {self.ub}]"
+            )
+        if self.ub > 1.0 + _EPS:
+            raise AgreementError(f"upper bound cannot exceed 1.0, got {self.ub}")
+
+    @property
+    def optional(self) -> float:
+        """Face fraction of the optional ticket: ub - lb."""
+        return self.ub - self.lb
+
+    def __str__(self) -> str:
+        return f"{self.grantor}->{self.grantee} [{self.lb}, {self.ub}]"
+
+
+class AgreementGraph:
+    """Principals + agreements; the input to every scheduler in the system.
+
+    >>> g = AgreementGraph()
+    >>> g.add_principal("A", capacity=1000.0)
+    >>> g.add_principal("B", capacity=1500.0)
+    >>> _ = g.add_agreement(Agreement("A", "B", 0.4, 0.6))
+    >>> g.lower_bounds()[g.index("A"), g.index("B")]
+    0.4
+    """
+
+    def __init__(self, principals: Iterable[Principal] = ()):
+        self._principals: Dict[str, Principal] = {}
+        self._order: List[str] = []
+        self._agreements: Dict[Tuple[str, str], Agreement] = {}
+        for p in principals:
+            self.add(p)
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, principal: Principal) -> Principal:
+        if principal.name in self._principals:
+            raise AgreementError(f"duplicate principal {principal.name!r}")
+        self._principals[principal.name] = principal
+        self._order.append(principal.name)
+        return principal
+
+    def add_principal(
+        self, name: str, capacity: float = 0.0, face_value: float = 100.0
+    ) -> Principal:
+        return self.add(Principal(name, capacity=capacity, face_value=face_value))
+
+    def add_agreement(self, agreement: Agreement) -> Agreement:
+        for who in (agreement.grantor, agreement.grantee):
+            if who not in self._principals:
+                raise AgreementError(f"unknown principal {who!r}")
+        key = (agreement.grantor, agreement.grantee)
+        if key in self._agreements:
+            raise AgreementError(f"duplicate agreement {key[0]}->{key[1]}")
+        total_lb = self.total_granted_lb(agreement.grantor) + agreement.lb
+        if total_lb > 1.0 + _EPS:
+            raise AgreementError(
+                f"{agreement.grantor!r} would guarantee {total_lb:.3f} > 100% "
+                "of its resources"
+            )
+        self._agreements[key] = agreement
+        return agreement
+
+    def set_capacity(self, name: str, capacity: float) -> None:
+        """Update a principal's physical resources (dynamic interpretation,
+        §2.2: capacity changes flow through agreements on recompute)."""
+        old = self.principal(name)
+        self._principals[name] = Principal(
+            name, capacity=capacity, face_value=old.face_value
+        )
+
+    def remove_agreement(self, grantor: str, grantee: str) -> None:
+        try:
+            del self._agreements[(grantor, grantee)]
+        except KeyError:
+            raise AgreementError(f"no agreement {grantor}->{grantee}") from None
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._order)
+
+    @property
+    def n(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._principals
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def principal(self, name: str) -> Principal:
+        return self._principals[name]
+
+    def index(self, name: str) -> int:
+        try:
+            return self._order.index(name)
+        except ValueError:
+            raise AgreementError(f"unknown principal {name!r}") from None
+
+    def agreements(self) -> List[Agreement]:
+        return list(self._agreements.values())
+
+    def agreement(self, grantor: str, grantee: str) -> Optional[Agreement]:
+        return self._agreements.get((grantor, grantee))
+
+    def total_granted_lb(self, grantor: str) -> float:
+        return sum(
+            a.lb for (g, _), a in self._agreements.items() if g == grantor
+        )
+
+    # -- matrix views (consumed by repro.core.flows) -------------------------
+
+    def capacities(self) -> np.ndarray:
+        """V: aggregate capacity per principal, in request-units/sec."""
+        return np.array(
+            [self._principals[p].capacity for p in self._order], dtype=float
+        )
+
+    def lower_bounds(self) -> np.ndarray:
+        """L[i, j] = lb of the agreement i -> j (0 where none)."""
+        n = self.n
+        L = np.zeros((n, n))
+        for (g, e), a in self._agreements.items():
+            L[self.index(g), self.index(e)] = a.lb
+        return L
+
+    def upper_bounds(self) -> np.ndarray:
+        """U[i, j] = ub of the agreement i -> j (0 where none)."""
+        n = self.n
+        U = np.zeros((n, n))
+        for (g, e), a in self._agreements.items():
+            U[self.index(g), self.index(e)] = a.ub
+        return U
+
+    # -- ticket materialisation (paper §2.3) --------------------------------
+
+    def mint(self) -> Dict[str, Currency]:
+        """Materialise each agreement as mandatory/optional tickets.
+
+        Returns one :class:`Currency` per principal with the tickets it has
+        issued and holds — the concrete object model of the paper's Fig 3.
+        """
+        currencies = {
+            name: Currency(name, self._principals[name].face_value)
+            for name in self._order
+        }
+        for a in self._agreements.values():
+            cur = currencies[a.grantor]
+            face = cur.face_value
+            if a.lb > 0:
+                t = cur.issue(TicketKind.MANDATORY, a.grantee, a.lb * face)
+                currencies[a.grantee].receive(t)
+            if a.optional > 0:
+                t = cur.issue(TicketKind.OPTIONAL, a.grantee, a.optional * face)
+                currencies[a.grantee].receive(t)
+        return currencies
+
+    def validate(self) -> None:
+        """Re-check global invariants (useful after manual edits)."""
+        for name in self._order:
+            total = self.total_granted_lb(name)
+            if total > 1.0 + _EPS:
+                raise AgreementError(
+                    f"{name!r} guarantees {total:.3f} > 100% of its resources"
+                )
+
+    def copy(self) -> "AgreementGraph":
+        g = AgreementGraph()
+        for name in self._order:
+            g.add(self._principals[name])
+        for a in self._agreements.values():
+            g._agreements[(a.grantor, a.grantee)] = a
+        return g

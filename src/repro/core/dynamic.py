@@ -1,0 +1,100 @@
+"""Dynamic agreement interpretation (paper §2.2).
+
+"In addition, agreements are interpreted dynamically: changes in a
+principal's resource levels affect the amount available to others via
+agreements."  The paper also notes the currency face value "gives
+flexibility to change agreements by inflating or deflating the value of a
+currency".
+
+:class:`DynamicAccessManager` owns a mutable agreement graph and provides
+versioned, lazily recomputed access levels.  Consumers (redirector
+allocators) subscribe and are pushed fresh levels whenever capacities or
+agreements change — the quasi-static precomputation of §3.1.1, re-run on
+demand.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.access import AccessLevels, compute_access_levels
+from repro.core.agreements import Agreement, AgreementError, AgreementGraph
+
+__all__ = ["DynamicAccessManager"]
+
+Subscriber = Callable[[AccessLevels], None]
+
+
+class DynamicAccessManager:
+    """Versioned access levels over a mutable agreement graph."""
+
+    def __init__(self, graph: AgreementGraph, method: str = "closed"):
+        self._graph = graph
+        self._method = method
+        self._version = 0
+        self._computed_version = -1
+        self._access: Optional[AccessLevels] = None
+        self._subscribers: List[Subscriber] = []
+
+    # -- reads ---------------------------------------------------------------
+
+    @property
+    def graph(self) -> AgreementGraph:
+        return self._graph
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def access(self) -> AccessLevels:
+        if self._computed_version != self._version or self._access is None:
+            self._access = compute_access_levels(self._graph, method=self._method)
+            self._computed_version = self._version
+        return self._access
+
+    # -- subscriptions ----------------------------------------------------------
+
+    def subscribe(self, fn: Subscriber) -> None:
+        """``fn`` is called with fresh access levels after every change
+        (and immediately on subscription)."""
+        self._subscribers.append(fn)
+        fn(self.access)
+
+    def _notify(self) -> None:
+        self._version += 1
+        levels = self.access
+        for fn in self._subscribers:
+            fn(levels)
+
+    # -- mutations ------------------------------------------------------------------
+
+    def set_capacity(self, name: str, capacity: float) -> None:
+        """A principal's physical resources changed (nodes added/failed)."""
+        self._graph.set_capacity(name, capacity)
+        self._notify()
+
+    def add_principal(self, name: str, capacity: float = 0.0) -> None:
+        self._graph.add_principal(name, capacity=capacity)
+        self._notify()
+
+    def add_agreement(self, agreement: Agreement) -> None:
+        self._graph.add_agreement(agreement)
+        self._notify()
+
+    def remove_agreement(self, grantor: str, grantee: str) -> None:
+        self._graph.remove_agreement(grantor, grantee)
+        self._notify()
+
+    def renegotiate(self, grantor: str, grantee: str, lb: float, ub: float) -> None:
+        """Replace an existing agreement's bounds atomically."""
+        existing = self._graph.agreement(grantor, grantee)
+        if existing is None:
+            raise AgreementError(f"no agreement {grantor}->{grantee}")
+        self._graph.remove_agreement(grantor, grantee)
+        try:
+            self._graph.add_agreement(Agreement(grantor, grantee, lb, ub))
+        except AgreementError:
+            self._graph.add_agreement(existing)  # roll back
+            raise
+        self._notify()

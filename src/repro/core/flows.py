@@ -1,0 +1,212 @@
+"""Transitive mandatory/optional resource flows (paper §3.1.1, Formulae 1–4).
+
+Given the agreement graph with lower-bound matrix ``L``, upper-bound matrix
+``U`` (``Opt = U - L``) and capacity vector ``V``, the paper reduces any
+agreement structure — including transitive chains — to per-principal access
+levels.  Two equivalent computations are provided:
+
+**Closed form** (:func:`closed_form_flows`, the default).  Mandatory value
+flows along mandatory tickets, so gross currency values satisfy the linear
+fixed point ``M = V + L^T M``; the Neumann series of ``(I - L^T)^{-1}`` is
+exactly the paper's Formula 1 summed over all path lengths.  With
+``R = (I - L)^{-1}`` and ``l_i = sum_j L[i, j]``:
+
+- gross mandatory currency value   ``M = R^T V``
+- retained mandatory access        ``MC_i = M_i (1 - l_i)``           (Formula 3)
+- optional inflow                  ``Obar = (I - U^T)^{-1} Opt^T M``
+- optional access                  ``OC_i = Obar_i + M_i l_i``        (Formula 4)
+- per-pair mandatory entitlement   ``MI[i, k] = V_k R[k, i] (1 - l_i)``
+- per-pair optional entitlement
+  ``OI[i, k] = V_k ([R Opt (I-U)^{-1}]_{k i} + R[k, i] l_i)``
+
+``MI[i, k]`` / ``OI[i, k]`` are the paper's ``MI_ki`` / ``OI_ki`` — the
+entitlement of principal *i* on principal *k*'s physical server, the
+quantities bounding ``x_ik`` in the community LP.
+
+**Simple-path enumeration** (:func:`path_flows`).  The paper's Formulae 1–2
+literally sum over cycle-free transitive paths of length <= m.  We enumerate
+simple paths by DFS.  On DAGs this agrees with the closed form to machine
+precision (tested); on cyclic graphs the closed form additionally counts
+cycle traversals (a geometric series), which the paper's summation
+constraints exclude — both behaviours are exposed.
+
+Conservation invariants (property-tested in ``tests/core/test_flows.py``):
+
+- ``sum_i MI[i, k] = V_k`` — mandatory entitlements exactly partition every
+  server's capacity;
+- ``sum_k MI[i, k] = MC_i`` and ``sum_k OI[i, k] = OC_i``.
+
+Verified against the paper's Fig 3 worked example:
+final (mandatory, optional) = A (600, 400), B (760, 1340), C (1140, 960).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.agreements import AgreementError, AgreementGraph
+
+__all__ = ["FlowMatrices", "closed_form_flows", "path_flows", "spectral_radius"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class FlowMatrices:
+    """Result of a flow computation over an agreement graph.
+
+    All arrays are indexed in graph order (``names``).  ``MI[i, k]`` is
+    principal i's mandatory entitlement on k's server (the paper's
+    ``MI_ki``); likewise ``OI``.
+    """
+
+    names: Tuple[str, ...]
+    V: np.ndarray        # capacities
+    L: np.ndarray        # lower bounds
+    U: np.ndarray        # upper bounds
+    M: np.ndarray        # gross mandatory currency values
+    Obar: np.ndarray     # optional inflow per currency
+    MC: np.ndarray       # retained mandatory access (Formula 3)
+    OC: np.ndarray       # optional access (Formula 4)
+    MI: np.ndarray       # MI[i, k]: i's mandatory entitlement on server k
+    OI: np.ndarray       # OI[i, k]: i's optional entitlement on server k
+
+    def index(self, name: str) -> int:
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise AgreementError(f"unknown principal {name!r}") from None
+
+    def mandatory(self, name: str) -> float:
+        return float(self.MC[self.index(name)])
+
+    def optional(self, name: str) -> float:
+        return float(self.OC[self.index(name)])
+
+    def entitlement(self, holder: str, owner: str) -> Tuple[float, float]:
+        """(mandatory, optional) entitlement of ``holder`` on ``owner``'s server."""
+        i, k = self.index(holder), self.index(owner)
+        return float(self.MI[i, k]), float(self.OI[i, k])
+
+    def check_conservation(self, atol: float = 1e-6) -> None:
+        """Assert the conservation invariants; raises AssertionError if violated."""
+        np.testing.assert_allclose(self.MI.sum(axis=0), self.V, atol=atol)
+        np.testing.assert_allclose(self.MI.sum(axis=1), self.MC, atol=atol)
+        np.testing.assert_allclose(self.OI.sum(axis=1), self.OC, atol=atol)
+
+
+def spectral_radius(A: np.ndarray) -> float:
+    """Largest absolute eigenvalue (convergence test for the Neumann series)."""
+    if A.size == 0:
+        return 0.0
+    return float(np.max(np.abs(np.linalg.eigvals(A))))
+
+
+def _matrices(graph: AgreementGraph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    return graph.capacities(), graph.lower_bounds(), graph.upper_bounds()
+
+
+def closed_form_flows(graph: AgreementGraph) -> FlowMatrices:
+    """Exact flow computation via linear solves (the production path).
+
+    Raises :class:`AgreementError` when a cyclic agreement structure
+    transfers 100% of value around a loop (the fixed point diverges); use
+    :func:`path_flows` — the paper's cycle-excluding formulation — there.
+    """
+    V, L, U = _matrices(graph)
+    n = graph.n
+    if n == 0:
+        z = np.zeros(0)
+        zz = np.zeros((0, 0))
+        return FlowMatrices((), z, zz, zz, z, z, z, z, zz, zz)
+
+    eye = np.eye(n)
+    for name, mat in (("lower-bound", L), ("upper-bound", U)):
+        rho = spectral_radius(mat)
+        if rho >= 1.0 - _EPS:
+            raise AgreementError(
+                f"{name} agreement cycle has spectral radius {rho:.4f} >= 1; "
+                "the transitive flow diverges — use path_flows() instead"
+            )
+
+    leak = L.sum(axis=1)                      # l_i: mandatory fraction granted away
+    R = np.linalg.solve(eye - L, eye)         # (I - L)^{-1}
+    M = R.T @ V                               # gross mandatory currency values
+    Opt = U - L
+    Obar = np.linalg.solve(eye - U.T, Opt.T @ M)
+    MC = M * (1.0 - leak)
+    OC = Obar + M * leak
+
+    # Per-pair entitlement matrices (see module docstring for derivation).
+    S = R @ Opt @ np.linalg.solve(eye - U, eye)
+    MI = (1.0 - leak)[:, None] * R.T * V[None, :]
+    OI = S.T * V[None, :] + R.T * V[None, :] * leak[:, None]
+    return FlowMatrices(
+        tuple(graph.names), V, L, U, M, Obar, MC, OC, MI, OI
+    )
+
+
+def path_flows(graph: AgreementGraph, max_len: Optional[int] = None) -> FlowMatrices:
+    """The paper's literal Formulae 1–4: sum over *simple* transitive paths.
+
+    ``max_len`` bounds path length (the paper's ``m``); default ``n - 1``
+    covers every simple path.  Exponential in the worst case — intended for
+    the small principal counts the paper targets ("this latter number is
+    expected to be small", §3.1.2) and for cross-validation of the closed
+    form.
+    """
+    V, L, U = _matrices(graph)
+    n = graph.n
+    if max_len is None:
+        max_len = max(n - 1, 0)
+    Opt = U - L
+    # Adjacency: an edge exists wherever any agreement exists.
+    adj: List[List[int]] = [
+        [k for k in range(n) if U[j, k] > 0.0 or L[j, k] > 0.0] for j in range(n)
+    ]
+
+    # P[j, i]: sum over simple paths j->i of the product of lbs (Formula 1).
+    # Q[j, i]: sum over simple paths and switch positions of
+    #          lb...lb * opt * ub...ub (Formula 2).
+    P = np.eye(n)
+    Q = np.zeros((n, n))
+
+    def dfs(start: int, node: int, lb_prod: float,
+            switch_prods: List[float], visited: int, depth: int) -> None:
+        # switch_prods[r] accumulates, for each already-switched position,
+        # the running product continued along ub edges.
+        if depth >= max_len:
+            return
+        for nxt in adj[node]:
+            if visited & (1 << nxt):
+                continue  # the paper's summation constraints: simple paths only
+            lb_e, ub_e, opt_e = L[node, nxt], U[node, nxt], Opt[node, nxt]
+            # Paths that already switched to optional continue along ub edges;
+            # a switch at this edge contributes lb-prefix * opt (Formula 2).
+            new_switch = [s * ub_e for s in switch_prods if s * ub_e > 0.0]
+            if opt_e > 0.0 and lb_prod > 0.0:
+                new_switch.append(lb_prod * opt_e)
+            new_lb = lb_prod * lb_e
+            if new_lb > 0.0:
+                P[start, nxt] += new_lb
+            if new_switch:
+                Q[start, nxt] += sum(new_switch)
+            if new_lb > 0.0 or new_switch:
+                dfs(start, nxt, new_lb, new_switch, visited | (1 << nxt), depth + 1)
+
+    for j in range(n):
+        dfs(j, j, 1.0, [], 1 << j, 0)
+
+    leak = L.sum(axis=1)
+    M = P.T @ V
+    Obar = Q.T @ V
+    MC = M * (1.0 - leak)
+    OC = Obar + M * leak
+    MI = (1.0 - leak)[:, None] * P.T * V[None, :]
+    OI = Q.T * V[None, :] + P.T * V[None, :] * leak[:, None]
+    return FlowMatrices(
+        tuple(graph.names), V, L, U, M, Obar, MC, OC, MI, OI
+    )

@@ -1,0 +1,107 @@
+"""Hierarchical agreement structures (paper §2.1).
+
+"When a sub-ASP resells ASP services to its own customers, *hierarchical*
+agreement structures emerge.  In this paper we mainly focus on the former
+two agreement models, although our techniques can be naturally extended to
+the latter."
+
+This module is that natural extension, built entirely on the existing
+calculus: a reseller is just a principal whose currency is funded by an
+upstream agreement and drained by the agreements it issues to its own
+customers.  The helpers here construct such trees from a declarative spec,
+validate that no reseller oversells its *guaranteed* inflow (overselling
+the optional headroom is legal — that is what best-effort reselling means),
+and report effective end-customer entitlements through the transitive
+flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.access import AccessLevels, compute_access_levels
+from repro.core.agreements import Agreement, AgreementError, AgreementGraph
+
+__all__ = ["Tier", "build_hierarchy", "oversell_report", "effective_entitlements"]
+
+
+@dataclass
+class Tier:
+    """One node of a reselling tree.
+
+    Attributes:
+        name: principal name.
+        capacity: physical resources this node owns (usually only the root
+            provider has any).
+        share: the ``[lb, ub]`` fraction of the *parent's* currency granted
+            to this node (ignored on the root).
+        children: sub-resellers / end customers.
+    """
+
+    name: str
+    capacity: float = 0.0
+    share: Tuple[float, float] = (0.0, 0.0)
+    children: List["Tier"] = field(default_factory=list)
+
+    def child(self, name: str, lb: float, ub: float,
+              capacity: float = 0.0) -> "Tier":
+        """Attach and return a sub-tier (fluent builder)."""
+        tier = Tier(name=name, capacity=capacity, share=(lb, ub))
+        self.children.append(tier)
+        return tier
+
+    def walk(self):
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+
+def build_hierarchy(root: Tier) -> AgreementGraph:
+    """Materialise a reselling tree as an agreement graph.
+
+    Every edge parent->child becomes an ``Agreement(parent, child, lb, ub)``;
+    the graph validator already refuses any parent guaranteeing more than
+    100% of its currency.
+    """
+    g = AgreementGraph()
+    for tier in root.walk():
+        g.add_principal(tier.name, capacity=tier.capacity)
+    for tier in root.walk():
+        for c in tier.children:
+            lb, ub = c.share
+            g.add_agreement(Agreement(tier.name, c.name, lb, ub))
+    return g
+
+
+def oversell_report(root: Tier) -> Dict[str, Tuple[float, float]]:
+    """Per-reseller (guaranteed, best-effort) fractions of its currency sold.
+
+    The guaranteed fraction (sum of children's lower bounds) can never
+    exceed 1 — the graph builder enforces it, so mandatory promises are
+    always backed by the reseller's own inflow.  The best-effort fraction
+    (sum of upper bounds) legitimately may exceed 1: that is statistical
+    overselling of optional headroom, the economics the paper's ASP model
+    implies.
+    """
+    report = {}
+    for tier in root.walk():
+        if not tier.children:
+            continue
+        guaranteed = sum(c.share[0] for c in tier.children)
+        best_effort = sum(c.share[1] for c in tier.children)
+        report[tier.name] = (guaranteed, best_effort)
+    return report
+
+
+def effective_entitlements(root: Tier) -> Dict[str, Tuple[float, float]]:
+    """(mandatory, optional) request rates every leaf customer ends up
+    with, resolved through the full reselling chain."""
+    g = build_hierarchy(root)
+    access = compute_access_levels(g)
+    out = {}
+    for tier in root.walk():
+        if tier.children:
+            continue
+        out[tier.name] = (access.mandatory(tier.name), access.optional(tier.name))
+    return out

@@ -1,0 +1,41 @@
+"""Principals: the parties to resource sharing agreements.
+
+A principal owns *rate resources* (paper §2): CPU share, network bandwidth,
+or — in all of the paper's experiments — server transaction rate, expressed
+as an aggregate capacity scaled in average-request units per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Principal"]
+
+
+@dataclass(frozen=True)
+class Principal:
+    """A party owning (possibly zero) rate resources.
+
+    Attributes:
+        name: unique identifier.
+        capacity: aggregate resource in request-units per second (``V_i``).
+            Zero for pure consumers (e.g. principal C in the paper's Fig 3).
+        face_value: face value of the principal's currency.  Agreements are
+            denominated as fractions of this; the paper notes the face value
+            is arbitrary and can be inflated/deflated to renegotiate.
+    """
+
+    name: str
+    capacity: float = 0.0
+    face_value: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("principal name must be non-empty")
+        if self.capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {self.capacity}")
+        if self.face_value <= 0:
+            raise ValueError(f"face value must be > 0, got {self.face_value}")
+
+    def __str__(self) -> str:
+        return self.name

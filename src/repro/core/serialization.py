@@ -1,0 +1,85 @@
+"""JSON (de)serialisation of agreement graphs.
+
+Lets deployments keep their agreement structures in version-controlled
+files and lets the CLI operate on them (``python -m repro inspect
+--file agreements.json``).  The format is deliberately boring::
+
+    {
+      "principals": [
+        {"name": "A", "capacity": 1000.0, "face_value": 100.0},
+        {"name": "B", "capacity": 1500.0}
+      ],
+      "agreements": [
+        {"grantor": "A", "grantee": "B", "lb": 0.4, "ub": 0.6}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+from repro.core.agreements import Agreement, AgreementError, AgreementGraph
+
+__all__ = ["graph_to_dict", "graph_from_dict", "dump_graph", "load_graph"]
+
+
+def graph_to_dict(graph: AgreementGraph) -> Dict[str, Any]:
+    return {
+        "principals": [
+            {
+                "name": name,
+                "capacity": graph.principal(name).capacity,
+                "face_value": graph.principal(name).face_value,
+            }
+            for name in graph.names
+        ],
+        "agreements": [
+            {"grantor": a.grantor, "grantee": a.grantee, "lb": a.lb, "ub": a.ub}
+            for a in graph.agreements()
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> AgreementGraph:
+    if not isinstance(data, dict):
+        raise AgreementError("agreement document must be a JSON object")
+    g = AgreementGraph()
+    for p in data.get("principals", []):
+        try:
+            g.add_principal(
+                p["name"],
+                capacity=float(p.get("capacity", 0.0)),
+                face_value=float(p.get("face_value", 100.0)),
+            )
+        except (KeyError, TypeError) as exc:
+            raise AgreementError(f"malformed principal entry {p!r}") from exc
+    for a in data.get("agreements", []):
+        try:
+            g.add_agreement(
+                Agreement(a["grantor"], a["grantee"], float(a["lb"]), float(a["ub"]))
+            )
+        except (KeyError, TypeError) as exc:
+            raise AgreementError(f"malformed agreement entry {a!r}") from exc
+    return g
+
+
+def dump_graph(graph: AgreementGraph, path: Union[str, "object"]) -> None:
+    """Write a graph to a JSON file (path or open file object)."""
+    payload = json.dumps(graph_to_dict(graph), indent=2) + "\n"
+    if hasattr(path, "write"):
+        path.write(payload)  # type: ignore[union-attr]
+    else:
+        with open(path, "w") as fh:  # type: ignore[arg-type]
+            fh.write(payload)
+
+
+def load_graph(path: Union[str, "object"]) -> AgreementGraph:
+    """Read a graph from a JSON file (path or open file object)."""
+    if hasattr(path, "read"):
+        data = json.load(path)  # type: ignore[arg-type]
+    else:
+        with open(path) as fh:  # type: ignore[arg-type]
+            data = json.load(fh)
+    return graph_from_dict(data)

@@ -1,0 +1,119 @@
+"""Tickets and currencies (paper §2.3).
+
+An agreement between principals A and B is represented by a flow of tickets
+from A to B, denominated in A's currency.  Two ticket kinds encode the
+``[lb, ub]`` agreement form:
+
+- a *mandatory* ticket carries face value ``lb * face(A)`` — the guaranteed
+  reservation during overload;
+- an *optional* ticket carries ``(ub - lb) * face(A)`` — the additional
+  best-effort entitlement.
+
+A ticket's *real* value is computed from the real value of its issuing
+currency (see :mod:`repro.core.valuation`); this module only models the
+face-value bookkeeping.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["TicketKind", "Ticket", "Currency"]
+
+_ticket_ids = itertools.count(1)
+
+
+class TicketKind(enum.Enum):
+    MANDATORY = "mandatory"
+    OPTIONAL = "optional"
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """A transfer of rights from ``issuer`` to ``holder``.
+
+    ``amount`` is a face value denominated in the issuer's currency; the
+    fraction of the issuer's currency it represents is
+    ``amount / issuer_face_value``.
+    """
+
+    kind: TicketKind
+    issuer: str
+    holder: str
+    amount: float
+    ticket_id: int = field(default_factory=lambda: next(_ticket_ids))
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise ValueError(f"ticket amount must be >= 0, got {self.amount}")
+        if self.issuer == self.holder:
+            raise ValueError("a principal cannot issue tickets to itself")
+
+    def fraction(self, issuer_face_value: float) -> float:
+        """The fraction of the issuing currency this ticket represents."""
+        return self.amount / issuer_face_value
+
+
+class Currency:
+    """A principal's currency: denominates the tickets it issues.
+
+    The currency's *value* is dynamic — determined by physical resources plus
+    inflows from held tickets (computed in :mod:`repro.core.valuation`).
+    This class tracks issuance so the face-value budget cannot be exceeded:
+    the sum of mandatory ticket fractions must stay <= 1 (a principal cannot
+    guarantee more than 100% of its resources).
+    """
+
+    def __init__(self, owner: str, face_value: float = 100.0):
+        if face_value <= 0:
+            raise ValueError("face value must be positive")
+        self.owner = owner
+        self.face_value = float(face_value)
+        self.issued: List[Ticket] = []
+        self.held: List[Ticket] = []
+
+    def issue(self, kind: TicketKind, holder: str, amount: float) -> Ticket:
+        ticket = Ticket(kind=kind, issuer=self.owner, holder=holder, amount=amount)
+        if kind is TicketKind.MANDATORY:
+            total = self.mandatory_issued_fraction() + ticket.fraction(self.face_value)
+            if total > 1.0 + 1e-12:
+                raise ValueError(
+                    f"{self.owner}: mandatory issuance would reach "
+                    f"{total:.3f} > 1.0 of the currency"
+                )
+        self.issued.append(ticket)
+        return ticket
+
+    def receive(self, ticket: Ticket) -> None:
+        if ticket.holder != self.owner:
+            raise ValueError(
+                f"ticket held by {ticket.holder!r} cannot fund {self.owner!r}"
+            )
+        self.held.append(ticket)
+
+    def mandatory_issued_fraction(self) -> float:
+        return (
+            sum(t.amount for t in self.issued if t.kind is TicketKind.MANDATORY)
+            / self.face_value
+        )
+
+    def issued_fractions(self) -> Dict[str, Dict[TicketKind, float]]:
+        """Per-holder {kind: fraction} of this currency given away."""
+        out: Dict[str, Dict[TicketKind, float]] = {}
+        for t in self.issued:
+            out.setdefault(t.holder, {}).setdefault(t.kind, 0.0)
+            out[t.holder][t.kind] += t.fraction(self.face_value)
+        return out
+
+    def inflate(self, factor: float) -> None:
+        """Scale the face value (the paper's agreement-renegotiation knob).
+
+        Existing tickets keep their face amounts, so inflation dilutes every
+        outstanding agreement proportionally.
+        """
+        if factor <= 0:
+            raise ValueError("inflation factor must be positive")
+        self.face_value *= factor

@@ -1,0 +1,65 @@
+"""Real currency and ticket values (the paper's Fig 3 arithmetic, §2.3).
+
+A ticket's *real* value is computed from the real value of its issuing
+currency: a mandatory ticket with face fraction ``lb`` issued by *i* is
+worth ``lb * M_i`` (``M_i`` the gross mandatory value of i's currency);
+an optional ticket ``[lb, ub]`` is worth ``(ub - lb) * M_i + ub * Obar_i``
+— it carries the optional slice of the mandatory currency value plus the
+pass-through of optional value that reached *i* (up to the upper bound).
+
+Worked example (paper Fig 3, reproduced in tests):
+
+- M-Ticket1 (A->B, 0.4):  400      - O-Ticket2 (A->B, 0.2):  200
+- M-Ticket3 (B->C, 0.6): 1140      - O-Ticket4 (B->C, 0.4):  960
+- final (mandatory, optional): A (600, 400), B (760, 1340), C (1140, 960)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.agreements import AgreementError, AgreementGraph
+from repro.core.flows import FlowMatrices, closed_form_flows
+from repro.core.tickets import TicketKind
+
+__all__ = ["CurrencyValuation", "value_currencies"]
+
+
+@dataclass(frozen=True)
+class CurrencyValuation:
+    """Name-indexed view over a :class:`FlowMatrices` result."""
+
+    graph: AgreementGraph
+    flows: FlowMatrices
+
+    def gross(self, name: str) -> float:
+        """Gross mandatory value of the currency (paper: 'real value')."""
+        return float(self.flows.M[self.flows.index(name)])
+
+    def optional_inflow(self, name: str) -> float:
+        """Optional value flowing into the currency from held tickets."""
+        return float(self.flows.Obar[self.flows.index(name)])
+
+    def final(self, name: str) -> Tuple[float, float]:
+        """Final remaining (mandatory, optional) value — Fig 3's bottom line."""
+        i = self.flows.index(name)
+        return float(self.flows.MC[i]), float(self.flows.OC[i])
+
+    def ticket_value(self, grantor: str, grantee: str, kind: TicketKind) -> float:
+        """Real value of the (grantor -> grantee) ticket of the given kind."""
+        agreement = self.graph.agreement(grantor, grantee)
+        if agreement is None:
+            raise AgreementError(f"no agreement {grantor}->{grantee}")
+        m = self.gross(grantor)
+        if kind is TicketKind.MANDATORY:
+            return agreement.lb * m
+        return agreement.optional * m + agreement.ub * self.optional_inflow(grantor)
+
+    def as_dict(self) -> Dict[str, Tuple[float, float]]:
+        return {name: self.final(name) for name in self.flows.names}
+
+
+def value_currencies(graph: AgreementGraph) -> CurrencyValuation:
+    """Value every currency in the graph via the closed-form flow solve."""
+    return CurrencyValuation(graph=graph, flows=closed_form_flows(graph))

@@ -1,0 +1,92 @@
+"""Terminal plots for experiment series.
+
+The paper's figures are rate-vs-time line charts; these helpers render the
+same series in a terminal so `python -m repro figures --plot` and the
+examples can show the *shape* (phase steps, transients) without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["sparkline", "timeseries_plot"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One-line unicode sparkline of a numeric series.
+
+    >>> sparkline([0, 1, 2, 3, 2, 1, 0])
+    ' ▃▅█▅▃ '
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    lo = float(arr.min() if lo is None else lo)
+    hi = float(arr.max() if hi is None else hi)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[-1] * arr.size
+    idx = np.clip(((arr - lo) / span) * (len(_BLOCKS) - 1), 0, len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[int(round(i))] for i in idx)
+
+
+def _resample(times: np.ndarray, values: np.ndarray, width: int) -> np.ndarray:
+    """Average the series into ``width`` equal time buckets."""
+    if times.size == 0:
+        return np.zeros(width)
+    t0, t1 = float(times.min()), float(times.max())
+    if t1 <= t0:
+        return np.full(width, float(values.mean()))
+    edges = np.linspace(t0, t1 + 1e-9, width + 1)
+    out = np.zeros(width)
+    for i in range(width):
+        mask = (times >= edges[i]) & (times < edges[i + 1])
+        out[i] = values[mask].mean() if mask.any() else (out[i - 1] if i else 0.0)
+    return out
+
+
+def timeseries_plot(
+    series: Mapping[str, Tuple[np.ndarray, np.ndarray]],
+    width: int = 72,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Multi-series rate-vs-time chart as text.
+
+    Each series gets a distinct marker; rows are rate levels, columns are
+    time buckets — the terminal twin of a paper figure.
+    """
+    markers = "*o+x#@%&"
+    resampled: Dict[str, np.ndarray] = {}
+    for name, (times, values) in series.items():
+        resampled[name] = _resample(np.asarray(times, float),
+                                    np.asarray(values, float), width)
+    if not resampled:
+        return "(no data)"
+    hi = max(float(arr.max()) for arr in resampled.values())
+    if hi <= 0:
+        hi = 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, arr) in enumerate(resampled.items()):
+        mark = markers[si % len(markers)]
+        for col, v in enumerate(arr):
+            row = height - 1 - int(min(v / hi, 1.0) * (height - 1))
+            grid[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        level = hi * (height - 1 - r) / (height - 1)
+        lines.append(f"{level:8.1f} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(resampled)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

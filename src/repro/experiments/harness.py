@@ -1,0 +1,325 @@
+"""Scenario builder: declaratively wire up a full paper-style experiment.
+
+A :class:`Scenario` owns the simulation kernel, RNG streams, the completion
+rate meter, and constructors for every component; :meth:`Scenario.run`
+executes the timeline and :meth:`Scenario.phase_rates` produces the
+per-phase service rates the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.client import ClientMachine
+from repro.cluster.server import Server
+from repro.coordination.messages import MessageCounter
+from repro.coordination.protocol import build_protocol
+from repro.coordination.tree import CombiningTree
+from repro.core.access import AccessLevels, compute_access_levels
+from repro.core.agreements import AgreementGraph
+from repro.l4.daemon import L4Daemon
+from repro.l4.switch import L4Switch
+from repro.l7.redirector import L7Redirector
+from repro.scheduling.window import WindowConfig
+from repro.sim.engine import Simulator
+from repro.sim.monitor import PhaseStats, RateMeter, summarize_phases
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+
+__all__ = ["Scenario", "FigureResult", "PhaseExpectation"]
+
+
+@dataclass
+class PhaseExpectation:
+    """Paper-reported rates for one phase, with a shape tolerance."""
+
+    phase: str
+    rates: Dict[str, float]
+    tolerance: float = 0.15   # relative tolerance on non-zero rates
+    abs_floor: float = 12.0   # absolute slack for (near-)zero expectations
+
+
+@dataclass
+class FigureResult:
+    """Measured vs expected outcome for one paper figure."""
+
+    figure: str
+    title: str
+    phases: List[PhaseStats]
+    expected: List[PhaseExpectation]
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    notes: str = ""
+
+    def phase(self, name: str) -> PhaseStats:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def deviations(self) -> List[Tuple[str, str, float, float, bool]]:
+        """(phase, principal, measured, expected, within_tolerance) rows."""
+        out = []
+        for exp in self.expected:
+            try:
+                measured = self.phase(exp.phase)
+            except KeyError:
+                continue
+            for principal, want in exp.rates.items():
+                got = measured.rate(principal)
+                if want <= exp.abs_floor:
+                    ok = got <= exp.abs_floor + exp.tolerance * exp.abs_floor
+                else:
+                    ok = abs(got - want) <= exp.tolerance * want
+                out.append((exp.phase, principal, got, want, ok))
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return all(row[4] for row in self.deviations())
+
+
+class Scenario:
+    """Builder/owner of one experiment's simulated world."""
+
+    def __init__(
+        self,
+        graph: AgreementGraph,
+        window: WindowConfig = WindowConfig(0.1),
+        seed: int = 0,
+        bin_width: float = 1.0,
+        backend: str = "auto",
+        trace: bool = False,
+    ):
+        self.graph = graph
+        self.access: AccessLevels = compute_access_levels(graph)
+        self.window = window
+        self.backend = backend
+        self.sim = Simulator()
+        self.streams = RngStreams(seed)
+        self.meter = RateMeter(bin_width)
+        self.counter = MessageCounter()
+        self.tracer = Tracer() if trace else None
+        self.servers: Dict[str, Server] = {}
+        self.l7_redirectors: Dict[str, L7Redirector] = {}
+        self.l4_switches: Dict[str, L4Switch] = {}
+        self.l4_daemons: Dict[str, L4Daemon] = {}
+        self.clients: Dict[str, ClientMachine] = {}
+        self._tree_built = False
+
+    # -- components -------------------------------------------------------
+
+    def server(self, name: str, owner: str, capacity: float, **kw) -> Server:
+        srv = Server(
+            self.sim, name, capacity, owner=owner,
+            on_complete=self._on_complete, **kw,
+        )
+        self.servers[name] = srv
+        return srv
+
+    def endpoint_server(
+        self, name: str, owner: str, capacity: float, shares, **kw
+    ):
+        """A server enforcing agreements by itself (the Fig 1 baseline)."""
+        from repro.cluster.endpoint_server import EndpointEnforcingServer
+
+        kw.setdefault("window", self.window)
+        srv = EndpointEnforcingServer(
+            self.sim, name, capacity, shares,
+            owner=owner, on_complete=self._on_complete, **kw,
+        )
+        self.servers[name] = srv
+        return srv
+
+    def _on_complete(self, request, server) -> None:
+        self.meter.record(request.principal, self.sim.now)
+        self.meter.record(f"server:{server.name}", self.sim.now)
+        # Unit-weighted series: enforcement is defined over average-request
+        # *units* when costs vary (§4: "large requests are treated as
+        # multiple small ones for the purpose of scheduling").
+        if request.cost != 1.0:
+            self.meter.record(f"units:{request.principal}", self.sim.now,
+                              weight=request.cost)
+        else:
+            self.meter.record(f"units:{request.principal}", self.sim.now)
+        if self.tracer is not None:
+            self.tracer.record(
+                self.sim.now, "completion",
+                principal=request.principal, server=server.name,
+                response_time=request.response_time, attempts=request.attempts,
+            )
+
+    def _trace_allocator(self, name: str, allocator) -> None:
+        """Wrap an allocator so every window's allocation is traced."""
+        if self.tracer is None:
+            return
+        inner = allocator.compute
+
+        def traced(local):
+            alloc = inner(local)
+            self.tracer.record(
+                self.sim.now, "allocation", node=name,
+                quotas=dict(alloc.quotas), fallback=alloc.used_fallback,
+                global_estimate=dict(alloc.global_estimate),
+            )
+            return alloc
+
+        allocator.compute = traced
+
+    def l7(
+        self,
+        name: str,
+        servers: Mapping[str, Union[Server, List[Server]]],
+        n_redirectors: Optional[int] = None,
+        **kw,
+    ) -> L7Redirector:
+        red = L7Redirector(
+            self.sim, name, self.access, servers, window=self.window,
+            n_redirectors=n_redirectors or 1, backend=self.backend, **kw,
+        )
+        self.l7_redirectors[name] = red
+        self._trace_allocator(name, red.allocator)
+        return red
+
+    def l4(
+        self,
+        name: str,
+        servers: Mapping[str, Union[Server, List[Server]]],
+        n_redirectors: Optional[int] = None,
+        mode: str = "community",
+        prices: Optional[Mapping[str, float]] = None,
+        capacity: Optional[float] = None,
+        **kw,
+    ) -> L4Switch:
+        switch = L4Switch(
+            self.sim, name, self.access.names, servers, window=self.window, **kw,
+        )
+        daemon = L4Daemon(
+            self.sim, f"{name}-daemon", switch, self.access, window=self.window,
+            mode=mode, prices=prices, capacity=capacity,
+            n_redirectors=n_redirectors or 1, backend=self.backend,
+        )
+        self.l4_switches[name] = switch
+        self.l4_daemons[name] = daemon
+        self._trace_allocator(name, daemon.allocator)
+        return switch
+
+    def client(
+        self,
+        name: str,
+        principal: str,
+        redirector,
+        rate: float,
+        windows: Optional[Sequence[Tuple[float, float]]] = None,
+        **kw,
+    ) -> ClientMachine:
+        client = ClientMachine(
+            self.sim, name, principal, redirector, rate,
+            rng=self.streams.get(f"client:{name}"),
+            active_windows=list(windows) if windows is not None else None,
+            **kw,
+        )
+        self.clients[name] = client
+        return client
+
+    # -- coordination -----------------------------------------------------------
+
+    def connect_tree(
+        self,
+        link_delay: float = 0.005,
+        kind: str = "star",
+        fanout: int = 2,
+        period: Optional[float] = None,
+        extra_root: bool = False,
+    ) -> CombiningTree:
+        """Wire every redirector (L7 and L4) into one combining tree.
+
+        ``extra_root=True`` inserts a dedicated aggregator root that is not
+        itself a redirector, making up+down latency symmetric for all
+        redirectors (used by the Fig 8 delay experiment).
+        """
+        if self._tree_built:
+            raise RuntimeError("tree already built")
+        participants: Dict[str, object] = {}
+        participants.update(self.l7_redirectors)
+        participants.update(self.l4_daemons)
+        ids = list(participants)
+        if not ids:
+            raise RuntimeError("no redirectors to connect")
+        suppliers = {
+            nid: participants[nid].local_demand for nid in ids  # type: ignore[attr-defined]
+        }
+        if extra_root:
+            root = "__root__"
+            tree_ids = [root] + ids
+            suppliers[root] = lambda: {}
+            tree = (
+                CombiningTree.star(tree_ids)
+                if kind == "star"
+                else CombiningTree.balanced(tree_ids, fanout)
+            )
+        else:
+            if kind == "star":
+                tree = CombiningTree.star(ids)
+            elif kind == "chain":
+                tree = CombiningTree.chain(ids)
+            else:
+                tree = CombiningTree.balanced(ids, fanout)
+        nodes = build_protocol(
+            self.sim, tree, period=period or self.window.length,
+            suppliers=suppliers, link_delay=link_delay, counter=self.counter,
+        )
+        for nid in ids:
+            participants[nid].attach(nodes[nid])  # type: ignore[attr-defined]
+        self._tree_built = True
+        self.tree = tree
+        self.protocol_nodes = nodes
+        return tree
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, duration: float) -> None:
+        self.sim.run(until=duration)
+
+    def phase_rates(
+        self,
+        phases: Sequence[Tuple[str, float, float]],
+        keys: Optional[Sequence[str]] = None,
+        settle: float = 5.0,
+    ) -> List[PhaseStats]:
+        return summarize_phases(self.meter, phases, keys=keys, settle=settle)
+
+    def series(self, keys: Sequence[str]) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        return {k: self.meter.series(k) for k in keys}
+
+    def response_stats(
+        self, skip_fraction: float = 0.25
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-principal response-time summaries from the clients.
+
+        ``skip_fraction`` discards each client's earliest completions
+        (start-up transient).  Response times include queueing, deferral
+        retries and service.
+        """
+        by_principal: Dict[str, List[float]] = {}
+        for client in self.clients.values():
+            rts = client.response_times
+            rts = rts[int(len(rts) * skip_fraction):]
+            by_principal.setdefault(client.principal, []).extend(rts)
+        out: Dict[str, Dict[str, float]] = {}
+        for p, rts in by_principal.items():
+            if not rts:
+                out[p] = {"count": 0.0}
+                continue
+            arr = np.asarray(rts)
+            out[p] = {
+                "count": float(arr.size),
+                "mean": float(arr.mean()),
+                "p50": float(np.percentile(arr, 50)),
+                "p95": float(np.percentile(arr, 95)),
+                "p99": float(np.percentile(arr, 99)),
+                "max": float(arr.max()),
+            }
+        return out

@@ -1,0 +1,24 @@
+"""Layer-4 packet redirection (paper §4.2).
+
+A model of the paper's Linux Virtual Server-based prototype:
+
+- :mod:`repro.l4.packets` — TCP packet records (SYN/ACK/FIN flags, 4-tuple).
+- :mod:`repro.l4.nat` — the NAT rewrite table (destination rewriting on the
+  way in, source rewriting on the way out).
+- :mod:`repro.l4.conntrack` — connection tracking: subsequent packets of an
+  admitted connection follow the SYN's server choice, and client machines
+  keep *affinity* to servers to the extent agreements allow (supports
+  SSL-style pairwise session keys, §4.2).
+- :mod:`repro.l4.switch` — the kernel-module model: admits or queues SYNs
+  per the daemon's allocation, reinjects queued SYNs in later windows.
+- :mod:`repro.l4.daemon` — the user-space daemon: collects queue lengths,
+  solves the window LP (via the shared allocator), installs allocations.
+"""
+
+from repro.l4.conntrack import ConnTracker
+from repro.l4.daemon import L4Daemon
+from repro.l4.nat import NatTable
+from repro.l4.packets import TcpFlags, TcpPacket
+from repro.l4.switch import L4Switch
+
+__all__ = ["TcpPacket", "TcpFlags", "NatTable", "ConnTracker", "L4Switch", "L4Daemon"]

@@ -1,0 +1,97 @@
+"""Connection tracking and client affinity.
+
+Two concerns from §4.2:
+
+1. *Connection affinity within a flow*: after a SYN is assigned a server,
+   every subsequent packet of that connection must reach the same server
+   (handled with :class:`repro.l4.nat.NatTable` mappings keyed by 4-tuple;
+   this tracker owns their lifecycle and expiry).
+2. *Client-machine affinity across connections*: "our implementation
+   maintains connection affinity between client machines and servers to
+   the extent allowed by the sharing agreements", which makes
+   SSL-session-key reuse possible.  :meth:`ConnTracker.preferred_server`
+   remembers each (client, principal)'s last server so the switch can
+   keep routing there while the allocation still permits it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.l4.packets import FourTuple
+
+__all__ = ["ConnTracker", "Connection"]
+
+
+@dataclass
+class Connection:
+    client_tuple: FourTuple
+    server: str
+    principal: str
+    created_at: float
+    last_seen: float
+    packets: int = 1
+    closed: bool = False
+
+
+class ConnTracker:
+    """Tracks live connections and per-(client, principal) server affinity."""
+
+    def __init__(self, idle_timeout: float = 60.0):
+        if idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive")
+        self.idle_timeout = float(idle_timeout)
+        self._conns: Dict[FourTuple, Connection] = {}
+        self._affinity: Dict[Tuple[str, str], str] = {}
+        self.expired = 0
+
+    def __len__(self) -> int:
+        return len(self._conns)
+
+    # -- connection lifecycle ----------------------------------------------
+
+    def open(
+        self, client_tuple: FourTuple, server: str, principal: str, now: float
+    ) -> Connection:
+        conn = Connection(
+            client_tuple=client_tuple, server=server, principal=principal,
+            created_at=now, last_seen=now,
+        )
+        self._conns[client_tuple] = conn
+        self._affinity[(client_tuple[0], principal)] = server
+        return conn
+
+    def touch(self, client_tuple: FourTuple, now: float) -> Optional[Connection]:
+        conn = self._conns.get(client_tuple)
+        if conn is not None:
+            conn.last_seen = now
+            conn.packets += 1
+        return conn
+
+    def close(self, client_tuple: FourTuple) -> None:
+        conn = self._conns.pop(client_tuple, None)
+        if conn is not None:
+            conn.closed = True
+
+    def lookup(self, client_tuple: FourTuple) -> Optional[Connection]:
+        return self._conns.get(client_tuple)
+
+    def expire(self, now: float) -> int:
+        """Drop idle connections; returns how many were expired."""
+        stale = [
+            t for t, c in self._conns.items()
+            if now - c.last_seen > self.idle_timeout
+        ]
+        for t in stale:
+            del self._conns[t]
+        self.expired += len(stale)
+        return len(stale)
+
+    # -- affinity -----------------------------------------------------------
+
+    def preferred_server(self, client_ip: str, principal: str) -> Optional[str]:
+        return self._affinity.get((client_ip, principal))
+
+    def forget_affinity(self, client_ip: str, principal: str) -> None:
+        self._affinity.pop((client_ip, principal), None)

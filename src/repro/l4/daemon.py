@@ -1,0 +1,94 @@
+"""The user-space daemon of the Layer-4 prototype (§4.2).
+
+"The user space daemon periodically collects queue length information from
+the kernel module, calculates scheduling decisions by solving the linear
+programming models discussed in Section 3, and feeds allocation
+information for the next time window into the kernel module."
+
+:class:`L4Daemon` does exactly that: each window it reads the switch's
+kernel-queue lengths (plus its incoming-rate estimate), runs the shared
+:class:`repro.scheduling.allocator.WindowAllocator` (which consults the
+combining tree for global state), and installs the resulting allocation
+into the switch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.coordination.protocol import AggregationNode
+from repro.core.access import AccessLevels
+from repro.l4.switch import L4Switch
+from repro.scheduling.allocator import Allocation, WindowAllocator
+from repro.scheduling.window import WindowConfig
+from repro.sim.engine import Simulator
+
+__all__ = ["L4Daemon"]
+
+
+class L4Daemon:
+    """Periodic LP-solving controller for one :class:`L4Switch`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        switch: L4Switch,
+        access: AccessLevels,
+        window: WindowConfig = WindowConfig(),
+        mode: str = "community",
+        prices: Optional[Mapping[str, float]] = None,
+        capacity: Optional[float] = None,
+        n_redirectors: int = 1,
+        backend: str = "auto",
+        conntrack_sweep: float = 10.0,
+    ):
+        self.sim = sim
+        self.name = name
+        self.switch = switch
+        self.window = window
+        self.allocator = WindowAllocator(
+            access,
+            window=window,
+            mode=mode,
+            prices=prices,
+            capacity=capacity,
+            n_redirectors=n_redirectors,
+            backend=backend,
+            server_capacities={
+                owner: sum(s.capacity for s in pool)
+                for owner, pool in switch.servers.items()
+            },
+        )
+        self.last_allocation: Optional[Allocation] = None
+        self.windows = 0
+        sim.process(self._driver(), name=f"l4d[{name}]")
+        if conntrack_sweep > 0:
+            sim.every(conntrack_sweep, self._sweep, start=conntrack_sweep)
+
+    def attach(self, node: AggregationNode) -> None:
+        """Attach the combining-tree protocol node for this daemon."""
+        self.allocator.attach(node)
+
+    def set_access(self, access: AccessLevels) -> None:
+        """Adopt renegotiated access levels from the next window on."""
+        self.allocator.set_access(access)
+
+    @property
+    def used_fallback_windows(self) -> int:
+        return self.allocator.fallback_windows
+
+    def local_demand(self) -> Dict[str, float]:
+        """Supplier callback for the aggregation protocol."""
+        return self.switch.local_demand()
+
+    def _driver(self):
+        while True:
+            yield self.window.length
+            alloc = self.allocator.compute(self.switch.local_demand())
+            self.last_allocation = alloc
+            self.windows += 1
+            self.switch.install(alloc)
+
+    def _sweep(self) -> None:
+        self.switch.conntrack.expire(self.sim.now)

@@ -1,0 +1,90 @@
+"""Network address translation table.
+
+The paper's switch "rewrites the destination address and the port of the
+packet to those of the selected server, forwards the packet ..., and
+records current connection information"; responses are rewritten back so
+clients only ever see the virtual service address.  :class:`NatTable`
+implements exactly that pair of rewrites keyed on the client-side 4-tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.l4.packets import FourTuple, TcpPacket
+
+__all__ = ["NatTable", "NatEntry"]
+
+
+@dataclass(frozen=True)
+class NatEntry:
+    virtual: Tuple[str, int]   # the advertised service address
+    server: Tuple[str, int]    # the chosen real server
+    created_at: float
+
+
+class NatTable:
+    """Bidirectional NAT mappings keyed by client-side 4-tuples."""
+
+    def __init__(self) -> None:
+        self._fwd: Dict[FourTuple, NatEntry] = {}
+        # Reverse index: (server_ip, server_port, client_ip, client_port)
+        # -> client-side tuple, so response rewriting is O(1).
+        self._rev: Dict[Tuple[str, int, str, int], FourTuple] = {}
+        self.rewrites_in = 0
+        self.rewrites_out = 0
+
+    def __len__(self) -> int:
+        return len(self._fwd)
+
+    def install(
+        self,
+        client_tuple: FourTuple,
+        server_ip: str,
+        server_port: int,
+        now: float,
+    ) -> NatEntry:
+        if client_tuple in self._fwd:
+            raise ValueError(f"mapping for {client_tuple} already exists")
+        entry = NatEntry(
+            virtual=(client_tuple[2], client_tuple[3]),
+            server=(server_ip, server_port),
+            created_at=now,
+        )
+        self._fwd[client_tuple] = entry
+        self._rev[(server_ip, server_port, client_tuple[0], client_tuple[1])] = client_tuple
+        return entry
+
+    def lookup(self, client_tuple: FourTuple) -> Optional[NatEntry]:
+        return self._fwd.get(client_tuple)
+
+    def remove(self, client_tuple: FourTuple) -> None:
+        entry = self._fwd.pop(client_tuple, None)
+        if entry is not None:
+            self._rev.pop(
+                (entry.server[0], entry.server[1], client_tuple[0], client_tuple[1]),
+                None,
+            )
+
+    def translate_in(self, pkt: TcpPacket) -> Optional[TcpPacket]:
+        """Client -> server rewrite; None if no mapping exists."""
+        entry = self._fwd.get(pkt.four_tuple)
+        if entry is None:
+            return None
+        self.rewrites_in += 1
+        return pkt.rewritten(*entry.server)
+
+    def translate_out(self, pkt: TcpPacket) -> Optional[TcpPacket]:
+        """Server -> client rewrite: restore the virtual source address.
+
+        ``pkt`` is addressed server -> client; the matching entry is found
+        through the reverse index on (server, client) addresses.
+        """
+        key = (pkt.src_ip, pkt.src_port, pkt.dst_ip, pkt.dst_port)
+        client_tuple = self._rev.get(key)
+        if client_tuple is None:
+            return None
+        entry = self._fwd[client_tuple]
+        self.rewrites_out += 1
+        return pkt.rewritten_source(*entry.virtual)

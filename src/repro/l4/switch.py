@@ -1,0 +1,321 @@
+"""The Layer-4 switch: the paper's kernel-module model (§4.2).
+
+Packet path, as in the LVS-based prototype:
+
+- A client SYN addressed to the virtual service address arrives.  If the
+  current allocation (installed by the user-space daemon) has quota for the
+  owning principal, the switch picks a server — honouring client-machine
+  affinity when the allocation still permits that server — installs a NAT
+  mapping, records the connection, and forwards the rewritten SYN.
+- If there is no quota, the SYN goes into a per-principal kernel queue; a
+  kernel thread reinjects queued SYNs in subsequent windows as allowance
+  appears (oldest first, spread evenly across the window so releases do
+  not bunch).  The queue is bounded; overflow drops the SYN (RST).
+- Non-SYN packets of admitted connections are translated through the NAT
+  table and forwarded to the recorded server; responses are rewritten back
+  to the virtual address.
+
+For the experiments the switch also exposes the same ``handle(request)``
+admission API as the L7 redirector, wrapping each request into a SYN so the
+full packet path (NAT, conntrack, affinity, reinjection) is exercised.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.cluster.client import Decision, Defer, Drop, Held
+from repro.cluster.request import Request
+from repro.cluster.server import Server
+from repro.l4.conntrack import ConnTracker
+from repro.l4.nat import NatTable
+from repro.l4.packets import TcpFlags, TcpPacket
+from repro.scheduling.allocator import Allocation
+from repro.scheduling.queueing import ImplicitQuota
+from repro.scheduling.window import WindowConfig
+from repro.scheduling.wrr import SmoothWeightedRoundRobin
+from repro.sim.engine import Simulator
+
+__all__ = ["L4Switch"]
+
+
+class L4Switch:
+    """Kernel-module model: NAT redirection with per-principal SYN queues."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        principals: Tuple[str, ...],
+        servers: Mapping[str, Union[Server, List[Server]]],
+        window: WindowConfig = WindowConfig(),
+        virtual_ip: str = "10.0.0.1",
+        virtual_port: int = 80,
+        max_syn_queue: int = 256,
+        affinity: bool = True,
+        spread_reinjection: bool = True,
+        smoothing: float = 0.7,
+    ):
+        self.sim = sim
+        self.name = name
+        self.principals = tuple(principals)
+        self.window = window
+        self.virtual_ip = virtual_ip
+        self.virtual_port = int(virtual_port)
+        self.max_syn_queue = int(max_syn_queue)
+        self.affinity_enabled = bool(affinity)
+        self.spread_reinjection = bool(spread_reinjection)
+        self.smoothing = float(smoothing)
+
+        self.servers: Dict[str, List[Server]] = {}
+        self._server_by_name: Dict[str, Tuple[str, Server]] = {}
+        for owner, s in servers.items():
+            pool = list(s) if isinstance(s, (list, tuple)) else [s]
+            self.servers[owner] = pool
+            for srv in pool:
+                self._server_by_name[srv.name] = (owner, srv)
+
+        self.nat = NatTable()
+        self.conntrack = ConnTracker()
+        self.quota = ImplicitQuota(self.principals)
+        self._syn_queues: Dict[str, Deque[Tuple[TcpPacket, Optional[Callable]]]] = {
+            p: deque() for p in self.principals
+        }
+        self._wrr: Dict[str, SmoothWeightedRoundRobin] = {
+            p: SmoothWeightedRoundRobin() for p in self.principals
+        }
+        # Ephemeral port counter; wraps like a real stack's port space.  A
+        # (client_ip, port) pair only has to stay unique among *live*
+        # connections, and far fewer than 50k are ever concurrently open.
+        self._ports = itertools.cycle(range(10_000, 60_000))
+        self._pending_tuples: set = set()  # tuples of SYNs waiting in kernel queues
+        self._arrivals: Dict[str, float] = {p: 0.0 for p in self.principals}
+        self.demand_estimate: Dict[str, float] = {p: 0.0 for p in self.principals}
+        self._weights: Dict[str, Dict[str, float]] = {p: {} for p in self.principals}
+        # Per-window, per-(principal, server) forwarding budgets and usage.
+        # The LP allocates per server *owner*; the budget is split across
+        # the owner's pool by capacity so no single server is overrun, and
+        # affinity may only route to a server while that server's budget
+        # has room — "to the extent allowed by the sharing agreements".
+        self._server_budget: Dict[str, Dict[str, float]] = {p: {} for p in self.principals}
+        self._server_used: Dict[str, Dict[str, float]] = {p: {} for p in self.principals}
+
+        # Telemetry
+        self.admitted: Dict[str, int] = {p: 0 for p in self.principals}
+        self.queued: Dict[str, int] = {p: 0 for p in self.principals}
+        self.dropped: Dict[str, int] = {p: 0 for p in self.principals}
+        self.reinjected: Dict[str, int] = {p: 0 for p in self.principals}
+        self.affinity_hits = 0
+
+    # -- daemon interface -----------------------------------------------------
+
+    def install(self, alloc: Allocation) -> None:
+        """The user-space daemon pushes the next window's allocation."""
+        self.quota.new_window(alloc.quotas)
+        for p, w in alloc.weights.items():
+            usable = {owner: v for owner, v in w.items() if owner in self.servers}
+            self._weights[p] = usable
+            self._wrr[p].set_weights(usable)
+            total_w = sum(usable.values())
+            quota = alloc.quotas.get(p, 0.0)
+            budget: Dict[str, float] = {}
+            if total_w > 0:
+                for owner, v in usable.items():
+                    pool = self.servers[owner]
+                    cap_total = sum(s.capacity for s in pool)
+                    share = quota * v / total_w
+                    for srv in pool:
+                        # One request of slack so rounding does not starve.
+                        budget[srv.name] = share * srv.capacity / cap_total + 1.0
+            self._server_budget[p] = budget
+            self._server_used[p] = {name: 0.0 for name in budget}
+        self._end_window_accounting()
+        self._schedule_reinjection()
+
+    def local_demand(self) -> Dict[str, float]:
+        """Kernel queue lengths plus the incoming-rate estimate — the
+        'queue length information' the daemon aggregates."""
+        return {
+            p: len(self._syn_queues[p]) + self.demand_estimate[p]
+            for p in self.principals
+        }
+
+    def queue_lengths(self) -> Dict[str, int]:
+        return {p: len(q) for p, q in self._syn_queues.items()}
+
+    def _end_window_accounting(self) -> None:
+        alpha = self.smoothing
+        for p in self.principals:
+            self.demand_estimate[p] = (
+                alpha * self._arrivals[p] + (1.0 - alpha) * self.demand_estimate[p]
+            )
+            self._arrivals[p] = 0.0
+
+    # -- client adapter ------------------------------------------------------------
+
+    def handle(self, request: Request, done: Optional[Callable[[Request], None]] = None) -> Decision:
+        """Admission API used by :class:`repro.cluster.client.ClientMachine`:
+        wraps the request in a SYN and runs the packet path.
+
+        A SYN lost to kernel-queue overflow is reported as :class:`Defer`:
+        the client's TCP stack would retransmit the SYN after a timeout, and
+        the client model's jittered retry emulates that.
+        """
+        if request.principal not in self.quota.principals:
+            return Drop()
+        syn = TcpPacket(
+            src_ip=request.client_id,
+            src_port=self._free_port(request.client_id),
+            dst_ip=self.virtual_ip,
+            dst_port=self.virtual_port,
+            flags=TcpFlags.SYN,
+            request=request,
+        )
+        accepted = self.on_packet(syn, done=done)
+        return Held() if accepted else Defer(self.window.length)
+
+    def _free_port(self, client_ip: str) -> int:
+        """Next ephemeral port whose (client, port) tuple is not in use.
+
+        The counter wraps like a real port space; a port is reusable once
+        its previous connection's NAT state is gone."""
+        for _ in range(64):
+            port = next(self._ports)
+            tup = (client_ip, port, self.virtual_ip, self.virtual_port)
+            if (
+                self.nat.lookup(tup) is None
+                and self.conntrack.lookup(tup) is None
+                and tup not in self._pending_tuples
+            ):
+                return port
+        raise RuntimeError(f"ephemeral port space exhausted for {client_ip}")
+
+    # -- packet path -----------------------------------------------------------------
+
+    def on_packet(self, pkt: TcpPacket, done: Optional[Callable] = None) -> bool:
+        """Process one inbound packet; returns False if it was dropped."""
+        if pkt.is_syn:
+            return self._on_syn(pkt, done)
+        # Data/FIN segment of an (expectedly) admitted connection.
+        conn = self.conntrack.touch(pkt.four_tuple, self.sim.now)
+        translated = self.nat.translate_in(pkt)
+        if conn is None or translated is None:
+            return False  # no state: the real switch would RST
+        if pkt.flags & TcpFlags.FIN:
+            self.conntrack.close(pkt.four_tuple)
+            self.nat.remove(pkt.four_tuple)
+        return True
+
+    def _on_syn(self, pkt: TcpPacket, done: Optional[Callable]) -> bool:
+        request = pkt.request
+        if request is None or request.principal not in self.quota.principals:
+            return False
+        p = request.principal
+        self._arrivals[p] += request.cost
+        if self.quota.try_admit(p, cost=request.cost):
+            return self._admit(pkt, done)
+        q = self._syn_queues[p]
+        if len(q) >= self.max_syn_queue:
+            self.dropped[p] += 1
+            return False
+        q.append((pkt, done))
+        self._pending_tuples.add(pkt.four_tuple)
+        self.queued[p] += 1
+        return True
+
+    def _admit(self, pkt: TcpPacket, done: Optional[Callable]) -> bool:
+        request = pkt.request
+        assert request is not None
+        self._pending_tuples.discard(pkt.four_tuple)
+        p = request.principal
+        server = self._pick_server(p, pkt.src_ip)
+        if server is None:
+            self.dropped[p] += 1
+            return False
+        owner, srv = self._server_by_name[server]
+        self.nat.install(pkt.four_tuple, server, self.virtual_port, self.sim.now)
+        self.conntrack.open(pkt.four_tuple, server, p, self.sim.now)
+        self.admitted[p] += 1
+        rewritten = pkt.rewritten(server, self.virtual_port)
+        srv.submit(
+            rewritten.request,  # type: ignore[arg-type]
+            done=lambda req, t=pkt.four_tuple, d=done: self._on_response(req, t, d),
+        )
+        return True
+
+    def _on_response(
+        self, request: Request, client_tuple, done: Optional[Callable]
+    ) -> None:
+        """Server completed: rewrite the response and tear down the flow."""
+        server_name = request.served_by or ""
+        resp = TcpPacket(
+            src_ip=server_name,
+            src_port=self.virtual_port,
+            dst_ip=client_tuple[0],
+            dst_port=client_tuple[1],
+            flags=TcpFlags.ACK | TcpFlags.FIN,
+            payload_bytes=request.size_bytes,
+        )
+        self.nat.translate_out(resp)  # restore the virtual source address
+        self.conntrack.close(client_tuple)
+        self.nat.remove(client_tuple)
+        if done is not None:
+            done(request)
+
+    def _pick_server(self, principal: str, client_ip: str) -> Optional[str]:
+        budget = self._server_budget.get(principal) or {}
+        used = self._server_used.setdefault(principal, {})
+        if not budget:
+            return None
+        if self.affinity_enabled:
+            pref = self.conntrack.preferred_server(client_ip, principal)
+            # Affinity only "to the extent allowed by the sharing
+            # agreements": the preferred server must still have unspent
+            # allocation this window, otherwise affinity would skew the
+            # LP's per-server split and overload that server.
+            if pref is not None and used.get(pref, 0.0) < budget.get(pref, 0.0):
+                used[pref] = used.get(pref, 0.0) + 1.0
+                self.affinity_hits += 1
+                return pref
+        # Otherwise: the server with the most remaining budget this window
+        # (deterministic proportional fill across the allocation).
+        best = None
+        best_slack = 0.0
+        for name, b in budget.items():
+            slack = b - used.get(name, 0.0)
+            if slack > best_slack:
+                best, best_slack = name, slack
+        if best is None:
+            # Every budget exhausted (demand burst within a window): spill
+            # proportionally to the budgets rather than refuse.
+            best = max(budget, key=lambda n: budget[n] - used.get(n, 0.0))
+        used[best] = used.get(best, 0.0) + 1.0
+        return best
+
+    # -- reinjection -------------------------------------------------------------------
+
+    def _schedule_reinjection(self) -> None:
+        """Kernel thread: reinject queued SYNs as the new window's quota
+        allows, oldest first, optionally spread across the window."""
+        releases: List[Tuple[float, TcpPacket, Optional[Callable]]] = []
+        offset = 0
+        for p in self.principals:
+            q = self._syn_queues[p]
+            while q:
+                pkt, done = q[0]
+                req = pkt.request
+                assert req is not None
+                if not self.quota.try_admit(p, cost=req.cost):
+                    break
+                q.popleft()
+                self.reinjected[p] += 1
+                releases.append((0.0, pkt, done))
+        n = len(releases)
+        for idx, (_, pkt, done) in enumerate(releases):
+            delay = (idx / n) * self.window.length if self.spread_reinjection and n else 0.0
+            self.sim.schedule(delay, self._reinject, pkt, done)
+
+    def _reinject(self, pkt: TcpPacket, done: Optional[Callable]) -> None:
+        self._admit(pkt, done)

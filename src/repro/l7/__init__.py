@@ -1,0 +1,28 @@
+"""Layer-7 HTTP redirection (paper §4.1).
+
+Two implementations of the same strategy:
+
+- :mod:`repro.l7.redirector` — the redirector inside the discrete-event
+  simulation, used by the figure-reproduction experiments.  It implements
+  the paper's *implicit queuing* (per-window quotas; over-quota requests
+  get a self-redirect so the client retries) and, for the ablation, the
+  original *explicit queuing* whose request bunching the paper §4.1
+  describes.
+- :mod:`repro.l7.asyncio_redirector` / :mod:`~repro.l7.asyncio_origin` /
+  :mod:`~repro.l7.asyncio_client` — a real asyncio HTTP/1.1 stack runnable
+  on localhost: origin servers, a redirecting front end issuing 302s, and
+  a rate-limited load generator that follows redirects.
+
+:mod:`repro.l7.http` is the minimal HTTP/1.1 codec shared by both.
+"""
+
+from repro.l7.http import HttpRequest, HttpResponse, parse_request, parse_response
+from repro.l7.redirector import L7Redirector
+
+__all__ = [
+    "L7Redirector",
+    "HttpRequest",
+    "HttpResponse",
+    "parse_request",
+    "parse_response",
+]

@@ -1,0 +1,115 @@
+"""Real asyncio load generator (the WebBench stand-in for the asyncio stack).
+
+Issues HTTP requests for one principal at a bounded rate, follows 302
+redirects (including self-redirects back to the redirector, after the
+advertised ``Retry-After``), and counts completions per second.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.l7.http import HttpError, HttpRequest, parse_response
+
+__all__ = ["AsyncLoadGenerator", "fetch_once"]
+
+
+async def fetch_once(
+    url_host: str, url_port: int, path: str, max_redirects: int = 8,
+    retry_cap: float = 1.0,
+) -> Tuple[int, str]:
+    """GET with redirect-following; returns (status, served-by header)."""
+    host, port = url_host, url_port
+    for _ in range(max_redirects):
+        reader, writer = await asyncio.open_connection(host, port)
+        req = HttpRequest(method="GET", path=path, headers={"Host": f"{host}:{port}"})
+        writer.write(req.encode())
+        await writer.drain()
+        raw = await reader.read(256 * 1024)
+        writer.close()
+        try:
+            resp, _ = parse_response(raw)
+        except HttpError:
+            return -1, ""
+        if resp.status != 302:
+            return resp.status, resp.header("X-Served-By", "") or ""
+        location = resp.header("Location", "") or ""
+        retry_after = resp.header("Retry-After")
+        if retry_after:
+            await asyncio.sleep(min(float(retry_after), retry_cap))
+        # http://host:port/path
+        rest = location.split("//", 1)[1]
+        hostport, _, path = rest.partition("/")
+        path = "/" + path
+        host, _, port_s = hostport.partition(":")
+        port = int(port_s or 80)
+    return -2, ""  # redirect loop exceeded
+
+
+class AsyncLoadGenerator:
+    """Rate-bounded concurrent load for one principal."""
+
+    def __init__(
+        self,
+        principal: str,
+        redirector_addr: Tuple[str, int],
+        rate: float,
+        concurrency: int = 32,
+        path_suffix: str = "page",
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.principal = principal
+        self.addr = redirector_addr
+        self.rate = float(rate)
+        self.concurrency = int(concurrency)
+        self.path = f"/svc/{principal}/{path_suffix}"
+        self.completed = 0
+        self.errors = 0
+        self.completion_times: List[float] = []
+        self._sem = asyncio.Semaphore(self.concurrency)
+        self._tasks: List[asyncio.Task] = []
+
+    async def run(self, duration: float) -> Dict[str, float]:
+        """Generate load for ``duration`` seconds; returns summary stats."""
+        start = time.monotonic()
+        spacing = 1.0 / self.rate
+        next_t = start
+        pending: List[asyncio.Task] = []
+        while True:
+            now = time.monotonic()
+            if now - start >= duration:
+                break
+            if now < next_t:
+                await asyncio.sleep(next_t - now)
+            next_t += spacing
+            if self._sem.locked():
+                continue  # concurrency-capped: skip this slot (client busy)
+            pending.append(asyncio.create_task(self._one()))
+            pending = [t for t in pending if not t.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=5.0)
+            for t in pending:
+                t.cancel()
+        elapsed = time.monotonic() - start
+        return {
+            "completed": self.completed,
+            "errors": self.errors,
+            "rate": self.completed / elapsed if elapsed > 0 else 0.0,
+            "duration": elapsed,
+        }
+
+    async def _one(self) -> None:
+        async with self._sem:
+            try:
+                status, _served_by = await fetch_once(*self.addr, self.path)
+            except (ConnectionError, OSError):
+                self.errors += 1
+                return
+            if status == 200:
+                self.completed += 1
+                self.completion_times.append(time.monotonic())
+            else:
+                self.errors += 1

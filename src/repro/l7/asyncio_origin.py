@@ -1,0 +1,120 @@
+"""Real asyncio origin (back-end) server.
+
+A minimal HTTP/1.1 server with a *rate capacity*: requests are admitted to
+service through a token bucket refilled at ``capacity`` requests/second
+(the asyncio analogue of the paper's Apache box that measures out at
+V = 320 req/s).  Responses carry a synthetic body.  Per-principal
+completion counts are kept for the experiment harness.
+
+URLs have the form ``/svc/<principal>/<anything>`` — "the request URL
+signifies the service being requested" (§4).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.l7.http import HttpError, HttpResponse, parse_request
+
+__all__ = ["OriginServer", "principal_from_path"]
+
+
+def principal_from_path(path: str) -> Optional[str]:
+    """Extract the owning principal from a ``/svc/<principal>/...`` URL."""
+    parts = path.split("?", 1)[0].strip("/").split("/")
+    if len(parts) >= 2 and parts[0] == "svc" and parts[1]:
+        return parts[1]
+    return None
+
+
+class _TokenBucket:
+    """Async token bucket: ``acquire`` waits until a token is available."""
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._t = time.monotonic()
+        self._lock = asyncio.Lock()
+
+    async def acquire(self) -> None:
+        async with self._lock:  # FIFO service order
+            now = time.monotonic()
+            self._tokens = min(self.burst, self._tokens + (now - self._t) * self.rate)
+            self._t = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return
+            wait = (1.0 - self._tokens) / self.rate
+            self._tokens = 0.0
+            await asyncio.sleep(wait)
+            # The token that accrued during the sleep was consumed by this
+            # caller; restart the refill clock so the next acquirer does
+            # not count the sleep interval again.
+            self._t = time.monotonic()
+
+
+class OriginServer:
+    """One back-end server bound to ``host:port`` with a rate capacity."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        capacity: float = 320.0,
+        body_bytes: int = 1024,
+    ):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.capacity = float(capacity)
+        self.body = b"x" * int(body_bytes)
+        self.completed: Dict[str, int] = {}
+        self.errors = 0
+        self._bucket = _TokenBucket(capacity, burst=max(1.0, capacity * 0.05))
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self.address[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            data = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=10.0)
+            request, _ = parse_request(data)
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError, HttpError):
+            self.errors += 1
+            writer.close()
+            return
+        await self._bucket.acquire()   # pay the service cost
+        principal = principal_from_path(request.path) or "unknown"
+        self.completed[principal] = self.completed.get(principal, 0) + 1
+        resp = HttpResponse.ok(self.body)
+        resp.headers["X-Served-By"] = self.name
+        try:
+            writer.write(resp.encode())
+            await writer.drain()
+        except ConnectionError:
+            self.errors += 1
+        finally:
+            writer.close()
+
+    def total_completed(self) -> int:
+        return sum(self.completed.values())

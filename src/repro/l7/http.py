@@ -1,0 +1,162 @@
+"""Minimal HTTP/1.1 codec.
+
+Just enough of RFC 7230 for the redirector stack: request-line + headers
+parsing, response serialisation, 302 redirects with ``Location``, and
+``Content-Length`` bodies.  Used by the asyncio implementation on real
+sockets and by protocol unit tests; the DES redirector exchanges request
+objects directly and does not pay serialisation costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "parse_request",
+    "parse_response",
+    "HttpError",
+]
+
+_CRLF = b"\r\n"
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+class HttpError(ValueError):
+    """Malformed HTTP message."""
+
+
+def _canon(name: str) -> str:
+    return "-".join(part.capitalize() for part in name.split("-"))
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    version: str = "HTTP/1.1"
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(_canon(name), default)
+
+    def encode(self) -> bytes:
+        headers = dict(self.headers)
+        if self.body and "Content-Length" not in headers:
+            headers["Content-Length"] = str(len(self.body))
+        lines = [f"{self.method} {self.path} {self.version}".encode("ascii")]
+        lines += [f"{k}: {v}".encode("latin-1") for k, v in headers.items()]
+        return _CRLF.join(lines) + _CRLF * 2 + self.body
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    reason: str = ""
+    version: str = "HTTP/1.1"
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    _REASONS = {
+        200: "OK", 302: "Found", 400: "Bad Request", 404: "Not Found",
+        429: "Too Many Requests", 500: "Internal Server Error",
+        503: "Service Unavailable",
+    }
+
+    def __post_init__(self) -> None:
+        if not self.reason:
+            self.reason = self._REASONS.get(self.status, "Unknown")
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(_canon(name), default)
+
+    @classmethod
+    def redirect(cls, location: str, retry_after: Optional[float] = None) -> "HttpResponse":
+        """An HTTP 302 pointing the client at ``location`` — the paper's
+        redirection (to a server) and self-redirection (back to the
+        redirector) both use this."""
+        headers = {"Location": location, "Content-Length": "0"}
+        if retry_after is not None:
+            headers["Retry-After"] = f"{retry_after:g}"
+        return cls(status=302, headers=headers)
+
+    @classmethod
+    def ok(cls, body: bytes, content_type: str = "text/html") -> "HttpResponse":
+        return cls(
+            status=200,
+            headers={"Content-Length": str(len(body)), "Content-Type": content_type},
+            body=body,
+        )
+
+    def encode(self) -> bytes:
+        headers = dict(self.headers)
+        headers.setdefault("Content-Length", str(len(self.body)))
+        lines = [f"{self.version} {self.status} {self.reason}".encode("ascii")]
+        lines += [f"{k}: {v}".encode("latin-1") for k, v in headers.items()]
+        return _CRLF.join(lines) + _CRLF * 2 + self.body
+
+
+def _split_head(data: bytes) -> Tuple[list, bytes]:
+    if len(data) > _MAX_HEADER_BYTES and _CRLF * 2 not in data[:_MAX_HEADER_BYTES]:
+        raise HttpError("header block too large")
+    try:
+        head, rest = data.split(_CRLF * 2, 1)
+    except ValueError:
+        raise HttpError("incomplete header block") from None
+    return head.split(_CRLF), rest
+
+
+def _parse_headers(lines: list) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for raw in lines:
+        if not raw:
+            continue
+        try:
+            name, value = raw.split(b":", 1)
+        except ValueError:
+            raise HttpError(f"malformed header line {raw!r}") from None
+        headers[_canon(name.decode("latin-1").strip())] = value.decode("latin-1").strip()
+    return headers
+
+
+def parse_request(data: bytes) -> Tuple[HttpRequest, bytes]:
+    """Parse one request from ``data``; returns (request, unconsumed bytes).
+
+    Raises :class:`HttpError` if the message is malformed or incomplete.
+    """
+    lines, rest = _split_head(data)
+    try:
+        method, path, version = lines[0].decode("ascii").split(" ", 2)
+    except (UnicodeDecodeError, ValueError):
+        raise HttpError(f"malformed request line {lines[0]!r}") from None
+    headers = _parse_headers(lines[1:])
+    length = int(headers.get("Content-Length", "0") or "0")
+    if len(rest) < length:
+        raise HttpError("incomplete body")
+    return (
+        HttpRequest(method=method, path=path, version=version,
+                    headers=headers, body=rest[:length]),
+        rest[length:],
+    )
+
+
+def parse_response(data: bytes) -> Tuple[HttpResponse, bytes]:
+    """Parse one response from ``data``; returns (response, unconsumed bytes)."""
+    lines, rest = _split_head(data)
+    try:
+        version, status_s, *reason = lines[0].decode("ascii").split(" ")
+        status = int(status_s)
+    except (UnicodeDecodeError, ValueError):
+        raise HttpError(f"malformed status line {lines[0]!r}") from None
+    headers = _parse_headers(lines[1:])
+    length = int(headers.get("Content-Length", "0") or "0")
+    if len(rest) < length:
+        raise HttpError("incomplete body")
+    return (
+        HttpResponse(status=status, reason=" ".join(reason), version=version,
+                     headers=headers, body=rest[:length]),
+        rest[length:],
+    )

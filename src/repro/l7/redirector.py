@@ -1,0 +1,263 @@
+"""Simulated Layer-7 HTTP redirector (paper §4.1).
+
+Every scheduling window (100 ms in all experiments) the redirector:
+
+1. finalises its local per-principal demand estimate (arrivals in the
+   previous window, lightly smoothed);
+2. delegates to :class:`repro.scheduling.allocator.WindowAllocator`, which
+   forms a consistent global demand estimate from the latest combining-tree
+   broadcast (or the conservative 1/R fallback when none has arrived),
+   solves the window LP, and scales the result to this node's local share;
+3. installs the result as per-principal admission quotas and per-server
+   forwarding weights.
+
+Admission is the paper's *implicit queuing*: requests within quota are
+redirected (HTTP 302) to a server chosen by smooth weighted round-robin
+over the LP's per-server split; requests beyond quota get a self-redirect
+(:class:`repro.cluster.client.Defer`) so the client retries.  The original
+*explicit queuing* — hold requests and release a batch at the next window
+boundary, whose bunching anomaly the paper §4.1 describes — is available
+with ``queuing="explicit"`` for the ablation benchmark.
+
+A third admission engine, ``queuing="credits"``, implements the
+credit-based virtual-time alternative the paper's §6 says it found "more
+suitable to our distributed context": instead of a per-window counter, each
+principal accrues credits continuously at its allocated rate, which smooths
+admission within the window (no boundary discontinuities) while tracking
+the same LP allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.cluster.client import Decision, Defer, Drop, Held, Redirect
+from repro.cluster.request import Request
+from repro.cluster.server import Server
+from repro.coordination.protocol import AggregationNode
+from repro.core.access import AccessLevels
+from repro.scheduling.allocator import Allocation, WindowAllocator
+from repro.scheduling.credits import CreditScheduler
+from repro.scheduling.queueing import ImplicitQuota, PrincipalQueues
+from repro.scheduling.window import WindowConfig
+from repro.scheduling.wrr import SmoothWeightedRoundRobin
+from repro.sim.engine import Simulator
+
+__all__ = ["L7Redirector"]
+
+
+class L7Redirector:
+    """One Layer-7 redirector node.
+
+    Args:
+        sim: simulation kernel.
+        name: redirector id (also its combining-tree node id).
+        access: per-second access levels for the agreement graph.
+        servers: servers per owning principal (the community LP's
+            ``x_ik`` sends principal i's requests to owner k's servers).
+        window: scheduling window config.
+        mode: ``"community"`` or ``"provider"``.
+        prices: provider mode only — price per extra request per customer.
+        n_redirectors: total redirectors (for the conservative fallback).
+        queuing: ``"implicit"`` (default, what the paper shipped) or
+            ``"explicit"`` (windowed hold-and-release, for the ablation).
+        smoothing: EWMA weight on the newest window's arrivals.
+        defer_delay: extra delay hint attached to self-redirects.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        access: AccessLevels,
+        servers: Mapping[str, Union[Server, List[Server]]],
+        window: WindowConfig = WindowConfig(),
+        mode: str = "community",
+        prices: Optional[Mapping[str, float]] = None,
+        capacity: Optional[float] = None,
+        n_redirectors: int = 1,
+        backend: str = "auto",
+        queuing: str = "implicit",
+        smoothing: float = 0.7,
+        defer_delay: float = 0.0,
+        max_held: int = 0,
+    ):
+        if queuing not in ("implicit", "explicit", "credits"):
+            raise ValueError(f"unknown queuing {queuing!r}")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.sim = sim
+        self.name = name
+        self.access = access
+        self.window = window
+        self.queuing = queuing
+        self.smoothing = float(smoothing)
+        self.defer_delay = float(defer_delay)
+
+        self.servers: Dict[str, List[Server]] = {}
+        for owner, s in servers.items():
+            self.servers[owner] = list(s) if isinstance(s, (list, tuple)) else [s]
+
+        self.allocator = WindowAllocator(
+            access,
+            window=window,
+            mode=mode,
+            prices=prices,
+            capacity=capacity,
+            n_redirectors=n_redirectors,
+            backend=backend,
+            server_capacities={
+                owner: sum(s.capacity for s in pool)
+                for owner, pool in self.servers.items()
+            },
+        )
+        self.principals: Tuple[str, ...] = access.names
+        self._w = access.per_window(window.length)
+
+        self.quota = ImplicitQuota(self.principals)
+        self.credits = CreditScheduler({p: 0.0 for p in self.principals})
+        self.queues = PrincipalQueues(self.principals, max_depth=max_held)
+        self._held_done: Dict[int, Optional[Callable[[Request], None]]] = {}
+        self._wrr: Dict[str, SmoothWeightedRoundRobin] = {
+            p: SmoothWeightedRoundRobin() for p in self.principals
+        }
+        self._server_wrr: Dict[str, SmoothWeightedRoundRobin] = {}
+
+        self._arrivals: Dict[str, float] = {p: 0.0 for p in self.principals}
+        self.demand_estimate: Dict[str, float] = {p: 0.0 for p in self.principals}
+
+        # Telemetry
+        self.admitted: Dict[str, int] = {p: 0 for p in self.principals}
+        self.self_redirects: Dict[str, int] = {p: 0 for p in self.principals}
+        self.last_allocation: Optional[Allocation] = None
+
+        sim.process(self._window_driver(), name=f"l7[{name}]")
+
+    # -- coordination ------------------------------------------------------
+
+    def attach(self, node: AggregationNode) -> None:
+        """Attach the combining-tree protocol node for this redirector."""
+        self.allocator.attach(node)
+
+    def set_access(self, access: AccessLevels) -> None:
+        """Adopt renegotiated access levels from the next window on."""
+        self.access = access
+        self._w = access.per_window(self.window.length)
+        self.allocator.set_access(access)
+
+    @property
+    def used_fallback_windows(self) -> int:
+        return self.allocator.fallback_windows
+
+    def local_demand(self) -> Dict[str, float]:
+        """Supplier callback for the aggregation protocol: per-principal
+        demand in requests per window — the smoothed arrival estimate under
+        implicit queuing, actual queue lengths under explicit queuing (the
+        paper's 'queue length information')."""
+        if self.queuing == "explicit":
+            return {p: float(v) for p, v in self.queues.lengths().items()}
+        return dict(self.demand_estimate)
+
+    # -- window machinery ----------------------------------------------------
+
+    def _window_driver(self):
+        while True:
+            yield self.window.length
+            self._end_window()
+
+    def _end_window(self) -> None:
+        alpha = self.smoothing
+        for p in self.principals:
+            self.demand_estimate[p] = (
+                alpha * self._arrivals[p] + (1.0 - alpha) * self.demand_estimate[p]
+            )
+            self._arrivals[p] = 0.0
+        alloc = self.allocator.compute(self.local_demand())
+        self.last_allocation = alloc
+        self._install(alloc)
+        if self.queuing == "explicit":
+            self._release_held(alloc)
+
+    def _install(self, alloc: Allocation) -> None:
+        if self.queuing == "credits":
+            for p, q in alloc.quotas.items():
+                self.credits.set_rate(p, q / self.window.length, self.sim.now)
+        else:
+            self.quota.new_window(alloc.quotas)
+        for p, w in alloc.weights.items():
+            # Keep only owners that actually have servers attached here.
+            self._wrr[p].set_weights(
+                {owner: v for owner, v in w.items() if owner in self.servers}
+            )
+
+    # -- request path -------------------------------------------------------------
+
+    def handle(self, request: Request, done: Optional[Callable[[Request], None]] = None) -> Decision:
+        """Admission decision for one request (the client-facing API)."""
+        p = request.principal
+        if p not in self._arrivals:
+            return Drop()
+        self._arrivals[p] += request.cost
+        if self.queuing == "explicit":
+            if not self.queues.enqueue(p, request, self.sim.now):
+                return Drop()
+            self._held_done[request.request_id] = done
+            return Held()
+        if self.queuing == "credits":
+            admitted = self.credits.try_admit(p, self.sim.now, cost=request.cost)
+        else:
+            admitted = self.quota.try_admit(p, cost=request.cost)
+        if admitted:
+            server = self._pick_server(p)
+            if server is not None:
+                self.admitted[p] += 1
+                return Redirect(server)
+            self.quota.rejected[p] += 1  # no usable server this window
+        self.self_redirects[p] += 1
+        return Defer(self.defer_delay)
+
+    def _pick_server(self, principal: str) -> Optional[Server]:
+        owner = self._wrr[principal].next()
+        if owner is None:
+            # No LP weights yet (e.g. first window): fall back to any owner
+            # this principal holds a mandatory entitlement on.
+            i = self.access.index(principal)
+            owners = [
+                k for k in self.principals
+                if k in self.servers and self._w.MI[i, self.access.index(k)] > 1e-12
+            ]
+            if not owners:
+                return None
+            owner = owners[0]
+        pool = self.servers.get(owner)
+        if not pool:
+            return None
+        if len(pool) == 1:
+            return pool[0]
+        wrr = self._server_wrr.get(owner)
+        if wrr is None:
+            wrr = SmoothWeightedRoundRobin({s.name: s.capacity for s in pool})
+            self._server_wrr[owner] = wrr
+        chosen = wrr.next()
+        return next(s for s in pool if s.name == chosen)
+
+    # -- explicit queuing (ablation) --------------------------------------------------
+
+    def _release_held(self, alloc: Allocation) -> None:
+        """Window boundary: release each principal's quota from its queue
+        in one burst — reproducing the bunching the paper observed."""
+        for p in self.principals:
+            budget = alloc.quotas.get(p, 0.0)
+            count = int(budget + 0.5)
+            for request, _enq_t in self.queues.dequeue_upto(p, count):
+                server = self._pick_server(p)
+                done = self._held_done.pop(request.request_id, None)
+                if server is None:
+                    continue
+                self.admitted[p] += 1
+                server.submit(request, done=done)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def queue_lengths(self) -> Dict[str, int]:
+        return self.queues.lengths()

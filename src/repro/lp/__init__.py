@@ -1,0 +1,32 @@
+"""Linear programming: the optimisation substrate for the window schedulers.
+
+The paper formulates both admission-control policies (community max-min
+response time, provider income) as small linear programs solved every time
+window (§3.1.2).  Two interchangeable backends are provided:
+
+- :mod:`repro.lp.simplex` — a from-scratch two-phase dense tableau simplex
+  with Bland's anti-cycling rule (no external dependency, deterministic);
+- :mod:`repro.lp.scipy_backend` — :func:`scipy.optimize.linprog` (HiGHS),
+  used to cross-validate the simplex in tests.
+
+Models are built with :class:`repro.lp.model.Model`; :func:`repro.lp.solve`
+is the backend-selecting facade.
+"""
+
+from repro.lp.lpwrite import read_lp, write_lp
+from repro.lp.model import Constraint, LinExpr, Model, Sense, Status, Solution, Var
+from repro.lp.solver import available_backends, solve
+
+__all__ = [
+    "Model",
+    "Var",
+    "LinExpr",
+    "Constraint",
+    "Sense",
+    "Status",
+    "Solution",
+    "solve",
+    "available_backends",
+    "write_lp",
+    "read_lp",
+]

@@ -1,0 +1,276 @@
+"""Bounded-variable primal simplex.
+
+The window-scheduling LPs are dominated by *box-bounded* variables (every
+``x_ik`` carries ``0 <= x <= MI+OI``).  The baseline tableau simplex
+(:mod:`repro.lp.simplex`) turns each finite upper bound into an extra
+constraint row, roughly doubling the tableau.  This module implements the
+classic bounded-variable revised simplex, which keeps bounds implicit:
+
+- nonbasic variables rest at their lower *or* upper bound;
+- an entering variable may *flip* bound without a basis change when its own
+  opposite bound is the tightest ratio;
+- the ratio test limits basic variables against both of their bounds.
+
+Phase 1 uses artificial variables (minimise their sum) from a basis of
+artificials with structurals at their nearest-zero finite bound.  Pivoting
+uses Bland's rule throughout, so the method terminates.
+
+Cross-validated against scipy's HiGHS and the row-based simplex on random
+boxed LPs in ``tests/lp/test_bounded_simplex.py``; selectable as
+``backend="bounded"`` everywhere an LP backend is accepted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.lp.model import Model, Solution, Status
+from repro.lp.simplex import SimplexResult
+
+__all__ = ["solve_bounded_simplex", "bounded_simplex_arrays"]
+
+_TOL = 1e-9
+_INF = math.inf
+
+# Nonbasic status codes
+_AT_LO = 0
+_AT_UP = 1
+_FREE_ZERO = 2   # free variable resting at 0
+_BASIC = 3
+
+
+def solve_bounded_simplex(model: Model, max_iter: int = 20_000) -> Solution:
+    """Solve a :class:`repro.lp.model.Model` with the bounded simplex."""
+    c, A_ub, b_ub, A_eq, b_eq, bounds = model.to_arrays()
+    res = bounded_simplex_arrays(c, A_ub, b_ub, A_eq, b_eq, bounds, max_iter=max_iter)
+    return model.solution_from_x(
+        res.x, res.status, iterations=res.iterations, backend="bounded"
+    )
+
+
+def bounded_simplex_arrays(
+    c: np.ndarray,
+    A_ub: np.ndarray,
+    b_ub: np.ndarray,
+    A_eq: np.ndarray,
+    b_eq: np.ndarray,
+    bounds: List[Tuple[float, float]],
+    max_iter: int = 20_000,
+) -> SimplexResult:
+    """Minimise ``c @ x`` s.t. ``A_ub x <= b_ub``, ``A_eq x = b_eq`` and box
+    ``bounds``, keeping the bounds implicit in the simplex."""
+    c = np.asarray(c, dtype=float)
+    nv = c.size
+    A_ub = np.asarray(A_ub, dtype=float).reshape(-1, nv)
+    A_eq = np.asarray(A_eq, dtype=float).reshape(-1, nv)
+    m_ub, m_eq = A_ub.shape[0], A_eq.shape[0]
+    m = m_ub + m_eq
+
+    # Structurals + slacks (slack_i in [0, inf) for each <= row).
+    n = nv + m_ub
+    A = np.zeros((m, n))
+    if m_ub:
+        A[:m_ub, :nv] = A_ub
+        A[:m_ub, nv:] = np.eye(m_ub)
+    if m_eq:
+        A[m_ub:, :nv] = A_eq
+    b = np.concatenate([np.asarray(b_ub, float), np.asarray(b_eq, float)])
+
+    lo = np.full(n, 0.0)
+    up = np.full(n, _INF)
+    for j, (l, h) in enumerate(bounds):
+        lo[j], up[j] = float(l), float(h)
+    # slacks: [0, inf) already
+
+    cost = np.zeros(n)
+    cost[:nv] = c
+
+    # Initial nonbasic values: nearest-to-zero finite bound (0 for free).
+    status = np.empty(n, dtype=int)
+    x = np.zeros(n)
+    for j in range(n):
+        if lo[j] == -_INF and up[j] == _INF:
+            status[j] = _FREE_ZERO
+            x[j] = 0.0
+        elif lo[j] == -_INF:
+            status[j] = _AT_UP
+            x[j] = up[j]
+        else:
+            status[j] = _AT_LO
+            x[j] = lo[j]
+
+    # Phase 1: artificials absorb the residual b - A x_N.
+    resid = b - A @ x
+    n_art = m
+    A1 = np.hstack([A, np.diag(np.where(resid >= 0, 1.0, -1.0))])
+    lo1 = np.concatenate([lo, np.zeros(n_art)])
+    up1 = np.concatenate([up, np.full(n_art, _INF)])
+    x1 = np.concatenate([x, np.abs(resid)])
+    status1 = np.concatenate([status, np.full(n_art, _BASIC, dtype=int)])
+    basis = list(range(n, n + n_art))
+
+    cost1 = np.zeros(n + n_art)
+    cost1[n:] = 1.0
+
+    state = _State(A1, b, lo1, up1, x1, status1, basis)
+    iters1, st = _optimize(state, cost1, allowed=n + n_art, max_iter=max_iter)
+    total_iters = iters1
+    if st is Status.ITERATION_LIMIT:
+        return SimplexResult(st, None, math.nan, total_iters)
+    if cost1 @ state.x > 1e-7:
+        return SimplexResult(Status.INFEASIBLE, None, math.nan, total_iters)
+
+    # Drive remaining artificials out of the basis where possible.
+    for row in range(m):
+        if state.basis[row] >= n:
+            Binv_row = np.linalg.solve(state.B().T, _unit(m, row))
+            coeffs = Binv_row @ state.A[:, :n]
+            candidates = np.nonzero(np.abs(coeffs) > 1e-7)[0]
+            nonbasic = [j for j in candidates if state.status[j] != _BASIC]
+            if nonbasic:
+                j = int(nonbasic[0])
+                state.pivot(row, j)
+            # else: redundant row; the artificial stays basic at value 0.
+
+    cost2 = np.zeros(n + n_art)
+    cost2[:n] = cost
+    iters2, st = _optimize(state, cost2, allowed=n, max_iter=max_iter - total_iters)
+    total_iters += iters2
+    if st is not Status.OPTIMAL:
+        return SimplexResult(st, None, math.nan, total_iters)
+
+    xr = state.x[:nv].copy()
+    obj = float(c @ xr)
+    return SimplexResult(Status.OPTIMAL, xr, obj, total_iters)
+
+
+def _unit(m: int, i: int) -> np.ndarray:
+    e = np.zeros(m)
+    e[i] = 1.0
+    return e
+
+
+class _State:
+    """Mutable simplex state: basis, variable values and statuses."""
+
+    def __init__(self, A, b, lo, up, x, status, basis):
+        self.A = A
+        self.b = b
+        self.lo = lo
+        self.up = up
+        self.x = x
+        self.status = status
+        self.basis = basis
+        self.m = A.shape[0]
+
+    def B(self) -> np.ndarray:
+        return self.A[:, self.basis]
+
+    def pivot(self, row: int, entering: int) -> None:
+        """Swap basis[row] out for ``entering`` (values already updated by
+        the caller, or both at a consistent point for phase transitions)."""
+        leaving = self.basis[row]
+        # The leaving variable rests at whichever bound it hit.
+        if self.up[leaving] < _INF and abs(self.x[leaving] - self.up[leaving]) < abs(
+            self.x[leaving] - self.lo[leaving]
+        ):
+            self.status[leaving] = _AT_UP
+            self.x[leaving] = self.up[leaving]
+        elif self.lo[leaving] > -_INF:
+            self.status[leaving] = _AT_LO
+            self.x[leaving] = self.lo[leaving]
+        else:
+            self.status[leaving] = _FREE_ZERO
+            self.x[leaving] = 0.0
+        self.status[entering] = _BASIC
+        self.basis[row] = entering
+        self._recompute_basics()
+
+    def _recompute_basics(self) -> None:
+        nonbasic_contrib = self.b - self.A @ np.where(
+            self.status == _BASIC, 0.0, self.x
+        )
+        xb = np.linalg.solve(self.B(), nonbasic_contrib)
+        for i, j in enumerate(self.basis):
+            self.x[j] = xb[i]
+
+
+def _optimize(state: _State, cost: np.ndarray, allowed: int, max_iter: int):
+    """Bounded-variable primal simplex iterations (Bland's rule)."""
+    m = state.m
+    iters = 0
+    while True:
+        if iters >= max_iter:
+            return iters, Status.ITERATION_LIMIT
+        B = state.B()
+        try:
+            y = np.linalg.solve(B.T, cost[state.basis])
+        except np.linalg.LinAlgError:  # pragma: no cover - defensive
+            return iters, Status.INFEASIBLE
+        d = cost[:allowed] - y @ state.A[:, :allowed]
+
+        entering = -1
+        direction = 0.0
+        for j in range(allowed):
+            sj = state.status[j]
+            if sj == _BASIC:
+                continue
+            if (sj in (_AT_LO, _FREE_ZERO)) and d[j] < -_TOL:
+                entering, direction = j, +1.0
+                break  # Bland: first eligible index
+            if (sj in (_AT_UP, _FREE_ZERO)) and d[j] > _TOL:
+                entering, direction = j, -1.0
+                break
+        if entering < 0:
+            return iters, Status.OPTIMAL
+
+        # Direction of basic variables as entering moves by +direction.
+        w = np.linalg.solve(B, state.A[:, entering]) * direction
+
+        # Ratio test.  Candidates: each basic variable hitting one of its
+        # bounds, and the entering variable flipping to its opposite bound.
+        span = state.up[entering] - state.lo[entering]
+        t_max = span if np.isfinite(span) else _INF
+        leave_row = -1                           # -1 = bound flip
+        for i in range(m):
+            j = state.basis[i]
+            if w[i] > _TOL and state.lo[j] > -_INF:
+                t = max((state.x[j] - state.lo[j]) / w[i], 0.0)
+            elif w[i] < -_TOL and state.up[j] < _INF:
+                t = max((state.up[j] - state.x[j]) / (-w[i]), 0.0)
+            else:
+                continue
+            if t < t_max - _TOL:
+                t_max, leave_row = t, i
+            elif t <= t_max + _TOL and (
+                leave_row == -1 or state.basis[i] < state.basis[leave_row]
+            ):
+                # Tie: prefer a basis change (Bland: smallest leaving index).
+                t_max, leave_row = min(t_max, t), i
+
+        if not np.isfinite(t_max):
+            return iters, Status.UNBOUNDED
+
+        # Apply the step.
+        state.x[entering] += direction * t_max
+        for i in range(m):
+            state.x[state.basis[i]] -= w[i] * t_max
+
+        if leave_row < 0:
+            # Bound flip: entering moved across its box; stays nonbasic.
+            state.status[entering] = _AT_UP if direction > 0 else _AT_LO
+        else:
+            leaving = state.basis[leave_row]
+            # Leaving rests at the bound it reached.
+            if w[leave_row] > 0:
+                state.status[leaving] = _AT_LO if state.lo[leaving] > -_INF else _FREE_ZERO
+                state.x[leaving] = state.lo[leaving] if state.lo[leaving] > -_INF else 0.0
+            else:
+                state.status[leaving] = _AT_UP
+                state.x[leaving] = state.up[leaving]
+            state.status[entering] = _BASIC
+            state.basis[leave_row] = entering
+        iters += 1

@@ -1,0 +1,181 @@
+"""CPLEX-LP-format export/import for :class:`repro.lp.model.Model`.
+
+Writing a window LP to the standard text format makes scheduler decisions
+auditable ("what program did the redirector actually solve at t=42.3?")
+and lets external solvers be consulted when debugging.  The reader parses
+the same dialect back, so the pair round-trips — property-tested in
+``tests/lp/test_lpwrite.py``.
+
+Supported dialect (the subset the schedulers emit):
+
+    Maximize            \\ or Minimize
+      obj: 2 x_1 + 3 x_2
+    Subject To
+      c0: x_1 + x_2 <= 4
+      c1: x_1 - x_2 = 1
+    Bounds
+      0 <= x_1 <= 3
+      x_2 free
+    End
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from repro.lp.model import LinExpr, Model, ModelError, Sense
+
+__all__ = ["write_lp", "read_lp"]
+
+
+def _fmt_term(coef: float, name: str, first: bool) -> str:
+    sign = "-" if coef < 0 else ("" if first else "+")
+    mag = abs(coef)
+    coef_s = "" if mag == 1.0 else f"{mag:.12g} "
+    sep = "" if first and sign == "" else " "
+    return f"{sign}{sep}{coef_s}{name}".strip()
+
+
+def _fmt_expr(expr: LinExpr) -> str:
+    terms = sorted(expr.coeffs.items(), key=lambda kv: kv[0].index)
+    parts = []
+    for var, coef in terms:
+        if coef == 0.0:
+            continue
+        parts.append(_fmt_term(coef, var.name, first=not parts))
+    return " ".join(parts) if parts else "0"
+
+
+def write_lp(model: Model) -> str:
+    """Serialise a model to CPLEX LP format."""
+    lines = ["Maximize" if model.sense_max else "Minimize"]
+    lines.append(f"  obj: {_fmt_expr(model.objective)}")
+    lines.append("Subject To")
+    for i, con in enumerate(model.constraints):
+        op = {"<=": "<=", ">=": ">=", "==": "="}[con.sense.value]
+        name = con.name or f"c{i}"
+        lines.append(f"  {name}: {_fmt_expr(con.expr)} {op} {con.rhs:.12g}")
+    lines.append("Bounds")
+    for v in model.vars:
+        if v.lb == -math.inf and v.ub == math.inf:
+            lines.append(f"  {v.name} free")
+        elif v.ub == math.inf:
+            lines.append(f"  {v.name} >= {v.lb:.12g}")
+        elif v.lb == -math.inf:
+            lines.append(f"  {v.name} <= {v.ub:.12g}")
+        else:
+            lines.append(f"  {v.lb:.12g} <= {v.name} <= {v.ub:.12g}")
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+_TERM_RE = re.compile(r"([+-]?)\s*(\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)?\s*\*?\s*([A-Za-z_][\w.\[\]]*)")
+
+
+def _parse_expr(text: str, model: Model, vars_by_name: Dict[str, object]) -> LinExpr:
+    expr = LinExpr()
+    pos = 0
+    for m in _TERM_RE.finditer(text):
+        if m.start() < pos:
+            continue
+        pos = m.end()
+        sign = -1.0 if m.group(1) == "-" else 1.0
+        coef = float(m.group(2)) if m.group(2) else 1.0
+        name = m.group(3)
+        var = vars_by_name.get(name)
+        if var is None:
+            var = model.var(name, lb=0.0)
+            vars_by_name[name] = var
+        expr.coeffs[var] = expr.coeffs.get(var, 0.0) + sign * coef
+    return expr
+
+
+def read_lp(text: str) -> Model:
+    """Parse the dialect produced by :func:`write_lp` back into a Model."""
+    model = Model()
+    vars_by_name: Dict[str, object] = {}
+    section = None
+    objective_text: List[str] = []
+    constraint_rows: List[Tuple[str, str, float]] = []
+    bound_rows: List[str] = []
+    sense_max = True
+
+    for raw in text.splitlines():
+        line = raw.split("\\")[0].strip()
+        if not line:
+            continue
+        lower = line.lower()
+        if lower in ("maximize", "maximise", "max"):
+            section, sense_max = "obj", True
+            continue
+        if lower in ("minimize", "minimise", "min"):
+            section, sense_max = "obj", False
+            continue
+        if lower in ("subject to", "st", "s.t."):
+            section = "cons"
+            continue
+        if lower == "bounds":
+            section = "bounds"
+            continue
+        if lower == "end":
+            break
+        if section == "obj":
+            objective_text.append(line.split(":", 1)[-1])
+        elif section == "cons":
+            body = line.split(":", 1)[-1]
+            m = re.search(r"(<=|>=|=)", body)
+            if m is None:
+                raise ModelError(f"constraint without relation: {line!r}")
+            lhs = body[: m.start()]
+            rhs = float(body[m.end():])
+            constraint_rows.append((lhs, m.group(1), rhs))
+        elif section == "bounds":
+            bound_rows.append(line)
+        else:
+            raise ModelError(f"content outside any section: {line!r}")
+
+    obj = _parse_expr(" ".join(objective_text), model, vars_by_name)
+    for lhs, op, rhs in constraint_rows:
+        expr = _parse_expr(lhs, model, vars_by_name)
+        sense = {"<=": Sense.LE, ">=": Sense.GE, "=": Sense.EQ}[op]
+        expr.const = -rhs
+        from repro.lp.model import Constraint
+
+        model.add(Constraint(expr, sense))
+
+    for line in bound_rows:
+        if line.lower().endswith(" free"):
+            name = line[: -len(" free")].strip()
+            v = vars_by_name.get(name) or model.var(name)
+            vars_by_name[name] = v
+            v.lb, v.ub = -math.inf, math.inf
+            continue
+        two = re.match(
+            r"^\s*([+-]?[\d.eE+-]+)\s*<=\s*([\w.\[\]]+)\s*<=\s*([+-]?[\d.eE+-]+)\s*$",
+            line,
+        )
+        if two:
+            lo, name, hi = float(two.group(1)), two.group(2), float(two.group(3))
+            v = vars_by_name.get(name) or model.var(name)
+            vars_by_name[name] = v
+            v.lb, v.ub = lo, hi
+            continue
+        one = re.match(r"^\s*([\w.\[\]]+)\s*(<=|>=)\s*([+-]?[\d.eE+-]+)\s*$", line)
+        if one:
+            name, op, val = one.group(1), one.group(2), float(one.group(3))
+            v = vars_by_name.get(name) or model.var(name)
+            vars_by_name[name] = v
+            if op == "<=":
+                v.lb, v.ub = -math.inf, val
+            else:
+                v.lb, v.ub = val, math.inf
+            continue
+        raise ModelError(f"unparseable bound line: {line!r}")
+
+    if sense_max:
+        model.maximize(obj)
+    else:
+        model.minimize(obj)
+    return model

@@ -1,0 +1,47 @@
+"""scipy HiGHS backend: lowers a :class:`repro.lp.model.Model` to
+:func:`scipy.optimize.linprog`.  Used both as a fast production backend and
+to cross-validate the from-scratch simplex."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lp.model import Model, Solution, Status
+
+__all__ = ["solve_scipy", "scipy_available"]
+
+try:  # pragma: no cover - import guard
+    from scipy.optimize import linprog as _linprog
+except ImportError:  # pragma: no cover
+    _linprog = None
+
+
+def scipy_available() -> bool:
+    return _linprog is not None
+
+
+_STATUS_MAP = {
+    0: Status.OPTIMAL,
+    1: Status.ITERATION_LIMIT,
+    2: Status.INFEASIBLE,
+    3: Status.UNBOUNDED,
+}
+
+
+def solve_scipy(model: Model) -> Solution:
+    if _linprog is None:  # pragma: no cover
+        raise RuntimeError("scipy is not available")
+    c, A_ub, b_ub, A_eq, b_eq, bounds = model.to_arrays()
+    res = _linprog(
+        c,
+        A_ub=A_ub if A_ub.size else None,
+        b_ub=b_ub if b_ub.size else None,
+        A_eq=A_eq if A_eq.size else None,
+        b_eq=b_eq if b_eq.size else None,
+        bounds=bounds,
+        method="highs",
+    )
+    status = _STATUS_MAP.get(res.status, Status.INFEASIBLE)
+    x = np.asarray(res.x) if res.x is not None else None
+    iterations = int(getattr(res, "nit", 0) or 0)
+    return model.solution_from_x(x, status, iterations=iterations, backend="scipy")

@@ -1,0 +1,226 @@
+"""Two-phase dense tableau simplex with Bland's anti-cycling rule.
+
+A from-scratch LP solver: no dependency beyond numpy, fully deterministic
+(Bland's pivoting), intended for the small window-scheduling programs the
+paper solves every 100 ms (a handful of principals, so ~n^2 variables).
+Cross-validated against scipy's HiGHS backend in the test suite.
+
+Pipeline:
+
+1. *Normalisation* — box bounds are removed by substitution
+   (``x = lo + y``, free variables split into ``y+ - y-``, finite upper
+   bounds become extra rows), inequalities get slack variables, and rows
+   with negative right-hand sides are negated, yielding the standard form
+   ``min c'y  s.t.  A y = b, y >= 0, b >= 0``.
+2. *Phase 1* — artificial variables form the initial basis; minimising
+   their sum finds a basic feasible solution or proves infeasibility.
+3. *Phase 2* — the real objective is minimised from that basis.
+
+The hot loop is a single vectorised row operation per pivot
+(``T -= col * T[pivot_row]``), O(m * n) per iteration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.lp.model import Model, Solution, Status
+
+__all__ = ["solve_simplex", "simplex_arrays", "SimplexResult"]
+
+_TOL = 1e-9
+
+
+@dataclass
+class SimplexResult:
+    status: Status
+    x: Optional[np.ndarray]
+    objective: float
+    iterations: int
+
+
+def solve_simplex(model: Model, max_iter: int = 10_000) -> Solution:
+    """Solve a :class:`repro.lp.model.Model` with the tableau simplex."""
+    c, A_ub, b_ub, A_eq, b_eq, bounds = model.to_arrays()
+    res = simplex_arrays(c, A_ub, b_ub, A_eq, b_eq, bounds, max_iter=max_iter)
+    return model.solution_from_x(
+        res.x, res.status, iterations=res.iterations, backend="simplex"
+    )
+
+
+def simplex_arrays(
+    c: np.ndarray,
+    A_ub: np.ndarray,
+    b_ub: np.ndarray,
+    A_eq: np.ndarray,
+    b_eq: np.ndarray,
+    bounds: List[Tuple[float, float]],
+    max_iter: int = 10_000,
+) -> SimplexResult:
+    """Minimise ``c @ x`` subject to ``A_ub x <= b_ub``, ``A_eq x = b_eq``,
+    and box ``bounds``; returns a :class:`SimplexResult`."""
+    c = np.asarray(c, dtype=float)
+    nv = c.size
+
+    # --- 1. remove box bounds by substitution ---------------------------
+    # x_j = shift_j + sign_j * y_j (+ optional second column for free vars)
+    # plus extra <=' rows for finite upper bounds.
+    col_of: List[List[Tuple[int, float]]] = []  # per original var: [(ycol, sign)]
+    shift = np.zeros(nv)
+    ncols = 0
+    extra_rows: List[Tuple[int, float]] = []  # (ycol, cap) meaning y_col <= cap
+    for j, (lo, hi) in enumerate(bounds):
+        if lo == -math.inf and hi == math.inf:
+            col_of.append([(ncols, 1.0), (ncols + 1, -1.0)])
+            ncols += 2
+        elif lo == -math.inf:
+            shift[j] = hi
+            col_of.append([(ncols, -1.0)])
+            ncols += 1
+        else:
+            shift[j] = lo
+            col_of.append([(ncols, 1.0)])
+            if hi != math.inf:
+                extra_rows.append((ncols, hi - lo))
+            ncols += 1
+
+    def expand_matrix(A: np.ndarray) -> np.ndarray:
+        out = np.zeros((A.shape[0], ncols))
+        for j in range(nv):
+            for ycol, sign in col_of[j]:
+                out[:, ycol] += sign * A[:, j]
+        return out
+
+    A_ub = np.asarray(A_ub, dtype=float).reshape(-1, nv)
+    A_eq = np.asarray(A_eq, dtype=float).reshape(-1, nv)
+    b_ub = np.asarray(b_ub, dtype=float) - A_ub @ shift
+    b_eq = np.asarray(b_eq, dtype=float) - A_eq @ shift
+    Aub_y = expand_matrix(A_ub)
+    Aeq_y = expand_matrix(A_eq)
+    cy = np.zeros(ncols)
+    for j in range(nv):
+        for ycol, sign in col_of[j]:
+            cy[ycol] += sign * c[j]
+    c_shift = float(c @ shift)
+
+    # upper-bound rows for substituted vars
+    if extra_rows:
+        rows = np.zeros((len(extra_rows), ncols))
+        rhs = np.zeros(len(extra_rows))
+        for r, (ycol, cap) in enumerate(extra_rows):
+            rows[r, ycol] = 1.0
+            rhs[r] = cap
+        Aub_y = np.vstack([Aub_y, rows]) if Aub_y.size else rows
+        b_ub = np.concatenate([b_ub, rhs])
+
+    # --- 2. standard form with slacks ------------------------------------
+    m_ub, m_eq = Aub_y.shape[0], Aeq_y.shape[0]
+    m = m_ub + m_eq
+    n_slack = m_ub
+    n = ncols + n_slack
+    A = np.zeros((m, n))
+    b = np.concatenate([b_ub, b_eq])
+    if m_ub:
+        A[:m_ub, :ncols] = Aub_y
+        A[:m_ub, ncols:ncols + n_slack] = np.eye(m_ub)
+    if m_eq:
+        A[m_ub:, :ncols] = Aeq_y
+    neg = b < 0
+    A[neg] *= -1.0
+    b[neg] *= -1.0
+
+    # --- 3. two-phase tableau --------------------------------------------
+    # Tableau layout: m rows of [A | I_artificial | b]; cost rows kept separately.
+    n_art = m
+    T = np.zeros((m, n + n_art + 1))
+    T[:, :n] = A
+    T[:, n:n + n_art] = np.eye(m)
+    T[:, -1] = b
+    basis = list(range(n, n + n_art))
+
+    total_iters = 0
+
+    def pivot(row: int, col: int) -> None:
+        T[row] /= T[row, col]
+        colvals = T[:, col].copy()
+        colvals[row] = 0.0
+        T[:, :] -= np.outer(colvals, T[row])
+        basis[row] = col
+
+    def run_phase(cost: np.ndarray, allowed: int) -> Tuple[Status, int]:
+        """Minimise ``cost @ y`` over columns [0, allowed); returns status."""
+        nonlocal total_iters
+        iters = 0
+        while True:
+            if total_iters >= max_iter:
+                return Status.ITERATION_LIMIT, iters
+            # reduced costs: r = cost - cost_B @ T  (over allowed columns)
+            cb = cost[basis]
+            r = cost[:allowed] - cb @ T[:, :allowed]
+            # Bland: smallest index with negative reduced cost
+            candidates = np.nonzero(r < -_TOL)[0]
+            if candidates.size == 0:
+                return Status.OPTIMAL, iters
+            col = int(candidates[0])
+            colvals = T[:, col]
+            pos = colvals > _TOL
+            if not pos.any():
+                return Status.UNBOUNDED, iters
+            ratios = np.full(m, np.inf)
+            ratios[pos] = T[pos, -1] / colvals[pos]
+            best = ratios.min()
+            # Bland tie-break: smallest basis index among minimal ratios
+            tied = np.nonzero(ratios <= best + _TOL)[0]
+            row = int(min(tied, key=lambda rr: basis[rr]))
+            pivot(row, col)
+            total_iters += 1
+            iters += 1
+
+    # Phase 1
+    cost1 = np.zeros(n + n_art)
+    cost1[n:] = 1.0
+    status, _ = run_phase(cost1, n + n_art)
+    if status is Status.ITERATION_LIMIT:
+        return SimplexResult(status, None, math.nan, total_iters)
+    phase1_obj = float(cost1[basis] @ T[:, -1])
+    if phase1_obj > 1e-7:
+        return SimplexResult(Status.INFEASIBLE, None, math.nan, total_iters)
+
+    # Drive remaining artificials out of the basis (degenerate rows).
+    drop_rows = []
+    for row in range(m):
+        if basis[row] >= n:
+            nz = np.nonzero(np.abs(T[row, :n]) > _TOL)[0]
+            if nz.size:
+                pivot(row, int(nz[0]))
+            else:
+                drop_rows.append(row)  # redundant constraint
+    if drop_rows:
+        keep = [r for r in range(m) if r not in drop_rows]
+        T = T[keep]
+        basis = [basis[r] for r in keep]
+        m = len(keep)
+
+    # Phase 2
+    cost2 = np.zeros(n + n_art)
+    cost2[:ncols] = cy
+    status, _ = run_phase(cost2, n)  # artificials excluded from entering
+    if status is not Status.OPTIMAL:
+        return SimplexResult(status, None, math.nan, total_iters)
+
+    y = np.zeros(n)
+    for row, bcol in enumerate(basis):
+        if bcol < n:
+            y[bcol] = T[row, -1]
+
+    # --- 4. map back to original variables --------------------------------
+    x = shift.copy()
+    for j in range(nv):
+        for ycol, sign in col_of[j]:
+            x[j] += sign * y[ycol]
+    obj = float(cy @ y[:ncols]) + c_shift
+    return SimplexResult(Status.OPTIMAL, x, obj, total_iters)

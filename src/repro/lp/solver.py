@@ -1,0 +1,38 @@
+"""Backend-selecting solve facade."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lp.bounded_simplex import solve_bounded_simplex
+from repro.lp.model import Model, Solution
+from repro.lp.scipy_backend import scipy_available, solve_scipy
+from repro.lp.simplex import solve_simplex
+
+__all__ = ["solve", "available_backends"]
+
+
+def available_backends() -> List[str]:
+    backends = ["simplex", "bounded"]
+    if scipy_available():
+        backends.insert(0, "scipy")
+    return backends
+
+
+def solve(model: Model, backend: str = "auto", **kwargs) -> Solution:
+    """Solve ``model``.
+
+    Backends: ``"scipy"`` (HiGHS), ``"simplex"`` (from-scratch tableau,
+    bounds as rows), ``"bounded"`` (from-scratch bounded-variable revised
+    simplex).  ``"auto"`` prefers scipy when present and falls back to the
+    built-in bounded simplex, so the library works with numpy alone.
+    """
+    if backend == "auto":
+        backend = "scipy" if scipy_available() else "bounded"
+    if backend == "scipy":
+        return solve_scipy(model)
+    if backend == "simplex":
+        return solve_simplex(model, **kwargs)
+    if backend == "bounded":
+        return solve_bounded_simplex(model, **kwargs)
+    raise ValueError(f"unknown backend {backend!r}; use {available_backends()}")

@@ -1,0 +1,226 @@
+"""Shared window-allocation engine for redirector implementations.
+
+Both prototypes (the Layer-7 redirector and the Layer-4 daemon) perform the
+same per-window computation (paper §3.2): form a globally consistent demand
+estimate from the latest combining-tree broadcast, solve the window LP on
+it, and scale the resulting allocation to this node's local share
+(``x_i * local_i / global_i``).  :class:`WindowAllocator` packages that
+computation so the two network layers only differ in admission mechanics.
+
+Snapshot consistency: the broadcast aggregate is a past-round snapshot; the
+allocator substitutes this node's own round-r contribution with its current
+local vector (``global - local_then + local_now``) so the fraction applied
+locally matches the data the LP saw.  When no broadcast has ever arrived,
+it falls back to the conservative ``1/R`` split of mandatory entitlements —
+the behaviour visible in the paper's Fig 8 phase 1, where a redirector with
+no global information uses only half of its principal's mandatory tickets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.coordination.protocol import AggregationNode
+from repro.core.access import AccessLevels
+from repro.scheduling.community import CommunityScheduler
+from repro.scheduling.provider import ProviderScheduler
+from repro.scheduling.window import WindowConfig
+
+__all__ = ["WindowAllocator", "Allocation"]
+
+
+@dataclass
+class Allocation:
+    """Result of one window's allocation at one node."""
+
+    quotas: Dict[str, float]                 # local admission budget per principal
+    weights: Dict[str, Dict[str, float]]     # per-principal server-owner weights
+    global_estimate: Dict[str, float]
+    used_fallback: bool
+
+
+class WindowAllocator:
+    """The per-window allocation computation shared by all redirectors.
+
+    Args:
+        access: per-second access levels for the agreement graph.
+        window: scheduling window.
+        mode: ``"community"`` or ``"provider"``.
+        prices: provider mode — price per additional request per customer.
+        capacity: provider mode — total provider capacity override.
+        n_redirectors: redirector count, for the conservative fallback.
+        backend: LP backend.
+    """
+
+    def __init__(
+        self,
+        access: AccessLevels,
+        window: WindowConfig = WindowConfig(),
+        mode: str = "community",
+        prices: Optional[Mapping[str, float]] = None,
+        capacity: Optional[float] = None,
+        n_redirectors: int = 1,
+        backend: str = "auto",
+        server_owners: Optional[List[str]] = None,
+        server_capacities: Optional[Mapping[str, float]] = None,
+        cache_tolerance: float = 0.05,
+    ):
+        if mode not in ("community", "provider"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if cache_tolerance < 0:
+            raise ValueError("cache_tolerance must be >= 0")
+        self.access = access
+        self.window = window
+        self.mode = mode
+        self.n_redirectors = max(1, int(n_redirectors))
+        self._w = access.per_window(window.length)
+        self.agg_node: Optional[AggregationNode] = None
+        self.lp_solves = 0
+        self.cache_hits = 0
+        self.fallback_windows = 0
+        self._server_capacities = dict(server_capacities or {})
+        # Demand barely moves between adjacent 100 ms windows in steady
+        # state; re-solving a near-identical LP dominates simulation cost.
+        # A solve is reused while every principal's global estimate stays
+        # within cache_tolerance (relative) of the solved one (0 disables).
+        # Quotas are still rescaled by the *fresh* local share every
+        # window, so the reuse error is bounded by the estimate drift —
+        # at most cache_tolerance, transiently.
+        self.cache_tolerance = float(cache_tolerance)
+        self._cached_est: Optional[Dict[str, float]] = None
+        self._cached_plan = None  # CommunitySchedule or ProviderSchedule
+
+        if mode == "community":
+            self.scheduler: Union[CommunityScheduler, ProviderScheduler] = (
+                CommunityScheduler(access, window, backend=backend)
+            )
+        else:
+            self.scheduler = ProviderScheduler(
+                access, prices or {}, capacity=capacity, window=window,
+                backend=backend,
+            )
+
+    @property
+    def principals(self) -> Tuple[str, ...]:
+        return self.access.names
+
+    def attach(self, node: AggregationNode) -> None:
+        self.agg_node = node
+
+    def set_access(self, access: AccessLevels) -> None:
+        """Swap in renegotiated access levels (dynamic agreements, §2.2).
+
+        Suitable as a :class:`repro.core.dynamic.DynamicAccessManager`
+        subscriber; takes effect from the next window's LP solve.
+        """
+        if access.names != self.access.names:
+            raise ValueError("renegotiated levels must cover the same principals")
+        self.access = access
+        self._w = access.per_window(self.window.length)
+        self.invalidate_cache()
+        if self.mode == "community":
+            self.scheduler = CommunityScheduler(
+                access, self.window, backend=self.scheduler.backend
+            )
+        else:
+            old = self.scheduler
+            self.scheduler = ProviderScheduler(
+                access, old.prices, capacity=old.capacity, window=self.window,
+                backend=old.backend,
+            )
+
+    # -- global estimate -----------------------------------------------------
+
+    def global_estimate(self, local: Mapping[str, float]) -> Tuple[Dict[str, float], bool]:
+        view = self.agg_node.view if self.agg_node is not None else None
+        if view is None or view.aggregate is None:
+            if self.agg_node is None:
+                return dict(local), False   # standalone node: local is global
+            return dict(local), True        # no broadcast yet
+        then = view.local_contribution
+        est = {}
+        for p in self.principals:
+            others = view.aggregate.get(p, 0.0)
+            if then is not None:
+                others = max(0.0, others - then.get(p, 0.0))
+            est[p] = others + local.get(p, 0.0)
+        return est, False
+
+    # -- allocation -------------------------------------------------------------
+
+    def compute(self, local: Mapping[str, float]) -> Allocation:
+        """Allocate one window given this node's local demand (req/window)."""
+        global_est, fallback = self.global_estimate(local)
+        if fallback:
+            self.fallback_windows += 1
+            return Allocation(
+                *self._conservative(local), global_estimate=global_est,
+                used_fallback=True,
+            )
+        if self.mode == "community":
+            sched = self._solve(global_est)
+            quotas: Dict[str, float] = {}
+            weights: Dict[str, Dict[str, float]] = {}
+            for p in self.principals:
+                total = sched.served(p)
+                g = global_est.get(p, 0.0)
+                frac = min(1.0, total / g) if g > 1e-9 else 0.0
+                quotas[p] = frac * local.get(p, 0.0)
+                weights[p] = sched.assignments(p)
+        else:
+            res = self._solve(global_est)
+            quotas, weights = {}, {}
+            cap = self._server_capacities or {
+                name: float(self.access.V[self.access.index(name)])
+                for name in self.principals
+                if self.access.V[self.access.index(name)] > 0
+            }
+            for p in self.principals:
+                total = res.x.get(p, 0.0)
+                g = global_est.get(p, 0.0)
+                frac = min(1.0, total / g) if g > 1e-9 else 0.0
+                quotas[p] = frac * local.get(p, 0.0)
+                weights[p] = dict(cap)
+        return Allocation(
+            quotas=quotas, weights=weights, global_estimate=global_est,
+            used_fallback=False,
+        )
+
+    def _solve(self, global_est: Dict[str, float]):
+        """LP solve with a relative-tolerance reuse cache."""
+        if self._cached_plan is not None and self.cache_tolerance > 0:
+            tol = self.cache_tolerance
+            cached = self._cached_est
+            if all(
+                abs(global_est.get(p, 0.0) - cached.get(p, 0.0))
+                <= tol * max(global_est.get(p, 0.0), cached.get(p, 0.0), 1.0)
+                for p in self.principals
+            ):
+                self.cache_hits += 1
+                return self._cached_plan
+        self.lp_solves += 1
+        plan = self.scheduler.schedule(global_est)
+        self._cached_est = dict(global_est)
+        self._cached_plan = plan
+        return plan
+
+    def invalidate_cache(self) -> None:
+        self._cached_est = None
+        self._cached_plan = None
+
+    def _conservative(
+        self, local: Mapping[str, float]
+    ) -> Tuple[Dict[str, float], Dict[str, Dict[str, float]]]:
+        """No global information: use 1/R of the mandatory entitlements."""
+        share = 1.0 / self.n_redirectors
+        quotas, weights = {}, {}
+        for p in self.principals:
+            i = self.access.index(p)
+            quotas[p] = min(local.get(p, 0.0), float(self._w.MC[i]) * share)
+            weights[p] = {
+                k: float(self._w.MI[i, self.access.index(k)])
+                for k in self.principals
+                if self._w.MI[i, self.access.index(k)] > 1e-12
+            }
+        return quotas, weights

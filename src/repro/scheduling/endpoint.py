@@ -1,0 +1,74 @@
+"""End-point enforcement: the baseline the paper argues against (Fig 1).
+
+Each server enforces sharing agreements *independently* on the demand it
+happens to see.  The allocation rule is water-filling: every principal
+first receives its guaranteed share of this server (``lb_i * V``, capped by
+its demand), then leftover capacity is distributed across still-unserved
+demand.  With distributed requests and locality-biased redirectors this
+violates aggregate agreements — the paper's Fig 1 example yields
+(A 30, B 70) against a negotiated 20/80 split, which the motivating
+benchmark reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["endpoint_allocate", "EndpointEnforcer"]
+
+
+def endpoint_allocate(
+    demands: Mapping[str, float],
+    shares: Mapping[str, float],
+    capacity: float,
+) -> Dict[str, float]:
+    """Single-server independent enforcement.
+
+    Args:
+        demands: offered load per principal (requests this window).
+        shares: guaranteed fraction of this server per principal
+            (lower bounds; must sum to <= 1).
+        capacity: server capacity this window.
+
+    Returns:
+        Allocation per principal; sums to min(capacity, total demand).
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    total_share = sum(shares.values())
+    if total_share > 1.0 + 1e-9:
+        raise ValueError(f"guaranteed shares sum to {total_share:.3f} > 1")
+    alloc = {p: 0.0 for p in demands}
+    # Guaranteed pass: everyone gets min(demand, lb * V).
+    for p, d in demands.items():
+        if d < 0:
+            raise ValueError(f"negative demand for {p!r}")
+        alloc[p] = min(d, shares.get(p, 0.0) * capacity)
+    leftover = capacity - sum(alloc.values())
+    # Water-fill the leftover across unserved demand, proportionally to the
+    # remaining demand (iterating handles principals that saturate early).
+    for _ in range(len(demands) + 1):
+        if leftover <= 1e-12:
+            break
+        unserved = {p: demands[p] - alloc[p] for p in demands if demands[p] - alloc[p] > 1e-12}
+        if not unserved:
+            break
+        total_unserved = sum(unserved.values())
+        grant_total = min(leftover, total_unserved)
+        for p, u in unserved.items():
+            grant = grant_total * (u / total_unserved)
+            alloc[p] += min(grant, u)
+        leftover = capacity - sum(alloc.values())
+    return alloc
+
+
+class EndpointEnforcer:
+    """Stateful per-server wrapper around :func:`endpoint_allocate`."""
+
+    def __init__(self, server: str, capacity: float, shares: Mapping[str, float]):
+        self.server = server
+        self.capacity = float(capacity)
+        self.shares = dict(shares)
+
+    def allocate(self, demands: Mapping[str, float]) -> Dict[str, float]:
+        return endpoint_allocate(demands, self.shares, self.capacity)

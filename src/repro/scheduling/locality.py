@@ -1,0 +1,47 @@
+"""Locality modelling (§3.1.2, "Note that this model can be easily extended
+to take locality costs into consideration").
+
+Locality is modelled as a cap ``c_i`` on the number of requests a
+redirector may push to principal i's servers per window.  Figure 1's
+redirectors bias forwarding 75/25 between the two servers for cost
+reasons; :func:`locality_caps_from_bias` converts such a bias row plus the
+redirector's local offered load into per-server caps the community LP
+accepts as its optional ``locality_caps`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["locality_caps_from_bias", "normalize_bias"]
+
+
+def normalize_bias(bias: Mapping[str, float]) -> Dict[str, float]:
+    """Scale a non-negative bias row to sum to 1."""
+    total = sum(bias.values())
+    if total <= 0:
+        raise ValueError("bias weights must have positive sum")
+    if any(b < 0 for b in bias.values()):
+        raise ValueError("bias weights must be non-negative")
+    return {k: b / total for k, b in bias.items()}
+
+
+def locality_caps_from_bias(
+    offered_load: float,
+    bias: Mapping[str, float],
+    slack: float = 1.0,
+) -> Dict[str, float]:
+    """Per-server push caps for one redirector.
+
+    Args:
+        offered_load: requests this redirector must place this window.
+        bias: relative preference per server (e.g. ``{"S1": 3, "S2": 1}``
+            for the paper's 75/25 split).
+        slack: multiplier >= 1 loosening the caps (1.0 = hard bias).
+    """
+    if offered_load < 0:
+        raise ValueError("offered load must be non-negative")
+    if slack < 1.0:
+        raise ValueError("slack must be >= 1")
+    norm = normalize_bias(bias)
+    return {k: offered_load * f * slack for k, f in norm.items()}

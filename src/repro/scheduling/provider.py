@@ -1,0 +1,131 @@
+"""Provider scheduler: maximise service-provider income (§3.1.2).
+
+The provider negotiates a price ``p_i`` per request processed for customer
+i beyond the mandatory service level.  Per window, with ``x_i`` the number
+of customer-i requests admitted::
+
+    maximize sum_i p_i (x_i - MC_i)
+    s.t.     sum_i x_i <= V_s
+             MC_i <= x_i <= MC_i + OC_i
+             x_i <= n_i
+
+As in the community model, the mandatory lower bound shrinks to the demand
+(``x_i >= min(n_i, MC_i)``) when a queue is below its mandatory level, so a
+customer's sub-mandatory load is always served in full while the surplus
+goes to the highest payer (the paper's Fig 10 behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.access import AccessLevels
+from repro.lp import Model, Solution, Status, solve
+from repro.scheduling.window import WindowConfig
+
+__all__ = ["ProviderScheduler", "ProviderSchedule"]
+
+
+@dataclass
+class ProviderSchedule:
+    """Result of one provider scheduling window."""
+
+    customers: Tuple[str, ...]
+    x: Dict[str, float]            # admitted requests per customer
+    income: float                  # sum p_i (x_i - MC_i), in price units
+    solution: Solution
+
+    def admitted(self, customer: str) -> float:
+        return self.x.get(customer, 0.0)
+
+    def total(self) -> float:
+        return sum(self.x.values())
+
+
+class ProviderScheduler:
+    """Builds and solves the provider-income LP each window.
+
+    Args:
+        access: per-second access levels; customer entitlements must stem
+            from agreements the provider granted.
+        prices: price per additional request for each customer; customers
+            not listed are treated as paying zero.
+        capacity: the provider's total server capacity ``V_s`` in req/s.
+            Defaults to the sum of capacities in ``access``.
+        window: scheduling window.
+    """
+
+    def __init__(
+        self,
+        access: AccessLevels,
+        prices: Mapping[str, float],
+        capacity: Optional[float] = None,
+        window: WindowConfig = WindowConfig(),
+        backend: str = "auto",
+    ):
+        self.access = access
+        self.window = window
+        self.backend = backend
+        self.prices = dict(prices)
+        for name, p in self.prices.items():
+            if p < 0:
+                raise ValueError(f"negative price for {name!r}")
+        self.capacity = float(capacity if capacity is not None else access.V.sum())
+        # Customers: principals with a non-zero entitlement and no capacity
+        # of their own counted against V_s (the provider itself is excluded).
+        self.customers: Tuple[str, ...] = tuple(
+            name
+            for name in access.names
+            if access.mandatory(name) + access.optional(name) > 1e-12
+            and access.V[access.index(name)] == 0.0
+        )
+        self._w = access.per_window(window.length)
+        self._vs = self.capacity * window.length
+
+    def schedule(self, queue_lengths: Mapping[str, float]) -> ProviderSchedule:
+        """Solve one window; ``queue_lengths`` are global per-customer
+        queue sizes in requests."""
+        w = self._w
+        m = Model("provider")
+        xs: Dict[str, object] = {}
+        obj = None
+        for name in self.customers:
+            i = self.access.index(name)
+            n_i = float(queue_lengths.get(name, 0.0))
+            if n_i < 0:
+                raise ValueError(f"negative queue length for {name!r}")
+            mc, oc = w.MC[i], w.OC[i]
+            lo = min(mc, n_i)
+            hi = min(mc + oc, n_i)
+            if hi <= 1e-12:
+                xs[name] = None
+                continue
+            v = m.var(f"x_{name}", lb=lo, ub=hi)
+            xs[name] = v
+            p = self.prices.get(name, 0.0)
+            term = p * (v - mc)
+            obj = term if obj is None else obj + term
+
+        live = [v for v in xs.values() if v is not None]
+        if not live:
+            return ProviderSchedule(
+                customers=self.customers,
+                x={name: 0.0 for name in self.customers},
+                income=0.0,
+                solution=Solution(status=Status.OPTIMAL, objective=0.0),
+            )
+        m.add(sum(live) <= self._vs)
+        m.maximize(obj if obj is not None else live[0] * 0.0)
+        sol = solve(m, backend=self.backend)
+        if not sol.optimal:
+            raise RuntimeError(f"provider LP {sol.status.value}")
+        x = {
+            name: (sol.value(v) if v is not None else 0.0)
+            for name, v in xs.items()
+        }
+        return ProviderSchedule(
+            customers=self.customers, x=x, income=float(sol.objective), solution=sol
+        )

@@ -1,0 +1,35 @@
+"""Scheduling time windows.
+
+All of the paper's experiments make scheduling decisions over 100 ms
+windows; access levels specified in requests/second are scaled by the
+window length to get per-window request budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WindowConfig"]
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Length of the scheduling window, in seconds (paper: 0.1 s)."""
+
+    length: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"window length must be positive, got {self.length}")
+
+    def requests(self, rate_per_second: float) -> float:
+        """Requests per window at the given per-second rate."""
+        return rate_per_second * self.length
+
+    def rate(self, requests_per_window: float) -> float:
+        """Per-second rate for the given per-window count."""
+        return requests_per_window / self.length
+
+    def index(self, t: float) -> int:
+        """Which window the timestamp ``t`` falls into."""
+        return int(t // self.length)

@@ -1,0 +1,59 @@
+"""Smooth weighted round-robin.
+
+After the LP fixes how many of principal i's requests go to each server
+(``x_ik``), the redirector must interleave actual forwards across servers
+in those proportions without bunching.  Smooth WRR (the nginx variant of
+classical WRR, itself one of the two request-distribution families the
+paper surveys in §6) produces the maximally spread deterministic sequence:
+each pick adds every weight to a running score and selects the max,
+subtracting the total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+__all__ = ["SmoothWeightedRoundRobin"]
+
+
+class SmoothWeightedRoundRobin:
+    """Deterministic proportional interleaving over weighted choices.
+
+    >>> wrr = SmoothWeightedRoundRobin({"a": 3, "b": 1})
+    >>> [wrr.next() for _ in range(4)]
+    ['a', 'a', 'b', 'a']
+    """
+
+    def __init__(self, weights: Optional[Mapping[str, float]] = None):
+        self._weights: Dict[str, float] = {}
+        self._current: Dict[str, float] = {}
+        if weights:
+            self.set_weights(weights)
+
+    def set_weights(self, weights: Mapping[str, float]) -> None:
+        """Replace the weight set; accumulated scores of kept keys survive
+        so proportions stay smooth across LP window updates."""
+        cleaned = {}
+        for k, w in weights.items():
+            if w < 0:
+                raise ValueError(f"negative weight for {k!r}")
+            if w > 0:
+                cleaned[k] = float(w)
+        self._weights = cleaned
+        self._current = {k: self._current.get(k, 0.0) for k in cleaned}
+
+    @property
+    def total(self) -> float:
+        return sum(self._weights.values())
+
+    def next(self) -> Optional[str]:
+        """The next choice, or None when all weights are zero."""
+        if not self._weights:
+            return None
+        best = None
+        for k, w in self._weights.items():
+            self._current[k] += w
+            if best is None or self._current[k] > self._current[best]:
+                best = k
+        self._current[best] -= self.total
+        return best

@@ -1,0 +1,151 @@
+"""Measurement instruments for simulation runs.
+
+The paper's figures plot per-principal service rates (requests/sec) against
+wall-clock time, then discuss phase means.  :class:`RateMeter` reproduces
+that measurement: it bins discrete occurrences into fixed-width time bins;
+:meth:`RateMeter.series` yields the (time, rate) curve a figure would plot
+and :meth:`RateMeter.mean_rate` the steady-state number quoted in the text.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RateMeter", "TimeSeries", "PhaseStats", "summarize_phases"]
+
+
+class RateMeter:
+    """Counts discrete events per key, binned into fixed-width time bins.
+
+    >>> m = RateMeter(bin_width=1.0)
+    >>> for t in (0.1, 0.2, 1.5):
+    ...     m.record("A", t)
+    >>> m.series("A")
+    (array([0.5, 1.5]), array([2., 1.]))
+    """
+
+    def __init__(self, bin_width: float = 1.0):
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.bin_width = float(bin_width)
+        self._bins: Dict[str, Dict[int, float]] = {}
+
+    def record(self, key: str, t: float, weight: float = 1.0) -> None:
+        bins = self._bins.setdefault(key, {})
+        idx = int(t // self.bin_width)
+        bins[idx] = bins.get(idx, 0.0) + weight
+
+    @property
+    def keys(self) -> List[str]:
+        return sorted(self._bins)
+
+    def total(self, key: str, t0: float = 0.0, t1: float = float("inf")) -> float:
+        """Total weight recorded for ``key`` in the half-open window [t0, t1).
+
+        Bins straddling a window boundary are prorated by overlap (events
+        are assumed uniform within a bin), so fractional windows are not
+        biased by whichever whole bin the boundary lands in.
+        """
+        if t1 <= t0:
+            return 0.0
+        bins = self._bins.get(key, {})
+        w = self.bin_width
+        total = 0.0
+        for i, v in bins.items():
+            b0, b1 = i * w, (i + 1) * w
+            overlap = min(b1, t1) - max(b0, t0)
+            if overlap <= 0:
+                continue
+            total += v * min(1.0, overlap / w)
+        return total
+
+    def mean_rate(self, key: str, t0: float, t1: float) -> float:
+        """Average rate (events per second) over [t0, t1)."""
+        if t1 <= t0:
+            raise ValueError("empty window")
+        return self.total(key, t0, t1) / (t1 - t0)
+
+    def series(self, key: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(bin-centre times, per-second rates) — the curve a figure plots."""
+        bins = self._bins.get(key, {})
+        if not bins:
+            return np.empty(0), np.empty(0)
+        lo, hi = min(bins), max(bins)
+        idx = np.arange(lo, hi + 1)
+        counts = np.array([bins.get(int(i), 0.0) for i in idx])
+        times = (idx + 0.5) * self.bin_width
+        return times, counts / self.bin_width
+
+
+class TimeSeries:
+    """Append-only (time, value) series with window statistics."""
+
+    def __init__(self) -> None:
+        self._t: List[float] = []
+        self._v: List[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        if self._t and t < self._t[-1]:
+            raise ValueError("timestamps must be non-decreasing")
+        self._t.append(float(t))
+        self._v.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._t)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._v)
+
+    def window(self, t0: float, t1: float) -> np.ndarray:
+        """Values with timestamps in [t0, t1)."""
+        lo = bisect_left(self._t, t0)
+        hi = bisect_left(self._t, t1)
+        return np.asarray(self._v[lo:hi])
+
+    def mean(self, t0: float, t1: float) -> float:
+        vals = self.window(t0, t1)
+        return float(vals.mean()) if vals.size else float("nan")
+
+    def last_before(self, t: float) -> Optional[float]:
+        idx = bisect_right(self._t, t) - 1
+        return self._v[idx] if idx >= 0 else None
+
+
+@dataclass
+class PhaseStats:
+    """Per-phase summary of a rate series, mirroring the paper's phase text."""
+
+    name: str
+    t0: float
+    t1: float
+    rates: Dict[str, float] = field(default_factory=dict)
+
+    def rate(self, key: str) -> float:
+        return self.rates.get(key, 0.0)
+
+
+def summarize_phases(
+    meter: RateMeter,
+    phases: Sequence[Tuple[str, float, float]],
+    keys: Optional[Iterable[str]] = None,
+    settle: float = 0.0,
+) -> List[PhaseStats]:
+    """Mean rate per key per phase; ``settle`` trims phase-start transients."""
+    keys = list(keys) if keys is not None else meter.keys
+    out = []
+    for name, t0, t1 in phases:
+        start = min(t0 + settle, t1)
+        stats = PhaseStats(name=name, t0=t0, t1=t1)
+        for k in keys:
+            stats.rates[k] = meter.mean_rate(k, start, t1) if t1 > start else 0.0
+        out.append(stats)
+    return out

@@ -1,0 +1,83 @@
+"""Latency-modelled message delivery between simulation endpoints.
+
+The combining-tree protocol (paper §3.2) and the Fig 8 WAN-delay experiment
+only require point-to-point delivery with a configurable propagation delay;
+:class:`Link` provides exactly that, with optional jitter and in-order
+delivery (messages on one link never overtake each other, matching TCP).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+
+__all__ = ["Endpoint", "Link"]
+
+
+class Endpoint:
+    """Anything that can receive messages: override :meth:`on_message`."""
+
+    def on_message(self, msg: Any, sender: "Endpoint") -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Link:
+    """Unidirectional point-to-point link with propagation delay.
+
+    Delivery is in-order: if jitter would reorder two messages, the later
+    one is held back until the earlier has been delivered.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Endpoint,
+        dst: Endpoint,
+        delay: float = 0.0,
+        jitter: float = 0.0,
+        loss: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        on_deliver: Optional[Callable[[Any], None]] = None,
+    ):
+        if delay < 0 or jitter < 0:
+            raise ValueError("delay and jitter must be non-negative")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.delay = float(delay)
+        self.jitter = float(jitter)
+        self.loss = float(loss)
+        self.rng = rng
+        self.on_deliver = on_deliver
+        self._last_delivery = 0.0
+        self.sent = 0
+        self.delivered = 0
+        self.lost = 0
+
+    def send(self, msg: Any) -> None:
+        if (self.jitter > 0.0 or self.loss > 0.0) and self.rng is None:
+            raise ValueError("jitter/loss require an rng")
+        if self.loss > 0.0 and float(self.rng.random()) < self.loss:
+            self.sent += 1
+            self.lost += 1
+            return
+        d = self.delay
+        if self.jitter > 0.0:
+            d += float(self.rng.uniform(0.0, self.jitter))
+        arrival = self.sim.now + d
+        if arrival < self._last_delivery:  # enforce FIFO ordering
+            arrival = self._last_delivery
+        self._last_delivery = arrival
+        self.sent += 1
+        self.sim.schedule_at(arrival, self._deliver, msg)
+
+    def _deliver(self, msg: Any) -> None:
+        self.delivered += 1
+        if self.on_deliver is not None:
+            self.on_deliver(msg)
+        self.dst.on_message(msg, self.src)

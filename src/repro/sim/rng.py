@@ -1,0 +1,49 @@
+"""Reproducible named random substreams.
+
+Every stochastic component (client machines, reply-size sampling, jittered
+links) draws from its own independent substream derived from a single root
+seed via :class:`numpy.random.SeedSequence`, so adding a component never
+perturbs the draws of existing ones — the standard trick for reproducible
+parallel/discrete-event experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["RngStreams"]
+
+
+class RngStreams:
+    """Factory of independent per-name :class:`numpy.random.Generator` s.
+
+    >>> streams = RngStreams(seed=42)
+    >>> a = streams.get("client:A:0")
+    >>> b = streams.get("client:B:0")
+    >>> a is streams.get("client:A:0")   # cached
+    True
+    """
+
+    def __init__(self, seed: int = 0, _entropy: list = None):
+        self.seed = int(seed)
+        self._entropy = list(_entropy) if _entropy is not None else [self.seed]
+        self._cache: Dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        gen = self._cache.get(name)
+        if gen is None:
+            # Stable derivation: hash the name into seed entropy on top of
+            # this factory's root entropy.
+            entropy = self._entropy + [ord(c) for c in name]
+            gen = np.random.Generator(np.random.Philox(np.random.SeedSequence(entropy)))
+            self._cache[name] = gen
+        return gen
+
+    def spawn(self, name: str) -> "RngStreams":
+        """A child factory whose streams are independent of the parent's."""
+        return RngStreams(
+            seed=self.seed,
+            _entropy=self._entropy + [ord(c) for c in name] + [0x5EED],
+        )

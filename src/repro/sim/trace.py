@@ -1,0 +1,87 @@
+"""Structured event tracing for simulation runs.
+
+A bounded, queryable record of what happened — completions, window
+allocations, protocol rounds — for debugging experiments whose aggregate
+numbers look wrong.  Enable via ``Scenario(..., trace=True)`` and inspect
+``scenario.tracer``.
+
+Events are plain dicts with a timestamp and category; the buffer is a ring
+so long runs cannot exhaust memory.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+__all__ = ["Tracer", "TraceEvent"]
+
+TraceEvent = Dict[str, Any]
+
+
+class Tracer:
+    """Bounded in-memory event log.
+
+    >>> tr = Tracer(maxlen=100)
+    >>> tr.record(0.5, "completion", principal="A", server="S1")
+    >>> tr.count("completion")
+    1
+    """
+
+    def __init__(self, maxlen: int = 100_000):
+        if maxlen <= 0:
+            raise ValueError("maxlen must be positive")
+        self.maxlen = int(maxlen)
+        self._events: Deque[TraceEvent] = deque(maxlen=self.maxlen)
+        self.dropped = 0
+
+    def record(self, t: float, category: str, **fields: Any) -> None:
+        if len(self._events) == self.maxlen:
+            self.dropped += 1
+        event = {"t": float(t), "category": category}
+        event.update(fields)
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- queries ----------------------------------------------------------
+
+    def query(
+        self,
+        category: Optional[str] = None,
+        t0: float = float("-inf"),
+        t1: float = float("inf"),
+        **match: Any,
+    ) -> List[TraceEvent]:
+        """Events in [t0, t1) with the given category and field values."""
+        out = []
+        for ev in self._events:
+            if category is not None and ev["category"] != category:
+                continue
+            if not t0 <= ev["t"] < t1:
+                continue
+            if any(ev.get(k) != v for k, v in match.items()):
+                continue
+            out.append(ev)
+        return out
+
+    def iter(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def count(self, category: Optional[str] = None, **match: Any) -> int:
+        return len(self.query(category=category, **match))
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts per category."""
+        return dict(Counter(ev["category"] for ev in self._events))
+
+    def last(self, category: Optional[str] = None) -> Optional[TraceEvent]:
+        for ev in reversed(self._events):
+            if category is None or ev["category"] == category:
+                return ev
+        return None
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0

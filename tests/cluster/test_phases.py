@@ -1,0 +1,57 @@
+import pytest
+
+from repro.cluster.phases import PhaseSchedule
+
+
+@pytest.fixture
+def fig6_phases():
+    return PhaseSchedule([
+        ("phase1", 100.0, {"C1", "C2", "C3"}),
+        ("phase2", 100.0, {"C1", "C2"}),
+        ("phase3", 100.0, {"C1", "C2", "C3"}),
+    ])
+
+
+class TestPhaseSchedule:
+    def test_total_duration(self, fig6_phases):
+        assert fig6_phases.total_duration == 300.0
+
+    def test_bounds(self, fig6_phases):
+        assert fig6_phases.bounds() == [
+            ("phase1", 0.0, 100.0),
+            ("phase2", 100.0, 200.0),
+            ("phase3", 200.0, 300.0),
+        ]
+
+    def test_phase_at(self, fig6_phases):
+        assert fig6_phases.phase_at(50.0) == "phase1"
+        assert fig6_phases.phase_at(100.0) == "phase2"
+        assert fig6_phases.phase_at(999.0) == "phase3"  # clamps to last
+
+    def test_is_active(self, fig6_phases):
+        assert fig6_phases.is_active("C3", 50.0)
+        assert not fig6_phases.is_active("C3", 150.0)
+        assert fig6_phases.is_active("C3", 250.0)
+
+    def test_windows_merges_adjacent(self):
+        ps = PhaseSchedule([
+            ("p1", 10.0, {"c"}),
+            ("p2", 10.0, {"c"}),
+            ("p3", 10.0, set()),
+            ("p4", 10.0, {"c"}),
+        ])
+        assert ps.windows("c") == [(0.0, 20.0), (30.0, 40.0)]
+
+    def test_windows_for_figure6_client(self, fig6_phases):
+        assert fig6_phases.windows("C3") == [(0.0, 100.0), (200.0, 300.0)]
+
+    def test_clients(self, fig6_phases):
+        assert fig6_phases.clients() == ["C1", "C2", "C3"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSchedule([])
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSchedule([("p", 0.0, set())])

@@ -1,0 +1,29 @@
+import pytest
+
+from repro.cluster.request import Request
+
+
+class TestRequest:
+    def test_defaults(self):
+        r = Request(principal="A", client_id="C1", created_at=0.0)
+        assert r.cost == 1.0
+        assert r.attempts == 0
+        assert r.response_time is None
+
+    def test_response_time(self):
+        r = Request(principal="A", client_id="C1", created_at=1.0)
+        r.completed_at = 3.5
+        assert r.response_time == pytest.approx(2.5)
+
+    def test_unique_ids(self):
+        a = Request(principal="A", client_id="C", created_at=0.0)
+        b = Request(principal="A", client_id="C", created_at=0.0)
+        assert a.request_id != b.request_id
+
+    def test_nonpositive_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Request(principal="A", client_id="C", created_at=0.0, cost=0.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Request(principal="A", client_id="C", created_at=0.0, size_bytes=-1)

@@ -1,0 +1,129 @@
+import pytest
+
+from repro.cluster.request import Request
+from repro.cluster.server import Server
+from repro.sim.engine import Simulator
+
+
+def _req(principal="A", cost=1.0):
+    return Request(principal=principal, client_id="C", created_at=0.0, cost=cost)
+
+
+class TestServer:
+    def test_service_rate(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=100.0)
+        done = []
+        for _ in range(50):
+            srv.submit(_req(), done=lambda r: done.append(sim.now))
+        sim.run()
+        assert len(done) == 50
+        assert done[-1] == pytest.approx(0.5)  # 50 requests at 100/s
+
+    def test_fifo_completion_order(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=10.0)
+        order = []
+        for i in range(5):
+            srv.submit(
+                Request(principal="A", client_id=f"c{i}", created_at=0.0),
+                done=lambda r: order.append(r.client_id),
+            )
+        sim.run()
+        assert order == [f"c{i}" for i in range(5)]
+
+    def test_cost_scales_service_time(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=10.0)
+        times = []
+        srv.submit(_req(cost=5.0), done=lambda r: times.append(sim.now))
+        sim.run()
+        assert times == [pytest.approx(0.5)]
+
+    def test_saturation_queues(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=10.0)
+        def offer():
+            while sim.now < 1.0:
+                srv.submit(_req())
+                yield 0.05          # 20/s offered to a 10/s server
+        sim.process(offer())
+        sim.run(until=1.0)
+        assert srv.queue_length >= 8  # backlog grows ~10/s
+
+    def test_bounded_queue_drops(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=1.0, max_queue=2)
+        results = [srv.submit(_req()) for _ in range(5)]
+        assert results == [True, True, False, False, False]
+        assert srv.dropped == 3
+
+    def test_per_principal_counts(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=100.0)
+        for p in ("A", "A", "B"):
+            srv.submit(_req(principal=p))
+        sim.run()
+        assert srv.completed == {"A": 2, "B": 1}
+        assert srv.total_completed() == 3
+
+    def test_on_complete_hook(self):
+        sim = Simulator()
+        seen = []
+        srv = Server(sim, "S", capacity=10.0,
+                     on_complete=lambda r, s: seen.append((r.principal, s.name)))
+        srv.submit(_req())
+        sim.run()
+        assert seen == [("A", "S")]
+
+    def test_request_stamped(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=10.0)
+        r = _req()
+        srv.submit(r)
+        sim.run()
+        assert r.served_by == "S"
+        assert r.completed_at == pytest.approx(0.1)
+
+    def test_utilization(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=10.0)
+        for _ in range(5):
+            srv.submit(_req())
+        sim.run(until=1.0)
+        assert srv.utilization() == pytest.approx(0.5)
+
+    def test_idle_then_busy_again(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=10.0)
+        done = []
+        srv.submit(_req(), done=lambda r: done.append(sim.now))
+        sim.run(until=5.0)
+        srv.submit(_req(), done=lambda r: done.append(sim.now))
+        sim.run(until=10.0)
+        assert done == [pytest.approx(0.1), pytest.approx(5.1)]
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Server(Simulator(), "S", capacity=0.0)
+
+    def test_set_capacity_midstream(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=10.0)
+        done = []
+        def offer():
+            for _ in range(20):
+                srv.submit(_req(), done=lambda r: done.append(sim.now))
+                yield 0.01
+        sim.process(offer())
+        sim.schedule(1.0, srv.set_capacity, 100.0)
+        sim.run()
+        before = sum(1 for t in done if t <= 1.0)
+        assert before <= 11                  # ~10/s for the first second
+        assert len(done) == 20               # the rest drain fast after
+        assert done[-1] < 1.5
+
+    def test_set_capacity_validates(self):
+        srv = Server(Simulator(), "S", capacity=10.0)
+        with pytest.raises(ValueError):
+            srv.set_capacity(0.0)

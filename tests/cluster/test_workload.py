@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.cluster.workload import ReplySizeSampler, RequestMix
+
+
+class TestReplySizeSampler:
+    def test_paper_marginal(self):
+        """Mean ~6 KB, range 200 B - 500 KB (paper §5)."""
+        sampler = ReplySizeSampler()
+        rng = np.random.default_rng(0)
+        sizes = sampler.sample(rng, size=200_000)
+        assert sizes.min() >= 200
+        assert sizes.max() <= 512_000
+        assert sizes.mean() == pytest.approx(6144.0, rel=0.05)
+
+    def test_calibration_compensates_clipping(self):
+        # Without calibration, naive mu = ln(mean) - s^2/2 then clipping
+        # at 500 KB would bias the mean; the solved mu must land closer.
+        sampler = ReplySizeSampler(mean_bytes=20_000.0, sigma=1.8)
+        rng = np.random.default_rng(1)
+        sizes = sampler.sample(rng, size=200_000)
+        assert sizes.mean() == pytest.approx(20_000.0, rel=0.08)
+
+    def test_single_sample(self):
+        rng = np.random.default_rng(2)
+        s = ReplySizeSampler().sample(rng)
+        assert 200 <= int(s) <= 512_000
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ReplySizeSampler(mean_bytes=100.0, min_bytes=200)
+
+    def test_reproducible(self):
+        a = ReplySizeSampler().sample(np.random.default_rng(3), size=10)
+        b = ReplySizeSampler().sample(np.random.default_rng(3), size=10)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRequestMix:
+    def test_draw_fields(self):
+        mix = RequestMix(dynamic_fraction=0.5)
+        rng = np.random.default_rng(0)
+        url, size, cost = mix.draw(rng)
+        assert url in ("/cgi/page", "/static/page")
+        assert size >= 200
+        assert cost == 1.0
+
+    def test_dynamic_fraction_respected(self):
+        mix = RequestMix(dynamic_fraction=0.3)
+        rng = np.random.default_rng(1)
+        urls = [mix.draw(rng)[0] for _ in range(5000)]
+        frac = sum(u.startswith("/cgi") for u in urls) / len(urls)
+        assert frac == pytest.approx(0.3, abs=0.03)
+
+    def test_size_cost_mode(self):
+        mix = RequestMix(size_cost=True)
+        rng = np.random.default_rng(2)
+        costs = [mix.draw(rng)[2] for _ in range(2000)]
+        assert min(costs) >= 1.0
+        assert max(costs) > 1.0  # big replies cost multiple units
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            RequestMix(dynamic_fraction=1.5)

@@ -1,0 +1,47 @@
+from repro.coordination.aggregation import VectorAggregate
+from repro.coordination.messages import (
+    AggregateBroadcast,
+    MessageCounter,
+    QueueReport,
+)
+
+
+def _report():
+    return QueueReport(
+        sender="r1", round_id=3, aggregate=VectorAggregate.local({"A": 1.0})
+    )
+
+
+def _broadcast():
+    return AggregateBroadcast(
+        round_id=3, aggregate=VectorAggregate.local({"A": 1.0}), issued_at=0.5
+    )
+
+
+class TestMessageCounter:
+    def test_counts_by_type(self):
+        c = MessageCounter()
+        c.count(_report())
+        c.count(_report())
+        c.count(_broadcast())
+        assert c.reports == 2
+        assert c.broadcasts == 1
+        assert c.total == 3
+
+    def test_by_link(self):
+        c = MessageCounter()
+        c.count(_report(), link_name="r1->root")
+        c.count(_broadcast(), link_name="root->r1")
+        c.count(_report(), link_name="r1->root")
+        assert c.by_link == {"r1->root": 2, "root->r1": 1}
+
+    def test_unknown_message_ignored(self):
+        c = MessageCounter()
+        c.count("not a protocol message")
+        assert c.total == 0
+
+    def test_records_are_frozen(self):
+        import pytest
+
+        with pytest.raises(Exception):
+            _report().round_id = 5  # type: ignore[misc]

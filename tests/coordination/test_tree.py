@@ -1,0 +1,115 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coordination.tree import CombiningTree
+
+
+class TestConstructors:
+    def test_star(self):
+        t = CombiningTree.star(["r0", "r1", "r2"])
+        assert t.root == "r0"
+        assert set(t.children("r0")) == {"r1", "r2"}
+        assert t.height() == 1
+
+    def test_chain(self):
+        t = CombiningTree.chain(["a", "b", "c", "d"])
+        assert t.parent("d") == "c"
+        assert t.height() == 3
+
+    def test_balanced_binary(self):
+        nodes = [f"n{i}" for i in range(7)]
+        t = CombiningTree.balanced(nodes, fanout=2)
+        assert t.height() == 2
+        assert set(t.children("n0")) == {"n1", "n2"}
+        assert set(t.children("n1")) == {"n3", "n4"}
+
+    def test_balanced_fanout_one_is_chain(self):
+        nodes = ["a", "b", "c"]
+        t = CombiningTree.balanced(nodes, fanout=1)
+        assert t.height() == 2
+
+    def test_single_node(self):
+        t = CombiningTree.star(["only"])
+        assert t.is_leaf("only")
+        assert t.messages_per_round() == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CombiningTree.star([])
+
+    def test_bad_fanout(self):
+        with pytest.raises(ValueError):
+            CombiningTree.balanced(["a"], fanout=0)
+
+    def test_latency_aware_prefers_cheap_edges(self):
+        nodes = ["a", "b", "c"]
+        lat = np.array([
+            [0.0, 1.0, 10.0],
+            [1.0, 0.0, 1.0],
+            [10.0, 1.0, 0.0],
+        ])
+        t = CombiningTree.latency_aware(nodes, lat)
+        # c attaches through b (cost 1), never directly to a (cost 10)
+        assert t.parent("c") == "b"
+
+    def test_latency_aware_shape_validation(self):
+        with pytest.raises(ValueError):
+            CombiningTree.latency_aware(["a", "b"], np.zeros((3, 3)))
+
+    def test_latency_aware_disconnected(self):
+        lat = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        with pytest.raises(ValueError, match="disconnected"):
+            CombiningTree.latency_aware(["a", "b"], lat)
+
+    def test_explicit_root(self):
+        nodes = ["a", "b", "c"]
+        lat = np.ones((3, 3)) - np.eye(3)
+        t = CombiningTree.latency_aware(nodes, lat, root="b")
+        assert t.root == "b"
+
+
+class TestMessageComplexity:
+    def test_tree_vs_pairwise(self):
+        t = CombiningTree.star([f"n{i}" for i in range(10)])
+        assert t.messages_per_round() == 18                  # 2(n-1)
+        assert CombiningTree.pairwise_messages_per_round(10) == 90  # n(n-1)
+
+    @given(st.integers(min_value=2, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_tree_always_cheaper(self, n):
+        t = CombiningTree.balanced([f"n{i}" for i in range(n)])
+        assert t.messages_per_round() <= CombiningTree.pairwise_messages_per_round(n)
+
+
+class TestDynamics:
+    def test_join(self):
+        t = CombiningTree.star(["a", "b"])
+        t.join("c", parent="b")
+        assert t.parent("c") == "b"
+        assert len(t) == 3
+
+    def test_join_duplicate_rejected(self):
+        t = CombiningTree.star(["a", "b"])
+        with pytest.raises(ValueError):
+            t.join("b", parent="a")
+
+    def test_join_unknown_parent_rejected(self):
+        t = CombiningTree.star(["a"])
+        with pytest.raises(ValueError):
+            t.join("x", parent="zzz")
+
+    def test_leave_reattaches_children(self):
+        t = CombiningTree.chain(["a", "b", "c"])
+        t.leave("b")
+        assert t.parent("c") == "a"
+        assert "b" not in t.nodes
+
+    def test_leave_root_rejected(self):
+        t = CombiningTree.star(["a", "b"])
+        with pytest.raises(ValueError):
+            t.leave("a")
+
+    def test_invalid_parent_map_rejected(self):
+        with pytest.raises(ValueError):
+            CombiningTree("a", {"b": "zzz"})

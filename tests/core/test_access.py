@@ -1,0 +1,57 @@
+import numpy as np
+import pytest
+
+from repro.core.access import AccessLevels, compute_access_levels
+
+
+class TestAccessLevels:
+    def test_methods_agree(self, fig3_graph):
+        closed = compute_access_levels(fig3_graph, method="closed")
+        paths = compute_access_levels(fig3_graph, method="paths")
+        np.testing.assert_allclose(closed.MC, paths.MC, atol=1e-9)
+        np.testing.assert_allclose(closed.MI, paths.MI, atol=1e-9)
+
+    def test_unknown_method(self, fig3_graph):
+        with pytest.raises(ValueError):
+            compute_access_levels(fig3_graph, method="magic")
+
+    def test_mandatory_optional_accessors(self, fig3_graph):
+        acc = compute_access_levels(fig3_graph)
+        assert acc.mandatory("C") == pytest.approx(1140.0)
+        assert acc.optional("C") == pytest.approx(960.0)
+
+    def test_entitlement_accessor(self, fig3_graph):
+        acc = compute_access_levels(fig3_graph)
+        mi, oi = acc.entitlement("C", "B")
+        assert mi == pytest.approx(900.0)
+        assert oi == pytest.approx(600.0)
+
+    def test_per_window_scaling(self, fig6_graph):
+        acc = compute_access_levels(fig6_graph)
+        w = acc.per_window(0.1)
+        assert w.mandatory("B") == pytest.approx(0.1 * acc.mandatory("B"))
+        np.testing.assert_allclose(w.MI, 0.1 * acc.MI)
+        # The original is untouched (scaled() returns a copy).
+        assert acc.mandatory("B") == pytest.approx(256.0)
+
+    def test_negative_scale_rejected(self, fig6_graph):
+        acc = compute_access_levels(fig6_graph)
+        with pytest.raises(ValueError):
+            acc.scaled(-1.0)
+
+    def test_as_dict(self, fig6_graph):
+        d = compute_access_levels(fig6_graph).as_dict()
+        assert d["A"] == (pytest.approx(64.0), pytest.approx(256.0))
+        assert d["B"] == (pytest.approx(256.0), pytest.approx(64.0))
+
+    def test_fig6_levels(self, fig6_graph):
+        acc = compute_access_levels(fig6_graph)
+        # S gave everything away as guarantees; retains only optional.
+        assert acc.mandatory("S") == pytest.approx(0.0)
+        assert acc.optional("S") == pytest.approx(320.0)
+
+    def test_fig9_levels(self, fig9_graph):
+        acc = compute_access_levels(fig9_graph)
+        assert acc.mandatory("A") == pytest.approx(480.0)
+        assert acc.mandatory("B") == pytest.approx(160.0)
+        assert acc.optional("B") == pytest.approx(160.0)

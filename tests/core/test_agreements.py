@@ -1,0 +1,120 @@
+import numpy as np
+import pytest
+
+from repro.core.agreements import Agreement, AgreementError, AgreementGraph
+from repro.core.tickets import TicketKind
+
+
+class TestAgreement:
+    def test_valid(self):
+        a = Agreement("A", "B", 0.2, 0.8)
+        assert a.optional == pytest.approx(0.6)
+
+    def test_zero_width(self):
+        assert Agreement("A", "B", 0.5, 0.5).optional == 0.0
+
+    def test_self_agreement_rejected(self):
+        with pytest.raises(AgreementError):
+            Agreement("A", "A", 0.1, 0.2)
+
+    def test_lb_above_ub_rejected(self):
+        with pytest.raises(AgreementError):
+            Agreement("A", "B", 0.8, 0.2)
+
+    def test_negative_lb_rejected(self):
+        with pytest.raises(AgreementError):
+            Agreement("A", "B", -0.1, 0.2)
+
+    def test_ub_above_one_rejected(self):
+        with pytest.raises(AgreementError):
+            Agreement("A", "B", 0.1, 1.5)
+
+    def test_str(self):
+        assert "A->B" in str(Agreement("A", "B", 0.1, 0.2))
+
+
+class TestAgreementGraph:
+    def test_duplicate_principal_rejected(self):
+        g = AgreementGraph()
+        g.add_principal("A")
+        with pytest.raises(AgreementError):
+            g.add_principal("A")
+
+    def test_unknown_principal_rejected(self):
+        g = AgreementGraph()
+        g.add_principal("A")
+        with pytest.raises(AgreementError, match="unknown"):
+            g.add_agreement(Agreement("A", "B", 0.1, 0.2))
+
+    def test_duplicate_agreement_rejected(self, fig3_graph):
+        with pytest.raises(AgreementError, match="duplicate"):
+            fig3_graph.add_agreement(Agreement("A", "B", 0.1, 0.2))
+
+    def test_grantor_cannot_overpromise(self):
+        g = AgreementGraph()
+        for name in ("A", "B", "C"):
+            g.add_principal(name, capacity=100.0)
+        g.add_agreement(Agreement("A", "B", 0.7, 0.9))
+        with pytest.raises(AgreementError, match="100%"):
+            g.add_agreement(Agreement("A", "C", 0.4, 0.5))
+
+    def test_matrices(self, fig3_graph):
+        L = fig3_graph.lower_bounds()
+        U = fig3_graph.upper_bounds()
+        V = fig3_graph.capacities()
+        ia, ib, ic = (fig3_graph.index(x) for x in "ABC")
+        assert L[ia, ib] == pytest.approx(0.4)
+        assert U[ia, ib] == pytest.approx(0.6)
+        assert L[ib, ic] == pytest.approx(0.6)
+        assert U[ib, ic] == pytest.approx(1.0)
+        np.testing.assert_allclose(V, [1000.0, 1500.0, 0.0])
+
+    def test_remove_agreement(self, fig3_graph):
+        fig3_graph.remove_agreement("A", "B")
+        assert fig3_graph.agreement("A", "B") is None
+        with pytest.raises(AgreementError):
+            fig3_graph.remove_agreement("A", "B")
+
+    def test_index_unknown(self, fig3_graph):
+        with pytest.raises(AgreementError):
+            fig3_graph.index("Z")
+
+    def test_contains_len(self, fig3_graph):
+        assert "A" in fig3_graph
+        assert "Z" not in fig3_graph
+        assert len(fig3_graph) == 3
+
+    def test_total_granted_lb(self, fig3_graph):
+        assert fig3_graph.total_granted_lb("A") == pytest.approx(0.4)
+        assert fig3_graph.total_granted_lb("C") == 0.0
+
+    def test_mint_materialises_tickets(self, fig3_graph):
+        currencies = fig3_graph.mint()
+        a_issued = currencies["A"].issued
+        kinds = sorted(t.kind.value for t in a_issued)
+        assert kinds == ["mandatory", "optional"]
+        mand = next(t for t in a_issued if t.kind is TicketKind.MANDATORY)
+        assert mand.amount == pytest.approx(40.0)  # 0.4 * face 100
+        assert currencies["B"].held  # B holds A's tickets
+
+    def test_mint_skips_zero_tickets(self):
+        g = AgreementGraph()
+        g.add_principal("A", capacity=10.0)
+        g.add_principal("B")
+        g.add_agreement(Agreement("A", "B", 0.0, 0.5))  # no mandatory part
+        currencies = g.mint()
+        assert all(t.kind is TicketKind.OPTIONAL for t in currencies["A"].issued)
+
+    def test_copy_is_independent(self, fig3_graph):
+        c = fig3_graph.copy()
+        c.remove_agreement("A", "B")
+        assert fig3_graph.agreement("A", "B") is not None
+
+    def test_validate_passes(self, fig3_graph):
+        fig3_graph.validate()
+
+    def test_names_order_stable(self):
+        g = AgreementGraph()
+        for name in ("X", "A", "M"):
+            g.add_principal(name)
+        assert g.names == ["X", "A", "M"]

@@ -1,0 +1,120 @@
+"""Dynamic agreement interpretation (§2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.agreements import Agreement, AgreementError, AgreementGraph
+from repro.core.dynamic import DynamicAccessManager
+from repro.cluster.client import ClientMachine
+from repro.cluster.server import Server
+from repro.l7.redirector import L7Redirector
+from repro.scheduling.window import WindowConfig
+from repro.sim.engine import Simulator
+from repro.sim.monitor import RateMeter
+
+
+def _manager():
+    g = AgreementGraph()
+    g.add_principal("S", capacity=320.0)
+    g.add_principal("A")
+    g.add_principal("B")
+    g.add_agreement(Agreement("S", "A", 0.2, 1.0))
+    g.add_agreement(Agreement("S", "B", 0.8, 1.0))
+    return DynamicAccessManager(g)
+
+
+class TestManager:
+    def test_lazy_versioned_recompute(self):
+        mgr = _manager()
+        a1 = mgr.access
+        assert mgr.access is a1          # cached while unchanged
+        mgr.set_capacity("S", 640.0)
+        a2 = mgr.access
+        assert a2 is not a1
+        assert a2.mandatory("B") == pytest.approx(512.0)
+
+    def test_renegotiate(self):
+        mgr = _manager()
+        mgr.renegotiate("S", "B", 0.5, 1.0)
+        assert mgr.access.mandatory("B") == pytest.approx(160.0)
+
+    def test_renegotiate_rolls_back_on_violation(self):
+        mgr = _manager()
+        with pytest.raises(AgreementError):
+            mgr.renegotiate("S", "B", 0.9, 1.0)   # 0.2 + 0.9 > 1
+        # The original agreement survives the failed renegotiation.
+        assert mgr.access.mandatory("B") == pytest.approx(256.0)
+
+    def test_renegotiate_missing(self):
+        mgr = _manager()
+        with pytest.raises(AgreementError):
+            mgr.renegotiate("A", "B", 0.1, 0.2)
+
+    def test_add_remove_agreement(self):
+        mgr = _manager()
+        mgr.remove_agreement("S", "A")
+        assert mgr.access.mandatory("A") == pytest.approx(0.0)
+        mgr.add_agreement(Agreement("S", "A", 0.1, 0.5))
+        assert mgr.access.mandatory("A") == pytest.approx(32.0)
+
+    def test_add_principal(self):
+        mgr = _manager()
+        mgr.add_principal("C", capacity=100.0)
+        assert mgr.access.mandatory("C") == pytest.approx(100.0)
+
+    def test_subscribers_pushed(self):
+        mgr = _manager()
+        seen = []
+        mgr.subscribe(lambda acc: seen.append(acc.mandatory("B")))
+        assert seen == [pytest.approx(256.0)]    # immediate push
+        mgr.set_capacity("S", 160.0)
+        assert seen[-1] == pytest.approx(128.0)
+
+    def test_version_increments(self):
+        mgr = _manager()
+        v0 = mgr.version
+        mgr.set_capacity("S", 100.0)
+        mgr.renegotiate("S", "A", 0.1, 1.0)
+        assert mgr.version == v0 + 2
+
+
+class TestMidRunRenegotiation:
+    def test_service_rates_shift_after_renegotiation(self):
+        """Flip A and B's guarantees mid-run: the redirector adopts the new
+        levels on the next window and the measured split flips."""
+        sim = Simulator()
+        meter = RateMeter(1.0)
+        mgr = _manager()
+        srv = Server(
+            sim, "S", 320.0, owner="S",
+            on_complete=lambda r, s: meter.record(r.principal, sim.now),
+        )
+        red = L7Redirector(sim, "R", mgr.access, {"S": srv}, window=WindowConfig(0.1))
+        mgr.subscribe(red.set_access)
+        ClientMachine(sim, "CA", "A", red, rate=270.0, rng=np.random.default_rng(1))
+        ClientMachine(sim, "CB", "B", red, rate=270.0, rng=np.random.default_rng(2))
+
+        def renegotiate():
+            mgr.renegotiate("S", "B", 0.2, 1.0)
+            mgr.renegotiate("S", "A", 0.8, 1.0)
+
+        sim.schedule(20.0, renegotiate)
+        sim.run(until=40.0)
+        # Before: B guaranteed 256 -> B ~256, A ~64.
+        assert meter.mean_rate("B", 5.0, 20.0) == pytest.approx(256.0, rel=0.1)
+        assert meter.mean_rate("A", 5.0, 20.0) == pytest.approx(64.0, rel=0.15)
+        # After the flip: A ~256, B ~64.
+        assert meter.mean_rate("A", 25.0, 40.0) == pytest.approx(256.0, rel=0.1)
+        assert meter.mean_rate("B", 25.0, 40.0) == pytest.approx(64.0, rel=0.15)
+
+    def test_set_access_rejects_principal_mismatch(self):
+        sim = Simulator()
+        mgr = _manager()
+        srv = Server(sim, "S", 320.0, owner="S")
+        red = L7Redirector(sim, "R", mgr.access, {"S": srv})
+        other = AgreementGraph()
+        other.add_principal("X", capacity=1.0)
+        from repro.core.access import compute_access_levels
+
+        with pytest.raises(ValueError):
+            red.set_access(compute_access_levels(other))

@@ -1,0 +1,106 @@
+"""Hierarchical (sub-ASP reselling) agreement structures."""
+
+import pytest
+
+from repro.core.access import compute_access_levels
+from repro.core.agreements import AgreementError
+from repro.core.hierarchy import (
+    Tier,
+    build_hierarchy,
+    effective_entitlements,
+    oversell_report,
+)
+from repro.scheduling.community import CommunityScheduler
+from repro.scheduling.window import WindowConfig
+
+
+def _asp_tree():
+    """ASP (1000 req/s) -> two resellers -> four end customers."""
+    asp = Tier("asp", capacity=1000.0)
+    r1 = asp.child("reseller-1", lb=0.4, ub=0.6)
+    r2 = asp.child("reseller-2", lb=0.3, ub=0.5)
+    r1.child("cust-1a", lb=0.5, ub=0.8)
+    r1.child("cust-1b", lb=0.3, ub=0.6)
+    r2.child("cust-2a", lb=0.6, ub=1.0)
+    r2.child("cust-2b", lb=0.2, ub=0.5)
+    return asp
+
+
+class TestBuild:
+    def test_graph_shape(self):
+        g = build_hierarchy(_asp_tree())
+        assert len(g) == 7
+        assert g.agreement("asp", "reseller-1").lb == pytest.approx(0.4)
+        assert g.agreement("reseller-2", "cust-2a").ub == pytest.approx(1.0)
+
+    def test_overselling_guarantees_rejected(self):
+        asp = Tier("asp", capacity=100.0)
+        r = asp.child("r", lb=0.5, ub=0.8)
+        r.child("c1", lb=0.7, ub=0.9)
+        r.child("c2", lb=0.5, ub=0.9)   # 0.7 + 0.5 > 1 of r's currency
+        with pytest.raises(AgreementError, match="100%"):
+            build_hierarchy(asp)
+
+    def test_walk_order(self):
+        names = [t.name for t in _asp_tree().walk()]
+        assert names[0] == "asp"
+        assert set(names) == {
+            "asp", "reseller-1", "reseller-2",
+            "cust-1a", "cust-1b", "cust-2a", "cust-2b",
+        }
+
+
+class TestEntitlements:
+    def test_passthrough_arithmetic(self):
+        ents = effective_entitlements(_asp_tree())
+        # cust-1a: 0.5 of reseller-1's currency = 0.5 * 0.4 * 1000 = 200.
+        assert ents["cust-1a"][0] == pytest.approx(200.0)
+        assert ents["cust-2a"][0] == pytest.approx(180.0)  # 0.6 * 0.3 * 1000
+
+    def test_total_mandatory_conserved(self):
+        g = build_hierarchy(_asp_tree())
+        access = compute_access_levels(g)
+        assert access.MC.sum() == pytest.approx(1000.0)
+
+    def test_leaf_customers_only(self):
+        ents = effective_entitlements(_asp_tree())
+        assert set(ents) == {"cust-1a", "cust-1b", "cust-2a", "cust-2b"}
+
+
+class TestOversell:
+    def test_report(self):
+        report = oversell_report(_asp_tree())
+        assert report["asp"] == (pytest.approx(0.7), pytest.approx(1.1))
+        assert report["reseller-1"] == (pytest.approx(0.8), pytest.approx(1.4))
+        assert "cust-1a" not in report
+
+    def test_best_effort_may_exceed_one(self):
+        asp = Tier("asp", capacity=100.0)
+        asp.child("c1", lb=0.2, ub=1.0)
+        asp.child("c2", lb=0.2, ub=1.0)
+        g, b = oversell_report(asp)["asp"]
+        assert g <= 1.0 and b == pytest.approx(2.0)
+
+
+class TestSchedulingThroughHierarchy:
+    def test_end_customers_schedulable(self):
+        """The community scheduler needs nothing special: end customers'
+        transitive entitlements bound their admission directly."""
+        g = build_hierarchy(_asp_tree())
+        sched = CommunityScheduler(compute_access_levels(g), WindowConfig(1.0))
+        # Everybody floods: mandatory chain determines the split.
+        q = {name: 1000.0 for name in g.names if name.startswith("cust")}
+        plan = sched.schedule(q)
+        assert plan.served("cust-1a") >= 200.0 - 1e-6
+        assert plan.served("cust-2a") >= 180.0 - 1e-6
+        total = sum(plan.served(c) for c in q)
+        assert total <= 1000.0 + 1e-6
+
+    def test_idle_customer_capacity_reused(self):
+        g = build_hierarchy(_asp_tree())
+        sched = CommunityScheduler(compute_access_levels(g), WindowConfig(1.0))
+        q = {"cust-1a": 1000.0}      # everyone else idle
+        plan = sched.schedule(q)
+        # cust-1a's ceiling: mandatory 200 + optional headroom; far above
+        # its guarantee, bounded by its [0.5, 0.8] on reseller-1's flow.
+        assert plan.served("cust-1a") > 200.0

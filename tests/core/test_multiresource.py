@@ -1,0 +1,137 @@
+"""Vector (multi-resource) extension of the calculus."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.agreements import Agreement, AgreementError, AgreementGraph
+from repro.core.flows import closed_form_flows
+from repro.core.multiresource import (
+    bottleneck_rate,
+    compute_multiresource_access,
+)
+
+RES = ("cpu", "net")
+
+
+def _graph():
+    g = AgreementGraph()
+    g.add_principal("A")
+    g.add_principal("B")
+    g.add_principal("C")
+    g.add_agreement(Agreement("A", "B", 0.4, 0.6))
+    g.add_agreement(Agreement("B", "C", 0.6, 1.0))
+    return g
+
+
+def _caps():
+    return {"A": {"cpu": 1000.0, "net": 500.0}, "B": {"cpu": 1500.0, "net": 3000.0}}
+
+
+class TestVectorAccess:
+    def test_each_type_matches_scalar_calculus(self):
+        """Every resource slice must equal the scalar calculus run on that
+        type's capacities — the factorisation is shared, outputs per type."""
+        g = _graph()
+        acc = compute_multiresource_access(g, _caps(), RES)
+        for r, res in enumerate(RES):
+            scalar_graph = AgreementGraph()
+            for name in g.names:
+                scalar_graph.add_principal(
+                    name, capacity=_caps().get(name, {}).get(res, 0.0)
+                )
+            for a in g.agreements():
+                scalar_graph.add_agreement(a)
+            f = closed_form_flows(scalar_graph)
+            np.testing.assert_allclose(acc.MC[:, r], f.MC, atol=1e-9)
+            np.testing.assert_allclose(acc.MI[:, :, r], f.MI, atol=1e-9)
+            np.testing.assert_allclose(acc.OI[:, :, r], f.OI, atol=1e-9)
+
+    def test_fig3_cpu_slice(self):
+        acc = compute_multiresource_access(_graph(), _caps(), RES)
+        # cpu capacities are exactly Fig 3's numbers.
+        assert acc.mandatory("C", "cpu") == pytest.approx(1140.0)
+        assert acc.optional("C", "cpu") == pytest.approx(960.0)
+
+    def test_conservation_per_type(self):
+        acc = compute_multiresource_access(_graph(), _caps(), RES)
+        acc.check_conservation()
+
+    def test_scalar_view_is_access_levels(self):
+        from repro.core.access import AccessLevels
+
+        acc = compute_multiresource_access(_graph(), _caps(), RES)
+        view = acc.scalar_view("net")
+        assert isinstance(view, AccessLevels)
+        assert view.mandatory("C") == pytest.approx(acc.mandatory("C", "net"))
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(AgreementError):
+            compute_multiresource_access(_graph(), {"A": {"gpu": 1.0}}, RES)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            compute_multiresource_access(_graph(), {"A": {"cpu": -1.0}}, RES)
+
+    def test_empty_resources_rejected(self):
+        with pytest.raises(ValueError):
+            compute_multiresource_access(_graph(), {}, ())
+
+    def test_entitlement_accessor(self):
+        acc = compute_multiresource_access(_graph(), _caps(), RES)
+        mi, oi = acc.entitlement("C", "B", "net")
+        assert mi == pytest.approx(3000.0 * 0.6)
+
+
+class TestBottleneckRate:
+    def test_min_across_types(self):
+        ent = np.array([100.0, 30.0])
+        assert bottleneck_rate(ent, {"cpu": 1.0, "net": 1.0}, RES) == pytest.approx(30.0)
+        assert bottleneck_rate(ent, {"cpu": 2.0, "net": 0.1}, RES) == pytest.approx(50.0)
+
+    def test_zero_demand_type_ignored(self):
+        ent = np.array([100.0, 0.0])
+        assert bottleneck_rate(ent, {"cpu": 1.0}, RES) == pytest.approx(100.0)
+
+    def test_no_demand_at_all(self):
+        assert bottleneck_rate(np.array([1.0, 1.0]), {}, RES) == 0.0
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            bottleneck_rate(np.array([1.0, 1.0]), {"cpu": -1.0}, RES)
+
+
+@st.composite
+def cap_tables(draw):
+    names = ["P0", "P1", "P2"]
+    return {
+        name: {
+            res: draw(st.floats(min_value=0.0, max_value=1000.0))
+            for res in RES
+        }
+        for name in names
+    }
+
+
+class TestProperties:
+    @given(cap_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_random_capacities(self, caps):
+        g = AgreementGraph()
+        for name in ("P0", "P1", "P2"):
+            g.add_principal(name)
+        g.add_agreement(Agreement("P0", "P1", 0.3, 0.5))
+        g.add_agreement(Agreement("P1", "P2", 0.2, 0.7))
+        acc = compute_multiresource_access(g, caps, RES)
+        acc.check_conservation()
+
+    @given(st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_linearity_in_capacity(self, scale):
+        g = _graph()
+        a1 = compute_multiresource_access(g, _caps(), RES)
+        scaled = {
+            p: {r: v * scale for r, v in vec.items()} for p, vec in _caps().items()
+        }
+        a2 = compute_multiresource_access(g, scaled, RES)
+        np.testing.assert_allclose(a2.MI, a1.MI * scale, rtol=1e-9)

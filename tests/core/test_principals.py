@@ -1,0 +1,38 @@
+import pytest
+
+from repro.core.principals import Principal
+
+
+class TestPrincipal:
+    def test_basic_construction(self):
+        p = Principal("A", capacity=100.0)
+        assert p.name == "A"
+        assert p.capacity == 100.0
+        assert p.face_value == 100.0
+
+    def test_zero_capacity_consumer(self):
+        assert Principal("C").capacity == 0.0
+
+    def test_str(self):
+        assert str(Principal("org-1")) == "org-1"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Principal("")
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Principal("A", capacity=-1.0)
+
+    def test_nonpositive_face_value_rejected(self):
+        with pytest.raises(ValueError, match="face value"):
+            Principal("A", face_value=0.0)
+
+    def test_frozen(self):
+        p = Principal("A")
+        with pytest.raises(AttributeError):
+            p.capacity = 5.0  # type: ignore[misc]
+
+    def test_equality_by_value(self):
+        assert Principal("A", 10.0) == Principal("A", 10.0)
+        assert Principal("A", 10.0) != Principal("A", 20.0)

@@ -1,0 +1,123 @@
+import io
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.agreements import Agreement, AgreementError, AgreementGraph
+from repro.core.flows import closed_form_flows
+from repro.core.serialization import (
+    dump_graph,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+)
+
+
+class TestRoundTrip:
+    def test_fig3_roundtrip(self, fig3_graph):
+        g2 = graph_from_dict(graph_to_dict(fig3_graph))
+        assert g2.names == fig3_graph.names
+        assert g2.agreement("A", "B").ub == pytest.approx(0.6)
+        import numpy as np
+
+        np.testing.assert_allclose(
+            closed_form_flows(g2).MC, closed_form_flows(fig3_graph).MC
+        )
+
+    def test_file_roundtrip(self, fig3_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        dump_graph(fig3_graph, str(path))
+        g2 = load_graph(str(path))
+        assert g2.names == fig3_graph.names
+
+    def test_stream_roundtrip(self, fig3_graph):
+        buf = io.StringIO()
+        dump_graph(fig3_graph, buf)
+        buf.seek(0)
+        g2 = load_graph(buf)
+        assert g2.principal("B").capacity == 1500.0
+
+    def test_face_value_preserved(self):
+        g = AgreementGraph()
+        g.add_principal("A", capacity=10.0, face_value=250.0)
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert g2.principal("A").face_value == 250.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=500.0),
+                st.floats(min_value=0.0, max_value=0.4),
+                st.floats(min_value=0.0, max_value=0.4),
+            ),
+            min_size=2, max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_roundtrip(self, rows):
+        g = AgreementGraph()
+        for i, (cap, _, _) in enumerate(rows):
+            g.add_principal(f"P{i}", capacity=cap)
+        for i, (_, lb, width) in enumerate(rows[:-1]):
+            g.add_agreement(
+                Agreement(f"P{i}", f"P{i+1}", round(lb, 3),
+                          round(min(1.0, lb + width), 3))
+            )
+        g2 = graph_from_dict(json.loads(json.dumps(graph_to_dict(g))))
+        assert graph_to_dict(g2) == graph_to_dict(g)
+
+
+class TestValidation:
+    def test_non_dict_rejected(self):
+        with pytest.raises(AgreementError):
+            graph_from_dict([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_malformed_principal(self):
+        with pytest.raises(AgreementError):
+            graph_from_dict({"principals": [{"capacity": 5}]})
+
+    def test_malformed_agreement(self):
+        with pytest.raises(AgreementError):
+            graph_from_dict({
+                "principals": [{"name": "A"}, {"name": "B"}],
+                "agreements": [{"grantor": "A"}],
+            })
+
+    def test_semantic_validation_applies(self):
+        # Deserialisation runs the same checks as construction.
+        with pytest.raises(AgreementError, match="100%"):
+            graph_from_dict({
+                "principals": [{"name": "A"}, {"name": "B"}, {"name": "C"}],
+                "agreements": [
+                    {"grantor": "A", "grantee": "B", "lb": 0.7, "ub": 0.8},
+                    {"grantor": "A", "grantee": "C", "lb": 0.7, "ub": 0.8},
+                ],
+            })
+
+
+class TestCliIntegration:
+    def test_inspect_file_and_save(self, fig3_graph, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "g.json"
+        dump_graph(fig3_graph, str(path))
+        rc = main(["inspect", "--file", str(path)])
+        assert rc == 0
+        assert "1140.0" in capsys.readouterr().out
+
+        out_path = tmp_path / "saved.json"
+        rc = main(["inspect", "A:10", "B", "A-B:0.5", "--save", str(out_path)])
+        assert rc == 0
+        assert load_graph(str(out_path)).agreement("A", "B").lb == 0.5
+
+    def test_inspect_requires_some_graph(self, capsys):
+        from repro.cli import main
+
+        assert main(["inspect"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_inspect_rejects_both(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["inspect", "A:1", "--file", "x.json"]) == 2

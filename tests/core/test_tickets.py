@@ -1,0 +1,82 @@
+import pytest
+
+from repro.core.tickets import Currency, Ticket, TicketKind
+
+
+class TestTicket:
+    def test_fraction(self):
+        t = Ticket(TicketKind.MANDATORY, issuer="A", holder="B", amount=40.0)
+        assert t.fraction(100.0) == pytest.approx(0.4)
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            Ticket(TicketKind.OPTIONAL, "A", "B", amount=-1.0)
+
+    def test_self_issue_rejected(self):
+        with pytest.raises(ValueError):
+            Ticket(TicketKind.MANDATORY, "A", "A", amount=1.0)
+
+    def test_unique_ids(self):
+        a = Ticket(TicketKind.MANDATORY, "A", "B", 1.0)
+        b = Ticket(TicketKind.MANDATORY, "A", "B", 1.0)
+        assert a.ticket_id != b.ticket_id
+
+
+class TestCurrency:
+    def test_issue_and_hold(self):
+        cur_a = Currency("A", 100.0)
+        cur_b = Currency("B", 100.0)
+        t = cur_a.issue(TicketKind.MANDATORY, "B", 40.0)
+        cur_b.receive(t)
+        assert cur_a.issued == [t]
+        assert cur_b.held == [t]
+
+    def test_receive_wrong_holder_rejected(self):
+        cur_a = Currency("A")
+        cur_c = Currency("C")
+        t = cur_a.issue(TicketKind.MANDATORY, "B", 10.0)
+        with pytest.raises(ValueError):
+            cur_c.receive(t)
+
+    def test_mandatory_overissue_rejected(self):
+        cur = Currency("A", 100.0)
+        cur.issue(TicketKind.MANDATORY, "B", 70.0)
+        with pytest.raises(ValueError, match="mandatory"):
+            cur.issue(TicketKind.MANDATORY, "C", 40.0)
+
+    def test_optional_can_overcommit(self):
+        # Upper bounds are best-effort: optional tickets may exceed 100%.
+        cur = Currency("A", 100.0)
+        cur.issue(TicketKind.OPTIONAL, "B", 80.0)
+        cur.issue(TicketKind.OPTIONAL, "C", 80.0)
+        assert len(cur.issued) == 2
+
+    def test_mandatory_issued_fraction(self):
+        cur = Currency("A", 200.0)
+        cur.issue(TicketKind.MANDATORY, "B", 50.0)
+        assert cur.mandatory_issued_fraction() == pytest.approx(0.25)
+
+    def test_issued_fractions_by_holder(self):
+        cur = Currency("A", 100.0)
+        cur.issue(TicketKind.MANDATORY, "B", 40.0)
+        cur.issue(TicketKind.OPTIONAL, "B", 20.0)
+        fr = cur.issued_fractions()
+        assert fr["B"][TicketKind.MANDATORY] == pytest.approx(0.4)
+        assert fr["B"][TicketKind.OPTIONAL] == pytest.approx(0.2)
+
+    def test_inflation_dilutes(self):
+        # The paper: face value changes renegotiate agreements implicitly.
+        cur = Currency("A", 100.0)
+        cur.issue(TicketKind.MANDATORY, "B", 40.0)
+        cur.inflate(2.0)
+        assert cur.mandatory_issued_fraction() == pytest.approx(0.2)
+
+    def test_bad_inflation_rejected(self):
+        with pytest.raises(ValueError):
+            Currency("A").inflate(0.0)
+
+    def test_exact_full_mandatory_allowed(self):
+        cur = Currency("A", 100.0)
+        cur.issue(TicketKind.MANDATORY, "B", 60.0)
+        cur.issue(TicketKind.MANDATORY, "C", 40.0)
+        assert cur.mandatory_issued_fraction() == pytest.approx(1.0)

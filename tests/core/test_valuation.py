@@ -1,0 +1,55 @@
+import pytest
+
+from repro.core.agreements import Agreement, AgreementError, AgreementGraph
+from repro.core.tickets import TicketKind
+from repro.core.valuation import value_currencies
+
+
+class TestFig3Valuation:
+    def test_final_values(self, fig3_graph):
+        v = value_currencies(fig3_graph)
+        assert v.final("A") == pytest.approx((600.0, 400.0))
+        assert v.final("B") == pytest.approx((760.0, 1340.0))
+        assert v.final("C") == pytest.approx((1140.0, 960.0))
+
+    def test_gross_values(self, fig3_graph):
+        v = value_currencies(fig3_graph)
+        assert v.gross("A") == pytest.approx(1000.0)
+        assert v.gross("B") == pytest.approx(1900.0)  # 1500 + 1000*0.4
+        assert v.gross("C") == pytest.approx(1140.0)
+
+    def test_ticket_real_values(self, fig3_graph):
+        v = value_currencies(fig3_graph)
+        assert v.ticket_value("A", "B", TicketKind.MANDATORY) == pytest.approx(400.0)
+        assert v.ticket_value("A", "B", TicketKind.OPTIONAL) == pytest.approx(200.0)
+        assert v.ticket_value("B", "C", TicketKind.MANDATORY) == pytest.approx(1140.0)
+        assert v.ticket_value("B", "C", TicketKind.OPTIONAL) == pytest.approx(960.0)
+
+    def test_optional_inflow(self, fig3_graph):
+        v = value_currencies(fig3_graph)
+        assert v.optional_inflow("B") == pytest.approx(200.0)
+        assert v.optional_inflow("C") == pytest.approx(960.0)
+
+    def test_as_dict(self, fig3_graph):
+        d = value_currencies(fig3_graph).as_dict()
+        assert set(d) == {"A", "B", "C"}
+
+    def test_unknown_agreement_rejected(self, fig3_graph):
+        v = value_currencies(fig3_graph)
+        with pytest.raises(AgreementError):
+            v.ticket_value("A", "C", TicketKind.MANDATORY)
+
+
+class TestFaceValueInvariance:
+    def test_face_value_does_not_change_real_values(self):
+        """The paper: face values are arbitrary; only fractions matter."""
+        def build(face):
+            g = AgreementGraph()
+            g.add_principal("A", capacity=1000.0, face_value=face)
+            g.add_principal("B", capacity=1500.0, face_value=face * 3)
+            g.add_agreement(Agreement("A", "B", 0.4, 0.6))
+            return value_currencies(g)
+
+        v1, v2 = build(100.0), build(250.0)
+        assert v1.final("A") == pytest.approx(v2.final("A"))
+        assert v1.final("B") == pytest.approx(v2.final("B"))

@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.experiments.ascii import sparkline, timeseries_plot
+
+
+class TestSparkline:
+    def test_shape(self):
+        s = sparkline([0, 1, 2, 3, 2, 1, 0])
+        assert len(s) == 7
+        assert s[3] == "█"
+        assert s[0] == " "
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "███"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_explicit_bounds(self):
+        s = sparkline([5.0], lo=0.0, hi=10.0)
+        assert s == "▄"
+
+
+class TestTimeseriesPlot:
+    def _series(self):
+        t = np.arange(0.0, 30.0, 1.0)
+        a = np.where(t < 15, 100.0, 200.0)
+        b = np.full_like(t, 50.0)
+        return {"A": (t, a), "B": (t, b)}
+
+    def test_renders_grid(self):
+        text = timeseries_plot(self._series(), width=30, height=8, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) == 1 + 8 + 2      # title + grid + axis + legend
+        assert "* A" in lines[-1] and "o B" in lines[-1]
+
+    def test_step_visible(self):
+        text = timeseries_plot({"A": self._series()["A"]}, width=30, height=6)
+        rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        top_row_cols = [i for i, ch in enumerate(rows[0]) if ch == "*"]
+        # The high half of the step occupies the right side of the top row.
+        assert top_row_cols and min(top_row_cols) >= 14
+
+    def test_empty(self):
+        assert timeseries_plot({}) == "(no data)"
+
+    def test_zero_series(self):
+        t = np.arange(5.0)
+        text = timeseries_plot({"A": (t, np.zeros(5))}, width=5, height=3)
+        assert "|" in text

@@ -1,0 +1,115 @@
+import numpy as np
+import pytest
+
+from repro.experiments.harness import FigureResult, PhaseExpectation, Scenario
+from repro.sim.monitor import PhaseStats
+
+
+class TestFigureResult:
+    def _result(self, measured, expected, tolerance=0.15):
+        phases = [PhaseStats("p1", 0.0, 10.0, rates=measured)]
+        return FigureResult(
+            figure="figX",
+            title="t",
+            phases=phases,
+            expected=[PhaseExpectation("p1", expected, tolerance=tolerance)],
+        )
+
+    def test_within_tolerance(self):
+        r = self._result({"A": 100.0}, {"A": 105.0})
+        assert r.ok
+
+    def test_outside_tolerance(self):
+        r = self._result({"A": 100.0}, {"A": 150.0})
+        assert not r.ok
+
+    def test_zero_expectation_uses_abs_floor(self):
+        r = self._result({"A": 5.0}, {"A": 0.0})
+        assert r.ok
+        r2 = self._result({"A": 50.0}, {"A": 0.0})
+        assert not r2.ok
+
+    def test_missing_phase_skipped(self):
+        phases = [PhaseStats("p1", 0.0, 1.0, rates={"A": 1.0})]
+        r = FigureResult(
+            figure="f", title="t", phases=phases,
+            expected=[PhaseExpectation("p99", {"A": 1.0})],
+        )
+        assert r.deviations() == []
+
+    def test_phase_lookup(self):
+        r = self._result({"A": 1.0}, {"A": 1.0})
+        assert r.phase("p1").rate("A") == 1.0
+        with pytest.raises(KeyError):
+            r.phase("nope")
+
+
+class TestScenario:
+    def test_builds_and_runs(self, fig6_graph):
+        sc = Scenario(fig6_graph, seed=1)
+        srv = sc.server("S", "S", 320.0)
+        r1 = sc.l7("R1", {"S": srv})
+        sc.client("C1", "A", r1, rate=50.0)
+        sc.run(5.0)
+        assert sc.meter.total("A", 0, 5.0) > 0
+        # per-server series recorded too
+        assert sc.meter.total("server:S", 0, 5.0) > 0
+
+    def test_tree_requires_redirectors(self, fig6_graph):
+        sc = Scenario(fig6_graph)
+        with pytest.raises(RuntimeError):
+            sc.connect_tree()
+
+    def test_tree_built_once(self, fig6_graph):
+        sc = Scenario(fig6_graph)
+        srv = sc.server("S", "S", 320.0)
+        sc.l7("R1", {"S": srv})
+        sc.connect_tree()
+        with pytest.raises(RuntimeError):
+            sc.connect_tree()
+
+    def test_extra_root_tree(self, fig6_graph):
+        sc = Scenario(fig6_graph)
+        srv = sc.server("S", "S", 320.0)
+        sc.l7("R1", {"S": srv})
+        sc.l7("R2", {"S": srv})
+        tree = sc.connect_tree(extra_root=True)
+        assert tree.root == "__root__"
+        assert len(tree) == 3
+
+    def test_phase_rates(self, fig6_graph):
+        sc = Scenario(fig6_graph, seed=2)
+        srv = sc.server("S", "S", 320.0)
+        r1 = sc.l7("R1", {"S": srv})
+        sc.client("C1", "A", r1, rate=100.0, windows=[(0.0, 5.0)])
+        sc.run(10.0)
+        stats = sc.phase_rates(
+            [("on", 0.0, 5.0), ("off", 5.0, 10.0)], keys=["A"], settle=1.0
+        )
+        assert stats[0].rate("A") > 50.0
+        assert stats[1].rate("A") < 10.0
+
+    def test_response_stats(self, fig6_graph):
+        sc = Scenario(fig6_graph, seed=4)
+        srv = sc.server("S", "S", 320.0)
+        r1 = sc.l7("R1", {"S": srv})
+        sc.client("C1", "B", r1, rate=100.0)
+        sc.run(10.0)
+        stats = sc.response_stats()
+        assert stats["B"]["count"] > 500
+        assert 0.0 <= stats["B"]["p50"] <= stats["B"]["p95"] <= stats["B"]["max"]
+        assert stats["B"]["mean"] < 0.5   # underloaded: fast responses
+
+    def test_response_stats_empty(self, fig6_graph):
+        sc = Scenario(fig6_graph)
+        assert sc.response_stats() == {}
+
+    def test_series(self, fig6_graph):
+        sc = Scenario(fig6_graph, seed=3)
+        srv = sc.server("S", "S", 320.0)
+        r1 = sc.l7("R1", {"S": srv})
+        sc.client("C1", "A", r1, rate=100.0)
+        sc.run(5.0)
+        series = sc.series(["A"])
+        times, rates = series["A"]
+        assert len(times) == len(rates) > 0

@@ -1,0 +1,46 @@
+from repro.experiments.figures import run_fig1, run_fig3
+from repro.experiments.harness import FigureResult, PhaseExpectation
+from repro.experiments.report import render_result
+from repro.sim.monitor import PhaseStats
+
+import pytest
+
+
+class TestRendering:
+    def test_fig1_render(self):
+        text = render_result(run_fig1())
+        assert "end-point" in text
+        assert "30.0" in text and "70.0" in text
+        assert "shape reproduced: yes" in text
+
+    def test_fig3_render(self):
+        text = render_result(run_fig3())
+        assert "1140" in text
+        assert "O-Ticket4" in text
+        assert "reproduced exactly: yes" in text
+
+    def test_figure_result_render(self):
+        r = FigureResult(
+            figure="figX",
+            title="demo",
+            phases=[PhaseStats("p1", 0.0, 1.0, rates={"A": 100.0})],
+            expected=[PhaseExpectation("p1", {"A": 100.0})],
+            notes="a note",
+        )
+        text = render_result(r)
+        assert "figX" in text and "a note" in text
+        assert "| p1 | A | 100.0 | 100.0 | yes |" in text
+
+    def test_failed_row_marked(self):
+        r = FigureResult(
+            figure="figX",
+            title="demo",
+            phases=[PhaseStats("p1", 0.0, 1.0, rates={"A": 10.0})],
+            expected=[PhaseExpectation("p1", {"A": 100.0})],
+        )
+        text = render_result(r)
+        assert "NO" in text
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            render_result(42)

@@ -1,0 +1,38 @@
+"""Scaling-study helpers (short runs)."""
+
+import pytest
+
+from repro.core.access import compute_access_levels
+from repro.experiments.scaling import random_community, run_scaling_point
+
+
+class TestRandomCommunity:
+    def test_structure(self):
+        g = random_community(12, seed=3)
+        assert len(g) == 12
+        owners = [n for n in g.names if g.principal(n).capacity > 0]
+        assert len(owners) == 4
+        assert g.agreements()          # some sharing exists
+        g.validate()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_always_valid_and_solvable(self, seed):
+        g = random_community(20, seed=seed)
+        access = compute_access_levels(g)
+        # Conservation: total mandatory == total capacity.
+        assert access.MC.sum() == pytest.approx(access.V.sum(), abs=1e-6)
+
+    def test_reproducible(self):
+        a = random_community(10, seed=1)
+        b = random_community(10, seed=1)
+        assert [str(x) for x in a.agreements()] == [str(x) for x in b.agreements()]
+
+
+class TestScalingPoint:
+    def test_metrics_populated(self):
+        p = run_scaling_point(8, seed=0, duration=6.0)
+        assert p.n_principals == 8
+        assert p.solves > 0
+        assert p.lp_ms_mean > 0.0
+        assert 0.0 <= p.guarantee_satisfaction <= 1.0
+        assert p.throughput <= p.capacity * 1.05

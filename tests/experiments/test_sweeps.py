@@ -1,0 +1,29 @@
+"""Parameter-sweep helpers (short runs)."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    sweep_cache,
+    sweep_redirectors,
+    sweep_window,
+)
+
+
+class TestSweeps:
+    def test_window_sweep_shape(self):
+        points = sweep_window(lengths=(0.1, 0.2), duration=10.0)
+        assert [p.knob for p in points] == [0.1, 0.2]
+        for p in points:
+            assert p.enforcement_error < 0.15
+            assert p.a_rate + p.b_rate == pytest.approx(320.0, rel=0.08)
+
+    def test_redirector_sweep_messages(self):
+        points = sweep_redirectors(counts=(1, 4), duration=10.0)
+        assert points[0].extra["messages_per_round"] == pytest.approx(0.0, abs=0.1)
+        assert points[1].extra["messages_per_round"] == pytest.approx(6.0, rel=0.3)
+
+    def test_cache_sweep_counts(self):
+        points = sweep_cache(tolerances=(0.0, 0.25), duration=10.0)
+        assert points[0].extra["cache_hits"] == 0.0
+        assert points[1].extra["cache_hits"] > 0.0
+        assert points[1].extra["lp_solves"] < points[0].extra["lp_solves"]

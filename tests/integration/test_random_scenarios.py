@@ -1,0 +1,80 @@
+"""Randomised end-to-end enforcement: the repository's strongest property.
+
+For random agreement DAGs, capacities and offered loads, the full stack
+(calculus -> LP -> redirector -> clients -> servers) must deliver every
+principal at least ``min(offered, MC_i)`` requests/second in steady state —
+the guarantee the whole architecture exists to provide — while never
+exceeding aggregate capacity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.access import compute_access_levels
+from repro.core.agreements import Agreement, AgreementGraph
+from repro.experiments.harness import Scenario
+
+
+def _random_world(rng: np.random.Generator):
+    """A random 3-4 principal agreement DAG with servers and demands."""
+    n = int(rng.integers(3, 5))
+    g = AgreementGraph()
+    names = [f"P{i}" for i in range(n)]
+    caps = {}
+    for name in names:
+        cap = float(rng.choice([0.0, 100.0, 200.0, 320.0]))
+        g.add_principal(name, capacity=cap)
+        caps[name] = cap
+    if sum(caps.values()) == 0.0:
+        g.set_capacity(names[0], 200.0)
+        caps[names[0]] = 200.0
+    budget = {name: 1.0 for name in names}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.55:
+                lb = float(rng.uniform(0.1, 0.5))
+                lb = min(lb, budget[names[i]])
+                if lb <= 0.01:
+                    continue
+                ub = float(min(1.0, lb + rng.uniform(0.0, 0.4)))
+                g.add_agreement(Agreement(names[i], names[j], round(lb, 2), round(ub, 2)))
+                budget[names[i]] -= lb
+    demands = {
+        name: float(rng.choice([0.0, 50.0, 150.0, 400.0])) for name in names
+    }
+    if all(d == 0.0 for d in demands.values()):
+        demands[names[-1]] = 150.0
+    return g, caps, demands
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(8))
+def test_guarantees_hold_end_to_end(seed):
+    rng = np.random.default_rng(seed)
+    g, caps, demands = _random_world(rng)
+    access = compute_access_levels(g)
+
+    sc = Scenario(g, seed=seed)
+    servers = {
+        name: sc.server(f"S_{name}", name, cap)
+        for name, cap in caps.items()
+        if cap > 0
+    }
+    red = sc.l7("R", servers)
+    for name, rate in demands.items():
+        if rate > 0:
+            sc.client(f"C_{name}", name, red, rate=rate)
+    duration = 25.0
+    sc.run(duration)
+
+    total_rate = 0.0
+    for name, offered in demands.items():
+        measured = sc.meter.mean_rate(name, 10.0, duration)
+        total_rate += measured
+        floor = min(offered, access.mandatory(name))
+        assert measured >= floor * 0.88, (
+            f"seed {seed}: {name} got {measured:.1f} < guarantee "
+            f"{floor:.1f} (offered {offered}, MC {access.mandatory(name):.1f})\n"
+            f"graph: {[str(a) for a in g.agreements()]}, caps {caps}"
+        )
+    assert total_rate <= sum(caps.values()) * 1.05

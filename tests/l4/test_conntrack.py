@@ -1,0 +1,76 @@
+import pytest
+
+from repro.l4.conntrack import ConnTracker
+
+TUP = ("C1", 12345, "10.0.0.1", 80)
+
+
+class TestConnectionLifecycle:
+    def test_open_lookup_close(self):
+        ct = ConnTracker()
+        conn = ct.open(TUP, server="srv-1", principal="A", now=0.0)
+        assert ct.lookup(TUP) is conn
+        ct.close(TUP)
+        assert ct.lookup(TUP) is None
+        assert conn.closed
+
+    def test_touch_updates(self):
+        ct = ConnTracker()
+        ct.open(TUP, "srv-1", "A", now=0.0)
+        conn = ct.touch(TUP, now=5.0)
+        assert conn.last_seen == 5.0
+        assert conn.packets == 2
+
+    def test_touch_unknown(self):
+        assert ConnTracker().touch(TUP, now=0.0) is None
+
+    def test_expire_idle(self):
+        ct = ConnTracker(idle_timeout=10.0)
+        ct.open(TUP, "srv-1", "A", now=0.0)
+        other = ("C2", 999, "10.0.0.1", 80)
+        ct.open(other, "srv-1", "A", now=0.0)
+        ct.touch(other, now=25.0)
+        assert ct.expire(now=30.0) == 1
+        assert ct.lookup(TUP) is None
+        assert ct.lookup(other) is not None
+        assert ct.expired == 1
+
+    def test_len(self):
+        ct = ConnTracker()
+        ct.open(TUP, "srv-1", "A", now=0.0)
+        assert len(ct) == 1
+
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError):
+            ConnTracker(idle_timeout=0.0)
+
+
+class TestAffinity:
+    def test_remembers_last_server(self):
+        ct = ConnTracker()
+        ct.open(TUP, "srv-1", "A", now=0.0)
+        assert ct.preferred_server("C1", "A") == "srv-1"
+
+    def test_affinity_is_per_principal(self):
+        ct = ConnTracker()
+        ct.open(TUP, "srv-1", "A", now=0.0)
+        assert ct.preferred_server("C1", "B") is None
+
+    def test_affinity_updates_on_new_connection(self):
+        ct = ConnTracker()
+        ct.open(TUP, "srv-1", "A", now=0.0)
+        ct.open(("C1", 22222, "10.0.0.1", 80), "srv-2", "A", now=1.0)
+        assert ct.preferred_server("C1", "A") == "srv-2"
+
+    def test_affinity_survives_connection_close(self):
+        # SSL-session-style affinity persists beyond individual connections.
+        ct = ConnTracker()
+        ct.open(TUP, "srv-1", "A", now=0.0)
+        ct.close(TUP)
+        assert ct.preferred_server("C1", "A") == "srv-1"
+
+    def test_forget_affinity(self):
+        ct = ConnTracker()
+        ct.open(TUP, "srv-1", "A", now=0.0)
+        ct.forget_affinity("C1", "A")
+        assert ct.preferred_server("C1", "A") is None

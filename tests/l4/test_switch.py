@@ -1,0 +1,167 @@
+"""L4 switch: packet path, kernel queues, reinjection, affinity."""
+
+import pytest
+
+from repro.cluster.client import Defer, Drop, Held
+from repro.cluster.request import Request
+from repro.cluster.server import Server
+from repro.core.access import compute_access_levels
+from repro.l4.switch import L4Switch
+from repro.l4.packets import TcpFlags, TcpPacket
+from repro.scheduling.allocator import Allocation
+from repro.scheduling.window import WindowConfig
+from repro.sim.engine import Simulator
+
+W = WindowConfig(0.1)
+
+
+def _world(fig9_graph, **kw):
+    sim = Simulator()
+    acc = compute_access_levels(fig9_graph)
+    sa = Server(sim, "SA", 320.0, owner="A")
+    sb = Server(sim, "SB", 320.0, owner="B")
+    switch = L4Switch(sim, "SW", acc.names, {"A": sa, "B": sb}, window=W, **kw)
+    return sim, acc, sa, sb, switch
+
+
+def _alloc(quotas, weights):
+    return Allocation(
+        quotas=quotas, weights=weights, global_estimate={}, used_fallback=False
+    )
+
+
+def _req(principal="A", client="C1"):
+    return Request(principal=principal, client_id=client, created_at=0.0)
+
+
+class TestAdmission:
+    def test_admit_with_quota(self, fig9_graph):
+        sim, _, sa, sb, switch = _world(fig9_graph)
+        switch.install(_alloc({"A": 10.0}, {"A": {"A": 32.0, "B": 16.0}}))
+        done = []
+        d = switch.handle(_req("A"), done=lambda r: done.append(r))
+        assert isinstance(d, Held)
+        sim.run(until=1.0)
+        assert len(done) == 1
+        assert done[0].served_by in ("SA", "SB")
+        assert switch.admitted["A"] == 1
+
+    def test_queue_when_no_quota(self, fig9_graph):
+        sim, _, _, _, switch = _world(fig9_graph)
+        switch.install(_alloc({"A": 0.0}, {"A": {"A": 32.0}}))
+        d = switch.handle(_req("A"))
+        assert isinstance(d, Held)
+        assert switch.queue_lengths()["A"] == 1
+
+    def test_unknown_principal_dropped(self, fig9_graph):
+        _, _, _, _, switch = _world(fig9_graph)
+        assert isinstance(switch.handle(_req("nobody")), Drop)
+
+    def test_syn_queue_overflow_defers(self, fig9_graph):
+        sim, _, _, _, switch = _world(fig9_graph, max_syn_queue=2)
+        switch.install(_alloc({"A": 0.0}, {"A": {"A": 32.0}}))
+        decisions = [switch.handle(_req("A")) for _ in range(4)]
+        assert [type(d) for d in decisions] == [Held, Held, Defer, Defer]
+        assert switch.dropped["A"] == 2
+
+    def test_reinjection_in_next_window(self, fig9_graph):
+        sim, _, _, _, switch = _world(fig9_graph)
+        switch.install(_alloc({"A": 0.0}, {"A": {"A": 32.0}}))
+        done = []
+        switch.handle(_req("A"), done=lambda r: done.append(sim.now))
+        assert switch.queue_lengths()["A"] == 1
+        # Next window has budget: queued SYN reinjected and served.
+        switch.install(_alloc({"A": 5.0}, {"A": {"A": 32.0}}))
+        sim.run(until=1.0)
+        assert done
+        assert switch.reinjected["A"] == 1
+        assert switch.queue_lengths()["A"] == 0
+
+    def test_reinjection_fifo(self, fig9_graph):
+        sim, _, _, _, switch = _world(fig9_graph)
+        switch.install(_alloc({"A": 0.0}, {"A": {"A": 32.0}}))
+        order = []
+        for tag in range(5):
+            switch.handle(
+                Request(principal="A", client_id=f"c{tag}", created_at=0.0),
+                done=lambda r: order.append(r.client_id),
+            )
+        switch.install(_alloc({"A": 3.0}, {"A": {"A": 32.0}}))
+        sim.run(until=0.5)
+        assert order == ["c0", "c1", "c2"]
+
+
+class TestNatAndConntrack:
+    def test_connection_state_created_and_torn_down(self, fig9_graph):
+        sim, _, _, _, switch = _world(fig9_graph)
+        switch.install(_alloc({"A": 10.0}, {"A": {"A": 32.0}}))
+        switch.handle(_req("A"))
+        assert len(switch.nat) == 1
+        assert len(switch.conntrack) == 1
+        sim.run(until=1.0)   # response tears down the flow
+        assert len(switch.nat) == 0
+        assert len(switch.conntrack) == 0
+
+    def test_data_packet_follows_connection(self, fig9_graph):
+        sim, _, _, _, switch = _world(fig9_graph)
+        switch.install(_alloc({"A": 10.0}, {"A": {"A": 32.0}}))
+        req = _req("A")
+        switch.handle(req)
+        tup = next(iter(switch.conntrack._conns))
+        data = TcpPacket(*tup, flags=TcpFlags.ACK, payload_bytes=100)
+        assert switch.on_packet(data)
+        assert switch.conntrack.lookup(tup).packets == 2
+
+    def test_data_packet_without_state_rejected(self, fig9_graph):
+        _, _, _, _, switch = _world(fig9_graph)
+        stray = TcpPacket("C9", 1111, "10.0.0.1", 80, flags=TcpFlags.ACK)
+        assert not switch.on_packet(stray)
+
+    def test_fin_tears_down(self, fig9_graph):
+        sim, _, _, _, switch = _world(fig9_graph)
+        switch.install(_alloc({"A": 10.0}, {"A": {"A": 32.0}}))
+        switch.handle(_req("A"))
+        tup = next(iter(switch.conntrack._conns))
+        fin = TcpPacket(*tup, flags=TcpFlags.FIN)
+        assert switch.on_packet(fin)
+        assert switch.conntrack.lookup(tup) is None
+        assert len(switch.nat) == 0
+
+
+class TestAffinityAndBudgets:
+    def test_affinity_reuses_server_within_budget(self, fig9_graph):
+        sim, _, _, _, switch = _world(fig9_graph)
+        switch.install(_alloc({"A": 20.0}, {"A": {"A": 16.0, "B": 4.0}}))
+        for _ in range(5):
+            switch.handle(_req("A", client="C1"))
+        assert switch.affinity_hits >= 3
+
+    def test_budget_limits_per_server_share(self, fig9_graph):
+        sim, _, sa, sb, switch = _world(fig9_graph)
+        # 3:1 weights: out of 20 admitted, SB gets at most ~6.
+        switch.install(_alloc({"A": 20.0}, {"A": {"A": 15.0, "B": 5.0}}))
+        for i in range(20):
+            switch.handle(_req("A", client=f"C{i}"))
+        sim.run(until=1.0)
+        assert sb.total_completed() <= 7
+        assert sa.total_completed() >= 13
+
+    def test_affinity_denied_when_budget_spent(self, fig9_graph):
+        sim, _, sa, sb, switch = _world(fig9_graph)
+        switch.install(_alloc({"A": 4.0}, {"A": {"A": 2.0, "B": 2.0}}))
+        # Pin C1 to one server, then exhaust that server's budget: the
+        # next request must go to the other server despite affinity.
+        switch.handle(_req("A", client="C1"))
+        first = switch.conntrack.preferred_server("C1", "A")
+        for _ in range(3):
+            switch.handle(_req("A", client="C1"))
+        sim.run(until=1.0)
+        servers_used = {sa.total_completed() > 0, sb.total_completed() > 0}
+        assert servers_used == {True}  # both servers saw traffic
+
+    def test_affinity_disabled(self, fig9_graph):
+        sim, _, _, _, switch = _world(fig9_graph, affinity=False)
+        switch.install(_alloc({"A": 10.0}, {"A": {"A": 5.0, "B": 5.0}}))
+        for _ in range(6):
+            switch.handle(_req("A", client="C1"))
+        assert switch.affinity_hits == 0

@@ -1,0 +1,113 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.l7.http import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    parse_request,
+    parse_response,
+)
+
+
+class TestRequestCodec:
+    def test_roundtrip(self):
+        req = HttpRequest(
+            method="GET", path="/svc/A/page",
+            headers={"Host": "example.com", "X-Custom": "v"},
+        )
+        parsed, rest = parse_request(req.encode())
+        assert parsed.method == "GET"
+        assert parsed.path == "/svc/A/page"
+        assert parsed.header("host") == "example.com"
+        assert parsed.header("x-custom") == "v"
+        assert rest == b""
+
+    def test_body_roundtrip(self):
+        req = HttpRequest(method="POST", path="/", body=b"hello")
+        parsed, rest = parse_request(req.encode())
+        assert parsed.body == b"hello"
+        assert rest == b""
+
+    def test_pipelined_leftover(self):
+        data = HttpRequest(method="GET", path="/a").encode() + b"EXTRA"
+        parsed, rest = parse_request(data)
+        assert parsed.path == "/a"
+        assert rest == b"EXTRA"
+
+    def test_incomplete_raises(self):
+        with pytest.raises(HttpError):
+            parse_request(b"GET / HTTP/1.1\r\nHost: x")
+
+    def test_incomplete_body_raises(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        with pytest.raises(HttpError):
+            parse_request(raw)
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError):
+            parse_request(b"GARBAGE\r\n\r\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(HttpError):
+            parse_request(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+    def test_header_canonicalization(self):
+        parsed, _ = parse_request(b"GET / HTTP/1.1\r\ncontent-TYPE: text/x\r\n\r\n")
+        assert parsed.headers["Content-Type"] == "text/x"
+
+
+class TestResponseCodec:
+    def test_ok_roundtrip(self):
+        resp = HttpResponse.ok(b"body bytes")
+        parsed, rest = parse_response(resp.encode())
+        assert parsed.status == 200
+        assert parsed.body == b"body bytes"
+        assert rest == b""
+
+    def test_redirect(self):
+        resp = HttpResponse.redirect("http://srv:8080/x", retry_after=0.25)
+        parsed, _ = parse_response(resp.encode())
+        assert parsed.status == 302
+        assert parsed.header("location") == "http://srv:8080/x"
+        assert parsed.header("retry-after") == "0.25"
+
+    def test_default_reasons(self):
+        assert HttpResponse(status=200).reason == "OK"
+        assert HttpResponse(status=302).reason == "Found"
+        assert HttpResponse(status=599).reason == "Unknown"
+
+    def test_malformed_status_line(self):
+        with pytest.raises(HttpError):
+            parse_response(b"NOT HTTP\r\n\r\n")
+
+
+class TestProperties:
+    @given(
+        st.sampled_from(["GET", "POST", "HEAD"]),
+        st.text(
+            alphabet=st.characters(min_codepoint=0x21, max_codepoint=0x7E),
+            min_size=1, max_size=40,
+        ).map(lambda s: "/" + s.replace("\\", "")),
+        st.binary(max_size=200),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_request_roundtrip_property(self, method, path, body):
+        if " " in path:
+            return
+        req = HttpRequest(method=method, path=path, body=body)
+        parsed, rest = parse_request(req.encode())
+        assert parsed.method == method
+        assert parsed.path == path
+        assert parsed.body == body
+        assert rest == b""
+
+    @given(st.integers(min_value=100, max_value=599), st.binary(max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_response_roundtrip_property(self, status, body):
+        resp = HttpResponse(status=status, body=body,
+                            headers={"Content-Length": str(len(body))})
+        parsed, rest = parse_response(resp.encode())
+        assert parsed.status == status
+        assert parsed.body == body
+        assert rest == b""

@@ -1,0 +1,162 @@
+"""Bounded-variable revised simplex: unit cases + cross-validation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lp import Model, Status, solve
+from repro.lp.bounded_simplex import solve_bounded_simplex
+from repro.lp.scipy_backend import scipy_available
+
+
+class TestBasicCases:
+    def test_textbook_maximum(self):
+        m = Model()
+        x, y = m.var("x"), m.var("y", ub=2.0)
+        m.add(x + y <= 4)
+        m.add(x <= 3)
+        m.maximize(x + 2 * y)
+        s = solve_bounded_simplex(m)
+        assert s.status is Status.OPTIMAL
+        assert s.objective == pytest.approx(6.0)
+
+    def test_pure_bound_flip_problem(self):
+        # No constraints at all: the optimum is reached by bound flips only.
+        m = Model()
+        x = m.var("x", lb=1.0, ub=5.0)
+        y = m.var("y", lb=-2.0, ub=3.0)
+        m.minimize(x - 2 * y)
+        s = solve_bounded_simplex(m)
+        assert s.value(x) == pytest.approx(1.0)
+        assert s.value(y) == pytest.approx(3.0)
+        assert s.objective == pytest.approx(-5.0)
+
+    def test_equality_constraint(self):
+        m = Model()
+        x, y = m.var("x"), m.var("y")
+        m.add(x + y == 10)
+        m.maximize(y - x)
+        s = solve_bounded_simplex(m)
+        assert s.value(y) == pytest.approx(10.0)
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.var("x", lb=5.0)
+        m.add(x <= 1)
+        m.maximize(x)
+        assert solve_bounded_simplex(m).status is Status.INFEASIBLE
+
+    def test_unbounded(self):
+        m = Model()
+        x = m.var("x")
+        m.maximize(x)
+        assert solve_bounded_simplex(m).status is Status.UNBOUNDED
+
+    def test_free_variables(self):
+        m = Model()
+        u = m.var("u", lb=-math.inf)
+        v = m.var("v", lb=-math.inf, ub=10.0)
+        m.add(u + v == 3)
+        m.minimize(u - v)
+        s = solve_bounded_simplex(m)
+        assert s.objective == pytest.approx(-17.0)
+
+    def test_negative_lower_bounds(self):
+        m = Model()
+        x = m.var("x", lb=-5.0, ub=-1.0)
+        m.add(x >= -3)
+        m.minimize(x)
+        s = solve_bounded_simplex(m)
+        assert s.value(x) == pytest.approx(-3.0)
+
+    def test_degenerate(self):
+        m = Model()
+        x = m.var("x", ub=1.0)
+        for _ in range(3):
+            m.add(x <= 1)
+        m.maximize(x)
+        assert solve_bounded_simplex(m).objective == pytest.approx(1.0)
+
+    def test_iteration_limit(self):
+        m = Model()
+        xs = [m.var(f"x{i}", ub=1.0) for i in range(6)]
+        for i in range(5):
+            m.add(xs[i] + xs[i + 1] <= 1.5)
+        m.maximize(sum(xs))
+        s = solve_bounded_simplex(m, max_iter=1)
+        assert s.status is Status.ITERATION_LIMIT
+
+    def test_community_window_lp(self, fig9_graph):
+        """The real workload: a community window solved by all backends."""
+        from repro.core.access import compute_access_levels
+        from repro.scheduling.community import CommunityScheduler
+        from repro.scheduling.window import WindowConfig
+
+        acc = compute_access_levels(fig9_graph)
+        results = {}
+        for be in ("bounded", "simplex", "scipy"):
+            s = CommunityScheduler(acc, WindowConfig(0.1), backend=be).schedule(
+                {"A": 40.0, "B": 40.0}
+            )
+            results[be] = (s.theta, s.served("A"), s.served("B"))
+        for be, vals in results.items():
+            assert vals[0] == pytest.approx(results["scipy"][0], abs=1e-6), be
+            assert vals[1] == pytest.approx(results["scipy"][1], abs=1e-5), be
+
+
+@st.composite
+def boxed_lp(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    m_rows = draw(st.integers(min_value=0, max_value=5))
+    model = Model()
+    xs = []
+    for i in range(n):
+        lo = draw(st.floats(min_value=-4.0, max_value=2.0))
+        hi = lo + draw(st.floats(min_value=0.1, max_value=6.0))
+        xs.append(model.var(f"x{i}", lb=lo, ub=hi))
+    for _ in range(m_rows):
+        coefs = [draw(st.floats(min_value=-2.0, max_value=2.0)) for _ in range(n)]
+        rhs = draw(st.floats(min_value=-4.0, max_value=8.0))
+        model.add(sum(c * x for c, x in zip(coefs, xs)) <= rhs)
+    model.maximize(
+        sum(draw(st.floats(min_value=-3.0, max_value=3.0)) * x for x in xs)
+    )
+    return model
+
+
+@pytest.mark.skipif(not scipy_available(), reason="scipy missing")
+class TestCrossValidation:
+    @given(boxed_lp())
+    @settings(max_examples=200, deadline=None)
+    def test_matches_scipy_on_boxed_lps(self, model):
+        s1 = solve(model, backend="bounded")
+        s2 = solve(model, backend="scipy")
+        assert s1.status == s2.status
+        if s1.status is Status.OPTIMAL:
+            scale = max(1.0, abs(s2.objective))
+            assert abs(s1.objective - s2.objective) <= 1e-6 * scale
+
+    @given(boxed_lp())
+    @settings(max_examples=80, deadline=None)
+    def test_solution_feasible(self, model):
+        s = solve(model, backend="bounded")
+        if s.status is not Status.OPTIMAL:
+            return
+        c, A_ub, b_ub, A_eq, b_eq, bounds = model.to_arrays()
+        x = s.x
+        if A_ub.size:
+            assert (A_ub @ x <= b_ub + 1e-6).all()
+        for xi, (lo, hi) in zip(x, bounds):
+            assert lo - 1e-7 <= xi <= hi + 1e-7
+
+    @given(boxed_lp())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_row_based_simplex(self, model):
+        s1 = solve(model, backend="bounded")
+        s2 = solve(model, backend="simplex")
+        assert s1.status == s2.status
+        if s1.status is Status.OPTIMAL:
+            scale = max(1.0, abs(s2.objective))
+            assert abs(s1.objective - s2.objective) <= 1e-6 * scale

@@ -1,0 +1,38 @@
+import pytest
+
+from repro.lp import Model, available_backends, solve
+from repro.lp.scipy_backend import scipy_available
+
+
+def _toy():
+    m = Model()
+    x = m.var("x", ub=3.0)
+    m.maximize(x)
+    return m, x
+
+
+class TestFacade:
+    def test_available_backends_contains_simplex(self):
+        assert "simplex" in available_backends()
+
+    def test_auto_solves(self):
+        m, x = _toy()
+        s = solve(m, backend="auto")
+        assert s.value(x) == pytest.approx(3.0)
+
+    def test_explicit_backends_agree(self):
+        m, x = _toy()
+        results = {b: solve(m, backend=b).objective for b in available_backends()}
+        vals = list(results.values())
+        assert all(v == pytest.approx(vals[0]) for v in vals)
+
+    def test_unknown_backend(self):
+        m, _ = _toy()
+        with pytest.raises(ValueError, match="unknown backend"):
+            solve(m, backend="cplex")
+
+    @pytest.mark.skipif(not scipy_available(), reason="scipy missing")
+    def test_backend_recorded_in_solution(self):
+        m, _ = _toy()
+        assert solve(m, backend="scipy").backend == "scipy"
+        assert solve(m, backend="simplex").backend == "simplex"

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.scheduling.credits import CreditScheduler
+
+
+class TestCreditScheduler:
+    def test_accrual_rate(self):
+        cs = CreditScheduler({"A": 10.0}, burst=1.0)
+        # Start full (1 credit), admit, then need 0.1s to accrue the next.
+        assert cs.try_admit("A", now=0.0)
+        assert not cs.try_admit("A", now=0.05)
+        assert cs.try_admit("A", now=0.11)
+
+    def test_long_run_rate(self):
+        cs = CreditScheduler({"A": 50.0}, burst=1.0)
+        admitted = 0
+        t = 0.0
+        for _ in range(10_000):
+            t += 0.001
+            if cs.try_admit("A", now=t):
+                admitted += 1
+        assert admitted / t == pytest.approx(50.0, rel=0.05)
+
+    def test_burst_cap(self):
+        cs = CreditScheduler({"A": 10.0}, burst=3.0)
+        # Long idle: credits capped at burst, not 10*100.
+        assert cs.credits("A", now=100.0) == pytest.approx(3.0)
+
+    def test_set_rate_retargets(self):
+        cs = CreditScheduler({"A": 10.0}, burst=1.0)
+        cs.try_admit("A", now=0.0)
+        cs.set_rate("A", 100.0, now=0.0)
+        assert cs.try_admit("A", now=0.02)  # 2 credits accrued at new rate
+
+    def test_zero_rate_blocks(self):
+        cs = CreditScheduler({"A": 0.0}, burst=1.0)
+        assert cs.try_admit("A", now=0.0)   # initial burst
+        assert not cs.try_admit("A", now=100.0)
+
+    def test_time_backwards_rejected(self):
+        cs = CreditScheduler({"A": 1.0})
+        cs.try_admit("A", now=5.0)
+        with pytest.raises(ValueError):
+            cs.try_admit("A", now=1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            CreditScheduler({"A": -1.0})
+
+    def test_cost_weighted(self):
+        cs = CreditScheduler({"A": 10.0}, burst=5.0)
+        assert cs.try_admit("A", now=0.0, cost=5.0)
+        assert not cs.try_admit("A", now=0.0, cost=1.0)
+
+    def test_proportional_sharing(self):
+        # Two principals with 3:1 rates admit ~3:1 under saturation.
+        cs = CreditScheduler({"A": 30.0, "B": 10.0}, burst=1.0)
+        counts = {"A": 0, "B": 0}
+        t = 0.0
+        for _ in range(20_000):
+            t += 0.001
+            for p in ("A", "B"):
+                if cs.try_admit(p, now=t):
+                    counts[p] += 1
+        assert counts["A"] / counts["B"] == pytest.approx(3.0, rel=0.05)

@@ -1,0 +1,101 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scheduling.endpoint import EndpointEnforcer, endpoint_allocate
+
+
+class TestFig1Numbers:
+    def test_server1(self):
+        alloc = endpoint_allocate({"A": 20, "B": 30}, {"A": 0.2, "B": 0.8}, 50)
+        assert alloc == {"A": pytest.approx(20.0), "B": pytest.approx(30.0)}
+
+    def test_server2(self):
+        alloc = endpoint_allocate({"A": 20, "B": 50}, {"A": 0.2, "B": 0.8}, 50)
+        assert alloc == {"A": pytest.approx(10.0), "B": pytest.approx(40.0)}
+
+    def test_aggregate_violates_sla(self):
+        s1 = endpoint_allocate({"A": 20, "B": 30}, {"A": 0.2, "B": 0.8}, 50)
+        s2 = endpoint_allocate({"A": 20, "B": 50}, {"A": 0.2, "B": 0.8}, 50)
+        total_b = s1["B"] + s2["B"]
+        assert total_b == pytest.approx(70.0)  # < the 80 B is entitled to
+
+
+class TestMechanics:
+    def test_underload_serves_all(self):
+        alloc = endpoint_allocate({"A": 5, "B": 5}, {"A": 0.5, "B": 0.5}, 100)
+        assert alloc == {"A": pytest.approx(5.0), "B": pytest.approx(5.0)}
+
+    def test_guarantee_during_overload(self):
+        alloc = endpoint_allocate({"A": 100, "B": 100}, {"A": 0.7, "B": 0.3}, 10)
+        assert alloc["A"] == pytest.approx(7.0)
+        assert alloc["B"] == pytest.approx(3.0)
+
+    def test_leftover_water_fill(self):
+        alloc = endpoint_allocate({"A": 2, "B": 100}, {"A": 0.5, "B": 0.5}, 10)
+        assert alloc["A"] == pytest.approx(2.0)
+        assert alloc["B"] == pytest.approx(8.0)
+
+    def test_zero_capacity(self):
+        alloc = endpoint_allocate({"A": 5}, {"A": 1.0}, 0.0)
+        assert alloc["A"] == 0.0
+
+    def test_over_promised_shares_rejected(self):
+        with pytest.raises(ValueError):
+            endpoint_allocate({"A": 1}, {"A": 0.7, "B": 0.7}, 10)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            endpoint_allocate({"A": -1}, {"A": 0.5}, 10)
+
+    def test_enforcer_wrapper(self):
+        e = EndpointEnforcer("S1", 50.0, {"A": 0.2, "B": 0.8})
+        assert e.allocate({"A": 20, "B": 30})["A"] == pytest.approx(20.0)
+
+
+class TestProperties:
+    @given(
+        st.dictionaries(
+            st.sampled_from(["A", "B", "C"]),
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+        ),
+        st.floats(min_value=0.0, max_value=120.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_never_exceeds_capacity_or_demand(self, demands, capacity):
+        shares = {p: 1.0 / 3.0 for p in ("A", "B", "C")}
+        alloc = endpoint_allocate(demands, shares, capacity)
+        assert sum(alloc.values()) <= capacity + 1e-6
+        for p, d in demands.items():
+            assert alloc[p] <= d + 1e-9
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["A", "B", "C"]),
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+        ),
+        st.floats(min_value=1.0, max_value=120.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_work_conserving(self, demands, capacity):
+        shares = {p: 1.0 / 3.0 for p in ("A", "B", "C")}
+        alloc = endpoint_allocate(demands, shares, capacity)
+        total = sum(alloc.values())
+        assert total == pytest.approx(min(capacity, sum(demands.values())), abs=1e-5)
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["A", "B"]),
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=2,
+        ),
+        st.floats(min_value=1.0, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_guarantee_floor(self, demands, capacity):
+        shares = {"A": 0.6, "B": 0.4}
+        alloc = endpoint_allocate(demands, shares, capacity)
+        for p in demands:
+            floor = min(demands[p], shares[p] * capacity)
+            assert alloc[p] >= floor - 1e-6

@@ -1,0 +1,38 @@
+import pytest
+
+from repro.scheduling.locality import locality_caps_from_bias, normalize_bias
+
+
+class TestNormalizeBias:
+    def test_normalizes(self):
+        assert normalize_bias({"S1": 3, "S2": 1}) == {
+            "S1": pytest.approx(0.75),
+            "S2": pytest.approx(0.25),
+        }
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_bias({"S1": 0.0})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_bias({"S1": -1.0, "S2": 2.0})
+
+
+class TestLocalityCaps:
+    def test_fig1_bias(self):
+        caps = locality_caps_from_bias(40.0, {"S1": 3, "S2": 1})
+        assert caps["S1"] == pytest.approx(30.0)
+        assert caps["S2"] == pytest.approx(10.0)
+
+    def test_slack_loosens(self):
+        caps = locality_caps_from_bias(40.0, {"S1": 1, "S2": 1}, slack=1.5)
+        assert caps["S1"] == pytest.approx(30.0)
+
+    def test_bad_slack(self):
+        with pytest.raises(ValueError):
+            locality_caps_from_bias(10.0, {"S1": 1}, slack=0.5)
+
+    def test_negative_load(self):
+        with pytest.raises(ValueError):
+            locality_caps_from_bias(-1.0, {"S1": 1})

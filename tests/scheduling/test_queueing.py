@@ -1,0 +1,106 @@
+import pytest
+
+from repro.scheduling.queueing import ImplicitQuota, PrincipalQueues
+
+
+class TestPrincipalQueues:
+    def test_fifo_order(self):
+        q = PrincipalQueues(["A"])
+        for i in range(5):
+            q.enqueue("A", f"r{i}", now=float(i))
+        out = q.dequeue_upto("A", 3)
+        assert [item for item, _ in out] == ["r0", "r1", "r2"]
+        assert q.length("A") == 2
+
+    def test_dequeue_more_than_available(self):
+        q = PrincipalQueues(["A"])
+        q.enqueue("A", "r", now=0.0)
+        assert len(q.dequeue_upto("A", 10)) == 1
+        assert q.dequeue_upto("A", 10) == []
+
+    def test_negative_count_rejected(self):
+        q = PrincipalQueues(["A"])
+        with pytest.raises(ValueError):
+            q.dequeue_upto("A", -1)
+
+    def test_bounded_depth_drops(self):
+        q = PrincipalQueues(["A"], max_depth=2)
+        assert q.enqueue("A", 1, 0.0)
+        assert q.enqueue("A", 2, 0.0)
+        assert not q.enqueue("A", 3, 0.0)
+        assert q.stats["A"].dropped == 1
+
+    def test_lengths_and_stats(self):
+        q = PrincipalQueues(["A", "B"])
+        q.enqueue("A", 1, 0.0)
+        assert q.lengths() == {"A": 1, "B": 0}
+        assert q.stats["A"].enqueued == 1
+        assert q.stats["A"].peak == 1
+
+    def test_peek_ages(self):
+        q = PrincipalQueues(["A"])
+        q.enqueue("A", 1, now=1.0)
+        q.enqueue("A", 2, now=3.0)
+        assert q.peek_ages("A", now=5.0) == [4.0, 2.0]
+
+    def test_unknown_principal(self):
+        q = PrincipalQueues(["A"])
+        with pytest.raises(KeyError):
+            q.enqueue("Z", 1, 0.0)
+
+
+class TestImplicitQuota:
+    def test_admit_within_quota(self):
+        iq = ImplicitQuota(["A"])
+        iq.new_window({"A": 3.0})
+        assert [iq.try_admit("A") for _ in range(4)] == [True, True, True, False]
+
+    def test_fractional_quota_carries(self):
+        # 0.5/window admits one request every two windows.
+        iq = ImplicitQuota(["A"])
+        admitted = 0
+        for _ in range(10):
+            iq.new_window({"A": 0.5})
+            if iq.try_admit("A"):
+                admitted += 1
+        assert admitted == 5
+
+    def test_unused_quota_does_not_bank(self):
+        iq = ImplicitQuota(["A"], carry_cap=1.0)
+        iq.new_window({"A": 50.0})
+        iq.new_window({"A": 0.0})
+        # At most the carry cap (plus rounding slack) survives.
+        assert iq.budget("A") <= 1.0
+
+    def test_cost_weighted_admission(self):
+        # The paper: large requests are multiple small ones.
+        iq = ImplicitQuota(["A"])
+        iq.new_window({"A": 4.0})
+        assert iq.try_admit("A", cost=3.0)
+        assert not iq.try_admit("A", cost=3.0)
+
+    def test_rejected_counted(self):
+        iq = ImplicitQuota(["A"])
+        iq.new_window({"A": 0.0})
+        iq.try_admit("A")
+        assert iq.rejected["A"] == 1
+
+    def test_unknown_principal(self):
+        iq = ImplicitQuota(["A"])
+        with pytest.raises(KeyError):
+            iq.try_admit("Z")
+
+    def test_bad_cost(self):
+        iq = ImplicitQuota(["A"])
+        with pytest.raises(ValueError):
+            iq.try_admit("A", cost=0.0)
+
+    def test_long_run_rate_matches_quota(self):
+        # Residual-carrying rounding hits the aggregate target.
+        iq = ImplicitQuota(["A"])
+        admitted = 0
+        for _ in range(100):
+            iq.new_window({"A": 2.3})
+            while iq.try_admit("A"):
+                admitted += 1
+        assert admitted == pytest.approx(230, abs=1)

@@ -1,0 +1,26 @@
+import pytest
+
+from repro.scheduling.window import WindowConfig
+
+
+class TestWindowConfig:
+    def test_paper_default(self):
+        assert WindowConfig().length == pytest.approx(0.1)
+
+    def test_rate_conversions(self):
+        w = WindowConfig(0.1)
+        assert w.requests(320.0) == pytest.approx(32.0)
+        assert w.rate(32.0) == pytest.approx(320.0)
+
+    def test_roundtrip(self):
+        w = WindowConfig(0.25)
+        assert w.rate(w.requests(123.0)) == pytest.approx(123.0)
+
+    def test_index(self):
+        w = WindowConfig(0.1)
+        assert w.index(0.05) == 0
+        assert w.index(0.25) == 2
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            WindowConfig(0.0)

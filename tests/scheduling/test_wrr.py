@@ -1,0 +1,59 @@
+import collections
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scheduling.wrr import SmoothWeightedRoundRobin
+
+
+class TestSmoothWRR:
+    def test_classic_sequence(self):
+        wrr = SmoothWeightedRoundRobin({"a": 3, "b": 1})
+        assert [wrr.next() for _ in range(4)] == ["a", "a", "b", "a"]
+
+    def test_nginx_example(self):
+        # The canonical 5/1/1 smooth sequence spreads the heavy key.
+        wrr = SmoothWeightedRoundRobin({"a": 5, "b": 1, "c": 1})
+        seq = [wrr.next() for _ in range(7)]
+        assert collections.Counter(seq) == {"a": 5, "b": 1, "c": 1}
+        # 'a' never runs more than 3 times consecutively in smooth WRR
+        runs = max(
+            len(list(g)) for k, g in __import__("itertools").groupby(seq) if k == "a"
+        )
+        assert runs <= 3
+
+    def test_empty_weights(self):
+        assert SmoothWeightedRoundRobin().next() is None
+        assert SmoothWeightedRoundRobin({"a": 0.0}).next() is None
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            SmoothWeightedRoundRobin({"a": -1.0})
+
+    def test_reweighting_keeps_scores(self):
+        wrr = SmoothWeightedRoundRobin({"a": 1, "b": 1})
+        first = wrr.next()
+        wrr.set_weights({"a": 1, "b": 1})
+        second = wrr.next()
+        assert {first, second} == {"a", "b"}  # no reset-induced repeat
+
+    def test_removed_key_dropped(self):
+        wrr = SmoothWeightedRoundRobin({"a": 1, "b": 1})
+        wrr.set_weights({"a": 1})
+        assert all(wrr.next() == "a" for _ in range(5))
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]),
+            st.integers(min_value=1, max_value=9),
+            min_size=1,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_proportions_per_cycle(self, weights):
+        wrr = SmoothWeightedRoundRobin(weights)
+        total = sum(weights.values())
+        seq = [wrr.next() for _ in range(total * 3)]
+        counts = collections.Counter(seq)
+        for k, w in weights.items():
+            assert counts[k] == 3 * w

@@ -1,0 +1,120 @@
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.monitor import PhaseStats, RateMeter, TimeSeries, summarize_phases
+
+
+class TestRateMeter:
+    def test_series(self):
+        m = RateMeter(1.0)
+        for t in (0.1, 0.2, 1.5):
+            m.record("A", t)
+        times, rates = m.series("A")
+        np.testing.assert_allclose(times, [0.5, 1.5])
+        np.testing.assert_allclose(rates, [2.0, 1.0])
+
+    def test_empty_series(self):
+        times, rates = RateMeter().series("missing")
+        assert times.size == 0 and rates.size == 0
+
+    def test_gap_bins_are_zero(self):
+        m = RateMeter(1.0)
+        m.record("A", 0.5)
+        m.record("A", 3.5)
+        _, rates = m.series("A")
+        np.testing.assert_allclose(rates, [1.0, 0.0, 0.0, 1.0])
+
+    def test_total_and_mean_rate(self):
+        m = RateMeter(0.5)
+        for t in np.arange(0, 10, 0.1):
+            m.record("A", float(t))
+        assert m.total("A", 0, 10) == pytest.approx(100)
+        assert m.mean_rate("A", 0.0, 10.0) == pytest.approx(10.0)
+
+    def test_weights(self):
+        m = RateMeter(1.0)
+        m.record("A", 0.2, weight=2.5)
+        assert m.total("A") == pytest.approx(2.5)
+
+    def test_bad_window(self):
+        m = RateMeter(1.0)
+        with pytest.raises(ValueError):
+            m.mean_rate("A", 5.0, 5.0)
+
+    def test_bad_bin_width(self):
+        with pytest.raises(ValueError):
+            RateMeter(0.0)
+
+    def test_keys_sorted(self):
+        m = RateMeter()
+        m.record("z", 0.0)
+        m.record("a", 0.0)
+        assert m.keys == ["a", "z"]
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_series_integral_equals_count(self, times):
+        m = RateMeter(1.0)
+        for t in times:
+            m.record("k", t)
+        _, rates = m.series("k")
+        assert rates.sum() * 1.0 == pytest.approx(len(times))
+
+
+class TestTimeSeries:
+    def test_window_and_mean(self):
+        ts = TimeSeries()
+        for t in range(10):
+            ts.record(float(t), float(t) * 2)
+        np.testing.assert_allclose(ts.window(2.0, 5.0), [4.0, 6.0, 8.0])
+        assert ts.mean(2.0, 5.0) == pytest.approx(6.0)
+
+    def test_non_monotonic_rejected(self):
+        ts = TimeSeries()
+        ts.record(1.0, 0.0)
+        with pytest.raises(ValueError):
+            ts.record(0.5, 0.0)
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(TimeSeries().mean(0.0, 1.0))
+
+    def test_last_before(self):
+        ts = TimeSeries()
+        ts.record(1.0, 10.0)
+        ts.record(2.0, 20.0)
+        assert ts.last_before(1.5) == 10.0
+        assert ts.last_before(0.5) is None
+        assert ts.last_before(2.0) == 20.0
+
+    def test_len_and_arrays(self):
+        ts = TimeSeries()
+        ts.record(0.0, 1.0)
+        assert len(ts) == 1
+        np.testing.assert_allclose(ts.times, [0.0])
+        np.testing.assert_allclose(ts.values, [1.0])
+
+
+class TestPhaseSummaries:
+    def test_summarize_phases(self):
+        m = RateMeter(1.0)
+        for t in np.arange(0.0, 10.0, 0.5):   # 2/sec
+            m.record("A", float(t))
+        for t in np.arange(10.0, 20.0, 0.25):  # 4/sec
+            m.record("A", float(t))
+        stats = summarize_phases(m, [("p1", 0.0, 10.0), ("p2", 10.0, 20.0)])
+        assert stats[0].rate("A") == pytest.approx(2.0)
+        assert stats[1].rate("A") == pytest.approx(4.0)
+
+    def test_settle_trims_transient(self):
+        m = RateMeter(1.0)
+        for t in np.arange(0.0, 2.0, 0.01):   # burst at phase start
+            m.record("A", float(t))
+        stats = summarize_phases(m, [("p", 0.0, 10.0)], settle=2.0)
+        assert stats[0].rate("A") == pytest.approx(0.0)
+
+    def test_missing_key_rate_zero(self):
+        stats = PhaseStats("p", 0.0, 1.0)
+        assert stats.rate("missing") == 0.0

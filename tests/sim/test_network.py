@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Endpoint, Link
+
+
+class Sink(Endpoint):
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+
+    def on_message(self, msg, sender):
+        self.received.append((self.sim.now, msg))
+
+
+class TestLink:
+    def test_delay(self):
+        sim = Simulator()
+        src, dst = Sink(sim), Sink(sim)
+        link = Link(sim, src, dst, delay=0.5)
+        link.send("hello")
+        sim.run()
+        assert dst.received == [(0.5, "hello")]
+
+    def test_counters(self):
+        sim = Simulator()
+        link = Link(sim, Sink(sim), Sink(sim), delay=0.1)
+        for i in range(5):
+            link.send(i)
+        assert link.sent == 5
+        sim.run()
+        assert link.delivered == 5
+
+    def test_fifo_under_jitter(self):
+        sim = Simulator()
+        dst = Sink(sim)
+        rng = np.random.default_rng(0)
+        link = Link(sim, Sink(sim), dst, delay=0.1, jitter=0.5, rng=rng)
+        for i in range(50):
+            sim.schedule(i * 0.01, link.send, i)
+        sim.run()
+        got = [msg for _, msg in dst.received]
+        assert got == list(range(50))  # never reordered
+
+    def test_jitter_requires_rng(self):
+        sim = Simulator()
+        link = Link(sim, Sink(sim), Sink(sim), delay=0.1, jitter=0.2)
+        with pytest.raises(ValueError):
+            link.send("x")
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, Sink(sim), Sink(sim), delay=-1.0)
+
+    def test_loss(self):
+        sim = Simulator()
+        dst = Sink(sim)
+        rng = np.random.default_rng(1)
+        link = Link(sim, Sink(sim), dst, delay=0.0, loss=0.3, rng=rng)
+        for i in range(2000):
+            link.send(i)
+        sim.run()
+        assert link.lost == pytest.approx(600, rel=0.15)
+        assert link.delivered == link.sent - link.lost
+
+    def test_loss_requires_rng(self):
+        sim = Simulator()
+        link = Link(sim, Sink(sim), Sink(sim), loss=0.5)
+        with pytest.raises(ValueError):
+            link.send("x")
+
+    def test_invalid_loss(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, Sink(sim), Sink(sim), loss=1.0)
+
+    def test_on_deliver_hook(self):
+        sim = Simulator()
+        seen = []
+        link = Link(sim, Sink(sim), Sink(sim), delay=0.0, on_deliver=seen.append)
+        link.send("x")
+        sim.run()
+        assert seen == ["x"]

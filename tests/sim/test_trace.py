@@ -1,0 +1,68 @@
+import pytest
+
+from repro.sim.trace import Tracer
+
+
+class TestTracer:
+    def test_record_and_query(self):
+        tr = Tracer()
+        tr.record(1.0, "completion", principal="A")
+        tr.record(2.0, "completion", principal="B")
+        tr.record(3.0, "allocation", node="R1")
+        assert tr.count("completion") == 2
+        assert tr.count("completion", principal="A") == 1
+        assert tr.count() == 3
+
+    def test_time_window(self):
+        tr = Tracer()
+        for t in range(10):
+            tr.record(float(t), "tick")
+        assert len(tr.query("tick", t0=2.0, t1=5.0)) == 3
+
+    def test_ring_buffer(self):
+        tr = Tracer(maxlen=5)
+        for t in range(8):
+            tr.record(float(t), "tick", n=t)
+        assert len(tr) == 5
+        assert tr.dropped == 3
+        assert tr.query("tick")[0]["n"] == 3  # oldest kept
+
+    def test_summary_and_last(self):
+        tr = Tracer()
+        tr.record(0.0, "a")
+        tr.record(1.0, "b")
+        tr.record(2.0, "a")
+        assert tr.summary() == {"a": 2, "b": 1}
+        assert tr.last("a")["t"] == 2.0
+        assert tr.last("zzz") is None
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.record(0.0, "x")
+        tr.clear()
+        assert len(tr) == 0
+
+    def test_bad_maxlen(self):
+        with pytest.raises(ValueError):
+            Tracer(maxlen=0)
+
+
+class TestScenarioTracing:
+    def test_traced_scenario_records_events(self, fig6_graph):
+        from repro.experiments.harness import Scenario
+
+        sc = Scenario(fig6_graph, seed=21, trace=True)
+        srv = sc.server("S", "S", 320.0)
+        red = sc.l7("R", {"S": srv})
+        sc.client("CB", "B", red, rate=100.0)
+        sc.run(5.0)
+        assert sc.tracer.count("completion", principal="B") > 300
+        allocations = sc.tracer.query("allocation", node="R")
+        assert len(allocations) == pytest.approx(50, abs=2)
+        assert all("quotas" in a for a in allocations)
+
+    def test_untraced_scenario_has_no_tracer(self, fig6_graph):
+        from repro.experiments.harness import Scenario
+
+        sc = Scenario(fig6_graph)
+        assert sc.tracer is None

@@ -1,0 +1,79 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import main, parse_graph_spec
+
+
+class TestParseGraphSpec:
+    def test_principals_and_agreements(self):
+        g = parse_graph_spec(["A:1000", "B:1500", "C", "A-B:0.4:0.6", "B-C:0.6:1.0"])
+        assert g.names == ["A", "B", "C"]
+        assert g.principal("A").capacity == 1000.0
+        assert g.principal("C").capacity == 0.0
+        assert g.agreement("A", "B").ub == pytest.approx(0.6)
+
+    def test_point_agreement(self):
+        g = parse_graph_spec(["A:10", "B", "A-B:0.5"])
+        a = g.agreement("A", "B")
+        assert (a.lb, a.ub) == (0.5, 0.5)
+
+    def test_malformed_agreement(self):
+        with pytest.raises(ValueError):
+            parse_graph_spec(["A", "B", "A-B-C:0.5"])
+
+    def test_malformed_principal(self):
+        with pytest.raises(ValueError):
+            parse_graph_spec(["A:1:2:3"])
+
+
+class TestCommands:
+    def test_inspect(self, capsys):
+        rc = main(["inspect", "A:1000", "B:1500", "C", "A-B:0.4:0.6", "B-C:0.6:1.0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1140.0" in out      # C's transitive mandatory
+        assert "C on B" in out
+
+    def test_inspect_bad_spec_returns_error(self, capsys):
+        rc = main(["inspect", "A-B:0.4"])       # unknown principals
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_figures_subset(self, capsys):
+        rc = main(["figures", "--only", "fig1,fig3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig1: ok" in out and "fig3: ok" in out
+
+    def test_figures_unknown_id(self, capsys):
+        rc = main(["figures", "--only", "fig99"])
+        assert rc == 1
+        assert "unknown figure" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        rc = main([
+            "report", "--scale", "0.06", "--output", str(out_file),
+        ])
+        assert rc == 0
+        text = out_file.read_text()
+        assert "fig3" in text
+        assert "reproduced exactly: yes" in text
+
+    def test_figures_plot_flag(self, capsys):
+        rc = main(["figures", "--only", "fig7", "--scale", "0.1", "--plot"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig7: ok" in out
+        assert "|" in out and "* A" in out   # the terminal chart rendered
+
+    def test_baseline(self, capsys):
+        rc = main(["baseline", "--duration", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "coordinated" in out and "wrr" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
