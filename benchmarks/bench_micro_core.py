@@ -2,15 +2,33 @@
 
 These quantify the headroom behind the paper's claims — e.g. that a
 redirector can afford an LP solve plus quota bookkeeping every 100 ms.
+
+Headline medians land in ``benchmarks/BENCH_core.json`` (committed) via
+:func:`repro.experiments.benchrecord.record_bench`, so perf changes show
+up in diffs.
 """
+
+import os
 
 import numpy as np
 
 from repro.core.access import compute_access_levels
 from repro.core.agreements import Agreement, AgreementGraph
+from repro.experiments.benchrecord import record_bench
+from repro.scheduling.community import CommunityScheduler
 from repro.scheduling.queueing import ImplicitQuota
+from repro.scheduling.window import WindowConfig
 from repro.scheduling.wrr import SmoothWeightedRoundRobin
 from repro.sim.engine import Simulator
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_core.json")
+
+
+def _record(benchmark, name, **meta):
+    """Stash this benchmark's median (ms) in the committed ledger."""
+    record_bench(
+        name, benchmark.stats.stats.median * 1000.0, meta=meta, path=BENCH_PATH
+    )
 
 
 def test_engine_event_throughput(benchmark):
@@ -82,3 +100,96 @@ def test_smooth_wrr_pick(benchmark):
             wrr.next()
 
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+# -- window scheduling: LP solve cache and warm start -----------------------
+
+_N_WINDOWS = 1000
+
+
+def _sharing_access():
+    g = AgreementGraph()
+    g.add_principal("S", capacity=320.0)
+    g.add_principal("A")
+    g.add_principal("B")
+    g.add_agreement(Agreement("S", "A", 0.2, 1.0))
+    g.add_agreement(Agreement("S", "B", 0.8, 1.0))
+    return compute_access_levels(g)
+
+
+def _steady_demands(windows=_N_WINDOWS):
+    """Three steady plateaus — the paper's phased experiments in miniature."""
+    out = []
+    for w in range(windows):
+        if w < windows * 2 // 5:
+            out.append({"A": 27.0, "B": 13.5})
+        elif w < windows * 7 // 10:
+            out.append({"A": 40.5, "B": 13.5})
+        else:
+            out.append({"A": 27.0, "B": 0.0})
+    return out
+
+
+def _run_windows(demands, **kw):
+    sched = CommunityScheduler(_sharing_access(), WindowConfig(0.1), **kw)
+    for d in demands:
+        sched.schedule(d)
+    return sched
+
+
+def test_window_schedule_cold(benchmark):
+    """1000 windows of steady demand, every window solved from scratch."""
+    demands = _steady_demands()
+    sched = benchmark.pedantic(
+        lambda: _run_windows(demands, lp_cache=False, warm_start=False),
+        rounds=1, iterations=1,
+    )
+    assert sched.lp_solves == _N_WINDOWS
+    _record(benchmark, "window_schedule_cold",
+            windows=_N_WINDOWS, lp_solves=sched.lp_solves)
+
+
+def test_window_schedule_cached(benchmark):
+    """Same 1000 windows with the exact-demand SolveCache on.
+
+    Steady plateaus mean only a handful of distinct demand vectors, so the
+    cache must cut full LP solves by well over the 3x acceptance floor.
+    """
+    demands = _steady_demands()
+    sched = benchmark.pedantic(
+        lambda: _run_windows(demands, lp_cache=True),
+        rounds=1, iterations=1,
+    )
+    cold_solves = _N_WINDOWS                    # one per window, by construction
+    assert cold_solves >= 3 * sched.lp_solves, (
+        f"cache saved too little: {sched.lp_solves} solves vs {cold_solves} cold"
+    )
+    assert sched.cache_hits == _N_WINDOWS - sched.lp_solves
+    _record(benchmark, "window_schedule_cached",
+            windows=_N_WINDOWS, lp_solves=sched.lp_solves,
+            cache_hits=sched.cache_hits)
+
+
+def _drifting_demands(windows=200):
+    """Slow per-window drift: every vector distinct, so the cache never
+    hits and only the warm-started basis can help."""
+    return [
+        {"A": 27.0 + 0.01 * w, "B": 13.5 + 0.005 * w} for w in range(windows)
+    ]
+
+
+def test_window_schedule_warm_start(benchmark):
+    """Drifting demand on the bounded backend: basis reuse vs cold starts."""
+    demands = _drifting_demands()
+    cold = _run_windows(demands, backend="bounded",
+                        lp_cache=False, warm_start=False)
+    warm = benchmark.pedantic(
+        lambda: _run_windows(demands, backend="bounded",
+                             lp_cache=False, warm_start=True),
+        rounds=1, iterations=1,
+    )
+    assert warm.lp_solves == cold.lp_solves == len(demands)
+    assert warm.lp_iterations <= cold.lp_iterations
+    _record(benchmark, "window_schedule_warm_start",
+            windows=len(demands), warm_iterations=warm.lp_iterations,
+            cold_iterations=cold.lp_iterations)

@@ -42,6 +42,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated figure ids (default: all)")
     p_fig.add_argument("--plot", action="store_true",
                        help="render each figure's rate series as a terminal chart")
+    p_fig.add_argument("--lp-cache", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="memoise window LP solves on exact demand "
+                            "(bit-identical results; --no-lp-cache disables)")
+    p_fig.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the figure batch "
+                            "(results are independent of this)")
 
     p_rep = sub.add_parser("report", help="render the paper-vs-measured report")
     p_rep.add_argument("--scale", type=float, default=0.5)
@@ -99,21 +106,29 @@ def parse_graph_spec(tokens: List[str]) -> AgreementGraph:
 
 def _cmd_figures(args) -> int:
     from repro.experiments.figures import ALL_FIGURES
+    from repro.experiments.parallel import figure_kwargs, run_figures_parallel
 
     wanted = [f.strip() for f in args.only.split(",") if f.strip()] or list(ALL_FIGURES)
     failures = 0
+    known = [n for n in wanted if n in ALL_FIGURES]
+    lp_cache = getattr(args, "lp_cache", True)
+    jobs = max(1, getattr(args, "jobs", 1))
+    if jobs > 1:
+        results = dict(run_figures_parallel(
+            known, scale=args.scale, seed=args.seed, jobs=jobs,
+            lp_cache=lp_cache,
+        ))
+    else:
+        results = {
+            n: ALL_FIGURES[n](**figure_kwargs(n, args.scale, args.seed, lp_cache))
+            for n in known
+        }
     for name in wanted:
-        fn = ALL_FIGURES.get(name)
-        if fn is None:
+        result = results.get(name)
+        if result is None:
             print(f"{name}: unknown figure (have {', '.join(ALL_FIGURES)})")
             failures += 1
             continue
-        if name in ("fig1", "fig3"):
-            result = fn()
-        elif name == "fig1d":
-            result = fn(duration=max(20.0, 100.0 * args.scale), seed=args.seed)
-        else:
-            result = fn(duration_scale=args.scale, seed=args.seed)
         status = "ok" if result.ok else "FAILED"
         print(f"{name}: {status}")
         if not result.ok and hasattr(result, "deviations"):

@@ -9,6 +9,10 @@
   expected values.
 - :mod:`repro.experiments.report` — text rendering for results
   (the tables recorded in ``EXPERIMENTS.md``).
+- :mod:`repro.experiments.parallel` — deterministic multi-process
+  execution of figure/sweep batches (results independent of job count).
+- :mod:`repro.experiments.benchrecord` — the committed microbenchmark
+  ledger (``benchmarks/BENCH_core.json``).
 """
 
 from repro.experiments.harness import FigureResult, PhaseExpectation, Scenario
@@ -26,6 +30,13 @@ from repro.experiments.baselines import (
     BaselineComparison,
     PassthroughRedirector,
     run_enforcement_comparison,
+)
+from repro.experiments.benchrecord import load_bench, record_bench
+from repro.experiments.parallel import (
+    default_jobs,
+    parallel_map,
+    run_figures_parallel,
+    scenario_seed,
 )
 from repro.experiments.report import render_result, render_all
 
@@ -46,4 +57,10 @@ __all__ = [
     "ALL_FIGURES",
     "render_result",
     "render_all",
+    "scenario_seed",
+    "default_jobs",
+    "parallel_map",
+    "run_figures_parallel",
+    "record_bench",
+    "load_bench",
 ]

@@ -1,0 +1,69 @@
+"""Microbenchmark ledger: ``benchmarks/BENCH_core.json``.
+
+Benchmarks record their headline numbers (median wall-clock per operation,
+plus whatever counters justify a speedup claim) into one committed JSON
+file, so performance changes show up in review diffs next to the code that
+caused them.  Format, one entry per benchmark id::
+
+    {
+      "window_schedule_cached": {
+        "median_ms": 0.123,
+        "prev_median_ms": 0.456,      # previous recording, when it changed
+        "meta": {"lp_solves": 3, "windows": 1000}
+      }
+    }
+
+:func:`record_bench` merges (never truncates) so independent benchmarks can
+write concurrently-committed entries without clobbering each other.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["record_bench", "load_bench", "DEFAULT_BENCH_PATH"]
+
+DEFAULT_BENCH_PATH = os.path.join("benchmarks", "BENCH_core.json")
+
+
+def load_bench(path: str = DEFAULT_BENCH_PATH) -> Dict[str, Any]:
+    """Current ledger contents ({} when absent or unreadable)."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+        return data if isinstance(data, dict) else {}
+    except (OSError, ValueError):
+        return {}
+
+
+def record_bench(
+    name: str,
+    median_ms: float,
+    meta: Optional[Mapping[str, Any]] = None,
+    path: str = DEFAULT_BENCH_PATH,
+) -> Dict[str, Any]:
+    """Merge one benchmark's medians into the ledger; returns the entry.
+
+    The previous median is kept as ``prev_median_ms`` whenever the new one
+    differs, so the diff itself shows the before/after pair.
+    """
+    data = load_bench(path)
+    old = data.get(name, {}) if isinstance(data.get(name), dict) else {}
+    entry: Dict[str, Any] = {"median_ms": round(float(median_ms), 6)}
+    prev = old.get("median_ms")
+    if prev is not None and prev != entry["median_ms"]:
+        entry["prev_median_ms"] = prev
+    elif "prev_median_ms" in old:
+        entry["prev_median_ms"] = old["prev_median_ms"]
+    if meta:
+        entry["meta"] = dict(meta)
+    elif "meta" in old:
+        entry["meta"] = old["meta"]
+    data[name] = entry
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(dict(sorted(data.items())), fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return entry

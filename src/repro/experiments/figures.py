@@ -94,7 +94,10 @@ def run_fig1() -> Fig1Result:
     return Fig1Result(endpoint=endpoint, coordinated=coordinated)
 
 
-def run_fig1_distributed(duration: float = 30.0, seed: int = 0) -> Fig1Result:
+def run_fig1_distributed(
+    duration: float = 30.0, seed: int = 0,
+    lp_cache: bool = True, fast_periodic: bool = True,
+) -> Fig1Result:
     """Fig 1 as a *full simulation*, not arithmetic.
 
     End-point side: two :class:`EndpointEnforcingServer` s behind locality-
@@ -126,7 +129,7 @@ def run_fig1_distributed(duration: float = 30.0, seed: int = 0) -> Fig1Result:
         g1.add_principal(name, capacity=50.0)
     g1.add_principal("A")
     g1.add_principal("B")
-    sc1 = Scenario(g1, seed=seed)
+    sc1 = Scenario(g1, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic)
     # End-point enforcers run a coarser window (the paper's §6 notes such
     # systems operate at coarse granularity — Oceano at minutes); at 0.1 s
     # their per-window quotas here would round to ~2 requests and the
@@ -153,7 +156,7 @@ def run_fig1_distributed(duration: float = 30.0, seed: int = 0) -> Fig1Result:
     for server in ("S1", "S2"):
         g2.add_agreement(Agreement(server, "A", 0.2, 1.0))
         g2.add_agreement(Agreement(server, "B", 0.8, 1.0))
-    sc2 = Scenario(g2, seed=seed)
+    sc2 = Scenario(g2, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic)
     cs1 = sc2.server("S1", "S1", 50.0)
     cs2 = sc2.server("S2", "S2", 50.0)
     cr1 = sc2.l7("R1", {"S1": cs1, "S2": cs2}, n_redirectors=2)
@@ -236,11 +239,15 @@ def _fig6_graph(capacity: float, a_lb: float, b_lb: float) -> AgreementGraph:
     return g
 
 
-def run_fig6(duration_scale: float = 1.0, seed: int = 0) -> FigureResult:
+def run_fig6(
+    duration_scale: float = 1.0, seed: int = 0,
+    lp_cache: bool = True, fast_periodic: bool = True,
+) -> FigureResult:
     """Fig 6: V=320; A [0.2,1] with two 135 req/s clients at R1; B [0.8,1]
     with one client at R2.  Three phases: both active / only A / both."""
     T = 100.0 * duration_scale
-    sc = Scenario(_fig6_graph(320.0, 0.2, 0.8), seed=seed)
+    sc = Scenario(_fig6_graph(320.0, 0.2, 0.8), seed=seed,
+                  lp_cache=lp_cache, fast_periodic=fast_periodic)
     server = sc.server("S", "S", 320.0)
     r1 = sc.l7("R1", {"S": server}, n_redirectors=2)
     r2 = sc.l7("R2", {"S": server}, n_redirectors=2)
@@ -271,11 +278,15 @@ def run_fig6(duration_scale: float = 1.0, seed: int = 0) -> FigureResult:
 # Fig 7 — L7: optimisation of the community metric
 # ---------------------------------------------------------------------------
 
-def run_fig7(duration_scale: float = 1.0, seed: int = 0) -> FigureResult:
+def run_fig7(
+    duration_scale: float = 1.0, seed: int = 0,
+    lp_cache: bool = True, fast_periodic: bool = True,
+) -> FigureResult:
     """Fig 7: V=250; both A and B have [0.2,1]; A has two clients, B one.
     The community objective serves A at twice B's rate."""
     T = 150.0 * duration_scale
-    sc = Scenario(_fig6_graph(250.0, 0.2, 0.2), seed=seed)
+    sc = Scenario(_fig6_graph(250.0, 0.2, 0.2), seed=seed,
+                  lp_cache=lp_cache, fast_periodic=fast_periodic)
     server = sc.server("S", "S", 250.0)
     r1 = sc.l7("R1", {"S": server}, n_redirectors=2)
     r2 = sc.l7("R2", {"S": server}, n_redirectors=2)
@@ -301,7 +312,8 @@ def run_fig7(duration_scale: float = 1.0, seed: int = 0) -> FigureResult:
 # ---------------------------------------------------------------------------
 
 def run_fig8(
-    duration_scale: float = 1.0, seed: int = 0, lag: Optional[float] = None
+    duration_scale: float = 1.0, seed: int = 0, lag: Optional[float] = None,
+    lp_cache: bool = True, fast_periodic: bool = True,
 ) -> FigureResult:
     """Fig 8: V=320; A [0.8,1] (two clients at R1), B [0.2,1] (one at R2);
     combining-tree broadcasts lag by ~``lag`` seconds.  Reproduces the
@@ -319,7 +331,8 @@ def run_fig8(
     # Fine measurement bins: phase boundaries sit at the information lag,
     # which rarely aligns with 1 s bins, and the post-lag surge must not
     # smear into the conservative phase's mean.
-    sc = Scenario(_fig8_graph(), seed=seed, bin_width=0.2)
+    sc = Scenario(_fig8_graph(), seed=seed, bin_width=0.2,
+                  lp_cache=lp_cache, fast_periodic=fast_periodic)
     server = sc.server("S", "S", 320.0)
     r1 = sc.l7("R1", {"S": server}, n_redirectors=2)
     r2 = sc.l7("R2", {"S": server}, n_redirectors=2)
@@ -378,7 +391,10 @@ def _fig8_graph() -> AgreementGraph:
 # Fig 9 — L4: sharing agreements in a community context
 # ---------------------------------------------------------------------------
 
-def run_fig9(duration_scale: float = 1.0, seed: int = 0) -> FigureResult:
+def run_fig9(
+    duration_scale: float = 1.0, seed: int = 0,
+    lp_cache: bool = True, fast_periodic: bool = True,
+) -> FigureResult:
     """Fig 9: A and B each own a 320 req/s server; B grants A [0.5, 0.5].
     Four phases: A 2 clients / none / 1 client / none, B always one client;
     all clients 400 req/s through one L4 switch."""
@@ -387,7 +403,7 @@ def run_fig9(duration_scale: float = 1.0, seed: int = 0) -> FigureResult:
     g.add_principal("A", capacity=320.0)
     g.add_principal("B", capacity=320.0)
     g.add_agreement(Agreement("B", "A", 0.5, 0.5))
-    sc = Scenario(g, seed=seed)
+    sc = Scenario(g, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic)
     sa = sc.server("SA", "A", 320.0)
     sb = sc.server("SB", "B", 320.0)
     switch = sc.l4("SW", {"A": sa, "B": sb})
@@ -419,7 +435,10 @@ def run_fig9(duration_scale: float = 1.0, seed: int = 0) -> FigureResult:
 # Fig 10 — L4: maximisation of service-provider income
 # ---------------------------------------------------------------------------
 
-def run_fig10(duration_scale: float = 1.0, seed: int = 0) -> FigureResult:
+def run_fig10(
+    duration_scale: float = 1.0, seed: int = 0,
+    lp_cache: bool = True, fast_periodic: bool = True,
+) -> FigureResult:
     """Fig 10: provider with two 320 req/s servers; A [0.8,1] pays more than
     B [0.2,1].  Same client timeline as Fig 9; the provider admits the
     highest payer first while honouring B's mandatory floor."""
@@ -430,7 +449,7 @@ def run_fig10(duration_scale: float = 1.0, seed: int = 0) -> FigureResult:
     g.add_principal("B")
     g.add_agreement(Agreement("P", "A", 0.8, 1.0))
     g.add_agreement(Agreement("P", "B", 0.2, 1.0))
-    sc = Scenario(g, seed=seed)
+    sc = Scenario(g, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic)
     s1 = sc.server("S1", "P", 320.0)
     s2 = sc.server("S2", "P", 320.0)
     switch = sc.l4(

@@ -92,12 +92,15 @@ class Scenario:
         bin_width: float = 1.0,
         backend: str = "auto",
         trace: bool = False,
+        lp_cache: bool = True,
+        fast_periodic: bool = True,
     ):
         self.graph = graph
         self.access: AccessLevels = compute_access_levels(graph)
         self.window = window
         self.backend = backend
-        self.sim = Simulator()
+        self.lp_cache = bool(lp_cache)
+        self.sim = Simulator(fast_periodic=fast_periodic)
         self.streams = RngStreams(seed)
         self.meter = RateMeter(bin_width)
         self.counter = MessageCounter()
@@ -175,6 +178,7 @@ class Scenario:
         n_redirectors: Optional[int] = None,
         **kw,
     ) -> L7Redirector:
+        kw.setdefault("lp_cache", self.lp_cache)
         red = L7Redirector(
             self.sim, name, self.access, servers, window=self.window,
             n_redirectors=n_redirectors or 1, backend=self.backend, **kw,
@@ -200,6 +204,7 @@ class Scenario:
             self.sim, f"{name}-daemon", switch, self.access, window=self.window,
             mode=mode, prices=prices, capacity=capacity,
             n_redirectors=n_redirectors or 1, backend=self.backend,
+            lp_cache=self.lp_cache,
         )
         self.l4_switches[name] = switch
         self.l4_daemons[name] = daemon

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.access import compute_access_levels
 from repro.core.agreements import Agreement, AgreementGraph
 from repro.experiments.harness import Scenario
+from repro.experiments.parallel import parallel_map
 
 __all__ = ["ScalingPoint", "random_community", "run_scaling_point", "run_scaling_sweep"]
 
@@ -132,7 +133,19 @@ def run_scaling_point(
     )
 
 
+def _scaling_task(task) -> ScalingPoint:
+    n, seed, duration = task
+    return run_scaling_point(n, seed=seed, duration=duration)
+
+
 def run_scaling_sweep(
-    sizes=(6, 10, 18, 30), seed: int = 0, duration: float = 12.0
+    sizes=(6, 10, 18, 30), seed: int = 0, duration: float = 12.0, jobs=1
 ) -> List[ScalingPoint]:
-    return [run_scaling_point(n, seed=seed, duration=duration) for n in sizes]
+    """One :class:`ScalingPoint` per community size.
+
+    Points are independent simulations; ``jobs`` fans them out across
+    processes (results identical for any job count).
+    """
+    return parallel_map(
+        _scaling_task, [(n, seed, duration) for n in sizes], jobs=jobs
+    )

@@ -42,6 +42,7 @@ class L4Daemon:
         n_redirectors: int = 1,
         backend: str = "auto",
         conntrack_sweep: float = 10.0,
+        lp_cache: bool = True,
     ):
         self.sim = sim
         self.name = name
@@ -59,6 +60,7 @@ class L4Daemon:
                 owner: sum(s.capacity for s in pool)
                 for owner, pool in switch.servers.items()
             },
+            lp_cache=lp_cache,
         )
         self.last_allocation: Optional[Allocation] = None
         self.windows = 0

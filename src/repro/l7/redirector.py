@@ -81,6 +81,7 @@ class L7Redirector:
         smoothing: float = 0.7,
         defer_delay: float = 0.0,
         max_held: int = 0,
+        lp_cache: bool = True,
     ):
         if queuing not in ("implicit", "explicit", "credits"):
             raise ValueError(f"unknown queuing {queuing!r}")
@@ -110,6 +111,7 @@ class L7Redirector:
                 owner: sum(s.capacity for s in pool)
                 for owner, pool in self.servers.items()
             },
+            lp_cache=lp_cache,
         )
         self.principals: Tuple[str, ...] = access.names
         self._w = access.per_window(window.length)

@@ -13,6 +13,7 @@ Models are built with :class:`repro.lp.model.Model`; :func:`repro.lp.solve`
 is the backend-selecting facade.
 """
 
+from repro.lp.cache import SolveCache, structural_fingerprint
 from repro.lp.lpwrite import read_lp, write_lp
 from repro.lp.model import Constraint, LinExpr, Model, Sense, Status, Solution, Var
 from repro.lp.solver import available_backends, solve
@@ -25,6 +26,8 @@ __all__ = [
     "Sense",
     "Status",
     "Solution",
+    "SolveCache",
+    "structural_fingerprint",
     "solve",
     "available_backends",
     "write_lp",

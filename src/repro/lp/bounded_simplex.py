@@ -15,6 +15,15 @@ Phase 1 uses artificial variables (minimise their sum) from a basis of
 artificials with structurals at their nearest-zero finite bound.  Pivoting
 uses Bland's rule throughout, so the method terminates.
 
+Warm starts: the result carries the optimal basis (column list plus
+per-column statuses).  Passing it back as ``warm_start`` on a program of
+the same shape — the window schedulers' case, where only the demand-driven
+RHS moves between solves — skips phase 1 entirely when the old basis is
+still primal feasible, so consecutive windows re-pivot from the previous
+optimum instead of from scratch.  An infeasible or shape-mismatched basis
+silently falls back to the cold two-phase path, so warm starting is always
+safe to attempt.
+
 Cross-validated against scipy's HiGHS and the row-based simplex on random
 boxed LPs in ``tests/lp/test_bounded_simplex.py``; selectable as
 ``backend="bounded"`` everywhere an LP backend is accepted.
@@ -42,13 +51,25 @@ _FREE_ZERO = 2   # free variable resting at 0
 _BASIC = 3
 
 
-def solve_bounded_simplex(model: Model, max_iter: int = 20_000) -> Solution:
-    """Solve a :class:`repro.lp.model.Model` with the bounded simplex."""
+def solve_bounded_simplex(
+    model: Model, max_iter: int = 20_000, warm_start: Optional[Tuple] = None
+) -> Solution:
+    """Solve a :class:`repro.lp.model.Model` with the bounded simplex.
+
+    ``warm_start`` is a basis from a previous solve's ``Solution.basis``;
+    it is used when still feasible for this program and ignored otherwise.
+    """
     c, A_ub, b_ub, A_eq, b_eq, bounds = model.to_arrays()
-    res = bounded_simplex_arrays(c, A_ub, b_ub, A_eq, b_eq, bounds, max_iter=max_iter)
-    return model.solution_from_x(
+    res = bounded_simplex_arrays(
+        c, A_ub, b_ub, A_eq, b_eq, bounds, max_iter=max_iter,
+        warm_start=warm_start,
+    )
+    sol = model.solution_from_x(
         res.x, res.status, iterations=res.iterations, backend="bounded"
     )
+    sol.basis = res.basis
+    sol.warm_started = res.warm_started
+    return sol
 
 
 def bounded_simplex_arrays(
@@ -59,6 +80,7 @@ def bounded_simplex_arrays(
     b_eq: np.ndarray,
     bounds: List[Tuple[float, float]],
     max_iter: int = 20_000,
+    warm_start: Optional[Tuple] = None,
 ) -> SimplexResult:
     """Minimise ``c @ x`` s.t. ``A_ub x <= b_ub``, ``A_eq x = b_eq`` and box
     ``bounds``, keeping the bounds implicit in the simplex."""
@@ -88,63 +110,134 @@ def bounded_simplex_arrays(
     cost = np.zeros(n)
     cost[:nv] = c
 
-    # Initial nonbasic values: nearest-to-zero finite bound (0 for free).
-    status = np.empty(n, dtype=int)
-    x = np.zeros(n)
-    for j in range(n):
-        if lo[j] == -_INF and up[j] == _INF:
-            status[j] = _FREE_ZERO
-            x[j] = 0.0
-        elif lo[j] == -_INF:
-            status[j] = _AT_UP
-            x[j] = up[j]
-        else:
-            status[j] = _AT_LO
-            x[j] = lo[j]
+    total_iters = 0
+    state: Optional[_State] = None
+    warm_used = False
+    if warm_start is not None:
+        state = _warm_state(A, b, lo, up, warm_start, n, m)
+        warm_used = state is not None
 
-    # Phase 1: artificials absorb the residual b - A x_N.
-    resid = b - A @ x
-    n_art = m
-    A1 = np.hstack([A, np.diag(np.where(resid >= 0, 1.0, -1.0))])
-    lo1 = np.concatenate([lo, np.zeros(n_art)])
-    up1 = np.concatenate([up, np.full(n_art, _INF)])
-    x1 = np.concatenate([x, np.abs(resid)])
-    status1 = np.concatenate([status, np.full(n_art, _BASIC, dtype=int)])
-    basis = list(range(n, n + n_art))
+    if state is None:
+        # Initial nonbasic values: nearest-to-zero finite bound (0 for free).
+        status = np.empty(n, dtype=int)
+        x = np.zeros(n)
+        for j in range(n):
+            if lo[j] == -_INF and up[j] == _INF:
+                status[j] = _FREE_ZERO
+                x[j] = 0.0
+            elif lo[j] == -_INF:
+                status[j] = _AT_UP
+                x[j] = up[j]
+            else:
+                status[j] = _AT_LO
+                x[j] = lo[j]
 
-    cost1 = np.zeros(n + n_art)
-    cost1[n:] = 1.0
+        # Phase 1: artificials absorb the residual b - A x_N.
+        resid = b - A @ x
+        n_art = m
+        A1 = np.hstack([A, np.diag(np.where(resid >= 0, 1.0, -1.0))])
+        lo1 = np.concatenate([lo, np.zeros(n_art)])
+        up1 = np.concatenate([up, np.full(n_art, _INF)])
+        x1 = np.concatenate([x, np.abs(resid)])
+        status1 = np.concatenate([status, np.full(n_art, _BASIC, dtype=int)])
+        basis = list(range(n, n + n_art))
 
-    state = _State(A1, b, lo1, up1, x1, status1, basis)
-    iters1, st = _optimize(state, cost1, allowed=n + n_art, max_iter=max_iter)
-    total_iters = iters1
-    if st is Status.ITERATION_LIMIT:
-        return SimplexResult(st, None, math.nan, total_iters)
-    if cost1 @ state.x > 1e-7:
-        return SimplexResult(Status.INFEASIBLE, None, math.nan, total_iters)
+        cost1 = np.zeros(n + n_art)
+        cost1[n:] = 1.0
 
-    # Drive remaining artificials out of the basis where possible.
-    for row in range(m):
-        if state.basis[row] >= n:
-            Binv_row = np.linalg.solve(state.B().T, _unit(m, row))
-            coeffs = Binv_row @ state.A[:, :n]
-            candidates = np.nonzero(np.abs(coeffs) > 1e-7)[0]
-            nonbasic = [j for j in candidates if state.status[j] != _BASIC]
-            if nonbasic:
-                j = int(nonbasic[0])
-                state.pivot(row, j)
-            # else: redundant row; the artificial stays basic at value 0.
+        state = _State(A1, b, lo1, up1, x1, status1, basis)
+        iters1, st = _optimize(state, cost1, allowed=n + n_art, max_iter=max_iter)
+        total_iters = iters1
+        if st is Status.ITERATION_LIMIT:
+            return SimplexResult(st, None, math.nan, total_iters)
+        if cost1 @ state.x > 1e-7:
+            return SimplexResult(Status.INFEASIBLE, None, math.nan, total_iters)
 
-    cost2 = np.zeros(n + n_art)
+        # Drive remaining artificials out of the basis where possible.
+        for row in range(m):
+            if state.basis[row] >= n:
+                Binv_row = np.linalg.solve(state.B().T, _unit(m, row))
+                coeffs = Binv_row @ state.A[:, :n]
+                candidates = np.nonzero(np.abs(coeffs) > 1e-7)[0]
+                nonbasic = [j for j in candidates if state.status[j] != _BASIC]
+                if nonbasic:
+                    j = int(nonbasic[0])
+                    state.pivot(row, j)
+                # else: redundant row; the artificial stays basic at value 0.
+
+    cost2 = np.zeros(state.A.shape[1])
     cost2[:n] = cost
     iters2, st = _optimize(state, cost2, allowed=n, max_iter=max_iter - total_iters)
     total_iters += iters2
     if st is not Status.OPTIMAL:
-        return SimplexResult(st, None, math.nan, total_iters)
+        return SimplexResult(
+            st, None, math.nan, total_iters, warm_started=warm_used
+        )
 
     xr = state.x[:nv].copy()
     obj = float(c @ xr)
-    return SimplexResult(Status.OPTIMAL, xr, obj, total_iters)
+    if all(j < n for j in state.basis):
+        basis_out: Optional[Tuple] = (
+            list(state.basis), state.status[:n].copy()
+        )
+    else:
+        basis_out = None   # a redundant-row artificial stayed basic
+    return SimplexResult(
+        Status.OPTIMAL, xr, obj, total_iters,
+        basis=basis_out, warm_started=warm_used,
+    )
+
+
+def _warm_state(
+    A: np.ndarray,
+    b: np.ndarray,
+    lo: np.ndarray,
+    up: np.ndarray,
+    warm: Tuple,
+    n: int,
+    m: int,
+) -> Optional["_State"]:
+    """Reconstruct simplex state from a previous basis, or None if the
+    basis does not fit this program (shape mismatch, singular B, or primal
+    infeasible under the new bounds/RHS)."""
+    try:
+        basis_in, status_in = warm
+    except (TypeError, ValueError):
+        return None
+    basis = [int(j) for j in basis_in]
+    status = np.asarray(status_in, dtype=int).copy()
+    if len(basis) != m or status.shape != (n,):
+        return None
+    if any(j < 0 or j >= n for j in basis):
+        return None
+    if sorted(j for j in range(n) if status[j] == _BASIC) != sorted(basis):
+        return None
+    x = np.zeros(n)
+    for j in range(n):
+        sj = status[j]
+        if sj == _BASIC:
+            continue
+        if sj == _AT_LO:
+            if lo[j] == -_INF:
+                return None
+            x[j] = lo[j]
+        elif sj == _AT_UP:
+            if up[j] == _INF:
+                return None
+            x[j] = up[j]
+        elif sj == _FREE_ZERO:
+            x[j] = 0.0
+        else:
+            return None
+    state = _State(A, b, lo, up, x, status, basis)
+    try:
+        state._recompute_basics()
+    except np.linalg.LinAlgError:
+        return None
+    xb = state.x[basis]
+    if np.any(xb < lo[basis] - 1e-7) or np.any(xb > up[basis] + 1e-7):
+        return None   # old optimum no longer primal feasible: cold start
+    return state
 
 
 def _unit(m: int, i: int) -> np.ndarray:

@@ -194,6 +194,11 @@ class Solution:
     _by_var: Dict["Var", float] = field(default_factory=dict)
     iterations: int = 0
     backend: str = ""
+    # Warm-start bookkeeping (bounded backend only): the optimal basis of
+    # this solve, reusable as ``warm_start`` for a shifted-RHS re-solve, and
+    # whether this solve itself started from a supplied basis.
+    basis: Optional[Tuple] = None
+    warm_started: bool = False
 
     @property
     def optimal(self) -> bool:

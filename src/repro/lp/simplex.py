@@ -41,6 +41,10 @@ class SimplexResult:
     x: Optional[np.ndarray]
     objective: float
     iterations: int
+    # Set by the bounded backend: (basis column list, per-column statuses),
+    # reusable to warm-start a re-solve of a same-shaped program.
+    basis: Optional[tuple] = None
+    warm_started: bool = False
 
 
 def solve_simplex(model: Model, max_iter: int = 10_000) -> Solution:

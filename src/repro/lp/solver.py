@@ -19,13 +19,17 @@ def available_backends() -> List[str]:
     return backends
 
 
-def solve(model: Model, backend: str = "auto", **kwargs) -> Solution:
+def solve(model: Model, backend: str = "auto", warm_start=None, **kwargs) -> Solution:
     """Solve ``model``.
 
     Backends: ``"scipy"`` (HiGHS), ``"simplex"`` (from-scratch tableau,
     bounds as rows), ``"bounded"`` (from-scratch bounded-variable revised
     simplex).  ``"auto"`` prefers scipy when present and falls back to the
     built-in bounded simplex, so the library works with numpy alone.
+
+    ``warm_start`` (a previous ``Solution.basis``) is honoured by the
+    bounded backend and silently ignored by the others, so callers can
+    always thread the last basis through.
     """
     if backend == "auto":
         backend = "scipy" if scipy_available() else "bounded"
@@ -34,5 +38,5 @@ def solve(model: Model, backend: str = "auto", **kwargs) -> Solution:
     if backend == "simplex":
         return solve_simplex(model, **kwargs)
     if backend == "bounded":
-        return solve_bounded_simplex(model, **kwargs)
+        return solve_bounded_simplex(model, warm_start=warm_start, **kwargs)
     raise ValueError(f"unknown backend {backend!r}; use {available_backends()}")

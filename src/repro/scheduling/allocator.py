@@ -65,6 +65,7 @@ class WindowAllocator:
         server_owners: Optional[List[str]] = None,
         server_capacities: Optional[Mapping[str, float]] = None,
         cache_tolerance: float = 0.05,
+        lp_cache: bool = True,
     ):
         if mode not in ("community", "provider"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -90,15 +91,19 @@ class WindowAllocator:
         self.cache_tolerance = float(cache_tolerance)
         self._cached_est: Optional[Dict[str, float]] = None
         self._cached_plan = None  # CommunitySchedule or ProviderSchedule
+        # The tolerance cache above reuses a plan for *nearby* demand; the
+        # scheduler's own exact-match SolveCache (lp_cache) dedups repeats
+        # of identical demand with bit-identical results.
+        self.lp_cache = bool(lp_cache)
 
         if mode == "community":
             self.scheduler: Union[CommunityScheduler, ProviderScheduler] = (
-                CommunityScheduler(access, window, backend=backend)
+                CommunityScheduler(access, window, backend=backend, lp_cache=lp_cache)
             )
         else:
             self.scheduler = ProviderScheduler(
                 access, prices or {}, capacity=capacity, window=window,
-                backend=backend,
+                backend=backend, lp_cache=lp_cache,
             )
 
     @property
@@ -121,13 +126,14 @@ class WindowAllocator:
         self.invalidate_cache()
         if self.mode == "community":
             self.scheduler = CommunityScheduler(
-                access, self.window, backend=self.scheduler.backend
+                access, self.window, backend=self.scheduler.backend,
+                lp_cache=self.lp_cache,
             )
         else:
             old = self.scheduler
             self.scheduler = ProviderScheduler(
                 access, old.prices, capacity=old.capacity, window=self.window,
-                backend=old.backend,
+                backend=old.backend, lp_cache=self.lp_cache,
             )
 
     # -- global estimate -----------------------------------------------------

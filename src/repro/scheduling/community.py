@@ -37,7 +37,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.access import AccessLevels
-from repro.lp import Model, Solution, solve
+from repro.lp import Model, Solution, SolveCache, solve, structural_fingerprint
 from repro.scheduling.window import WindowConfig
 
 __all__ = ["CommunityScheduler", "CommunitySchedule"]
@@ -101,6 +101,11 @@ class CommunityScheduler:
         backend: LP backend (``"auto"``/``"scipy"``/``"simplex"``).
         enforce_lower_bounds: when False, mandatory lower bounds become
             advisory (useful for ablations).
+        lp_cache: memoise solves on the exact demand vector.  Steady-state
+            traffic re-presents identical windows, so a hit returns the
+            bit-identical schedule a fresh solve would have produced.
+        warm_start: re-use the previous window's optimal basis when the
+            backend supports it (``"bounded"``); ignored otherwise.
     """
 
     def __init__(
@@ -110,13 +115,26 @@ class CommunityScheduler:
         backend: str = "auto",
         enforce_lower_bounds: bool = True,
         pairwise_lower_bounds: bool = False,
+        lp_cache: bool = True,
+        warm_start: bool = True,
     ):
         self.access = access
         self.window = window
         self.backend = backend
         self.enforce_lower_bounds = enforce_lower_bounds
         self.pairwise_lower_bounds = pairwise_lower_bounds
+        self.warm_start = warm_start
         self._w = access.per_window(window.length)
+        self.lp_solves = 0
+        self.cache_hits = 0
+        self.lp_iterations = 0
+        self._basis = None
+        self._cache: Optional[SolveCache] = SolveCache() if lp_cache else None
+        w = self._w
+        self._fp = structural_fingerprint(
+            "community", access.names, w.MI, w.OI, w.MC, w.V,
+            window.length, backend, enforce_lower_bounds, pairwise_lower_bounds,
+        )
 
     @property
     def names(self) -> Tuple[str, ...]:
@@ -135,6 +153,19 @@ class CommunityScheduler:
         if np.any(q < 0):
             raise ValueError("queue lengths must be non-negative")
         caps = _as_vector(names, locality_caps) if locality_caps is not None else None
+
+        key = None
+        if self._cache is not None:
+            key = self._cache.key(
+                self._fp, q, tag=tuple(caps) if caps is not None else None
+            )
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.cache_hits += 1
+                xmat, theta_v, sol = hit
+                return CommunitySchedule(
+                    names=names, x=xmat.copy(), theta=theta_v, solution=sol
+                )
 
         w = self._w
         m = Model("community")
@@ -183,7 +214,14 @@ class CommunityScheduler:
                 m.add(load <= float(caps[k]))
 
         m.maximize(theta)
-        sol = solve(m, backend=self.backend)
+        sol = solve(
+            m, backend=self.backend,
+            warm_start=self._basis if self.warm_start else None,
+        )
+        self.lp_solves += 1
+        self.lp_iterations += int(sol.iterations)
+        if sol.basis is not None:
+            self._basis = sol.basis
         if not sol.optimal:
             raise RuntimeError(
                 f"community LP {sol.status.value}; agreement structure is "
@@ -195,6 +233,9 @@ class CommunityScheduler:
             for k in range(n_p):
                 if x[i, k] is not None:
                     xmat[i, k] = sol.value(x[i, k])
+        theta_v = float(sol.value(theta))
+        if key is not None:
+            self._cache.put(key, (xmat.copy(), theta_v, sol))
         return CommunitySchedule(
-            names=names, x=xmat, theta=float(sol.value(theta)), solution=sol
+            names=names, x=xmat, theta=theta_v, solution=sol
         )

@@ -29,7 +29,7 @@ from typing import Dict, Mapping, Tuple
 import numpy as np
 
 from repro.core.multiresource import MultiResourceAccess, bottleneck_rate
-from repro.lp import Model, Solution, solve
+from repro.lp import Model, Solution, SolveCache, solve, structural_fingerprint
 from repro.scheduling.window import WindowConfig
 
 __all__ = ["MultiResourceCommunityScheduler", "MultiResourceSchedule"]
@@ -73,6 +73,8 @@ class MultiResourceCommunityScheduler:
         profiles: Mapping[str, Mapping[str, float]],
         window: WindowConfig = WindowConfig(),
         backend: str = "auto",
+        lp_cache: bool = True,
+        warm_start: bool = True,
     ):
         self.access = access
         self.window = window
@@ -93,6 +95,19 @@ class MultiResourceCommunityScheduler:
         self._MIw = access.MI * w
         self._OIw = access.OI * w
         self._Vw = access.V * w
+        self.warm_start = warm_start
+        self.lp_solves = 0
+        self.cache_hits = 0
+        self.lp_iterations = 0
+        self._basis = None
+        self._cache = SolveCache() if lp_cache else None
+        self._fp = structural_fingerprint(
+            "multiresource", access.names, access.resources,
+            self._MIw, self._OIw, self._Vw,
+            tuple(sorted((p, tuple(sorted(prof.items())))
+                         for p, prof in self.profiles.items())),
+            window.length, backend,
+        )
 
     @property
     def names(self) -> Tuple[str, ...]:
@@ -115,6 +130,18 @@ class MultiResourceCommunityScheduler:
         q = np.array([float(queue_lengths.get(p, 0.0)) for p in names])
         if np.any(q < 0):
             raise ValueError("queue lengths must be non-negative")
+
+        key = None
+        if self._cache is not None:
+            key = self._cache.key(self._fp, q)
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.cache_hits += 1
+                xmat, theta_v, sol = hit
+                return MultiResourceSchedule(
+                    names=names, resources=resources, x=xmat.copy(),
+                    theta=theta_v, solution=sol,
+                )
 
         m = Model("multiresource-community")
         theta = m.var("theta", lb=0.0, ub=1.0)
@@ -155,7 +182,14 @@ class MultiResourceCommunityScheduler:
                     m.add(sum(terms) <= float(self._Vw[k, r]))
 
         m.maximize(theta)
-        sol = solve(m, backend=self.backend)
+        sol = solve(
+            m, backend=self.backend,
+            warm_start=self._basis if self.warm_start else None,
+        )
+        self.lp_solves += 1
+        self.lp_iterations += int(sol.iterations)
+        if sol.basis is not None:
+            self._basis = sol.basis
         if not sol.optimal:
             raise RuntimeError(f"multi-resource LP {sol.status.value}")
         xmat = np.zeros((n, n))
@@ -163,7 +197,10 @@ class MultiResourceCommunityScheduler:
             for k in range(n):
                 if x[i, k] is not None:
                     xmat[i, k] = sol.value(x[i, k])
+        theta_v = float(sol.value(theta))
+        if key is not None:
+            self._cache.put(key, (xmat.copy(), theta_v, sol))
         return MultiResourceSchedule(
             names=names, resources=resources, x=xmat,
-            theta=float(sol.value(theta)), solution=sol,
+            theta=theta_v, solution=sol,
         )

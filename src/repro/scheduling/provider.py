@@ -23,7 +23,7 @@ from typing import Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.core.access import AccessLevels
-from repro.lp import Model, Solution, Status, solve
+from repro.lp import Model, Solution, SolveCache, Status, solve, structural_fingerprint
 from repro.scheduling.window import WindowConfig
 
 __all__ = ["ProviderScheduler", "ProviderSchedule"]
@@ -56,6 +56,10 @@ class ProviderScheduler:
         capacity: the provider's total server capacity ``V_s`` in req/s.
             Defaults to the sum of capacities in ``access``.
         window: scheduling window.
+        lp_cache: memoise solves on the exact demand vector (bit-identical
+            results; see :class:`repro.lp.SolveCache`).
+        warm_start: re-use the previous window's basis on the ``"bounded"``
+            backend; ignored by the others.
     """
 
     def __init__(
@@ -65,6 +69,8 @@ class ProviderScheduler:
         capacity: Optional[float] = None,
         window: WindowConfig = WindowConfig(),
         backend: str = "auto",
+        lp_cache: bool = True,
+        warm_start: bool = True,
     ):
         self.access = access
         self.window = window
@@ -84,10 +90,33 @@ class ProviderScheduler:
         )
         self._w = access.per_window(window.length)
         self._vs = self.capacity * window.length
+        self.warm_start = warm_start
+        self.lp_solves = 0
+        self.cache_hits = 0
+        self.lp_iterations = 0
+        self._basis = None
+        self._cache: Optional[SolveCache] = SolveCache() if lp_cache else None
+        self._fp = structural_fingerprint(
+            "provider", self.customers, self._w.MC, self._w.OC,
+            tuple(sorted(self.prices.items())), self._vs, window.length, backend,
+        )
 
     def schedule(self, queue_lengths: Mapping[str, float]) -> ProviderSchedule:
         """Solve one window; ``queue_lengths`` are global per-customer
         queue sizes in requests."""
+        key = None
+        if self._cache is not None:
+            demand = np.array(
+                [float(queue_lengths.get(name, 0.0)) for name in self.customers]
+            )
+            key = self._cache.key(self._fp, demand)
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.cache_hits += 1
+                x, income, sol = hit
+                return ProviderSchedule(
+                    customers=self.customers, x=dict(x), income=income, solution=sol
+                )
         w = self._w
         m = Model("provider")
         xs: Dict[str, object] = {}
@@ -119,13 +148,23 @@ class ProviderScheduler:
             )
         m.add(sum(live) <= self._vs)
         m.maximize(obj if obj is not None else live[0] * 0.0)
-        sol = solve(m, backend=self.backend)
+        sol = solve(
+            m, backend=self.backend,
+            warm_start=self._basis if self.warm_start else None,
+        )
+        self.lp_solves += 1
+        self.lp_iterations += int(sol.iterations)
+        if sol.basis is not None:
+            self._basis = sol.basis
         if not sol.optimal:
             raise RuntimeError(f"provider LP {sol.status.value}")
         x = {
             name: (sol.value(v) if v is not None else 0.0)
             for name, v in xs.items()
         }
+        income = float(sol.objective)
+        if key is not None:
+            self._cache.put(key, (dict(x), income, sol))
         return ProviderSchedule(
-            customers=self.customers, x=x, income=float(sol.objective), solution=sol
+            customers=self.customers, x=x, income=income, solution=sol
         )

@@ -31,5 +31,14 @@ class WindowConfig:
         return requests_per_window / self.length
 
     def index(self, t: float) -> int:
-        """Which window the timestamp ``t`` falls into."""
-        return int(t // self.length)
+        """Which window the timestamp ``t`` falls into.
+
+        Floor division alone misclassifies exact boundaries that are not
+        representable in binary (``0.3 // 0.1 == 2.0``): a timestamp within
+        relative epsilon of the *next* boundary is snapped onto it.
+        """
+        i = int(t // self.length)
+        boundary = (i + 1) * self.length
+        if abs(t - boundary) <= 1e-9 * max(abs(t), self.length):
+            return i + 1
+        return i

@@ -11,7 +11,9 @@ testbed (1 GHz PCs on a 100 Mbps switched LAN).  It provides:
 - :mod:`repro.sim.rng` — reproducible named random substreams.
 """
 
-from repro.sim.engine import Event, Interrupt, Process, Simulator
+from repro.sim.engine import (
+    Event, Interrupt, PeriodicTimer, Process, Simulator, Timer,
+)
 from repro.sim.monitor import PhaseStats, RateMeter, TimeSeries
 from repro.sim.network import Link, Endpoint
 from repro.sim.rng import RngStreams
@@ -22,6 +24,8 @@ __all__ = [
     "Process",
     "Event",
     "Interrupt",
+    "Timer",
+    "PeriodicTimer",
     "Link",
     "Endpoint",
     "RateMeter",

@@ -10,7 +10,20 @@ seeds produce identical traces.
 Design notes (HPC idioms): the hot loop avoids attribute lookups by binding
 locals, events are plain ``__slots__`` objects, and cancelled events are
 lazily discarded instead of being removed from the heap (the standard
-"tombstone" trick, O(log n) amortised).
+"tombstone" trick, O(log n) amortised).  Two additions keep the heap lean
+on long runs:
+
+- *Tombstone compaction*: cancellations (process timeouts invalidated by an
+  interrupt or event resume, :meth:`Timer.cancel`) are counted, and when
+  dead entries exceed half the heap it is rebuilt without them — one O(n)
+  ``heapify`` that preserves the ``(time, seq)`` dispatch order exactly, so
+  long runs with churning timers keep bounded memory.
+- *Periodic-event fast path*: :meth:`Simulator.every` timers (the
+  per-window ticks that dominate heap traffic) self-reschedule as plain
+  heap entries instead of driving a generator process.  The fast path
+  consumes exactly the same sequence numbers at the same timestamps as the
+  process-based path, so simulations are bit-identical with it on or off
+  (``Simulator(fast_periodic=False)`` selects the generator path).
 """
 
 from __future__ import annotations
@@ -18,7 +31,88 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
-__all__ = ["Simulator", "Event", "Process", "Interrupt", "SimulationError"]
+__all__ = [
+    "Simulator", "Event", "Process", "Interrupt", "SimulationError",
+    "Timer", "PeriodicTimer",
+]
+
+# Compaction floor: below this many tombstones a rebuild is not worth it.
+_COMPACT_MIN = 64
+
+
+def _fire(timer: "_TimerBase") -> None:
+    """Heap trampoline for timers; module-level so dead entries are cheap
+    to recognise (``entry[2] is _fire and entry[3][0].cancelled``)."""
+    timer._fire()
+
+
+class _TimerBase:
+    """Shared cancellation bookkeeping for heap-scheduled timers."""
+
+    __slots__ = ("sim", "cancelled")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the timer; its heap entry becomes a counted tombstone."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        sim = self.sim
+        sim._dead += 1
+        if sim._dead >= _COMPACT_MIN and sim._dead * 2 > len(sim._heap):
+            sim._compact()
+
+
+class Timer(_TimerBase):
+    """A cancellable one-shot callback (see :meth:`Simulator.call_later`)."""
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, sim: "Simulator", fn: Callable, args: tuple):
+        super().__init__(sim)
+        self.fn = fn
+        self.args = args
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            self.sim._dead -= 1
+            return
+        self.cancelled = True   # fired: a later cancel() must be a no-op
+        self.fn(*self.args)
+
+
+class PeriodicTimer(_TimerBase):
+    """A self-rescheduling periodic callback (see :meth:`Simulator.every`).
+
+    ``start`` (when not None) is a one-shot initial delay consumed by the
+    first firing, mirroring the generator path's ``yield start`` tick —
+    same sequence-number consumption, same timestamps.
+    """
+
+    __slots__ = ("fn", "args", "period", "start")
+
+    def __init__(self, sim: "Simulator", fn: Callable, args: tuple,
+                 period: float, start: Optional[float] = None):
+        super().__init__(sim)
+        self.fn = fn
+        self.args = args
+        self.period = period
+        self.start = start
+
+    def _fire(self) -> None:
+        sim = self.sim
+        if self.cancelled:
+            sim._dead -= 1
+            return
+        if self.start is not None:
+            delay, self.start = self.start, None
+            sim.schedule(delay, _fire, self)
+            return
+        self.fn(*self.args)
+        sim.schedule(self.period, _fire, self)
 
 
 class SimulationError(RuntimeError):
@@ -105,7 +199,7 @@ class Process:
     its completion, and :meth:`interrupt` throws :class:`Interrupt` into it.
     """
 
-    __slots__ = ("sim", "gen", "name", "alive", "value", "_done_event", "_pending_timeout")
+    __slots__ = ("sim", "gen", "name", "alive", "value", "_done_event", "_timer")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         self.sim = sim
@@ -114,9 +208,9 @@ class Process:
         self.alive = True
         self.value: Any = None
         self._done_event = Event(sim, name=f"{self.name}.done")
-        # Token identifying the currently armed wake-up; bumping it cancels
-        # a pending timeout when the process is resumed some other way.
-        self._pending_timeout = 0
+        # The currently armed wake-up timer; cancelled (leaving a counted
+        # tombstone) when the process is resumed some other way.
+        self._timer: Optional[Timer] = None
 
     @property
     def done(self) -> Event:
@@ -125,7 +219,6 @@ class Process:
     def interrupt(self, cause: Any = None) -> None:
         if not self.alive:
             return
-        self._pending_timeout += 1  # cancel any armed timeout
         self.sim._resume(self, None, Interrupt(cause))
 
     # -- kernel interface -------------------------------------------------
@@ -151,9 +244,9 @@ class Process:
     def _wait_on(self, target: Any) -> None:
         sim = self.sim
         if isinstance(target, (int, float)):
-            self._pending_timeout += 1
-            token = self._pending_timeout
-            sim.schedule(float(target), self._timeout_fired, token)
+            timer = Timer(sim, self._timeout_fired, ())
+            self._timer = timer
+            sim.schedule(float(target), _fire, timer)
         elif isinstance(target, Process):
             target._done_event._add_waiter(self)
         elif isinstance(target, Event):
@@ -163,8 +256,9 @@ class Process:
                 SimulationError(f"process {self.name!r} yielded {target!r}")
             )
 
-    def _timeout_fired(self, token: int) -> None:
-        if token == self._pending_timeout and self.alive:
+    def _timeout_fired(self) -> None:
+        self._timer = None
+        if self.alive:
             self._step(None, None)
 
 
@@ -182,17 +276,24 @@ class Simulator:
     [1.5]
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_running")
+    __slots__ = ("_now", "_heap", "_seq", "_running", "_dead", "fast_periodic")
 
-    def __init__(self) -> None:
+    def __init__(self, fast_periodic: bool = True) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable, tuple]] = []
         self._seq = 0
         self._running = False
+        self._dead = 0          # cancelled-timer tombstones still in the heap
+        self.fast_periodic = fast_periodic
 
     @property
     def now(self) -> float:
         return self._now
+
+    @property
+    def pending(self) -> int:
+        """Live (non-tombstoned) events still queued."""
+        return len(self._heap) - self._dead
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
@@ -221,9 +322,33 @@ class Simulator:
         self.schedule(0.0, proc._step, None, None)
         return proc
 
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> Timer:
+        """Like :meth:`schedule`, but returns a cancellable :class:`Timer`.
+
+        A cancelled timer's heap entry becomes a tombstone, counted toward
+        the compaction threshold (see module docstring).
+        """
+        timer = Timer(self, fn, args)
+        self.schedule(delay, _fire, timer)
+        return timer
+
     def every(self, period: float, fn: Callable, *args: Any,
-              start: float = 0.0) -> Process:
-        """Convenience: call ``fn(*args)`` every ``period`` seconds forever."""
+              start: float = 0.0):
+        """Call ``fn(*args)`` every ``period`` seconds forever.
+
+        With ``fast_periodic`` (the default) this is a self-rescheduling
+        heap entry — no generator, no process bookkeeping — returning a
+        cancellable :class:`PeriodicTimer`.  With ``fast_periodic=False``
+        the original generator-process path is used (it consumes identical
+        sequence numbers, so both paths produce bit-identical simulations).
+        """
+        if self.fast_periodic:
+            timer = PeriodicTimer(
+                self, fn, args, period, start=start if start > 0 else None
+            )
+            self.schedule(0.0, _fire, timer)
+            return timer
+
         def _ticker():
             if start > 0:
                 yield start
@@ -232,9 +357,27 @@ class Simulator:
                 yield period
         return self.process(_ticker(), name=f"every({getattr(fn, '__name__', 'fn')})")
 
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled-timer tombstones.
+
+        ``heapify`` re-establishes the invariant over the surviving
+        ``(time, seq)`` tuples, so dispatch order is unchanged.  In-place
+        (slice assignment) because :meth:`run` holds a local binding to the
+        heap list while dispatching."""
+        survivors = [
+            entry for entry in self._heap
+            if not (entry[2] is _fire and entry[3][0].cancelled)
+        ]
+        self._heap[:] = survivors
+        heapq.heapify(self._heap)
+        self._dead = 0
+
     def _resume(self, proc: Process, value: Any, exc: Optional[BaseException]) -> None:
         if proc.alive:
-            proc._pending_timeout += 1  # invalidate armed timeout, if any
+            timer = proc._timer
+            if timer is not None:     # invalidate armed timeout, if any
+                timer.cancel()
+                proc._timer = None
             self.schedule(0.0, proc._step, value, exc)
 
     def run(self, until: Optional[float] = None) -> None:

@@ -1,0 +1,58 @@
+"""Acceptance A/B: the perf machinery must not change a single result.
+
+The LP solve cache (exact-match keys) and the event-kernel periodic fast
+path are pure accelerators — Fig 6/7/9 phase rates must be *bit-identical*
+with them enabled or disabled.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import run_fig6, run_fig7, run_fig9
+
+SCALE = 0.05
+
+
+def _flatten(obj):
+    """Recursively lower a FigureResult to comparable plain data."""
+    if dataclasses.is_dataclass(obj):
+        return {
+            f.name: _flatten(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {k: _flatten(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_flatten(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tobytes()
+    return obj
+
+
+@pytest.mark.parametrize("run_fig", [run_fig6, run_fig7, run_fig9],
+                         ids=["fig6", "fig7", "fig9"])
+def test_lp_cache_bit_identical(run_fig):
+    on = run_fig(duration_scale=SCALE, lp_cache=True)
+    off = run_fig(duration_scale=SCALE, lp_cache=False)
+    assert _flatten(on) == _flatten(off)
+
+
+@pytest.mark.parametrize("run_fig", [run_fig6, run_fig9],
+                         ids=["fig6", "fig9"])
+def test_fast_periodic_bit_identical(run_fig):
+    fast = run_fig(duration_scale=SCALE, fast_periodic=True)
+    slow = run_fig(duration_scale=SCALE, fast_periodic=False)
+    assert _flatten(fast) == _flatten(slow)
+
+
+def test_both_accelerators_off_vs_on(run_fig=run_fig9):
+    """The full acceptance combination: cache + fast path together."""
+    on = run_fig(duration_scale=SCALE, lp_cache=True, fast_periodic=True)
+    off = run_fig(duration_scale=SCALE, lp_cache=False, fast_periodic=False)
+    assert _flatten(on) == _flatten(off)
+    # And the exact phase rates, spelled out, for readable failure output.
+    for p_on, p_off in zip(on.phases, off.phases):
+        for key in ("A", "B"):
+            assert p_on.rate(key) == p_off.rate(key)

@@ -1,0 +1,87 @@
+"""Property test: all LP backends agree, including warm-started re-solves.
+
+The three backends (scipy/HiGHS, dense tableau simplex, bounded-variable
+revised simplex) may pick different vertices under degeneracy, but the
+*objective* of the community window LP must agree to tight tolerance on
+any feasible instance — and a warm-started bounded re-solve must match its
+cold-started twin exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.access import compute_access_levels
+from repro.experiments.scaling import random_community
+from repro.lp import solve
+from repro.lp.scipy_backend import scipy_available
+from repro.scheduling.community import CommunityScheduler
+from repro.scheduling.window import WindowConfig
+
+BACKENDS = ["bounded", "simplex"] + (["scipy"] if scipy_available() else [])
+
+
+def _instance(seed: int):
+    """A random feasible community LP: graph + demand vector."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 9))
+    g = random_community(n, seed=seed, servers=int(rng.integers(2, 4)))
+    access = compute_access_levels(g)
+    demand = {
+        name: float(rng.uniform(0.0, 60.0))
+        for name in g.names
+        if g.principal(name).capacity == 0.0
+    }
+    return access, demand
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_backends_agree_on_community_lp(seed):
+    access, demand = _instance(seed)
+    thetas = {}
+    for backend in BACKENDS:
+        sched = CommunityScheduler(
+            access, WindowConfig(0.1), backend=backend,
+            lp_cache=False, warm_start=False,
+        )
+        thetas[backend] = sched.schedule(demand).theta
+    vals = list(thetas.values())
+    for v in vals[1:]:
+        assert v == pytest.approx(vals[0], abs=1e-6), thetas
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_warm_started_resolves_match_cold(seed):
+    """Warm start is an accelerator, never a result changer."""
+    access, demand = _instance(seed)
+    rng = np.random.default_rng(seed + 1)
+    # A drift sequence: the first solve seeds the basis, later solves may
+    # start from it (or silently fall back when it has gone infeasible).
+    seq = [
+        {p: max(0.0, d * float(rng.uniform(0.8, 1.2))) for p, d in demand.items()}
+        for _ in range(5)
+    ]
+    warm = CommunityScheduler(access, WindowConfig(0.1), backend="bounded",
+                              lp_cache=False, warm_start=True)
+    cold = CommunityScheduler(access, WindowConfig(0.1), backend="bounded",
+                              lp_cache=False, warm_start=False)
+    for q in seq:
+        tw = warm.schedule(q).theta
+        tc = cold.schedule(q).theta
+        assert tw == pytest.approx(tc, abs=1e-9)
+    assert warm.lp_solves == cold.lp_solves == len(seq)
+    # The warm path must be at least as cheap in simplex iterations.
+    assert warm.lp_iterations <= cold.lp_iterations
+
+
+def test_warm_start_engages_on_steady_drift():
+    """On a gently shifted RHS the previous basis is actually reused."""
+    access, demand = _instance(7)
+    sched = CommunityScheduler(access, WindowConfig(0.1), backend="bounded",
+                               lp_cache=False, warm_start=True)
+    sched.schedule(demand)
+    bumped = {p: d * 1.01 for p, d in demand.items()}
+    plan = sched.schedule(bumped)
+    assert plan.solution.warm_started

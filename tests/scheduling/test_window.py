@@ -21,6 +21,33 @@ class TestWindowConfig:
         assert w.index(0.05) == 0
         assert w.index(0.25) == 2
 
+    def test_index_at_float_boundaries(self):
+        """Window boundaries that are not binary-representable must land in
+        the window they open, not the one they close (0.3 // 0.1 == 2.0)."""
+        w = WindowConfig(0.1)
+        for i in range(50):
+            assert w.index(i * 0.1) == i, f"boundary {i}"
+        # Accumulated timestamps (how the simulator actually reaches
+        # boundaries) snap as well.
+        t, step = 0.0, 0.1
+        for i in range(1, 30):
+            t += step
+            assert w.index(t) == i
+
+    def test_index_boundaries_other_lengths(self):
+        for length in (0.05, 0.2, 0.25, 0.3, 1.0 / 3.0):
+            w = WindowConfig(length)
+            for i in range(25):
+                assert w.index(i * length) == i, (length, i)
+
+    def test_index_interior_points_unaffected(self):
+        w = WindowConfig(0.1)
+        assert w.index(0.349) == 3
+        assert w.index(0.351) == 3
+        assert w.index(0.0) == 0
+        # A point clearly short of the boundary must not be snapped up.
+        assert w.index(0.3999) == 3
+
     def test_nonpositive_rejected(self):
         with pytest.raises(ValueError):
             WindowConfig(0.0)

@@ -1,6 +1,8 @@
 import pytest
 
-from repro.sim.engine import Event, Interrupt, Simulator, SimulationError
+from repro.sim.engine import (
+    Event, Interrupt, PeriodicTimer, Simulator, SimulationError, Timer,
+)
 
 
 class TestScheduling:
@@ -277,3 +279,89 @@ class TestCombinators:
             return trace
 
         assert run_once() == run_once()
+
+
+class TestTimers:
+    def test_call_later_fires_and_cancel_suppresses(self):
+        sim = Simulator()
+        out = []
+        sim.call_later(1.0, out.append, "a")
+        t = sim.call_later(2.0, out.append, "b")
+        t.cancel()
+        sim.run()
+        assert out == ["a"]
+
+    def test_every_returns_cancellable_handle(self):
+        sim = Simulator()
+        ticks = []
+        timer = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(2.5, timer.cancel)
+        sim.run(until=6.0)
+        assert ticks == [0.0, 1.0, 2.0]
+
+    def test_every_with_start_offset(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), start=0.5)
+        sim.run(until=3.0)
+        assert ticks == [0.5, 1.5, 2.5]
+
+    def test_heap_stays_bounded_under_cancel_churn(self):
+        """Regression: cancelled timers must not accumulate as tombstones.
+
+        The pre-compaction kernel kept every cancelled entry until its
+        deadline; with long timeouts and heavy churn the heap grew without
+        bound.  Compaction keeps live+dead entries within a constant factor
+        of the live count.
+        """
+        sim = Simulator()
+        peak = [0]
+
+        def churn():
+            for _ in range(10_000):
+                t = sim.call_later(1000.0, lambda: None)
+                t.cancel()
+                peak[0] = max(peak[0], len(sim._heap))
+
+        sim.schedule(0.0, churn)
+        sim.run()
+        # 10k cancelled long-deadline timers; compaction must keep the
+        # heap within a constant factor of the live entry count.
+        assert peak[0] < 200
+        assert sim.pending == 0 and len(sim._heap) == 0
+
+    def test_compaction_preserves_dispatch_order(self):
+        sim = Simulator()
+        out = []
+        live = [sim.call_later(float(i + 1), out.append, i) for i in range(10)]
+        dead = [sim.call_later(500.0, out.append, "dead") for _ in range(300)]
+        for t in dead:
+            t.cancel()            # crosses the tombstone threshold mid-run
+        sim.run()
+        assert out == list(range(10))
+
+    def test_fast_periodic_matches_generator_path(self):
+        """The PeriodicTimer fast path is bit-identical to the legacy
+        generator-process path: same tick times, same interleaving with
+        other processes, same seq-number tie-breaks."""
+        def run_once(fast):
+            sim = Simulator(fast_periodic=fast)
+            trace = []
+            sim.every(0.1, lambda: trace.append(("tick", sim.now)))
+            sim.every(0.25, lambda: trace.append(("slow", sim.now)), start=0.25)
+
+            def proc():
+                while sim.now < 0.9:
+                    yield 0.1
+                    trace.append(("proc", sim.now))
+
+            sim.process(proc())
+            sim.run(until=1.0)
+            return trace
+
+        assert run_once(True) == run_once(False)
+
+    def test_timer_classes_exported(self):
+        sim = Simulator()
+        assert isinstance(sim.call_later(1.0, lambda: None), Timer)
+        assert isinstance(sim.every(1.0, lambda: None), PeriodicTimer)
