@@ -1,0 +1,76 @@
+"""CI bench-regression gate.
+
+Compares a freshly recorded ``BENCH_core.json`` against the committed
+baseline (copied aside before the benchmark run rewrites the ledger) and
+fails if any shared entry's median regressed beyond the threshold.
+
+Usage (what ``.github/workflows/ci.yml`` does)::
+
+    cp benchmarks/BENCH_core.json /tmp/bench_baseline.json
+    pytest benchmarks/bench_micro_core.py benchmarks/bench_request_path.py ...
+    python benchmarks/check_regression.py \
+        --baseline /tmp/bench_baseline.json \
+        --current benchmarks/BENCH_core.json --threshold 1.25
+
+Entries present on only one side (new or retired benchmarks) are reported
+but never fail the gate; only a shared entry whose fresh median exceeds
+``threshold x`` its baseline median does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: expected a JSON object ledger")
+    return data
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed ledger saved before the bench run")
+    ap.add_argument("--current", default="benchmarks/BENCH_core.json",
+                    help="freshly recorded ledger")
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="fail when current > threshold * baseline median")
+    args = ap.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    regressions = []
+    for name in sorted(set(baseline) & set(current)):
+        b = baseline[name].get("median_ms")
+        c = current[name].get("median_ms")
+        if not b or not c:
+            continue
+        ratio = c / b
+        flag = "REGRESSION" if ratio > args.threshold else "ok"
+        print(f"{name:40s} {b:12.3f} -> {c:12.3f} ms  ({ratio:5.2f}x) {flag}")
+        if ratio > args.threshold:
+            regressions.append((name, b, c, ratio))
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:40s} {'new':>12s} -> "
+              f"{current[name].get('median_ms', 0.0):12.3f} ms")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:40s} not re-recorded (kept baseline)")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.2f}x:", file=sys.stderr)
+        for name, b, c, ratio in regressions:
+            print(f"  {name}: {b:.3f} -> {c:.3f} ms ({ratio:.2f}x)",
+                  file=sys.stderr)
+        return 1
+    print("\nbench regression gate: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=True,
                        help="memoise window LP solves on exact demand "
                             "(bit-identical results; --no-lp-cache disables)")
+    p_fig.add_argument("--fast-lane", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="vectorised request-path fast lane "
+                            "(--no-fast-lane runs the scalar A/B path)")
     p_fig.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the figure batch "
                             "(results are independent of this)")
@@ -112,15 +116,17 @@ def _cmd_figures(args) -> int:
     failures = 0
     known = [n for n in wanted if n in ALL_FIGURES]
     lp_cache = getattr(args, "lp_cache", True)
+    fast_lane = getattr(args, "fast_lane", True)
     jobs = max(1, getattr(args, "jobs", 1))
     if jobs > 1:
         results = dict(run_figures_parallel(
             known, scale=args.scale, seed=args.seed, jobs=jobs,
-            lp_cache=lp_cache,
+            lp_cache=lp_cache, fast_lane=fast_lane,
         ))
     else:
         results = {
-            n: ALL_FIGURES[n](**figure_kwargs(n, args.scale, args.seed, lp_cache))
+            n: ALL_FIGURES[n](**figure_kwargs(n, args.scale, args.seed, lp_cache,
+                                              fast_lane=fast_lane))
             for n in known
         }
     for name in wanted:

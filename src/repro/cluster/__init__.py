@@ -18,7 +18,7 @@ from repro.cluster.endpoint_server import EndpointEnforcingServer
 from repro.cluster.phases import PhaseSchedule
 from repro.cluster.request import Request
 from repro.cluster.server import Server
-from repro.cluster.workload import ReplySizeSampler, RequestMix
+from repro.cluster.workload import ReplySizeSampler, RequestMix, WorkloadStream
 
 __all__ = [
     "Request",
@@ -30,4 +30,5 @@ __all__ = [
     "PhaseSchedule",
     "ReplySizeSampler",
     "RequestMix",
+    "WorkloadStream",
 ]

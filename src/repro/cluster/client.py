@@ -15,10 +15,31 @@ Two generation modes:
   measure against.
 - ``closed`` — ``users`` virtual users in issue/response/think loops,
   useful for response-time experiments.
+
+The request-path fast lane (``fast_lane=True``, the default):
+
+- workload fields and arrival gaps come pre-drawn in numpy blocks from a
+  :class:`repro.cluster.workload.WorkloadStream` (spawned child RNG
+  streams; the scalar ``mix.draw`` path is retained with
+  ``fast_lane=False`` for A/B runs);
+- the open loop is a self-rescheduling heap callback instead of a
+  generator process — no per-request ``Timer`` allocation or generator
+  resume;
+- activity lookups bisect a precomputed sorted window-boundary array
+  (O(log n) instead of scanning every window per request);
+- response times feed bounded :class:`repro.sim.stats.StreamingStats`
+  (count/mean/M2 + reservoir) instead of an unbounded list.
+
+Fast lane on/off changes which RNG stream each draw comes from, so the two
+lanes are statistically equivalent, not bit-identical; the A/B figure test
+(``tests/integration/test_fast_lane_ab.py``) pins both within the paper
+tolerances.
 """
 
 from __future__ import annotations
 
+import zlib
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Protocol, Tuple, Union
 
@@ -26,8 +47,9 @@ import numpy as np
 
 from repro.cluster.request import Request
 from repro.cluster.server import Server
-from repro.cluster.workload import RequestMix
+from repro.cluster.workload import RequestMix, WorkloadStream
 from repro.sim.engine import Simulator
+from repro.sim.stats import StreamingStats
 
 __all__ = ["ClientMachine", "Redirect", "Defer", "Drop", "Held", "RedirectorAPI"]
 
@@ -67,6 +89,22 @@ class RedirectorAPI(Protocol):
         ...
 
 
+def _merge_windows(
+    windows: List[Tuple[float, float]],
+) -> Tuple[List[float], List[float]]:
+    """Sorted, overlap-merged window boundaries for bisect lookups."""
+    starts: List[float] = []
+    ends: List[float] = []
+    for t0, t1 in sorted(windows):
+        if starts and t0 <= ends[-1]:
+            if t1 > ends[-1]:
+                ends[-1] = t1
+        else:
+            starts.append(t0)
+            ends.append(t1)
+    return starts, ends
+
+
 class ClientMachine:
     """One rate-bounded client machine issuing requests for a principal."""
 
@@ -89,6 +127,9 @@ class ClientMachine:
         jitter: float = 0.0,
         arrivals: str = "uniform",
         on_response: Optional[Callable[[Request], None]] = None,
+        fast_lane: bool = True,
+        stream_chunk: int = 1024,
+        rt_reservoir: int = 4096,
     ):
         if rate <= 0:
             raise ValueError("rate must be positive")
@@ -121,35 +162,91 @@ class ClientMachine:
         self.jitter = float(jitter)
         self.arrivals = arrivals
         self.on_response = on_response
+        self.fast_lane = bool(fast_lane)
+
+        if active_windows is None:
+            self._win_starts: Optional[List[float]] = None
+            self._win_ends: Optional[List[float]] = None
+        else:
+            self._win_starts, self._win_ends = _merge_windows(list(active_windows))
 
         self.issued = 0
         self.admitted = 0
         self.completed = 0
         self.deferred = 0
         self.dropped = 0
-        self.response_times: List[float] = []
+        self.response_stats = StreamingStats(
+            reservoir=rt_reservoir, seed=zlib.crc32(name.encode("utf-8")) or 1
+        )
         self._retry_pool = 0
 
+        self._stream: Optional[WorkloadStream] = None
+        if self.fast_lane:
+            self._stream = WorkloadStream(
+                self.mix, rng, chunk=stream_chunk,
+                rate=self.rate if mode == "open" else None,
+                arrivals=arrivals, jitter=self.jitter,
+            )
+
         if mode == "open":
-            sim.process(self._open_loop(), name=f"client[{name}]")
+            if self.fast_lane:
+                sim.schedule(0.0, self._open_tick)
+            else:
+                sim.process(self._open_loop(), name=f"client[{name}]")
         else:
             for u in range(self.users):
                 sim.process(self._closed_user(u), name=f"client[{name}]#{u}")
 
+    # -- measurements ---------------------------------------------------------
+
+    @property
+    def response_times(self) -> List[float]:
+        """Recorded response-time samples (the full set while the run is
+        within the reservoir capacity, a uniform sample beyond it)."""
+        return self.response_stats.samples
+
     # -- activity -------------------------------------------------------------
 
     def is_active(self, t: float) -> bool:
-        if self.active_windows is None:
+        starts = self._win_starts
+        if starts is None:
             return True
-        return any(t0 <= t < t1 for t0, t1 in self.active_windows)
+        i = bisect_right(starts, t) - 1
+        return i >= 0 and t < self._win_ends[i]
 
     def _next_activity_start(self, t: float) -> Optional[float]:
-        starts = [t0 for t0, t1 in (self.active_windows or []) if t0 > t]
-        return min(starts) if starts else None
+        starts = self._win_starts or []
+        i = bisect_right(starts, t)
+        return starts[i] if i < len(starts) else None
 
     # -- open-loop generation ------------------------------------------------
 
+    def _open_tick(self) -> None:
+        """Fast-lane open loop: one self-rescheduling heap callback per
+        request — no generator, no per-request Timer."""
+        sim = self.sim
+        now = sim.now
+        if not self.is_active(now):
+            nxt = self._next_activity_start(now)
+            if nxt is not None:
+                sim.schedule_at(nxt, self._open_tick)
+            return
+        url, size, cost, gap = self._stream.draw_next()
+        req = Request(
+            principal=self.principal,
+            client_id=self.name,
+            created_at=now,
+            size_bytes=size,
+            cost=cost,
+            url=url,
+        )
+        self.issued += 1
+        self._dispatch(req)
+        sim.schedule(gap, self._open_tick)
+
     def _open_loop(self):
+        """Scalar open loop (``fast_lane=False``): the pre-fast-lane path,
+        kept for A/B comparisons."""
         spacing = 1.0 / self.rate
         while True:
             now = self.sim.now
@@ -221,13 +318,19 @@ class ClientMachine:
 
     def _on_done(self, req: Request) -> None:
         self.completed += 1
-        rt = req.response_time
-        if rt is not None:
-            self.response_times.append(rt)
+        completed_at = req.completed_at
+        if completed_at is not None:
+            self.response_stats.add(completed_at - req.created_at)
         if self.on_response is not None:
             self.on_response(req)
 
     # -- closed-loop users ----------------------------------------------------------
+
+    def _draw_fields(self) -> Tuple[str, int, float]:
+        if self._stream is not None:
+            url, size, cost, _gap = self._stream.draw_next()
+            return url, size, cost
+        return self.mix.draw(self.rng)
 
     def _closed_user(self, user_id: int):
         # Stagger user start so users do not lock-step.
@@ -240,7 +343,7 @@ class ClientMachine:
                     return
                 yield nxt - now
                 continue
-            url, size, cost = self.mix.draw(self.rng)
+            url, size, cost = self._draw_fields()
             req = Request(
                 principal=self.principal,
                 client_id=self.name,
@@ -260,11 +363,15 @@ class ClientMachine:
             done = self.sim.event(f"resp-{req.request_id}")
             decision = self.redirector.handle(req, done=lambda r: done.succeed(r))
             if isinstance(decision, Redirect):
-                self.admitted += 1
-                decision.server.submit(req, done=lambda r: done.succeed(r))
-                yield done
-                self._on_done(req)
-                return True
+                if decision.server.submit(req, done=lambda r: done.succeed(r)):
+                    self.admitted += 1
+                    yield done
+                    self._on_done(req)
+                    return True
+                # Queue overflow at the server: without this the ``done``
+                # event never fires and the virtual user would hang forever
+                # — treat it as a deferral, like the open loop does.
+                decision = Defer()
             if isinstance(decision, Held):
                 self.admitted += 1
                 yield done

@@ -4,12 +4,24 @@ Requests are short-lived and their resource consumption is known a priori
 (paper §2's model), so a request carries a ``cost`` in average-request
 units — "large requests are treated as multiple small ones for the purpose
 of scheduling" (§4).
+
+This is the hottest allocation in the simulator (one instance per simulated
+request), so the class is deliberately lean:
+
+- ``__slots__`` storage — no per-instance ``__dict__``, roughly half the
+  memory and faster attribute access than the previous dataclass;
+- *lazy* ``request_id`` — the global counter is only consumed when some
+  component actually asks for the id (explicit-queuing redirectors, the
+  closed-loop client).  The open-loop fast lane never materialises ids;
+- validation is two inline comparisons; the dataclass ``__post_init__``
+  dispatch and eager ``default_factory`` id draw are gone from the
+  per-request path (batch field generation is validated once per chunk in
+  :class:`repro.cluster.workload.WorkloadStream`).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = ["Request"]
@@ -17,7 +29,6 @@ __all__ = ["Request"]
 _request_ids = itertools.count(1)
 
 
-@dataclass
 class Request:
     """One client request for a principal's service.
 
@@ -25,31 +36,65 @@ class Request:
         principal: the organisation whose agreement funds this request.
         client_id: originating client machine.
         created_at: simulation time of first issue.
-        size_bytes: reply size (drawn from the workload mix).
-        cost: scheduling cost in average-request units (>= 0).
+        size_bytes: reply size (drawn from the workload mix), >= 0.
+        cost: scheduling cost in average-request units; must be > 0
+            (zero-cost requests would make service instantaneous and
+            quota accounting meaningless).
         attempts: how many times the request has been (re)submitted.
         url: requested path; the paper's redirectors map URL -> principal.
+        request_id: unique id, assigned lazily on first access.
     """
 
-    principal: str
-    client_id: str
-    created_at: float
-    size_bytes: int = 6144
-    cost: float = 1.0
-    url: str = "/"
-    attempts: int = 0
-    request_id: int = field(default_factory=lambda: next(_request_ids))
-    completed_at: Optional[float] = None
-    served_by: Optional[str] = None
+    __slots__ = (
+        "principal", "client_id", "created_at", "size_bytes", "cost",
+        "url", "attempts", "_request_id", "completed_at", "served_by",
+    )
 
-    def __post_init__(self) -> None:
-        if self.cost <= 0:
-            raise ValueError(f"request cost must be positive, got {self.cost}")
-        if self.size_bytes < 0:
+    def __init__(
+        self,
+        principal: str,
+        client_id: str,
+        created_at: float,
+        size_bytes: int = 6144,
+        cost: float = 1.0,
+        url: str = "/",
+        attempts: int = 0,
+        request_id: Optional[int] = None,
+        completed_at: Optional[float] = None,
+        served_by: Optional[str] = None,
+    ):
+        if cost <= 0:
+            raise ValueError(f"request cost must be positive, got {cost}")
+        if size_bytes < 0:
             raise ValueError("size_bytes must be non-negative")
+        self.principal = principal
+        self.client_id = client_id
+        self.created_at = created_at
+        self.size_bytes = size_bytes
+        self.cost = cost
+        self.url = url
+        self.attempts = attempts
+        self._request_id = request_id
+        self.completed_at = completed_at
+        self.served_by = served_by
+
+    @property
+    def request_id(self) -> int:
+        rid = self._request_id
+        if rid is None:
+            rid = self._request_id = next(_request_ids)
+        return rid
 
     @property
     def response_time(self) -> Optional[float]:
         if self.completed_at is None:
             return None
         return self.completed_at - self.created_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Request(principal={self.principal!r}, client_id={self.client_id!r}, "
+            f"created_at={self.created_at!r}, size_bytes={self.size_bytes!r}, "
+            f"cost={self.cost!r}, url={self.url!r}, attempts={self.attempts!r}, "
+            f"completed_at={self.completed_at!r}, served_by={self.served_by!r})"
+        )

@@ -7,6 +7,14 @@ per second (deterministic service time ``cost / capacity`` per request).
 Offered load beyond capacity accumulates in the queue — the saturation
 behaviour every figure in §5 exercises — optionally bounded, with
 overflow drops counted.
+
+Hot-path note: the server consumes exactly **one heap event per served
+request** (its completion).  Service on an idle server starts inline in
+:meth:`Server.submit` and each completion pulls the next request directly,
+so there is no ``_serve_next`` kick event per busy period — at the scale
+benchmark tier (millions of requests) those kicks were measurable heap
+traffic.  ``max_queue`` bounds the requests *in* the server (waiting plus
+the one in service).
 """
 
 from __future__ import annotations
@@ -65,26 +73,24 @@ class Server:
     # -- submission -----------------------------------------------------------
 
     def submit(self, request: Request, done: Optional[DoneFn] = None) -> bool:
-        """Accept a request for service; returns False on queue overflow."""
-        if self.max_queue and len(self._queue) >= self.max_queue:
-            self.dropped += 1
-            return False
-        self._queue.append((request, done))
-        if not self._busy:
-            self._busy = True
-            self.sim.schedule(0.0, self._serve_next)
-        return True
+        """Accept a request for service; returns False on queue overflow.
 
-    # -- service loop -------------------------------------------------------------
-
-    def _serve_next(self) -> None:
-        if not self._queue:
-            self._busy = False
-            return
-        request, done = self._queue.popleft()
+        An idle server starts service inline (no zero-delay kick event);
+        a busy one queues the request for :meth:`_finish` to pull.
+        """
+        if self._busy:
+            if self.max_queue and len(self._queue) + 1 >= self.max_queue:
+                self.dropped += 1
+                return False
+            self._queue.append((request, done))
+            return True
+        self._busy = True
         service = request.cost / self.capacity
         self.busy_time += service
         self.sim.schedule(service, self._finish, request, done)
+        return True
+
+    # -- service loop -------------------------------------------------------------
 
     def _finish(self, request: Request, done: Optional[DoneFn]) -> None:
         request.completed_at = self.sim.now
@@ -94,7 +100,14 @@ class Server:
             self.on_complete(request, self)
         if done is not None:
             done(request)
-        self._serve_next()
+        queue = self._queue
+        if queue:
+            nxt, nxt_done = queue.popleft()
+            service = nxt.cost / self.capacity
+            self.busy_time += service
+            self.sim.schedule(service, self._finish, nxt, nxt_done)
+        else:
+            self._busy = False
 
     # -- introspection ----------------------------------------------------------------
 

@@ -6,17 +6,29 @@ from 200 bytes to 500 KB)".  :class:`ReplySizeSampler` reproduces that
 marginal with a clipped lognormal calibrated so the post-clipping mean
 stays at the target; :class:`RequestMix` adds the static/dynamic split and
 optional per-unit cost accounting for large requests.
+
+:class:`WorkloadStream` is the request-path fast lane over a mix: it
+pre-draws reply sizes, static/dynamic flags, costs, and arrival gaps in
+numpy blocks instead of paying scalar ``rng.lognormal``/``rng.random``
+calls per request.  Determinism contract: the stream spawns one dedicated
+child generator per field from the client's RNG (spawning does not advance
+the parent stream), and each field is consumed strictly in draw order —
+numpy generators produce identical sequences whether sampled one value at
+a time or in blocks, so the emitted request stream is **invariant to the
+chunk size by construction** (asserted for chunks 1/256/4096 in
+``tests/cluster/test_workload.py``).  The scalar path is retained as
+:meth:`RequestMix.draw` for A/B comparisons.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["ReplySizeSampler", "RequestMix"]
+__all__ = ["ReplySizeSampler", "RequestMix", "WorkloadStream"]
 
 
 class ReplySizeSampler:
@@ -99,7 +111,11 @@ class RequestMix:
             raise ValueError("unit_bytes must be positive")
 
     def draw(self, rng: np.random.Generator) -> tuple:
-        """(url, size_bytes, cost) for one request."""
+        """(url, size_bytes, cost) for one request (scalar reference path).
+
+        Kept as the A/B baseline for :class:`WorkloadStream`; per-request
+        it pays two scalar generator calls plus numpy scalar clipping.
+        """
         size = int(self.sampler.sample(rng))
         dynamic = bool(rng.random() < self.dynamic_fraction)
         url = "/cgi/page" if dynamic else "/static/page"
@@ -109,3 +125,109 @@ class RequestMix:
         else:
             cost = 1.0
         return url, size, cost
+
+
+_STATIC_URL = "/static/page"
+_DYNAMIC_URL = "/cgi/page"
+
+
+class WorkloadStream:
+    """Chunked pre-drawn request fields over a :class:`RequestMix`.
+
+    Args:
+        mix: the request mix to sample.
+        rng: the owning client's generator.  Three child streams (sizes,
+            static/dynamic flags, arrival gaps) are spawned from it —
+            spawning never advances the parent, so the client keeps using
+            ``rng`` for retry jitter etc. without perturbing the workload.
+        chunk: block size for the vectorised draws.  Any value produces
+            the identical request stream (see module docstring); larger
+            chunks just amortise the numpy call overhead further.
+        rate: requests/second for arrival-gap generation; ``None`` when
+            the caller does not consume gaps (closed-loop clients).
+        arrivals: ``"uniform"`` (fixed/jittered spacing) or ``"poisson"``.
+        jitter: relative uniform jitter on the fixed spacing.
+
+    Per-chunk the stream validates what the scalar path checked per
+    request: sizes are clipped into ``[min_bytes, max_bytes]`` by the
+    sampler and costs are ``>= 1`` by construction, so the
+    :class:`repro.cluster.request.Request` constructor's checks never
+    fire on streamed fields.
+    """
+
+    __slots__ = (
+        "mix", "chunk", "arrivals", "spacing", "jitter",
+        "_size_rng", "_flag_rng", "_gap_rng",
+        "_urls", "_sizes", "_costs", "_gaps", "_i", "_n", "_unit",
+    )
+
+    def __init__(
+        self,
+        mix: RequestMix,
+        rng: np.random.Generator,
+        chunk: int = 1024,
+        rate: Optional[float] = None,
+        arrivals: str = "uniform",
+        jitter: float = 0.0,
+    ):
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        if arrivals not in ("uniform", "poisson"):
+            raise ValueError(f"unknown arrival process {arrivals!r}")
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive")
+        self.mix = mix
+        self.chunk = int(chunk)
+        self.arrivals = arrivals
+        self.spacing = (1.0 / float(rate)) if rate is not None else None
+        self.jitter = float(jitter)
+        self._size_rng, self._flag_rng, self._gap_rng = rng.spawn(3)
+        self._unit = (
+            (mix.unit_bytes or mix.sampler.mean_bytes) if mix.size_cost else None
+        )
+        self._i = 0
+        self._n = 0
+        self._urls: list = []
+        self._sizes: list = []
+        self._costs: Optional[list] = None
+        self._gaps: Optional[list] = None
+
+    def _refill(self) -> None:
+        n = self.chunk
+        mix = self.mix
+        sizes = mix.sampler.sample(self._size_rng, size=n)
+        dynamic = self._flag_rng.random(n) < mix.dynamic_fraction
+        self._urls = [_DYNAMIC_URL if d else _STATIC_URL for d in dynamic.tolist()]
+        self._sizes = sizes.tolist()
+        if self._unit is not None:
+            # Mirrors the scalar path's max(1, round(size / unit)) — both
+            # numpy and Python round half to even.
+            self._costs = np.maximum(1.0, np.round(sizes / self._unit)).tolist()
+        else:
+            self._costs = None
+        if self.spacing is None:
+            self._gaps = None
+        elif self.arrivals == "poisson":
+            self._gaps = self._gap_rng.exponential(self.spacing, size=n).tolist()
+        elif self.jitter > 0:
+            j = self.jitter
+            factors = 1.0 + self._gap_rng.uniform(-j, j, size=n)
+            self._gaps = (self.spacing * factors).tolist()
+        else:
+            self._gaps = [self.spacing] * n
+        self._i = 0
+        self._n = n
+
+    def draw_next(self) -> Tuple[str, int, float, Optional[float]]:
+        """(url, size_bytes, cost, arrival_gap) for the next request.
+
+        ``arrival_gap`` is None when the stream was built without a rate.
+        """
+        i = self._i
+        if i == self._n:
+            self._refill()
+            i = 0
+        self._i = i + 1
+        cost = self._costs[i] if self._costs is not None else 1.0
+        gap = self._gaps[i] if self._gaps is not None else None
+        return self._urls[i], self._sizes[i], cost, gap

@@ -97,6 +97,7 @@ def run_fig1() -> Fig1Result:
 def run_fig1_distributed(
     duration: float = 30.0, seed: int = 0,
     lp_cache: bool = True, fast_periodic: bool = True,
+    fast_lane: bool = True,
 ) -> Fig1Result:
     """Fig 1 as a *full simulation*, not arithmetic.
 
@@ -129,7 +130,8 @@ def run_fig1_distributed(
         g1.add_principal(name, capacity=50.0)
     g1.add_principal("A")
     g1.add_principal("B")
-    sc1 = Scenario(g1, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic)
+    sc1 = Scenario(g1, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic,
+                  fast_lane=fast_lane)
     # End-point enforcers run a coarser window (the paper's §6 notes such
     # systems operate at coarse granularity — Oceano at minutes); at 0.1 s
     # their per-window quotas here would round to ~2 requests and the
@@ -156,7 +158,8 @@ def run_fig1_distributed(
     for server in ("S1", "S2"):
         g2.add_agreement(Agreement(server, "A", 0.2, 1.0))
         g2.add_agreement(Agreement(server, "B", 0.8, 1.0))
-    sc2 = Scenario(g2, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic)
+    sc2 = Scenario(g2, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic,
+                  fast_lane=fast_lane)
     cs1 = sc2.server("S1", "S1", 50.0)
     cs2 = sc2.server("S2", "S2", 50.0)
     cr1 = sc2.l7("R1", {"S1": cs1, "S2": cs2}, n_redirectors=2)
@@ -242,12 +245,14 @@ def _fig6_graph(capacity: float, a_lb: float, b_lb: float) -> AgreementGraph:
 def run_fig6(
     duration_scale: float = 1.0, seed: int = 0,
     lp_cache: bool = True, fast_periodic: bool = True,
+    fast_lane: bool = True,
 ) -> FigureResult:
     """Fig 6: V=320; A [0.2,1] with two 135 req/s clients at R1; B [0.8,1]
     with one client at R2.  Three phases: both active / only A / both."""
     T = 100.0 * duration_scale
     sc = Scenario(_fig6_graph(320.0, 0.2, 0.8), seed=seed,
-                  lp_cache=lp_cache, fast_periodic=fast_periodic)
+                  lp_cache=lp_cache, fast_periodic=fast_periodic,
+                  fast_lane=fast_lane)
     server = sc.server("S", "S", 320.0)
     r1 = sc.l7("R1", {"S": server}, n_redirectors=2)
     r2 = sc.l7("R2", {"S": server}, n_redirectors=2)
@@ -281,12 +286,14 @@ def run_fig6(
 def run_fig7(
     duration_scale: float = 1.0, seed: int = 0,
     lp_cache: bool = True, fast_periodic: bool = True,
+    fast_lane: bool = True,
 ) -> FigureResult:
     """Fig 7: V=250; both A and B have [0.2,1]; A has two clients, B one.
     The community objective serves A at twice B's rate."""
     T = 150.0 * duration_scale
     sc = Scenario(_fig6_graph(250.0, 0.2, 0.2), seed=seed,
-                  lp_cache=lp_cache, fast_periodic=fast_periodic)
+                  lp_cache=lp_cache, fast_periodic=fast_periodic,
+                  fast_lane=fast_lane)
     server = sc.server("S", "S", 250.0)
     r1 = sc.l7("R1", {"S": server}, n_redirectors=2)
     r2 = sc.l7("R2", {"S": server}, n_redirectors=2)
@@ -314,6 +321,7 @@ def run_fig7(
 def run_fig8(
     duration_scale: float = 1.0, seed: int = 0, lag: Optional[float] = None,
     lp_cache: bool = True, fast_periodic: bool = True,
+    fast_lane: bool = True,
 ) -> FigureResult:
     """Fig 8: V=320; A [0.8,1] (two clients at R1), B [0.2,1] (one at R2);
     combining-tree broadcasts lag by ~``lag`` seconds.  Reproduces the
@@ -332,7 +340,8 @@ def run_fig8(
     # which rarely aligns with 1 s bins, and the post-lag surge must not
     # smear into the conservative phase's mean.
     sc = Scenario(_fig8_graph(), seed=seed, bin_width=0.2,
-                  lp_cache=lp_cache, fast_periodic=fast_periodic)
+                  lp_cache=lp_cache, fast_periodic=fast_periodic,
+                  fast_lane=fast_lane)
     server = sc.server("S", "S", 320.0)
     r1 = sc.l7("R1", {"S": server}, n_redirectors=2)
     r2 = sc.l7("R2", {"S": server}, n_redirectors=2)
@@ -394,6 +403,7 @@ def _fig8_graph() -> AgreementGraph:
 def run_fig9(
     duration_scale: float = 1.0, seed: int = 0,
     lp_cache: bool = True, fast_periodic: bool = True,
+    fast_lane: bool = True,
 ) -> FigureResult:
     """Fig 9: A and B each own a 320 req/s server; B grants A [0.5, 0.5].
     Four phases: A 2 clients / none / 1 client / none, B always one client;
@@ -403,7 +413,8 @@ def run_fig9(
     g.add_principal("A", capacity=320.0)
     g.add_principal("B", capacity=320.0)
     g.add_agreement(Agreement("B", "A", 0.5, 0.5))
-    sc = Scenario(g, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic)
+    sc = Scenario(g, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic,
+                  fast_lane=fast_lane)
     sa = sc.server("SA", "A", 320.0)
     sb = sc.server("SB", "B", 320.0)
     switch = sc.l4("SW", {"A": sa, "B": sb})
@@ -438,6 +449,7 @@ def run_fig9(
 def run_fig10(
     duration_scale: float = 1.0, seed: int = 0,
     lp_cache: bool = True, fast_periodic: bool = True,
+    fast_lane: bool = True,
 ) -> FigureResult:
     """Fig 10: provider with two 320 req/s servers; A [0.8,1] pays more than
     B [0.2,1].  Same client timeline as Fig 9; the provider admits the
@@ -449,7 +461,8 @@ def run_fig10(
     g.add_principal("B")
     g.add_agreement(Agreement("P", "A", 0.8, 1.0))
     g.add_agreement(Agreement("P", "B", 0.2, 1.0))
-    sc = Scenario(g, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic)
+    sc = Scenario(g, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic,
+                  fast_lane=fast_lane)
     s1 = sc.server("S1", "P", 320.0)
     s2 = sc.server("S2", "P", 320.0)
     switch = sc.l4(

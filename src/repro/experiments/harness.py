@@ -94,12 +94,14 @@ class Scenario:
         trace: bool = False,
         lp_cache: bool = True,
         fast_periodic: bool = True,
+        fast_lane: bool = True,
     ):
         self.graph = graph
         self.access: AccessLevels = compute_access_levels(graph)
         self.window = window
         self.backend = backend
         self.lp_cache = bool(lp_cache)
+        self.fast_lane = bool(fast_lane)
         self.sim = Simulator(fast_periodic=fast_periodic)
         self.streams = RngStreams(seed)
         self.meter = RateMeter(bin_width)
@@ -220,6 +222,7 @@ class Scenario:
         windows: Optional[Sequence[Tuple[float, float]]] = None,
         **kw,
     ) -> ClientMachine:
+        kw.setdefault("fast_lane", self.fast_lane)
         client = ClientMachine(
             self.sim, name, principal, redirector, rate,
             rng=self.streams.get(f"client:{name}"),
@@ -306,12 +309,15 @@ class Scenario:
 
         ``skip_fraction`` discards each client's earliest completions
         (start-up transient).  Response times include queueing, deferral
-        retries and service.
+        retries and service.  Samples come from each client's bounded
+        :class:`repro.sim.stats.StreamingStats` reservoir — exact while a
+        run completes fewer requests than the reservoir capacity, a uniform
+        sample beyond that.
         """
         by_principal: Dict[str, List[float]] = {}
         for client in self.clients.values():
-            rts = client.response_times
-            rts = rts[int(len(rts) * skip_fraction):]
+            st = client.response_stats
+            rts = st.tail_values(int(st.count * skip_fraction))
             by_principal.setdefault(client.principal, []).extend(rts)
         out: Dict[str, Dict[str, float]] = {}
         for p, rts in by_principal.items():

@@ -82,6 +82,7 @@ def figure_kwargs(
     seed: int,
     lp_cache: bool = True,
     partition_seeds: bool = False,
+    fast_lane: bool = True,
 ) -> Dict[str, Any]:
     """Keyword arguments for one ``run_figN`` entry point.
 
@@ -94,8 +95,9 @@ def figure_kwargs(
         return {}
     if name == "fig1d":
         return {"duration": max(20.0, 100.0 * scale), "seed": s,
-                "lp_cache": lp_cache}
-    return {"duration_scale": scale, "seed": s, "lp_cache": lp_cache}
+                "lp_cache": lp_cache, "fast_lane": fast_lane}
+    return {"duration_scale": scale, "seed": s, "lp_cache": lp_cache,
+            "fast_lane": fast_lane}
 
 
 def _figure_task(task: Tuple[str, Dict[str, Any]]) -> Tuple[str, Any]:
@@ -112,6 +114,7 @@ def run_figures_parallel(
     jobs: Optional[int] = None,
     lp_cache: bool = True,
     partition_seeds: bool = False,
+    fast_lane: bool = True,
 ) -> List[Tuple[str, Any]]:
     """Run paper figures across worker processes.
 
@@ -125,7 +128,7 @@ def run_figures_parallel(
     if unknown:
         raise KeyError(f"unknown figures {unknown}; have {list(ALL_FIGURES)}")
     tasks = [
-        (n, figure_kwargs(n, scale, seed, lp_cache, partition_seeds))
+        (n, figure_kwargs(n, scale, seed, lp_cache, partition_seeds, fast_lane))
         for n in wanted
     ]
     return parallel_map(_figure_task, tasks, jobs=jobs)

@@ -8,6 +8,8 @@ testbed (1 GHz PCs on a 100 Mbps switched LAN).  It provides:
 - :class:`repro.sim.network.Link` — latency-modelled message delivery.
 - :class:`repro.sim.monitor.RateMeter` / :class:`repro.sim.monitor.TimeSeries`
   — measurement instruments used by the experiment harness.
+- :class:`repro.sim.stats.StreamingStats` — bounded running moments +
+  reservoir quantiles for per-request measurements at scale.
 - :mod:`repro.sim.rng` — reproducible named random substreams.
 """
 
@@ -17,6 +19,7 @@ from repro.sim.engine import (
 from repro.sim.monitor import PhaseStats, RateMeter, TimeSeries
 from repro.sim.network import Link, Endpoint
 from repro.sim.rng import RngStreams
+from repro.sim.stats import StreamingStats
 from repro.sim.trace import Tracer
 
 __all__ = [
@@ -32,5 +35,6 @@ __all__ = [
     "TimeSeries",
     "PhaseStats",
     "RngStreams",
+    "StreamingStats",
     "Tracer",
 ]

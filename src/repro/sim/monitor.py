@@ -35,9 +35,30 @@ class RateMeter:
         self._bins: Dict[str, Dict[int, float]] = {}
 
     def record(self, key: str, t: float, weight: float = 1.0) -> None:
-        bins = self._bins.setdefault(key, {})
+        # Hot path (called 2-3x per completed request): plain .get beats
+        # setdefault, which builds the default dict on every call.
+        bins = self._bins.get(key)
+        if bins is None:
+            bins = self._bins[key] = {}
         idx = int(t // self.bin_width)
         bins[idx] = bins.get(idx, 0.0) + weight
+
+    def record_many(self, key: str, times, weight: float = 1.0) -> None:
+        """Record a batch of occurrence times for ``key`` in one call.
+
+        Equivalent to ``for t in times: record(key, t, weight)`` but binned
+        with one vectorised floor-divide — the fast lane's bulk path.
+        """
+        ts = np.asarray(times, dtype=float)
+        if ts.size == 0:
+            return
+        bins = self._bins.get(key)
+        if bins is None:
+            bins = self._bins[key] = {}
+        idx = np.floor_divide(ts, self.bin_width).astype(np.int64)
+        uniq, counts = np.unique(idx, return_counts=True)
+        for i, c in zip(uniq.tolist(), counts.tolist()):
+            bins[i] = bins.get(i, 0.0) + weight * c
 
     @property
     def keys(self) -> List[str]:

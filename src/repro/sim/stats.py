@@ -1,0 +1,124 @@
+"""Bounded streaming statistics.
+
+Long scale runs complete millions of requests; keeping every response time
+in a Python list (the previous ``ClientMachine.response_times``) grows
+without bound and dominates memory at the benchmark tier.
+:class:`StreamingStats` replaces it with O(1) running moments (count, mean,
+M2 — Welford's algorithm, numerically stable) plus an optional bounded
+reservoir for quantiles.
+
+The reservoir is classic Algorithm R with a deterministic xorshift64*
+index stream (seeded per instance), so runs are reproducible without
+touching the simulation's named numpy substreams.  While ``count`` is
+within the reservoir capacity the samples are simply *all* observations in
+insertion order, so small runs report exact quantiles — only beyond the
+cap do quantiles become reservoir estimates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["StreamingStats"]
+
+_MASK64 = (1 << 64) - 1
+
+
+class StreamingStats:
+    """Running count/mean/M2 with an optional fixed-size sample reservoir.
+
+    >>> st = StreamingStats(reservoir=8)
+    >>> for x in (1.0, 2.0, 3.0):
+    ...     st.add(x)
+    >>> st.count, st.mean, st.std
+    (3, 2.0, 1.0)
+    """
+
+    __slots__ = (
+        "count", "mean", "_m2", "min", "max",
+        "_cap", "_samples", "_sample_seq", "_state",
+    )
+
+    def __init__(self, reservoir: int = 4096, seed: int = 0x9E3779B9):
+        if reservoir < 0:
+            raise ValueError("reservoir must be >= 0")
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._cap = int(reservoir)
+        self._samples: List[float] = []
+        # Original observation index of each reservoir slot, so callers can
+        # trim warm-up samples by insertion order even after replacements.
+        self._sample_seq: List[int] = []
+        self._state = (int(seed) | 1) & _MASK64
+
+    def add(self, x: float) -> None:
+        n = self.count + 1
+        self.count = n
+        delta = x - self.mean
+        self.mean += delta / n
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        cap = self._cap
+        if not cap:
+            return
+        if n <= cap:
+            self._samples.append(x)
+            self._sample_seq.append(n - 1)
+            return
+        # Algorithm R: replace a random slot with probability cap/n.
+        s = self._state
+        s = (s ^ (s << 13)) & _MASK64
+        s ^= s >> 7
+        s = (s ^ (s << 17)) & _MASK64
+        self._state = s
+        j = s % n
+        if j < cap:
+            self._samples[j] = x
+            self._sample_seq[j] = n - 1
+
+    # -- derived moments ---------------------------------------------------
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0 for fewer than two observations."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return self.variance ** 0.5
+
+    # -- reservoir access --------------------------------------------------
+
+    @property
+    def samples(self) -> List[float]:
+        """Reservoir contents (every observation while under capacity)."""
+        return list(self._samples)
+
+    def tail_values(self, skip: int) -> List[float]:
+        """Reservoir samples whose original index is >= ``skip``.
+
+        Used to discard warm-up transients: while the reservoir is under
+        capacity this equals ``all_observations[skip:]`` exactly.
+        """
+        if skip <= 0:
+            return list(self._samples)
+        return [
+            v for v, s in zip(self._samples, self._sample_seq) if s >= skip
+        ]
+
+    def percentile(self, q: float, skip: int = 0) -> Optional[float]:
+        """Percentile estimate from the reservoir (None when empty)."""
+        vals = self.tail_values(skip)
+        if not vals:
+            return None
+        return float(np.percentile(np.asarray(vals), q))

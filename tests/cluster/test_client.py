@@ -166,3 +166,97 @@ class TestClosedLoop:
         sim.run(until=2.0)
         assert c.completed > 0
         assert c.deferred == 3
+
+    def test_closed_loop_server_overflow_deferred(self):
+        """Regression: a bounded server queue returning False from submit
+        must defer the virtual user, not leave it waiting on a response
+        event that will never fire."""
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=100.0, max_queue=1)
+        red = ScriptedRedirector(Redirect(srv))
+        c = _client(sim, red, rate=1000.0, mode="closed", users=4,
+                    retry_delay=0.01)
+        sim.run(until=5.0)
+        # max_queue=1 means any submit while busy overflows; with four
+        # users hammering one slot, overflow is guaranteed.
+        assert srv.dropped > 0
+        assert c.deferred > 0
+        # pre-fix, every user hung on its first overflow: completions
+        # stalled at ~users.  Post-fix the loop keeps making progress at
+        # roughly the server's service rate.
+        assert c.completed > 100
+
+    def test_closed_loop_overflow_counts_not_admitted(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=100.0, max_queue=1)
+        red = ScriptedRedirector(Redirect(srv))
+        c = _client(sim, red, rate=1000.0, mode="closed", users=4,
+                    retry_delay=0.01)
+        sim.run(until=2.0)
+        # admitted counts only successful submits: every handle() attempt
+        # either admitted or deferred, never both.
+        assert c.admitted + c.deferred == len(red.seen)
+
+
+class TestFastLane:
+    def test_fast_and_scalar_issue_identically(self):
+        """Uniform arrivals without jitter tick the same clock in both
+        lanes, so issued/admitted counts must match exactly."""
+        counts = {}
+        for fast in (True, False):
+            sim = Simulator()
+            srv = Server(sim, "S", capacity=1e9)
+            red = ScriptedRedirector(Redirect(srv))
+            c = _client(sim, red, rate=250.0, fast_lane=fast)
+            sim.run(until=4.0)
+            counts[fast] = (c.issued, c.admitted)
+        assert counts[True] == counts[False]
+
+    def test_fast_lane_respects_windows(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=1e9)
+        red = ScriptedRedirector(Redirect(srv))
+        c = _client(sim, red, rate=100.0, fast_lane=True,
+                    active_windows=[(1.0, 2.0), (4.0, 5.0)])
+        sim.run(until=10.0)
+        assert c.issued == pytest.approx(200, abs=4)
+
+    def test_overlapping_windows_merged(self):
+        sim = Simulator()
+        red = ScriptedRedirector(Drop())
+        c = _client(sim, red, rate=100.0,
+                    active_windows=[(0.0, 2.0), (1.0, 3.0)])
+        assert c.is_active(2.5)
+        assert not c.is_active(3.5)
+        assert c._next_activity_start(-1.0) == 0.0
+        assert c._next_activity_start(3.0) is None
+
+    def test_response_stats_streaming(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=100.0)
+        red = ScriptedRedirector(Redirect(srv))
+        c = _client(sim, red, rate=50.0)
+        sim.run(until=4.0)
+        assert c.response_stats.count == c.completed
+        assert len(c.response_times) == c.completed  # under reservoir cap
+        assert c.response_stats.mean > 0.0
+
+    def test_reservoir_bounds_memory(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=1e9)
+        red = ScriptedRedirector(Redirect(srv))
+        c = _client(sim, red, rate=2000.0, rt_reservoir=128)
+        sim.run(until=2.0)
+        assert c.completed > 1000
+        assert len(c.response_times) == 128
+        assert c.response_stats.count == c.completed
+
+    def test_closed_loop_uses_stream_fields(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=1e6)
+        red = ScriptedRedirector(Redirect(srv))
+        c = _client(sim, red, rate=100.0, mode="closed", users=2,
+                    fast_lane=True)
+        sim.run(until=2.0)
+        assert c.completed > 0
+        assert all(r.size_bytes >= 200 for r in red.seen)

@@ -27,3 +27,27 @@ class TestRequest:
     def test_negative_size_rejected(self):
         with pytest.raises(ValueError):
             Request(principal="A", client_id="C", created_at=0.0, size_bytes=-1)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Request(principal="A", client_id="C", created_at=0.0, cost=-2.0)
+
+    def test_tiny_positive_cost_accepted(self):
+        r = Request(principal="A", client_id="C", created_at=0.0, cost=1e-9)
+        assert r.cost == 1e-9
+
+    def test_slots_no_dict(self):
+        r = Request(principal="A", client_id="C", created_at=0.0)
+        with pytest.raises(AttributeError):
+            r.not_a_field = 1
+
+    def test_request_id_lazy_and_stable(self):
+        r = Request(principal="A", client_id="C", created_at=0.0)
+        assert r._request_id is None   # not allocated until first access
+        rid = r.request_id
+        assert r.request_id == rid
+
+    def test_explicit_request_id_kept(self):
+        r = Request(principal="A", client_id="C", created_at=0.0,
+                    request_id=77)
+        assert r.request_id == 77

@@ -65,6 +65,7 @@ class TestFigureBatch:
         assert figure_kwargs("fig1", 0.3, 7) == {}
         assert figure_kwargs("fig6", 0.3, 7) == {
             "duration_scale": 0.3, "seed": 7, "lp_cache": True,
+            "fast_lane": True,
         }
         assert figure_kwargs("fig1d", 0.3, 7)["duration"] == pytest.approx(30.0)
 

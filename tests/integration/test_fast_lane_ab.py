@@ -1,0 +1,58 @@
+"""Acceptance A/B: the request-path fast lane must hold the paper's shapes.
+
+Unlike the LP cache (``test_lp_cache_ab.py``), the fast lane draws its
+workload from spawned child RNG streams, so fast vs scalar runs are
+statistically equivalent rather than bit-identical.  The contract is that
+*both* lanes land inside the figure tolerances — the same criterion the
+paper comparison itself uses.
+"""
+
+import pytest
+
+from repro.experiments.figures import run_fig1_distributed, run_fig6, run_fig7
+
+SCALE = 0.3
+
+
+@pytest.mark.parametrize("fast_lane", [True, False],
+                         ids=["fast", "scalar"])
+def test_fig1d_within_tolerance(fast_lane):
+    result = run_fig1_distributed(duration=30.0, fast_lane=fast_lane)
+    assert result.ok, (
+        f"fig1d fast_lane={fast_lane}: endpoint={result.endpoint} "
+        f"coordinated={result.coordinated}"
+    )
+
+
+@pytest.mark.parametrize("run_fig", [run_fig6, run_fig7],
+                         ids=["fig6", "fig7"])
+@pytest.mark.parametrize("fast_lane", [True, False],
+                         ids=["fast", "scalar"])
+def test_figure_tolerances_both_lanes(run_fig, fast_lane):
+    result = run_fig(duration_scale=SCALE, fast_lane=fast_lane)
+    assert result.ok, (
+        f"{result.figure} fast_lane={fast_lane} "
+        f"deviations: {result.deviations()}"
+    )
+
+
+def test_fast_lane_flag_reaches_clients():
+    """The Scenario plumbing actually switches the client lane."""
+    from repro.core.agreements import AgreementGraph
+    from repro.experiments.harness import Scenario
+
+    g = AgreementGraph()
+    g.add_principal("S", capacity=10.0)
+    g.add_principal("A")
+    for flag in (True, False):
+        sc = Scenario(g, fast_lane=flag)
+        srv = sc.server("S", "S", 10.0)
+
+        class _Red:
+            def handle(self, request, done=None):
+                from repro.cluster.client import Redirect
+                return Redirect(srv)
+
+        c = sc.client("C", "A", _Red(), rate=10.0)
+        assert c.fast_lane is flag
+        assert (c._stream is not None) is flag

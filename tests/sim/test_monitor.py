@@ -118,3 +118,35 @@ class TestPhaseSummaries:
     def test_missing_key_rate_zero(self):
         stats = PhaseStats("p", 0.0, 1.0)
         assert stats.rate("missing") == 0.0
+
+
+class TestRecordMany:
+    def test_parity_with_scalar_record(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        times = rng.uniform(0.0, 50.0, size=5000)
+        scalar = RateMeter(bin_width=0.5)
+        for t in times:
+            scalar.record("A", float(t))
+        batched = RateMeter(bin_width=0.5)
+        batched.record_many("A", times)
+        st, sv = scalar.series("A")
+        bt, bv = batched.series("A")
+        np.testing.assert_array_equal(st, bt)
+        np.testing.assert_array_equal(sv, bv)
+        assert scalar.total("A", 3.0, 17.5) == pytest.approx(
+            batched.total("A", 3.0, 17.5)
+        )
+
+    def test_weight_and_accumulation(self):
+        m = RateMeter(bin_width=1.0)
+        m.record("A", 0.5)
+        m.record_many("A", [0.1, 0.2, 1.5], weight=2.0)
+        assert m.total("A", 0.0, 1.0) == pytest.approx(5.0)
+        assert m.total("A", 1.0, 2.0) == pytest.approx(2.0)
+
+    def test_empty_batch_noop(self):
+        m = RateMeter(bin_width=1.0)
+        m.record_many("A", [])
+        assert m.keys == []
