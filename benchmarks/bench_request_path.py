@@ -15,6 +15,7 @@ in ``benchmarks/BENCH_core.json`` via ``record_bench``.
 import os
 import time
 
+from repro.analysis.invariants import InvariantChecker
 from repro.cluster.client import ClientMachine, Redirect
 from repro.cluster.server import Server
 from repro.cluster.workload import RequestMix
@@ -61,6 +62,27 @@ def _run_open(fast_lane: bool):
     assert client.completed >= OPEN_REQUESTS
     assert meter.total("A") == client.completed
     return client.completed, meter
+
+
+def _run_open_checked():
+    """Open loop on the fast lane with the runtime invariant checker
+    watching the server — measures the checker's hot-path overhead."""
+    sim = Simulator()
+    streams = RngStreams(7)
+    server = Server(sim, "srv", capacity=1e9)
+    red = _StaticRedirector(server)
+    checker = InvariantChecker()
+    checker.watch_server(sim, server, window=0.1)
+    client = ClientMachine(
+        sim, "c0", "A", red, rate=OPEN_RATE,
+        rng=streams.get("client:c0"),
+        fast_lane=True,
+    )
+    sim.run(until=OPEN_REQUESTS / OPEN_RATE)
+    assert client.completed >= OPEN_REQUESTS
+    assert checker.checks_run > 0
+    assert checker.violations == []
+    return client.completed
 
 
 def _run_closed(fast_lane: bool):
@@ -138,6 +160,27 @@ def test_request_path_open_speedup():
         f"fast lane {fast_rate:.0f} req/s vs scalar {scalar_rate:.0f} req/s "
         f"= {speedup:.2f}x (< 3x floor)"
     )
+
+
+def test_request_path_open_checked():
+    """Invariant-checker overhead on the open-loop fast lane.
+
+    Target: < 5% over the unchecked run (the checker adds one callback
+    per completion and ten window ticks per simulated second); exactly
+    0% when disabled, since no hooks are installed at all.
+    """
+    t_plain, (n_plain, _) = _best_of(lambda: _run_open(fast_lane=True))
+    t_checked, n_checked = _best_of(_run_open_checked)
+    overhead_pct = (t_checked / t_plain - 1.0) * 100.0
+    record_bench(
+        "request_path_open_checked", t_checked * 1000.0,
+        meta={"requests": n_checked,
+              "reqs_per_s": round(n_checked / t_checked),
+              "overhead_pct": round(overhead_pct, 2),
+              "target_pct": 5.0},
+        path=BENCH_PATH,
+    )
+    assert n_checked == n_plain
 
 
 def test_request_path_closed_fast(benchmark):

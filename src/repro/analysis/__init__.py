@@ -1,0 +1,48 @@
+"""Static analysis and runtime invariant tooling (``simlint``).
+
+The reproduction's headline claim — bit-identical figures across
+``--jobs``, ``--lp-cache`` and ``--fast-lane`` — rests on two contracts
+that nothing in the test suite enforced directly:
+
+- **Determinism**: no wall-clock reads, no unseeded randomness, no
+  iteration order drawn from unordered collections, total-order heap
+  entries, no shared mutable state across parallel workers.
+- **Conservation**: tickets allocated never exceed the issuing currency,
+  window quotas never exceed capacity, servers never complete more work
+  than their rate allows, NAT rewrite entries match open conntrack flows,
+  LP solutions are feasible.
+
+This package enforces both:
+
+- :mod:`repro.analysis.simlint` — an AST-based lint pass (rules
+  SIM001–SIM005) run as ``repro lint`` and in CI;
+- :mod:`repro.analysis.invariants` — an :class:`InvariantChecker` runtime
+  layer enabled via ``Scenario(check_invariants=True)`` or ``REPRO_CHECK=1``
+  (a no-op costing one ``is None`` test per completion when off);
+- :mod:`repro.analysis.replay` — a replay-determinism harness that runs a
+  scenario twice (optionally a third time with invariants on) and compares
+  trace digests, run as ``repro check`` and in CI.
+
+See ``docs/DETERMINISM.md`` for the full rule catalogue and rationale.
+"""
+
+from repro.analysis.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    check_enabled,
+)
+from repro.analysis.replay import ReplayReport, fig6_replay, scenario_digest
+from repro.analysis.simlint import RULES, Violation, lint_paths, lint_source
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "check_enabled",
+    "ReplayReport",
+    "fig6_replay",
+    "scenario_digest",
+    "RULES",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,145 @@
+"""Replay-determinism harness (``repro check``).
+
+Runs a scenario from scratch N times and compares SHA-256 digests of
+everything observable — completion series, per-server ledgers, client
+counters, trace events.  Two runs with the same arguments must produce
+identical digests; a third run with the invariant checker enabled must
+*also* produce the same digest, proving the checker is read-only.
+
+Digests hash exact float bytes (``ndarray.tobytes`` / ``float.hex``), so
+a single ULP of drift anywhere in the event stream fails the check — the
+same standard the PR 1/2 bit-identical A/B tests hold the fast paths to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["ReplayReport", "scenario_digest", "fig6_replay"]
+
+
+def _hash_floats(h: "hashlib._Hash", values: Any) -> None:
+    h.update(np.ascontiguousarray(np.asarray(values, dtype=float)).tobytes())
+
+
+def scenario_digest(sc: Any) -> str:
+    """SHA-256 over a finished Scenario's observable state.
+
+    Covers the completion meter (every key's exact time/rate series),
+    per-server completion ledgers, drop counters and busy time, client
+    completion counts, and — when tracing was on — every trace event.
+    Keys are visited in sorted order so the digest does not depend on
+    construction order bookkeeping.
+    """
+    h = hashlib.sha256()
+    for key in sorted(sc.meter.keys):
+        h.update(key.encode("utf-8"))
+        times, rates = sc.meter.series(key)
+        _hash_floats(h, times)
+        _hash_floats(h, rates)
+    for name in sorted(sc.servers):
+        srv = sc.servers[name]
+        h.update(name.encode("utf-8"))
+        for principal in sorted(srv.completed):
+            h.update(f"{principal}={srv.completed[principal]}".encode("utf-8"))
+        h.update(f"dropped={srv.dropped}".encode("utf-8"))
+        h.update(float(srv.busy_time).hex().encode("ascii"))
+    for name in sorted(sc.clients):
+        client = sc.clients[name]
+        h.update(f"{name}:{client.completed}".encode("utf-8"))
+    if getattr(sc, "tracer", None) is not None:
+        for event in sc.tracer.iter():
+            h.update(repr(event).encode("utf-8"))
+    return h.hexdigest()
+
+
+@dataclass
+class ReplayReport:
+    """Digest comparison across replay runs of one scenario."""
+
+    scenario: str
+    digests: List[str]
+    labels: List[str]
+    checker_summary: Optional[Dict[str, int]] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def identical(self) -> bool:
+        return len(set(self.digests)) == 1
+
+    @property
+    def ok(self) -> bool:
+        checked_clean = (
+            self.checker_summary is None
+            or self.checker_summary.get("violations", 0) == 0
+        )
+        return self.identical and checked_clean
+
+    def render(self) -> str:
+        lines = [f"replay-determinism: {self.scenario}"]
+        for label, digest in zip(self.labels, self.digests):
+            lines.append(f"  {label:12s} {digest}")
+        if self.checker_summary is not None:
+            lines.append(
+                f"  invariants   {self.checker_summary['checks_run']} checks, "
+                f"{self.checker_summary['violations']} violations"
+            )
+        lines.append(
+            "  verdict      "
+            + ("IDENTICAL (bit-exact replay)" if self.ok else "DIVERGED")
+        )
+        return "\n".join(lines)
+
+
+def fig6_replay(
+    duration_scale: float = 0.05,
+    seed: int = 0,
+    runs: int = 2,
+    with_invariants: bool = True,
+    lp_cache: bool = True,
+    fast_lane: bool = True,
+) -> ReplayReport:
+    """Run the fig6 scenario ``runs`` times (plus one checked run) and diff.
+
+    fig6 exercises the full stack the determinism contract covers: RNG
+    workload streams, the event kernel, two L7 redirectors, the combining
+    tree, and the window LP — which is why CI replays it rather than a
+    toy scenario.
+    """
+    from repro.experiments.figures import fig6_scenario
+
+    if runs < 2 and not with_invariants:
+        raise ValueError("need at least two runs to compare digests")
+    digests: List[str] = []
+    labels: List[str] = []
+    for i in range(max(1, runs)):
+        sc, _ = fig6_scenario(
+            duration_scale=duration_scale, seed=seed,
+            lp_cache=lp_cache, fast_lane=fast_lane,
+            check_invariants=False,
+        )
+        digests.append(scenario_digest(sc))
+        labels.append(f"run {i + 1}")
+    checker_summary: Optional[Dict[str, int]] = None
+    if with_invariants:
+        sc, _ = fig6_scenario(
+            duration_scale=duration_scale, seed=seed,
+            lp_cache=lp_cache, fast_lane=fast_lane,
+            check_invariants=True,
+        )
+        digests.append(scenario_digest(sc))
+        labels.append("run +check")
+        assert sc.invariants is not None
+        checker_summary = sc.invariants.summary()
+    return ReplayReport(
+        scenario="fig6",
+        digests=digests,
+        labels=labels,
+        checker_summary=checker_summary,
+        meta={"duration_scale": duration_scale, "seed": seed,
+              "lp_cache": lp_cache, "fast_lane": fast_lane},
+    )

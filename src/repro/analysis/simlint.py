@@ -1,0 +1,467 @@
+"""simlint — AST lint rules for simulation determinism.
+
+A stray ``time.time()``, an unseeded RNG, or a ``for`` loop over a ``set``
+feeding the event heap silently breaks the bit-identical-replay contract
+the whole benchmark ledger rests on.  This module walks Python source with
+:mod:`ast` and flags exactly those hazards:
+
+========  ==============================================================
+SIM001    wall-clock read (``time.time``/``datetime.now``/``perf_counter``
+          et al.) outside ``benchmarks/`` — simulations must use ``sim.now``
+SIM002    global ``random`` module, unseeded ``np.random.default_rng()``,
+          or the legacy ``np.random.*`` global state — draws must thread
+          :class:`repro.sim.rng.RngStreams` generators
+SIM003    iteration over a ``set``/``frozenset`` (unordered) — wrap in
+          ``sorted(...)`` so downstream heap/RNG/LP row order is stable
+SIM004    ``heapq.heappush`` of a bare ``(time, payload)`` 2-tuple — heap
+          entries need a total-order tie-breaker: ``(time, seq, payload)``
+SIM005    ``threading`` or ``global`` mutable state in parallel job
+          payloads (``experiments/`` workers must be share-nothing)
+========  ==============================================================
+
+Suppression: append ``# simlint: disable=SIM001`` (comma-separated codes,
+or bare ``# simlint: disable`` for all) to the flagged line.  Each
+suppression should carry a rationale comment; ``repro lint`` treats an
+unsuppressed violation as exit status 1.
+
+The pass is deliberately conservative and syntactic: SIM003 only tracks
+set-ness through local names, literals, comprehensions and set operators
+(attribute-held sets used for membership tests are fine and common), and
+"feeds the event heap" is over-approximated to "is iterated" — sorting an
+iteration that did not need it is cheap; a nondeterministic replay is not.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = [
+    "RULES",
+    "Violation",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+]
+
+RULES: Dict[str, str] = {
+    "SIM001": "wall-clock read outside benchmarks/ (use sim.now)",
+    "SIM002": "global or unseeded RNG (thread repro.sim.rng generators)",
+    "SIM003": "iteration over an unordered set (wrap in sorted(...))",
+    "SIM004": "heap entry without a total-order tie-breaker",
+    "SIM005": "threading / shared mutable global in a parallel payload",
+}
+
+# time-module functions that read host clocks.
+_WALL_TIME_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+    "clock_gettime", "clock_gettime_ns",
+})
+# datetime constructors that read host clocks.
+_WALL_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+_DATETIME_BASES = frozenset({"datetime", "datetime.datetime", "datetime.date"})
+
+# numpy.random attributes that are *constructors*, not global-state draws.
+# ``default_rng`` is allowed only when called with a seed (checked at the
+# call site); everything else on numpy.random touches the legacy global
+# RandomState and is flagged.
+_NP_RANDOM_OK = frozenset({
+    "Generator", "SeedSequence", "BitGenerator",
+    "Philox", "PCG64", "PCG64DXSM", "MT19937", "SFC64",
+    "default_rng",
+})
+
+# set methods that return another set (propagate set-ness in inference).
+_SET_RETURNING_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:=(?P<codes>[A-Za-z0-9_, ]+))?"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, formatted ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Per-line suppressed codes; ``None`` means all codes on that line."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m is None:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    return out
+
+
+def _dotted_parts(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` -> ["a", "b", "c"]; None for non-name-rooted chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-pass visitor implementing SIM001–SIM005."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        wall_clock_exempt: bool,
+        in_experiments: bool,
+        parallel_module: bool,
+    ) -> None:
+        self.path = path
+        self.wall_clock_exempt = wall_clock_exempt
+        self.in_experiments = in_experiments
+        self.parallel_module = parallel_module
+        self.violations: List[Violation] = []
+        # local alias -> imported module ("np" -> "numpy")
+        self._modules: Dict[str, str] = {}
+        # local name -> "module.attr" ("perf_counter" -> "time.perf_counter")
+        self._from_names: Dict[str, str] = {}
+        # lexical scopes for SIM003 set-ness inference (module scope first)
+        self._set_scopes: List[Dict[str, bool]] = [{}]
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        self.violations.append(Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        ))
+
+    def _resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted spelling with import aliases substituted.
+
+        Unimported heads keep their literal spelling, so fixture snippets
+        (and ``np.``-conventional code) still resolve usefully.
+        """
+        parts = _dotted_parts(node)
+        if not parts:
+            return None
+        head = parts[0]
+        if head in self._modules:
+            parts = self._modules[head].split(".") + parts[1:]
+        elif head in self._from_names:
+            parts = self._from_names[head].split(".") + parts[1:]
+        elif head == "np":
+            parts = ["numpy"] + parts[1:]
+        return ".".join(parts)
+
+    # -- imports ----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.partition(".")[0]
+            self._modules[alias.asname or root] = alias.name if alias.asname else root
+            if root == "random":
+                self._flag(node, "SIM002",
+                           "the global `random` module is unseeded shared "
+                           "state; draw from repro.sim.rng streams instead")
+            if root == "threading" and self.in_experiments:
+                self._flag(node, "SIM005",
+                           "threading in an experiments/ module: parallel "
+                           "job payloads must be share-nothing processes")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            self._from_names[alias.asname or alias.name] = f"{module}.{alias.name}"
+        root = module.partition(".")[0]
+        if root == "random":
+            self._flag(node, "SIM002",
+                       "the global `random` module is unseeded shared "
+                       "state; draw from repro.sim.rng streams instead")
+        if root == "threading" and self.in_experiments:
+            self._flag(node, "SIM005",
+                       "threading in an experiments/ module: parallel "
+                       "job payloads must be share-nothing processes")
+        if module == "time" and not self.wall_clock_exempt:
+            for alias in node.names:
+                if alias.name in _WALL_TIME_FUNCS:
+                    self._flag(node, "SIM001",
+                               f"wall-clock import `time.{alias.name}`; "
+                               "simulations must read sim.now")
+        self.generic_visit(node)
+
+    # -- references (SIM001, SIM002, SIM005) -------------------------------
+
+    def _check_reference(self, node: ast.AST, full: str) -> None:
+        base, _, attr = full.rpartition(".")
+        if not self.wall_clock_exempt:
+            if base == "time" and attr in _WALL_TIME_FUNCS:
+                self._flag(node, "SIM001",
+                           f"wall-clock read `{full}`; simulations must "
+                           "read sim.now")
+            elif base in _DATETIME_BASES and attr in _WALL_DATETIME_FUNCS:
+                self._flag(node, "SIM001",
+                           f"wall-clock read `{full}`; simulations must "
+                           "read sim.now")
+        if base == "random":
+            self._flag(node, "SIM002",
+                       f"`{full}` draws from the global `random` module; "
+                       "thread a repro.sim.rng generator instead")
+        elif base == "numpy.random" and attr not in _NP_RANDOM_OK:
+            self._flag(node, "SIM002",
+                       f"`{full}` uses numpy's global RandomState; "
+                       "thread a repro.sim.rng generator instead")
+        if self.in_experiments and base == "threading":
+            self._flag(node, "SIM005",
+                       f"`{full}` in an experiments/ module: parallel "
+                       "job payloads must be share-nothing processes")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            full = self._resolve(node)
+            if full is not None:
+                self._check_reference(node, full)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load) and node.id in self._from_names:
+            self._check_reference(node, self._from_names[node.id])
+
+    # -- calls (SIM002 default_rng, SIM004 heappush) -----------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        full = self._resolve(node.func)
+        if full is not None:
+            if full.endswith("numpy.random.default_rng") or full == "default_rng":
+                if not node.args and not node.keywords:
+                    self._flag(node, "SIM002",
+                               "unseeded np.random.default_rng(): entropy "
+                               "comes from the OS, so replays diverge; "
+                               "thread a repro.sim.rng generator")
+            if full in ("heapq.heappush", "heapq.heappushpop"):
+                if len(node.args) >= 2 and isinstance(node.args[1], ast.Tuple) \
+                        and len(node.args[1].elts) == 2:
+                    self._flag(node.args[1], "SIM004",
+                               "bare (time, payload) heap entry: equal "
+                               "timestamps compare the payloads, which is "
+                               "not a total order; push (time, seq, payload) "
+                               "with a monotonic sequence number")
+        self.generic_visit(node)
+
+    # -- SIM003: set-ness inference and iteration --------------------------
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in _SET_RETURNING_METHODS:
+                return self._is_set_expr(func.value)
+            return False
+        if isinstance(node, ast.Name):
+            for scope in reversed(self._set_scopes):
+                if node.id in scope:
+                    return scope[node.id]
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    @staticmethod
+    def _annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+        if annotation is None:
+            return False
+        if isinstance(annotation, ast.Name):
+            return annotation.id in ("set", "frozenset")
+        if isinstance(annotation, ast.Subscript):
+            base = annotation.value
+            if isinstance(base, ast.Name):
+                return base.id in ("set", "frozenset", "Set", "FrozenSet")
+        return False
+
+    def _flag_set_iteration(self, iter_node: ast.AST) -> None:
+        self._flag(iter_node, "SIM003",
+                   "iterating an unordered set: element order varies "
+                   "with hash seeding and insertion history; iterate "
+                   "sorted(...) so heap/RNG/LP row order stays stable")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self._is_set_expr(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._set_scopes[-1][target.id] = is_set
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            is_set = self._annotation_is_set(node.annotation) or (
+                node.value is not None and self._is_set_expr(node.value)
+            )
+            self._set_scopes[-1][node.target.id] = is_set
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            self._flag_set_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST, generators) -> None:
+        for gen in generators:
+            if self._is_set_expr(gen.iter):
+                self._flag_set_iteration(gen.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node, node.generators)
+
+    # A set built *from* a set is order-insensitive; SetComp iterates its
+    # generators but lands in an unordered result, so it is not flagged.
+
+    # -- scopes ------------------------------------------------------------
+
+    def _visit_scoped(self, node: ast.AST) -> None:
+        self._set_scopes.append({})
+        self.generic_visit(node)
+        self._set_scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scoped(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scoped(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_scoped(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_scoped(node)
+
+    # -- SIM005: shared mutable globals in parallel payloads ---------------
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self.parallel_module:
+            names = ", ".join(node.names)
+            self._flag(node, "SIM005",
+                       f"`global {names}` inside a parallel-payload module: "
+                       "workers must receive all state through task "
+                       "arguments, never module globals")
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Violation]:
+    """Lint one module's source text.
+
+    ``path`` decides context: files under a ``benchmarks/`` directory are
+    exempt from SIM001 (measuring wall time is their purpose); files under
+    ``experiments/`` activate SIM005's threading check, and modules named
+    ``parallel.py`` its shared-global check.
+    """
+    parts = Path(path).parts
+    linter = _Linter(
+        path,
+        wall_clock_exempt="benchmarks" in parts,
+        in_experiments="experiments" in parts,
+        parallel_module=Path(path).name == "parallel.py",
+    )
+    tree = ast.parse(source, filename=path)
+    linter.visit(tree)
+    suppressed = _suppressions(source)
+    kept = []
+    for v in linter.violations:
+        codes = suppressed.get(v.line, ())
+        if codes is None or (codes and v.code in codes):
+            continue
+        kept.append(v)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return kept
+
+
+def lint_file(path: str) -> List[Violation]:
+    with open(path, encoding="utf-8") as fh:
+        return lint_source(fh.read(), path=path)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    seen: List[str] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            seen.extend(str(f) for f in path.rglob("*.py"))
+        else:
+            seen.append(str(path))
+    yield from sorted(dict.fromkeys(seen))
+
+
+def lint_paths(paths: Sequence[str]) -> List[Violation]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    out: List[Violation] = []
+    for path in iter_python_files(paths):
+        out.extend(lint_file(path))
+    return out
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    """``python -m repro.analysis.simlint [paths...]`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="simlint", description="simulation determinism lint (SIM001-SIM005)"
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    violations = lint_paths(args.paths or ["src/repro"])
+    for v in violations:
+        print(v.format())
+    counts: Dict[str, int] = {}
+    for v in violations:
+        counts[v.code] = counts.get(v.code, 0) + 1
+    if violations:
+        summary = ", ".join(f"{c}×{counts[c]}" for c in sorted(counts))
+        print(f"simlint: {len(violations)} violation(s) ({summary})")
+        return 1
+    print("simlint: clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -6,11 +6,16 @@
     python -m repro report  [--scale 0.5] [-o EXPERIMENTS.md]
     python -m repro inspect A:1000 B:1500 C A-B:0.4:0.6 B-C:0.6:1.0
     python -m repro baseline [--duration 20]
+    python -m repro lint    [src/repro ...]
+    python -m repro check   [--scale 0.05] [--runs 2]
 
 ``figures`` reruns the paper's evaluation and prints pass/fail per figure;
 ``report`` renders the full paper-vs-measured markdown; ``inspect`` values
 an agreement graph given on the command line; ``baseline`` compares
-coordinated enforcement against a WRR front end.
+coordinated enforcement against a WRR front end; ``lint`` runs the
+simulation-determinism lint (SIM001–SIM005, see docs/DETERMINISM.md);
+``check`` replays the fig6 scenario and compares trace digests, with the
+runtime invariant checker on the final run.
 """
 
 from __future__ import annotations
@@ -53,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the figure batch "
                             "(results are independent of this)")
+    p_fig.add_argument("--check-invariants", action="store_true",
+                       help="enable the runtime conservation checker "
+                            "(equivalent to REPRO_CHECK=1; traces stay "
+                            "bit-identical, violations raise)")
 
     p_rep = sub.add_parser("report", help="render the paper-vs-measured report")
     p_rep.add_argument("--scale", type=float, default=0.5)
@@ -75,6 +84,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_base = sub.add_parser("baseline", help="coordinated vs WRR comparison")
     p_base.add_argument("--duration", type=float, default=20.0)
     p_base.add_argument("--seed", type=int, default=0)
+
+    p_lint = sub.add_parser(
+        "lint", help="determinism/conservation static analysis (SIM001-SIM005)"
+    )
+    p_lint.add_argument("paths", nargs="*", default=[],
+                        help="files or directories to lint (default: src/repro)")
+
+    p_chk = sub.add_parser(
+        "check", help="replay-determinism harness with runtime invariants"
+    )
+    p_chk.add_argument("--scenario", type=str, default="fig6",
+                       choices=["fig6"],
+                       help="scenario to replay (fig6 covers the full stack)")
+    p_chk.add_argument("--scale", type=float, default=0.05,
+                       help="phase-duration scale for each replay run")
+    p_chk.add_argument("--seed", type=int, default=0)
+    p_chk.add_argument("--runs", type=int, default=2,
+                       help="plain runs to compare before the checked run")
+    p_chk.add_argument("--check-invariants", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="add a final run with the runtime invariant "
+                            "checker on; its digest must match too")
     return parser
 
 
@@ -112,6 +143,11 @@ def _cmd_figures(args) -> int:
     from repro.experiments.figures import ALL_FIGURES
     from repro.experiments.parallel import figure_kwargs, run_figures_parallel
 
+    if getattr(args, "check_invariants", False):
+        # Env (not a kwarg) so fork-based parallel workers inherit it.
+        import os
+
+        os.environ["REPRO_CHECK"] = "1"
     wanted = [f.strip() for f in args.only.split(",") if f.strip()] or list(ALL_FIGURES)
     failures = 0
     known = [n for n in wanted if n in ALL_FIGURES]
@@ -205,6 +241,37 @@ def _cmd_baseline(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.simlint import lint_paths
+
+    paths = args.paths or ["src/repro"]
+    violations = lint_paths(paths)
+    for v in violations:
+        print(v.format())
+    if violations:
+        codes: dict = {}
+        for v in violations:
+            codes[v.code] = codes.get(v.code, 0) + 1
+        counts = ", ".join(f"{c}×{n}" for c, n in sorted(codes.items()))
+        print(f"simlint: {len(violations)} violation(s) ({counts})")
+        return 1
+    print("simlint: clean")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from repro.analysis.replay import fig6_replay
+
+    report = fig6_replay(
+        duration_scale=args.scale,
+        seed=args.seed,
+        runs=args.runs,
+        with_invariants=args.check_invariants,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -212,6 +279,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "inspect": _cmd_inspect,
         "baseline": _cmd_baseline,
+        "lint": _cmd_lint,
+        "check": _cmd_check,
     }
     try:
         return handlers[args.command](args)

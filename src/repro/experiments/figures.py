@@ -25,8 +25,8 @@ from repro.sim.monitor import PhaseStats
 
 __all__ = [
     "run_fig1", "run_fig1_distributed", "run_fig3", "run_fig6", "run_fig7",
-    "run_fig8", "run_fig9", "run_fig10", "ALL_FIGURES", "Fig1Result",
-    "Fig3Result",
+    "run_fig8", "run_fig9", "run_fig10", "fig6_scenario", "ALL_FIGURES",
+    "Fig1Result", "Fig3Result",
 ]
 
 
@@ -242,17 +242,22 @@ def _fig6_graph(capacity: float, a_lb: float, b_lb: float) -> AgreementGraph:
     return g
 
 
-def run_fig6(
+def fig6_scenario(
     duration_scale: float = 1.0, seed: int = 0,
     lp_cache: bool = True, fast_periodic: bool = True,
-    fast_lane: bool = True,
-) -> FigureResult:
-    """Fig 6: V=320; A [0.2,1] with two 135 req/s clients at R1; B [0.8,1]
-    with one client at R2.  Three phases: both active / only A / both."""
+    fast_lane: bool = True, check_invariants: Optional[bool] = None,
+) -> Tuple[Scenario, float]:
+    """Build and run the fig6 world; returns ``(scenario, phase_length)``.
+
+    Shared between :func:`run_fig6` and the replay-determinism harness
+    (:mod:`repro.analysis.replay`), which replays *this exact scenario*
+    twice — plus once with ``check_invariants=True`` — and compares trace
+    digests.
+    """
     T = 100.0 * duration_scale
     sc = Scenario(_fig6_graph(320.0, 0.2, 0.8), seed=seed,
                   lp_cache=lp_cache, fast_periodic=fast_periodic,
-                  fast_lane=fast_lane)
+                  fast_lane=fast_lane, check_invariants=check_invariants)
     server = sc.server("S", "S", 320.0)
     r1 = sc.l7("R1", {"S": server}, n_redirectors=2)
     r2 = sc.l7("R2", {"S": server}, n_redirectors=2)
@@ -263,6 +268,18 @@ def run_fig6(
     sc.client("C2", "A", r1, rate=135.0, windows=a_windows)
     sc.client("C3", "B", r2, rate=135.0, windows=b_windows)
     sc.run(3 * T)
+    return sc, T
+
+
+def run_fig6(
+    duration_scale: float = 1.0, seed: int = 0,
+    lp_cache: bool = True, fast_periodic: bool = True,
+    fast_lane: bool = True,
+) -> FigureResult:
+    """Fig 6: V=320; A [0.2,1] with two 135 req/s clients at R1; B [0.8,1]
+    with one client at R2.  Three phases: both active / only A / both."""
+    sc, T = fig6_scenario(duration_scale, seed, lp_cache, fast_periodic,
+                          fast_lane)
     settle = min(5.0, T * 0.2)
     phases = [("phase1", 0.0, T), ("phase2", T, 2 * T), ("phase3", 2 * T, 3 * T)]
     return FigureResult(

@@ -13,6 +13,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.invariants import InvariantChecker, check_enabled
 from repro.cluster.client import ClientMachine
 from repro.cluster.server import Server
 from repro.coordination.messages import MessageCounter
@@ -95,6 +96,7 @@ class Scenario:
         lp_cache: bool = True,
         fast_periodic: bool = True,
         fast_lane: bool = True,
+        check_invariants: Optional[bool] = None,
     ):
         self.graph = graph
         self.access: AccessLevels = compute_access_levels(graph)
@@ -107,6 +109,20 @@ class Scenario:
         self.meter = RateMeter(bin_width)
         self.counter = MessageCounter()
         self.tracer = Tracer() if trace else None
+        # Runtime conservation checks (repro.analysis.invariants).  None
+        # when off, and the hooks are only ever installed when on, so the
+        # disabled hot path is byte-for-byte the unchecked one.
+        # ``check_invariants=None`` defers to the REPRO_CHECK env toggle so
+        # any experiment (including parallel workers, which inherit the
+        # environment) can be audited without threading a flag through
+        # every figure entry point.  Checker callbacks are read-only, so
+        # traces stay bit-identical with the checker on or off.
+        enabled = check_enabled() if check_invariants is None else bool(check_invariants)
+        self.invariants: Optional[InvariantChecker] = (
+            InvariantChecker() if enabled else None
+        )
+        if self.invariants is not None:
+            self.invariants.check_ticket_conservation(graph)
         self.servers: Dict[str, Server] = {}
         self.l7_redirectors: Dict[str, L7Redirector] = {}
         self.l4_switches: Dict[str, L4Switch] = {}
@@ -122,6 +138,8 @@ class Scenario:
             on_complete=self._on_complete, **kw,
         )
         self.servers[name] = srv
+        if self.invariants is not None:
+            self.invariants.watch_server(self.sim, srv, self.window.length)
         return srv
 
     def endpoint_server(
@@ -136,6 +154,8 @@ class Scenario:
             owner=owner, on_complete=self._on_complete, **kw,
         )
         self.servers[name] = srv
+        if self.invariants is not None:
+            self.invariants.watch_server(self.sim, srv, self.window.length)
         return srv
 
     def _on_complete(self, request, server) -> None:
@@ -155,6 +175,10 @@ class Scenario:
                 principal=request.principal, server=server.name,
                 response_time=request.response_time, attempts=request.attempts,
             )
+
+    def _community_capacity_per_window(self) -> float:
+        """Total physical capacity (requests/window) across all principals."""
+        return float(self.access.V.sum()) * self.window.length
 
     def _trace_allocator(self, name: str, allocator) -> None:
         """Wrap an allocator so every window's allocation is traced."""
@@ -187,6 +211,10 @@ class Scenario:
         )
         self.l7_redirectors[name] = red
         self._trace_allocator(name, red.allocator)
+        if self.invariants is not None:
+            self.invariants.watch_allocator(
+                name, red.allocator, self._community_capacity_per_window()
+            )
         return red
 
     def l4(
@@ -211,6 +239,13 @@ class Scenario:
         self.l4_switches[name] = switch
         self.l4_daemons[name] = daemon
         self._trace_allocator(name, daemon.allocator)
+        if self.invariants is not None:
+            cap_per_window = (
+                capacity * self.window.length if capacity is not None
+                else self._community_capacity_per_window()
+            )
+            self.invariants.watch_allocator(name, daemon.allocator, cap_per_window)
+            self.invariants.watch_switch(self.sim, switch, self.window.length)
         return switch
 
     def client(
@@ -289,7 +324,18 @@ class Scenario:
     # -- execution ---------------------------------------------------------------
 
     def run(self, duration: float) -> None:
-        self.sim.run(until=duration)
+        if self.invariants is None:
+            self.sim.run(until=duration)
+            return
+        # Audit every LP solve for primal feasibility while this scenario
+        # runs; the hook is process-global, so scope it to the run.
+        from repro.lp import solver as lp_solver
+
+        lp_solver.set_feasibility_check(self.invariants.check_lp_solution)
+        try:
+            self.sim.run(until=duration)
+        finally:
+            lp_solver.set_feasibility_check(None)
 
     def phase_rates(
         self,

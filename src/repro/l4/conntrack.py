@@ -17,7 +17,7 @@ Two concerns from §4.2:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.l4.packets import FourTuple
 
@@ -79,6 +79,15 @@ class ConnTracker:
 
     def expire(self, now: float) -> int:
         """Drop idle connections; returns how many were expired."""
+        return len(self.expire_stale(now))
+
+    def expire_stale(self, now: float) -> List[FourTuple]:
+        """Drop idle connections and return their client tuples.
+
+        Callers owning companion tables keyed by the same tuples (the
+        switch's NAT table) must drop those entries too — conservation:
+        NAT rewrite entries stay equal to open conntrack flows.
+        """
         stale = [
             t for t, c in self._conns.items()
             if now - c.last_seen > self.idle_timeout
@@ -86,7 +95,7 @@ class ConnTracker:
         for t in stale:
             del self._conns[t]
         self.expired += len(stale)
-        return len(stale)
+        return stale
 
     # -- affinity -----------------------------------------------------------
 

@@ -93,4 +93,4 @@ class L4Daemon:
             self.switch.install(alloc)
 
     def _sweep(self) -> None:
-        self.switch.conntrack.expire(self.sim.now)
+        self.switch.sweep_idle(self.sim.now)

@@ -145,6 +145,19 @@ class L4Switch:
     def queue_lengths(self) -> Dict[str, int]:
         return {p: len(q) for p, q in self._syn_queues.items()}
 
+    def sweep_idle(self, now: float) -> int:
+        """Expire idle connections *and* their NAT mappings together.
+
+        Expiring conntrack alone leaks NAT entries forever (and keeps
+        translating packets for flows the tracker has forgotten) — the
+        invariant checker's "NAT entries == open conntrack flows" ledger
+        caught exactly that.  Returns how many flows were expired.
+        """
+        stale = self.conntrack.expire_stale(now)
+        for tup in stale:
+            self.nat.remove(tup)
+        return len(stale)
+
     def _end_window_accounting(self) -> None:
         alpha = self.smoothing
         for p in self.principals:

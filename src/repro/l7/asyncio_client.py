@@ -8,7 +8,7 @@ advertised ``Retry-After``), and counts completions per second.
 from __future__ import annotations
 
 import asyncio
-import time
+import time  # real-network stack: wall clock is the actual clock (SIM001 suppressed per use)
 from typing import Dict, List, Optional, Tuple
 
 from repro.l7.http import HttpError, HttpRequest, parse_response
@@ -74,12 +74,12 @@ class AsyncLoadGenerator:
 
     async def run(self, duration: float) -> Dict[str, float]:
         """Generate load for ``duration`` seconds; returns summary stats."""
-        start = time.monotonic()
+        start = time.monotonic()  # simlint: disable=SIM001
         spacing = 1.0 / self.rate
         next_t = start
         pending: List[asyncio.Task] = []
         while True:
-            now = time.monotonic()
+            now = time.monotonic()  # simlint: disable=SIM001
             if now - start >= duration:
                 break
             if now < next_t:
@@ -93,7 +93,7 @@ class AsyncLoadGenerator:
             await asyncio.wait(pending, timeout=5.0)
             for t in pending:
                 t.cancel()
-        elapsed = time.monotonic() - start
+        elapsed = time.monotonic() - start  # simlint: disable=SIM001
         return {
             "completed": self.completed,
             "errors": self.errors,
@@ -110,6 +110,6 @@ class AsyncLoadGenerator:
                 return
             if status == 200:
                 self.completed += 1
-                self.completion_times.append(time.monotonic())
+                self.completion_times.append(time.monotonic())  # simlint: disable=SIM001
             else:
                 self.errors += 1

@@ -13,7 +13,7 @@ signifies the service being requested" (§4).
 from __future__ import annotations
 
 import asyncio
-import time
+import time  # real-network stack: wall clock is the actual clock (SIM001 suppressed per use)
 from typing import Dict, Optional, Tuple
 
 from repro.l7.http import HttpError, HttpResponse, parse_request
@@ -38,12 +38,12 @@ class _TokenBucket:
         self.rate = float(rate)
         self.burst = float(burst)
         self._tokens = float(burst)
-        self._t = time.monotonic()
+        self._t = time.monotonic()  # simlint: disable=SIM001
         self._lock = asyncio.Lock()
 
     async def acquire(self) -> None:
         async with self._lock:  # FIFO service order
-            now = time.monotonic()
+            now = time.monotonic()  # simlint: disable=SIM001
             self._tokens = min(self.burst, self._tokens + (now - self._t) * self.rate)
             self._t = now
             if self._tokens >= 1.0:
@@ -55,7 +55,7 @@ class _TokenBucket:
             # The token that accrued during the sleep was consumed by this
             # caller; restart the refill clock so the next acquirer does
             # not count the sleep interval again.
-            self._t = time.monotonic()
+            self._t = time.monotonic()  # simlint: disable=SIM001
 
 
 class OriginServer:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-import time
+import time  # real-network stack: wall clock is the actual clock (SIM001 suppressed per use)
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.coordination.aggregation import VectorAggregate
@@ -158,7 +158,7 @@ class AsyncCombiner:
         self.view = GlobalView(
             aggregate=VectorAggregate(values=dict(total), contributors=1),
             round_id=self.view.round_id + 1,
-            received_at=time.monotonic(),
+            received_at=time.monotonic(),  # simlint: disable=SIM001
             local_contribution=VectorAggregate(values=dict(local_then), contributors=1),
         )
 

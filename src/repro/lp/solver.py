@@ -2,14 +2,27 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Optional
 
 from repro.lp.bounded_simplex import solve_bounded_simplex
 from repro.lp.model import Model, Solution
 from repro.lp.scipy_backend import scipy_available, solve_scipy
 from repro.lp.simplex import solve_simplex
 
-__all__ = ["solve", "available_backends"]
+__all__ = ["solve", "available_backends", "set_feasibility_check"]
+
+# Optional post-solve audit (repro.analysis.invariants wires the
+# InvariantChecker's primal-feasibility check here under --check-invariants
+# / REPRO_CHECK=1).  None — the default — costs one identity test per solve.
+_feasibility_check: Optional[Callable[[Model, Solution], None]] = None
+
+
+def set_feasibility_check(
+    hook: Optional[Callable[[Model, Solution], None]]
+) -> None:
+    """Install (or with ``None`` remove) a post-solve solution audit."""
+    global _feasibility_check
+    _feasibility_check = hook
 
 
 def available_backends() -> List[str]:
@@ -34,9 +47,13 @@ def solve(model: Model, backend: str = "auto", warm_start=None, **kwargs) -> Sol
     if backend == "auto":
         backend = "scipy" if scipy_available() else "bounded"
     if backend == "scipy":
-        return solve_scipy(model)
-    if backend == "simplex":
-        return solve_simplex(model, **kwargs)
-    if backend == "bounded":
-        return solve_bounded_simplex(model, warm_start=warm_start, **kwargs)
-    raise ValueError(f"unknown backend {backend!r}; use {available_backends()}")
+        solution = solve_scipy(model)
+    elif backend == "simplex":
+        solution = solve_simplex(model, **kwargs)
+    elif backend == "bounded":
+        solution = solve_bounded_simplex(model, warm_start=warm_start, **kwargs)
+    else:
+        raise ValueError(f"unknown backend {backend!r}; use {available_backends()}")
+    if _feasibility_check is not None:
+        _feasibility_check(model, solution)
+    return solution

@@ -51,7 +51,7 @@ class _TimerBase:
 
     __slots__ = ("sim", "cancelled")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.cancelled = False
 
@@ -71,7 +71,7 @@ class Timer(_TimerBase):
 
     __slots__ = ("fn", "args")
 
-    def __init__(self, sim: "Simulator", fn: Callable, args: tuple):
+    def __init__(self, sim: "Simulator", fn: Callable, args: tuple) -> None:
         super().__init__(sim)
         self.fn = fn
         self.args = args
@@ -126,7 +126,7 @@ class Interrupt(Exception):
     :meth:`Process.interrupt`.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -141,7 +141,7 @@ class Event:
 
     __slots__ = ("sim", "_value", "_exc", "triggered", "_waiters", "name")
 
-    def __init__(self, sim: "Simulator", name: str = ""):
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
         self._value: Any = None
@@ -201,7 +201,7 @@ class Process:
 
     __slots__ = ("sim", "gen", "name", "alive", "value", "_done_event", "_timer")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
         self.sim = sim
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
@@ -299,6 +299,8 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        # SIM004 contract: `_seq` gives every entry a total order, so
+        # equal-time events pop in push order (fn/args never compared).
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
 
@@ -349,7 +351,7 @@ class Simulator:
             self.schedule(0.0, _fire, timer)
             return timer
 
-        def _ticker():
+        def _ticker() -> Generator[float, Any, None]:
             if start > 0:
                 yield start
             while True:
@@ -415,7 +417,7 @@ class Simulator:
         values: list[Any] = [None] * len(events)
 
         def _arm(i: int, ev: Event) -> None:
-            def waiter():
+            def waiter() -> Generator[Event, Any, None]:
                 values[i] = yield ev
                 remaining[0] -= 1
                 if remaining[0] == 0:
@@ -431,7 +433,7 @@ class Simulator:
         done = self.event("any_of")
 
         def _arm(ev: Event) -> None:
-            def waiter():
+            def waiter() -> Generator[Event, Any, None]:
                 val = yield ev
                 if not done.triggered:
                     done.succeed(val)

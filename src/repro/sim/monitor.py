@@ -28,7 +28,7 @@ class RateMeter:
     (array([0.5, 1.5]), array([2., 1.]))
     """
 
-    def __init__(self, bin_width: float = 1.0):
+    def __init__(self, bin_width: float = 1.0) -> None:
         if bin_width <= 0:
             raise ValueError("bin_width must be positive")
         self.bin_width = float(bin_width)

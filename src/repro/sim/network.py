@@ -41,7 +41,7 @@ class Link:
         loss: float = 0.0,
         rng: Optional[np.random.Generator] = None,
         on_deliver: Optional[Callable[[Any], None]] = None,
-    ):
+    ) -> None:
         if delay < 0 or jitter < 0:
             raise ValueError("delay and jitter must be non-negative")
         if not 0.0 <= loss < 1.0:

@@ -9,7 +9,7 @@ parallel/discrete-event experiments.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -26,7 +26,7 @@ class RngStreams:
     True
     """
 
-    def __init__(self, seed: int = 0, _entropy: list = None):
+    def __init__(self, seed: int = 0, _entropy: Optional[List[int]] = None) -> None:
         self.seed = int(seed)
         self._entropy = list(_entropy) if _entropy is not None else [self.seed]
         self._cache: Dict[str, np.random.Generator] = {}

@@ -41,7 +41,7 @@ class StreamingStats:
         "_cap", "_samples", "_sample_seq", "_state",
     )
 
-    def __init__(self, reservoir: int = 4096, seed: int = 0x9E3779B9):
+    def __init__(self, reservoir: int = 4096, seed: int = 0x9E3779B9) -> None:
         if reservoir < 0:
             raise ValueError("reservoir must be >= 0")
         self.count = 0

@@ -28,7 +28,7 @@ class Tracer:
     1
     """
 
-    def __init__(self, maxlen: int = 100_000):
+    def __init__(self, maxlen: int = 100_000) -> None:
         if maxlen <= 0:
             raise ValueError("maxlen must be positive")
         self.maxlen = int(maxlen)

@@ -1,0 +1,212 @@
+"""simlint rule fixtures: positive, negative, and suppression per rule."""
+
+from pathlib import Path
+
+from repro.analysis.simlint import RULES, lint_paths, lint_source
+
+SIM_PATH = "src/repro/sim/example.py"          # SIM001 applies
+BENCH_PATH = "benchmarks/bench_example.py"     # SIM001 exempt
+EXP_PATH = "src/repro/experiments/example.py"  # SIM005 threading applies
+PAR_PATH = "src/repro/experiments/parallel.py"  # SIM005 globals apply
+
+
+def codes(source, path=SIM_PATH):
+    return [v.code for v in lint_source(source, path=path)]
+
+
+class TestRuleTable:
+    def test_all_five_rules_registered(self):
+        assert sorted(RULES) == ["SIM001", "SIM002", "SIM003", "SIM004", "SIM005"]
+
+    def test_violation_format(self):
+        (v,) = lint_source("import time\nt = time.time()\n", path=SIM_PATH)
+        assert v.format() == f"{SIM_PATH}:2:4: SIM001 " + v.message
+        assert "sim.now" in v.message
+
+
+class TestSIM001WallClock:
+    def test_time_time_flagged(self):
+        assert codes("import time\nt = time.time()\n") == ["SIM001"]
+
+    def test_monotonic_and_perf_counter_flagged(self):
+        src = "import time\na = time.monotonic()\nb = time.perf_counter()\n"
+        assert codes(src) == ["SIM001", "SIM001"]
+
+    def test_aliased_import_resolved(self):
+        assert codes("import time as t\nx = t.time()\n") == ["SIM001"]
+
+    def test_from_import_flagged_at_import_and_use(self):
+        src = "from time import perf_counter\nx = perf_counter()\n"
+        assert codes(src) == ["SIM001", "SIM001"]
+
+    def test_datetime_now_flagged(self):
+        src = "import datetime\nd = datetime.datetime.now()\n"
+        assert codes(src) == ["SIM001"]
+
+    def test_benchmarks_exempt(self):
+        assert codes("import time\nt = time.time()\n", path=BENCH_PATH) == []
+
+    def test_sim_now_not_flagged(self):
+        assert codes("def f(sim):\n    return sim.now\n") == []
+
+    def test_time_sleep_not_flagged(self):
+        # sleep does not *read* a clock; the simulator never calls it but
+        # it is not a determinism hazard per se.
+        assert codes("import time\ntime.sleep(0.1)\n") == []
+
+    def test_suppression(self):
+        src = "import time\nt = time.time()  # simlint: disable=SIM001\n"
+        assert codes(src) == []
+
+
+class TestSIM002Rng:
+    def test_import_random_flagged(self):
+        assert codes("import random\n") == ["SIM002"]
+
+    def test_from_random_import_flagged(self):
+        assert codes("from random import shuffle\n") == ["SIM002"]
+
+    def test_random_attribute_flagged(self):
+        src = "import random  # simlint: disable=SIM002\nx = random.random()\n"
+        assert codes(src) == ["SIM002"]
+
+    def test_numpy_global_state_flagged(self):
+        assert codes("import numpy as np\nx = np.random.rand(3)\n") == ["SIM002"]
+
+    def test_unseeded_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert codes(src) == ["SIM002"]
+
+    def test_seeded_default_rng_ok(self):
+        assert codes("import numpy as np\nrng = np.random.default_rng(42)\n") == []
+
+    def test_generator_construction_ok(self):
+        src = (
+            "import numpy as np\n"
+            "g = np.random.Generator(np.random.Philox(np.random.SeedSequence(1)))\n"
+        )
+        assert codes(src) == []
+
+    def test_suppression(self):
+        assert codes("import random  # simlint: disable=SIM002\n") == []
+
+
+class TestSIM003SetIteration:
+    def test_for_over_set_literal_flagged(self):
+        assert codes("for x in {1, 2, 3}:\n    pass\n") == ["SIM003"]
+
+    def test_for_over_set_call_flagged(self):
+        assert codes("for x in set([3, 1]):\n    pass\n") == ["SIM003"]
+
+    def test_for_over_tracked_name_flagged(self):
+        src = "s = {1, 2}\nfor x in s:\n    pass\n"
+        assert codes(src) == ["SIM003"]
+
+    def test_set_operator_flagged(self):
+        src = "a = {1}\nb = {2}\nfor x in a | b:\n    pass\n"
+        assert codes(src) == ["SIM003"]
+
+    def test_comprehension_over_set_flagged(self):
+        assert codes("xs = [x for x in {1, 2}]\n") == ["SIM003"]
+
+    def test_annotation_tracks_setness(self):
+        src = "def f(items):\n    s: set = items\n    return [x for x in s]\n"
+        assert codes(src) == ["SIM003"]
+
+    def test_sorted_set_ok(self):
+        assert codes("for x in sorted({3, 1}):\n    pass\n") == []
+
+    def test_list_iteration_ok(self):
+        assert codes("xs = [1, 2]\nfor x in xs:\n    pass\n") == []
+
+    def test_set_comp_from_set_ok(self):
+        # set -> set is order-free; only ordered sinks need sorting.
+        assert codes("s = {1, 2}\nt = {x + 1 for x in s}\n") == []
+
+    def test_reassignment_clears_setness(self):
+        src = "s = {1}\ns = sorted(s)\nfor x in s:\n    pass\n"
+        assert codes(src) == []
+
+    def test_suppression(self):
+        src = "for x in {1, 2}:  # simlint: disable=SIM003\n    pass\n"
+        assert codes(src) == []
+
+
+class TestSIM004HeapTieBreaker:
+    def test_bare_two_tuple_flagged(self):
+        src = (
+            "import heapq\nh = []\n"
+            "heapq.heappush(h, (1.0, object()))\n"
+        )
+        assert codes(src) == ["SIM004"]
+
+    def test_from_import_two_tuple_flagged(self):
+        src = (
+            "from heapq import heappush\nh = []\n"
+            "heappush(h, (1.0, 'payload'))\n"
+        )
+        assert codes(src) == ["SIM004"]
+
+    def test_three_tuple_with_seq_ok(self):
+        src = (
+            "import heapq\nh = []\nseq = 0\n"
+            "heapq.heappush(h, (1.0, seq, object()))\n"
+        )
+        assert codes(src) == []
+
+    def test_scalar_entry_ok(self):
+        assert codes("import heapq\nh = []\nheapq.heappush(h, 1.0)\n") == []
+
+    def test_suppression(self):
+        src = (
+            "import heapq\nh = []\n"
+            "heapq.heappush(h, (1.0, 2))  # simlint: disable=SIM004\n"
+        )
+        assert codes(src) == []
+
+
+class TestSIM005ParallelPayloads:
+    def test_threading_import_flagged_in_experiments(self):
+        assert codes("import threading\n", path=EXP_PATH) == ["SIM005"]
+
+    def test_threading_use_flagged_in_experiments(self):
+        src = ("import threading  # simlint: disable=SIM005\n"
+               "lock = threading.Lock()\n")
+        assert codes(src, path=EXP_PATH) == ["SIM005"]
+
+    def test_threading_elsewhere_ok(self):
+        assert codes("import threading\n", path=SIM_PATH) == []
+
+    def test_global_in_parallel_module_flagged(self):
+        src = "state = {}\ndef worker():\n    global state\n    state['x'] = 1\n"
+        assert codes(src, path=PAR_PATH) == ["SIM005"]
+
+    def test_global_elsewhere_ok(self):
+        src = "state = {}\ndef worker():\n    global state\n    state['x'] = 1\n"
+        assert codes(src, path=EXP_PATH) == []
+
+    def test_suppression(self):
+        assert codes("import threading  # simlint: disable=SIM005\n",
+                     path=EXP_PATH) == []
+
+
+class TestSuppressionSyntax:
+    def test_bare_disable_suppresses_all(self):
+        src = "import time, random\nt = time.time(); x = random.random()  # simlint: disable\n"
+        assert codes(src) == ["SIM002"]  # only the import line still flags
+
+    def test_multi_code_disable(self):
+        src = ("import time  # simlint: disable=SIM002\n"
+               "t = time.time()  # simlint: disable=SIM001, SIM003\n")
+        assert codes(src) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = "import time\nt = time.time()  # simlint: disable=SIM003\n"
+        assert codes(src) == ["SIM001"]
+
+
+class TestRepoIsClean:
+    def test_src_repro_lints_clean(self):
+        pkg = Path(__file__).resolve().parents[2] / "src" / "repro"
+        violations = lint_paths([str(pkg)])
+        assert violations == [], "\n".join(v.format() for v in violations)

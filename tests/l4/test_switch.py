@@ -127,6 +127,25 @@ class TestNatAndConntrack:
         assert switch.conntrack.lookup(tup) is None
         assert len(switch.nat) == 0
 
+    def test_sweep_idle_removes_nat_with_conntrack(self, fig9_graph):
+        # Regression: expiring conntrack alone leaked the NAT entry, so
+        # NAT entries != open flows after an idle sweep.
+        sim, _, _, _, switch = _world(fig9_graph)
+        switch.install(_alloc({"A": 10.0}, {"A": {"A": 32.0}}))
+        switch.handle(_req("A"))  # admitted, response still in flight
+        assert len(switch.nat) == len(switch.conntrack) == 1
+        idle = switch.conntrack.idle_timeout
+        assert switch.sweep_idle(now=idle + 1.0) == 1
+        assert len(switch.conntrack) == 0
+        assert len(switch.nat) == 0  # the entry the old sweep leaked
+
+    def test_sweep_idle_keeps_fresh_flows(self, fig9_graph):
+        sim, _, _, _, switch = _world(fig9_graph)
+        switch.install(_alloc({"A": 10.0}, {"A": {"A": 32.0}}))
+        switch.handle(_req("A"))
+        assert switch.sweep_idle(now=1.0) == 0
+        assert len(switch.nat) == len(switch.conntrack) == 1
+
 
 class TestAffinityAndBudgets:
     def test_affinity_reuses_server_within_budget(self, fig9_graph):

@@ -23,6 +23,27 @@ class TestScheduling:
         sim.run()
         assert out == ["a", "b", "c"]
 
+    def test_equal_time_events_pop_in_push_order_bulk(self):
+        # SIM004 regression: with many same-timestamp entries, pop order
+        # must be exactly push order — the heap's seq tie-breaker is the
+        # only thing standing between this and comparing callbacks.
+        sim = Simulator()
+        out = []
+        order = [7, 3, 11, 0, 5, 2, 9, 1, 8, 4, 10, 6] * 25
+        for i, tag in enumerate(order):
+            sim.schedule(1.0 if i % 2 else 1.0 + 0.0, out.append, (tag, i))
+        sim.run()
+        assert out == [(tag, i) for i, tag in enumerate(order)]
+
+    def test_schedule_at_ties_interleave_with_schedule(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(2.0, out.append, "rel")
+        sim.schedule_at(2.0, out.append, "abs")
+        sim.schedule(2.0, out.append, "rel2")
+        sim.run()
+        assert out == ["rel", "abs", "rel2"]
+
     def test_run_until_stops_clock(self):
         sim = Simulator()
         out = []
