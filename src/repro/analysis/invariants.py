@@ -26,7 +26,7 @@ unchecked one — ``repro check`` asserts exactly that.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, List, Mapping, Optional
 
 __all__ = [
     "ENV_VAR",
@@ -180,8 +180,8 @@ class InvariantChecker:
         """Wrap ``allocator.compute`` so every window's output is checked."""
         inner = allocator.compute
 
-        def checked(local: Mapping[str, float]) -> Any:
-            alloc = inner(local)
+        def checked(local: Mapping[str, float], now: Optional[float] = None) -> Any:
+            alloc = inner(local, now=now)
             self.check_allocation(
                 alloc.quotas, local, capacity_per_window, node=name
             )
@@ -302,6 +302,73 @@ class InvariantChecker:
                 self._fail(
                     f"LP {model.name!r}: x[{i}]={x[i]:.6f} outside "
                     f"[{lb}, {ub}]"
+                )
+                return
+        self._passed()
+
+    # -- post-fault liveness -------------------------------------------------
+
+    def arm_liveness(
+        self,
+        sim: Any,
+        meter: Any,
+        quotas: Mapping[str, float],
+        heal_at: float,
+        k_windows: int,
+        window: float,
+        eps: float = 0.15,
+        span: Optional[float] = None,
+        abs_floor: float = 5.0,
+    ) -> None:
+        """Recovery ledger: after the last heal at ``heal_at``, every
+        principal's admitted rate must return to within ``eps`` (relative,
+        with ``abs_floor`` req/s of absolute slack) of its no-fault quota
+        within ``k_windows`` scheduling windows — the bounded-recovery
+        guarantee the fault experiments assert.
+
+        The check fires once, at ``heal_at + k_windows * window``, and
+        measures the trailing ``span`` seconds of the rate meter (default:
+        the last quarter of the convergence budget).  Read-only: it only
+        reads meter bins, so traces stay bit-identical with the checker on
+        or off.  The deadline must fall inside the run, or the check never
+        fires.
+        """
+        if k_windows < 1 or window <= 0:
+            raise ValueError("need k_windows >= 1 and window > 0")
+        deadline = heal_at + k_windows * window
+        if span is None:
+            span = max(window, 0.25 * k_windows * window)
+        sim.schedule_at(
+            deadline, self._liveness_check,
+            meter, dict(quotas), deadline, float(span), float(eps),
+            float(abs_floor),
+        )
+
+    def _liveness_check(
+        self,
+        meter: Any,
+        quotas: Dict[str, float],
+        deadline: float,
+        span: float,
+        eps: float,
+        abs_floor: float,
+    ) -> None:
+        import numpy as np
+
+        for principal in sorted(quotas):
+            want = quotas[principal]
+            times, rates = meter.series(principal)
+            times = np.asarray(times, dtype=float)
+            rates = np.asarray(rates, dtype=float)
+            mask = (times >= deadline - span) & (times <= deadline)
+            got = float(rates[mask].mean()) if mask.any() else 0.0
+            tol = max(eps * want, abs_floor)
+            if abs(got - want) > tol:
+                self._fail(
+                    f"liveness: {principal!r} at {got:.1f} req/s "
+                    f"{deadline - span:.1f}-{deadline:.1f}s, expected "
+                    f"{want:.1f}±{tol:.1f} within {span:.1f}s of the "
+                    "recovery deadline"
                 )
                 return
         self._passed()

@@ -19,7 +19,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["ReplayReport", "scenario_digest", "fig6_replay"]
+__all__ = ["ReplayReport", "scenario_digest", "fig6_replay", "chaos_replay"]
 
 
 def _hash_floats(h: "hashlib._Hash", values: Any) -> None:
@@ -47,6 +47,9 @@ def scenario_digest(sc: Any) -> str:
         for principal in sorted(srv.completed):
             h.update(f"{principal}={srv.completed[principal]}".encode("utf-8"))
         h.update(f"dropped={srv.dropped}".encode("utf-8"))
+        # Fault-path ledgers (0 on scenarios that never crash anything).
+        h.update(f"failed={getattr(srv, 'failed', 0)}".encode("utf-8"))
+        h.update(f"refused={getattr(srv, 'refused', 0)}".encode("utf-8"))
         h.update(float(srv.busy_time).hex().encode("ascii"))
     for name in sorted(sc.clients):
         client = sc.clients[name]
@@ -142,4 +145,60 @@ def fig6_replay(
         checker_summary=checker_summary,
         meta={"duration_scale": duration_scale, "seed": seed,
               "lp_cache": lp_cache, "fast_lane": fast_lane},
+    )
+
+
+def chaos_replay(
+    duration_scale: float = 0.4,
+    seed: int = 0,
+    runs: int = 2,
+    with_invariants: bool = True,
+    lp_cache: bool = True,
+    fast_lane: bool = True,
+    plan: Optional[Any] = None,
+) -> ReplayReport:
+    """Replay the *faulted* fault-matrix scenario and diff digests.
+
+    Same contract as :func:`fig6_replay`, but every run injects the fault
+    plan (the canonical coordination partition when ``plan`` is None):
+    failure detection, eviction, tree reconfiguration, conservative
+    fallback, heal and rejoin must all land on identical event sequences —
+    fault handling is part of the determinism envelope, not an exception
+    to it.
+    """
+    from repro.experiments.faultmatrix import fault_matrix_scenario
+
+    if runs < 2 and not with_invariants:
+        raise ValueError("need at least two runs to compare digests")
+    digests: List[str] = []
+    labels: List[str] = []
+    plan_digest = ""
+    for i in range(max(1, runs)):
+        sc, injector, _ = fault_matrix_scenario(
+            duration_scale=duration_scale, seed=seed,
+            lp_cache=lp_cache, fast_lane=fast_lane,
+            check_invariants=False, plan=plan,
+        )
+        plan_digest = injector.plan.digest()
+        digests.append(scenario_digest(sc))
+        labels.append(f"run {i + 1}")
+    checker_summary: Optional[Dict[str, int]] = None
+    if with_invariants:
+        sc, injector, _ = fault_matrix_scenario(
+            duration_scale=duration_scale, seed=seed,
+            lp_cache=lp_cache, fast_lane=fast_lane,
+            check_invariants=True, plan=plan,
+        )
+        digests.append(scenario_digest(sc))
+        labels.append("run +check")
+        assert sc.invariants is not None
+        checker_summary = sc.invariants.summary()
+    return ReplayReport(
+        scenario="faultmatrix",
+        digests=digests,
+        labels=labels,
+        checker_summary=checker_summary,
+        meta={"duration_scale": duration_scale, "seed": seed,
+              "lp_cache": lp_cache, "fast_lane": fast_lane,
+              "plan_digest": plan_digest},
     )

@@ -7,15 +7,19 @@
     python -m repro inspect A:1000 B:1500 C A-B:0.4:0.6 B-C:0.6:1.0
     python -m repro baseline [--duration 20]
     python -m repro lint    [src/repro ...]
-    python -m repro check   [--scale 0.05] [--runs 2]
+    python -m repro check   [--scenario fig6|faultmatrix] [--runs 2]
+    python -m repro chaos   [--random N | --plan plan.json] [--replay 2]
 
 ``figures`` reruns the paper's evaluation and prints pass/fail per figure;
 ``report`` renders the full paper-vs-measured markdown; ``inspect`` values
 an agreement graph given on the command line; ``baseline`` compares
 coordinated enforcement against a WRR front end; ``lint`` runs the
 simulation-determinism lint (SIM001–SIM005, see docs/DETERMINISM.md);
-``check`` replays the fig6 scenario and compares trace digests, with the
-runtime invariant checker on the final run.
+``check`` replays a scenario and compares trace digests, with the runtime
+invariant checker on the final run; ``chaos`` injects faults (the
+canonical coordination partition, a seeded random plan, or a JSON plan
+file) into the fault-matrix world and reports degradation and recovery
+(see docs/FAULTS.md).
 """
 
 from __future__ import annotations
@@ -95,8 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="replay-determinism harness with runtime invariants"
     )
     p_chk.add_argument("--scenario", type=str, default="fig6",
-                       choices=["fig6"],
-                       help="scenario to replay (fig6 covers the full stack)")
+                       choices=["fig6", "faultmatrix"],
+                       help="scenario to replay (fig6 covers the full "
+                            "stack; faultmatrix adds fault injection, "
+                            "failure detection and tree healing)")
     p_chk.add_argument("--scale", type=float, default=0.05,
                        help="phase-duration scale for each replay run")
     p_chk.add_argument("--seed", type=int, default=0)
@@ -106,6 +112,29 @@ def build_parser() -> argparse.ArgumentParser:
                        default=True,
                        help="add a final run with the runtime invariant "
                             "checker on; its digest must match too")
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault injection: partition/heal matrix or a custom plan"
+    )
+    p_chaos.add_argument("--scale", type=float, default=0.4,
+                         help="phase-duration scale for the fault-matrix world")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--plan", type=str, default="",
+                         help="JSON fault plan to inject instead of the "
+                              "canonical coordination partition")
+    p_chaos.add_argument("--random", type=int, default=0, metavar="N",
+                         help="inject N seeded random faults instead of "
+                              "the canonical partition")
+    p_chaos.add_argument("--save-plan", type=str, default="",
+                         help="write the executed plan (JSON) to this file")
+    p_chaos.add_argument("--replay", type=int, default=0, metavar="RUNS",
+                         help="also rerun the faulted scenario RUNS times "
+                              "and require identical SHA-256 digests")
+    p_chaos.add_argument("--check-invariants", action="store_true",
+                         help="run with the runtime invariant checker on "
+                              "(includes the post-heal liveness ledger)")
+    p_chaos.add_argument("--plot", action="store_true",
+                         help="render the A/B rate series as a terminal chart")
     return parser
 
 
@@ -260,9 +289,10 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    from repro.analysis.replay import fig6_replay
+    from repro.analysis.replay import chaos_replay, fig6_replay
 
-    report = fig6_replay(
+    replay = fig6_replay if args.scenario == "fig6" else chaos_replay
+    report = replay(
         duration_scale=args.scale,
         seed=args.seed,
         runs=args.runs,
@@ -270,6 +300,97 @@ def _cmd_check(args) -> int:
     )
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _chaos_plan(args):
+    """Resolve the plan for ``repro chaos``: file, seeded random, or None."""
+    from repro.faults.plan import FaultPlan, random_plan
+    from repro.sim.rng import RngStreams
+
+    if args.plan and args.random:
+        raise ValueError("give either --plan or --random, not both")
+    if args.plan:
+        with open(args.plan) as fh:
+            return FaultPlan.from_json(fh.read())
+    if args.random:
+        phase = max(8.0, 20.0 * args.scale)
+        # A dedicated substream: plan generation never perturbs the
+        # scenario's own streams, so --random N is reproducible per seed.
+        rng = RngStreams(args.seed).get("faults:plan")
+        return random_plan(
+            rng, duration=3.0 * phase,
+            nodes=("R1", "R2", "__root__"), servers=("S",),
+            links=(("R1", "__root__"), ("R2", "__root__")),
+            n_faults=args.random, name=f"random-{args.seed}",
+        )
+    return None
+
+
+def _cmd_chaos(args) -> int:
+    from repro.experiments.faultmatrix import (
+        CONSERVATIVE_B, fault_matrix_scenario, run_fault_matrix,
+    )
+
+    plan = _chaos_plan(args)
+    check = True if args.check_invariants else None
+    failures = 0
+    if plan is None:
+        result = run_fault_matrix(
+            duration_scale=args.scale, seed=args.seed, check_invariants=check,
+        )
+        print(f"fault matrix: {'ok' if result.ok else 'FAILED'}")
+        print(f"  {result.notes}")
+        for phase in result.phases:
+            rates = "  ".join(f"{k}={v:7.1f}" for k, v in sorted(phase.rates.items()))
+            print(f"  {phase.name:14s} {rates}")
+        floor = result.phase("p2_partition").rates.get("B", 0.0)
+        print(f"  B through partition: {floor:.1f} req/s "
+              f"(conservative floor {CONSERVATIVE_B:.0f})")
+        for ph, principal, got, want, ok in result.deviations():
+            if not ok:
+                print(f"  DEVIATION {ph}/{principal}: measured {got:.1f}, "
+                      f"expected {want:.1f}")
+        failures += 0 if result.ok else 1
+        series = result.series
+    else:
+        print(f"plan {plan.name or '(unnamed)'}  "
+              f"events={len(plan.events)}  digest={plan.digest()[:16]}")
+        sc, injector, (t1, t2, end) = fault_matrix_scenario(
+            duration_scale=args.scale, seed=args.seed,
+            check_invariants=check, plan=plan,
+        )
+        for when, kind, target in injector.log:
+            print(f"  t={when:7.2f}  {kind:18s} {target}")
+        stats = sc.phase_rates([("overall", 0.0, end)], keys=["A", "B"],
+                               settle=3.0)[0]
+        rates = "  ".join(f"{k}={v:7.1f}" for k, v in sorted(stats.rates.items()))
+        print(f"  overall        {rates}")
+        membership = sc.membership
+        if membership is not None:
+            print(f"  evictions={membership.reconfigurations} "
+                  f"rejoins={membership.rejoins}")
+        series = sc.series(["A", "B"])
+    if args.save_plan:
+        from repro.experiments.faultmatrix import canonical_plan
+
+        executed = plan if plan is not None else canonical_plan(args.scale)
+        with open(args.save_plan, "w") as fh:
+            fh.write(executed.to_json() + "\n")
+        print(f"wrote {args.save_plan}")
+    if args.replay:
+        from repro.analysis.replay import chaos_replay
+
+        report = chaos_replay(
+            duration_scale=args.scale, seed=args.seed, runs=args.replay,
+            with_invariants=bool(args.check_invariants), plan=plan,
+        )
+        print(report.render())
+        failures += 0 if report.ok else 1
+    if args.plot and series:
+        from repro.experiments.ascii import timeseries_plot
+
+        print(timeseries_plot(series, title="  fault matrix (A/B req/s)"))
+    return 1 if failures else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -281,6 +402,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "baseline": _cmd_baseline,
         "lint": _cmd_lint,
         "check": _cmd_check,
+        "chaos": _cmd_chaos,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,147 @@
+"""Backend health checking for redirectors (L7) and the L4 switch.
+
+The paper's prototypes assume live Apache backends; under the fault model
+(:mod:`repro.faults`) servers fail-stop and restart, so every redirecting
+component needs the standard production loop: periodically *probe* each
+backend, take it out of rotation after ``fail_after`` consecutive failed
+probes, keep probing a down backend with exponential backoff (capped at
+``max_interval``), and return it to rotation on the first successful
+probe.  :class:`BackendHealthChecker` implements that loop against the
+simulated :class:`repro.cluster.server.Server` (a probe observes
+``server.alive`` — the analogue of an HTTP health endpoint).
+
+It also supports *draining*: an administratively drained backend accepts
+no new connections (``is_healthy`` goes False) while its queued work keeps
+serving out — the graceful half of taking a backend down.
+
+Everything is driven by one ``sim.every`` timer and per-backend absolute
+next-probe times; there is no randomness, so the checker adds nothing to
+the determinism surface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.cluster.server import Server
+from repro.sim.engine import Simulator
+
+__all__ = ["BackendHealthChecker"]
+
+# (event, backend-name); event is "down", "up", "drain", or "undrain".
+ChangeFn = Callable[[str, str], None]
+
+
+class _BackendState:
+    __slots__ = ("server", "healthy", "fails", "interval", "next_probe", "draining")
+
+    def __init__(self, server: Server, interval: float, now: float) -> None:
+        self.server = server
+        self.healthy = True
+        self.fails = 0
+        self.interval = interval
+        self.next_probe = now + interval
+        self.draining = False
+
+
+class BackendHealthChecker:
+    """Probe-based backend liveness with backoff retry and draining."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        servers: Iterable[Server],
+        probe_interval: float = 0.05,
+        fail_after: int = 2,
+        backoff: float = 2.0,
+        max_interval: float = 1.0,
+        on_change: Optional[ChangeFn] = None,
+    ) -> None:
+        if probe_interval <= 0:
+            raise ValueError("probe_interval must be positive")
+        if fail_after < 1:
+            raise ValueError("fail_after must be >= 1")
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        self.sim = sim
+        self.probe_interval = float(probe_interval)
+        self.fail_after = int(fail_after)
+        self.backoff = float(backoff)
+        self.max_interval = float(max_interval)
+        self.on_change = on_change
+        self.probes = 0
+        self.marked_down = 0
+        self.marked_up = 0
+        self._states: Dict[str, _BackendState] = {}
+        for server in servers:
+            self.watch(server)
+        sim.every(self.probe_interval, self._tick, start=self.probe_interval)
+
+    # -- membership --------------------------------------------------------
+
+    def watch(self, server: Server) -> None:
+        """Start probing a backend; idempotent."""
+        if server.name not in self._states:
+            self._states[server.name] = _BackendState(
+                server, self.probe_interval, self.sim.now
+            )
+
+    # -- rotation queries --------------------------------------------------
+
+    def is_healthy(self, name: str) -> bool:
+        """May new work be routed to this backend?  Unwatched => yes."""
+        state = self._states.get(name)
+        if state is None:
+            return True
+        return state.healthy and not state.draining
+
+    def healthy(self) -> List[str]:
+        return [n for n in self._states if self.is_healthy(n)]
+
+    # -- draining ----------------------------------------------------------
+
+    def drain(self, name: str) -> None:
+        """Stop routing new work to a backend; in-flight work completes."""
+        state = self._states[name]
+        if not state.draining:
+            state.draining = True
+            if self.on_change is not None:
+                self.on_change("drain", name)
+
+    def undrain(self, name: str) -> None:
+        state = self._states[name]
+        if state.draining:
+            state.draining = False
+            if self.on_change is not None:
+                self.on_change("undrain", name)
+
+    # -- probe loop --------------------------------------------------------
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        for name, state in self._states.items():
+            if now + 1e-12 < state.next_probe:
+                continue
+            self.probes += 1
+            if state.server.alive:
+                if not state.healthy:
+                    state.healthy = True
+                    self.marked_up += 1
+                    if self.on_change is not None:
+                        self.on_change("up", name)
+                state.fails = 0
+                state.interval = self.probe_interval
+                state.next_probe = now + self.probe_interval
+            else:
+                state.fails += 1
+                if state.healthy and state.fails >= self.fail_after:
+                    state.healthy = False
+                    self.marked_down += 1
+                    if self.on_change is not None:
+                        self.on_change("down", name)
+                if not state.healthy:
+                    # Down: retry with exponential backoff, capped.
+                    state.interval = min(
+                        state.interval * self.backoff, self.max_interval
+                    )
+                state.next_probe = now + state.interval

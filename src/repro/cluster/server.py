@@ -56,6 +56,14 @@ class Server:
         self.dropped = 0
         self.busy_time = 0.0
         self._started_at = sim.now
+        # Fault model: fail-stop with amnesia.  A crash loses the request
+        # in service and everything queued (counted in ``failed``); while
+        # down, submissions are refused (counted in ``refused``).  The
+        # epoch guard voids completion events scheduled before the crash.
+        self.alive = True
+        self.failed = 0
+        self.refused = 0
+        self._epoch = 0
 
     # -- capacity dynamics -------------------------------------------------
 
@@ -70,6 +78,22 @@ class Server:
             raise ValueError("server capacity must be positive")
         self.capacity = float(capacity)
 
+    # -- fault model -------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: lose the request in service and the whole queue."""
+        if not self.alive:
+            return
+        self.alive = False
+        self._epoch += 1
+        self.failed += len(self._queue) + (1 if self._busy else 0)
+        self._queue.clear()
+        self._busy = False
+
+    def restart(self) -> None:
+        """Come back empty (amnesia); serving resumes with new submissions."""
+        self.alive = True
+
     # -- submission -----------------------------------------------------------
 
     def submit(self, request: Request, done: Optional[DoneFn] = None) -> bool:
@@ -78,6 +102,9 @@ class Server:
         An idle server starts service inline (no zero-delay kick event);
         a busy one queues the request for :meth:`_finish` to pull.
         """
+        if not self.alive:
+            self.refused += 1
+            return False
         if self._busy:
             if self.max_queue and len(self._queue) + 1 >= self.max_queue:
                 self.dropped += 1
@@ -87,12 +114,14 @@ class Server:
         self._busy = True
         service = request.cost / self.capacity
         self.busy_time += service
-        self.sim.schedule(service, self._finish, request, done)
+        self.sim.schedule(service, self._finish, request, done, self._epoch)
         return True
 
     # -- service loop -------------------------------------------------------------
 
-    def _finish(self, request: Request, done: Optional[DoneFn]) -> None:
+    def _finish(self, request: Request, done: Optional[DoneFn], epoch: int = 0) -> None:
+        if epoch != self._epoch:
+            return  # completion scheduled before a crash — already counted
         request.completed_at = self.sim.now
         request.served_by = self.name
         self.completed[request.principal] = self.completed.get(request.principal, 0) + 1
@@ -105,7 +134,7 @@ class Server:
             nxt, nxt_done = queue.popleft()
             service = nxt.cost / self.capacity
             self.busy_time += service
-            self.sim.schedule(service, self._finish, nxt, nxt_done)
+            self.sim.schedule(service, self._finish, nxt, nxt_done, self._epoch)
         else:
             self._busy = False
 

@@ -1,0 +1,132 @@
+"""Heartbeat-based failure detection for the combining tree.
+
+The paper's protocol already tolerates *silent* degradation (partial
+rounds, stale broadcasts); what it leaves open is how a node learns that a
+neighbour is gone so the overlay can be rebuilt.  :class:`FailureDetector`
+is the standard timeout detector with per-peer exponential backoff:
+
+- every peer is expected to heartbeat within ``timeout`` seconds;
+- an overdue peer becomes *suspected*; if it stays silent for a further
+  ``timeout`` it is *confirmed* dead and reported once;
+- a heartbeat from a suspected peer clears the suspicion and **doubles**
+  that peer's timeout (capped at ``max_timeout``) — the classic adaptive
+  response to a slow-but-alive peer, which stops a jittery WAN link from
+  flapping the overlay;
+- a heartbeat from a confirmed-dead peer signals *recovery* (restart or
+  partition heal) and resets its timeout to the base value.
+
+The detector is pure bookkeeping driven by ``heard``/``check`` calls from
+the membership layer; it owns no timers and draws no randomness, so it
+adds nothing to the determinism surface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional
+
+__all__ = ["FailureDetector", "PeerState"]
+
+NodeId = Hashable
+
+
+class PeerState:
+    """Detector bookkeeping for one monitored peer."""
+
+    __slots__ = ("last_heard", "timeout", "suspected_at", "dead")
+
+    def __init__(self, now: float, timeout: float) -> None:
+        self.last_heard = now
+        self.timeout = timeout
+        self.suspected_at: Optional[float] = None
+        self.dead = False
+
+
+class FailureDetector:
+    """Timeout + exponential-backoff liveness tracking over a peer set."""
+
+    def __init__(
+        self,
+        timeout: float,
+        max_timeout: Optional[float] = None,
+        backoff: float = 2.0,
+        on_dead: Optional[Callable[[NodeId], None]] = None,
+        on_recovered: Optional[Callable[[NodeId], None]] = None,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        self.base_timeout = float(timeout)
+        self.max_timeout = float(max_timeout) if max_timeout is not None else 8.0 * timeout
+        self.backoff = float(backoff)
+        self.on_dead = on_dead
+        self.on_recovered = on_recovered
+        self.suspicions = 0
+        self.false_suspicions = 0
+        self._peers: Dict[NodeId, PeerState] = {}
+
+    # -- membership --------------------------------------------------------
+
+    def watch(self, peer: NodeId, now: float) -> None:
+        """Start (or refresh) monitoring a peer; idempotent."""
+        if peer not in self._peers:
+            self._peers[peer] = PeerState(now, self.base_timeout)
+
+    def unwatch(self, peer: NodeId) -> None:
+        self._peers.pop(peer, None)
+
+    @property
+    def peers(self) -> List[NodeId]:
+        return list(self._peers)
+
+    def is_dead(self, peer: NodeId) -> bool:
+        state = self._peers.get(peer)
+        return state is not None and state.dead
+
+    def is_suspected(self, peer: NodeId) -> bool:
+        state = self._peers.get(peer)
+        return state is not None and (state.dead or state.suspected_at is not None)
+
+    # -- events ------------------------------------------------------------
+
+    def heard(self, peer: NodeId, now: float) -> None:
+        """A heartbeat (or any message) arrived from ``peer``."""
+        state = self._peers.get(peer)
+        if state is None:
+            return
+        state.last_heard = now
+        if state.dead:
+            # Recovery: restart or partition heal.  Timeout resets to base
+            # so a re-failure is caught promptly again.
+            state.dead = False
+            state.suspected_at = None
+            state.timeout = self.base_timeout
+            if self.on_recovered is not None:
+                self.on_recovered(peer)
+        elif state.suspected_at is not None:
+            # False suspicion — the peer was just slow.  Back off.
+            state.suspected_at = None
+            state.timeout = min(state.timeout * self.backoff, self.max_timeout)
+            self.false_suspicions += 1
+
+    def check(self, now: float) -> List[NodeId]:
+        """Advance suspicion state; returns peers *newly confirmed dead*.
+
+        Confirmation takes two silent timeouts: one to suspect, one more to
+        confirm — so a single missed heartbeat never reconfigures the tree.
+        """
+        confirmed: List[NodeId] = []
+        for peer, state in self._peers.items():
+            if state.dead:
+                continue
+            silent = now - state.last_heard
+            if state.suspected_at is None:
+                if silent > state.timeout:
+                    state.suspected_at = now
+                    self.suspicions += 1
+            elif now - state.suspected_at > state.timeout:
+                state.dead = True
+                confirmed.append(peer)
+                if self.on_dead is not None:
+                    self.on_dead(peer)
+        return confirmed

@@ -1,0 +1,238 @@
+"""Overlay membership: heartbeats, failure detection, and tree healing.
+
+The paper leaves the overlay algorithm open ("several algorithms exist for
+dynamically overlaying trees...").  :class:`ResilientTree` is our stand-in
+for that membership service: it owns the live :class:`CombiningTree`, the
+protocol nodes and every link, heartbeats across all of them, and repairs
+the overlay when the :class:`repro.coordination.failure.FailureDetector`
+confirms a death:
+
+- a dead interior node's orphaned subtrees are reparented to the
+  grandparent (``CombiningTree.remove_failed``);
+- a dead root is replaced by its first child (deterministic promotion);
+- the evicted node itself is *detached* — it keeps running locally but no
+  longer reports or broadcasts, so its redirector's view goes stale and
+  the allocator degrades to the conservative 1/R fallback;
+- heartbeats keep flowing over *all* registered links, including links to
+  evicted ex-neighbours ("watch links"), so a restarted or heal-side node
+  is noticed the moment its beacons cross again and is rejoined as a leaf
+  (under its original parent when that parent survived, else the current
+  root).
+
+One mechanism therefore covers crash → detect → heal → restart → rejoin
+*and* partition → degrade → heal → re-converge.  The manager is global —
+the honest simulation analogue of a membership algorithm run among the
+reachable majority — and wholly deterministic: heartbeat and check ticks
+are ``sim.every`` timers, iteration is in insertion order, and the only
+randomness lives in per-link spawned RNG substreams.
+
+Node ids must be strings (heartbeats carry the sender id on the wire).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.coordination.aggregation import VectorAggregate
+from repro.coordination.failure import FailureDetector
+from repro.coordination.messages import Heartbeat, MessageCounter
+from repro.coordination.protocol import (
+    AggregationNode,
+    build_protocol,
+    link_stream_name,
+)
+from repro.coordination.tree import CombiningTree
+from repro.sim.engine import Simulator
+from repro.sim.network import Link
+from repro.sim.rng import RngStreams
+
+__all__ = ["ResilientTree"]
+
+# (link, src, dst) -> None; lets the fault injector cut links created by a
+# heal while a partition crossing them is still active.
+LinkFilter = Callable[[Link, str, str], None]
+
+
+class ResilientTree:
+    """A combining-tree protocol instance that survives churn.
+
+    Construction mirrors :func:`build_protocol` (same suppliers /
+    ``on_global`` / link parameters) and adds the failure machinery:
+    ``heartbeat_period`` beacons, a detector with ``failure_timeout`` and
+    exponential backoff, and automatic reconfiguration.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tree: CombiningTree,
+        period: float,
+        suppliers: Mapping[str, Callable[[], Mapping[str, float]]],
+        on_global: Optional[Mapping[str, Callable[[VectorAggregate, int], None]]] = None,
+        link_delay: float = 0.0,
+        jitter: float = 0.0,
+        loss: float = 0.0,
+        streams: Optional[RngStreams] = None,
+        counter: Optional[MessageCounter] = None,
+        flush_after: Optional[float] = None,
+        heartbeat_period: float = 0.5,
+        failure_timeout: Optional[float] = None,
+        backoff: float = 2.0,
+        max_timeout: Optional[float] = None,
+        on_reconfigure: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        if heartbeat_period <= 0:
+            raise ValueError("heartbeat_period must be positive")
+        self.sim = sim
+        self.tree = tree
+        self.link_delay = float(link_delay)
+        self.jitter = float(jitter)
+        self.loss = float(loss)
+        self.streams = streams
+        self.counter = counter
+        self.on_reconfigure = on_reconfigure
+        self.link_filter: Optional[LinkFilter] = None
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self.nodes: Dict[str, AggregationNode] = build_protocol(
+            sim, tree, period, suppliers, on_global=on_global,
+            link_delay=link_delay, jitter=jitter, loss=loss,
+            streams=streams, counter=counter, flush_after=flush_after,
+            link_registry=self.links,
+        )
+        self.removed: Dict[str, Optional[str]] = {}   # node -> parent at eviction
+        self.reconfigurations = 0
+        self.rejoins = 0
+        self.heartbeat_period = float(heartbeat_period)
+        timeout = (
+            float(failure_timeout) if failure_timeout is not None
+            else 3.0 * self.heartbeat_period
+        )
+        self.detector = FailureDetector(
+            timeout=timeout, max_timeout=max_timeout, backoff=backoff,
+            on_recovered=self._rejoin,
+        )
+        for nid in tree.nodes:
+            self.detector.watch(nid, sim.now)
+            self.nodes[nid].on_heartbeat = self._heard
+        self._hb_seq = 0
+        # Beat before check at equal timestamps: registration order fixes
+        # the sequence numbers, so dispatch order is deterministic.
+        sim.every(self.heartbeat_period, self._beat, start=self.heartbeat_period)
+        sim.every(self.heartbeat_period, self._check, start=self.heartbeat_period)
+
+    # -- protocol-node helpers --------------------------------------------
+
+    def node(self, nid: str) -> AggregationNode:
+        return self.nodes[nid]
+
+    def crash(self, nid: str) -> None:
+        """Fail-stop a protocol node (the fault injector's entry point)."""
+        self.nodes[nid].crash()
+
+    def restart(self, nid: str) -> None:
+        """Restart a crashed node; it rejoins once heartbeats are heard."""
+        self.nodes[nid].restart()
+
+    # -- heartbeat plane ---------------------------------------------------
+
+    def _beat(self) -> None:
+        self._hb_seq += 1
+        now = self.sim.now
+        for (src, _dst), link in self.links.items():
+            node = self.nodes[src]
+            if not node.alive:
+                continue
+            hb = Heartbeat(sender=str(src), seq=self._hb_seq, sent_at=now)
+            if self.counter is not None:
+                self.counter.count(hb)
+            link.send(hb)
+
+    def _heard(self, sender: str) -> None:
+        self.detector.heard(sender, self.sim.now)
+
+    def _check(self) -> None:
+        for nid in self.detector.check(self.sim.now):
+            self._remove_node(nid)
+
+    # -- reconfiguration ---------------------------------------------------
+
+    def _link(self, src: str, dst: str) -> Link:
+        link = self.links.get((src, dst))
+        if link is not None:
+            return link
+        rng = (
+            self.streams.get(link_stream_name(src, dst))
+            if self.streams is not None else None
+        )
+        link = Link(
+            self.sim, self.nodes[src], self.nodes[dst],
+            delay=self.link_delay, jitter=self.jitter, loss=self.loss,
+            rng=rng, name=link_stream_name(src, dst),
+        )
+        self.links[(src, dst)] = link
+        if self.link_filter is not None:
+            self.link_filter(link, src, dst)
+        return link
+
+    def _wire(self, child: str, parent: str) -> None:
+        self.nodes[child].set_parent_link(self._link(child, parent))
+        self.nodes[parent].add_child_link(child, self._link(parent, child))
+
+    def _remove_node(self, nid: str) -> None:
+        """Evict a confirmed-dead node and heal the overlay around it."""
+        if nid in self.removed or nid not in self.tree or len(self.tree) <= 1:
+            return
+        orig_parent = self.tree.parent(nid)
+        moved = self.tree.remove_failed(nid)
+        node = self.nodes[nid]
+        node.detached = True
+        node.set_parent_link(None)
+        for child in list(node.down_links):
+            node.remove_child_link(child)
+        if orig_parent is not None:
+            self.nodes[orig_parent].remove_child_link(nid)
+        for orphan, new_parent in moved.items():
+            self._wire(orphan, new_parent)
+        # A promoted root must not keep reporting to its dead ex-parent.
+        self.nodes[self.tree.root].set_parent_link(None)
+        self.removed[nid] = orig_parent
+        # Watch links to/from the current root keep a beacon path between
+        # every evicted node and the live fragment.  Without them, a node
+        # falsely evicted when its only heartbeat path ran through a dead
+        # neighbour could never announce itself again.  Refreshed for ALL
+        # evicted nodes on every eviction: an earlier watch link may point
+        # at a root that has itself just died (e.g. a root and its leaf
+        # child failing together, leaf confirmed first).
+        root = self.tree.root
+        for out in self.removed:
+            if out != root:
+                self._link(out, root)
+                self._link(root, out)
+        self.reconfigurations += 1
+        if self.on_reconfigure is not None:
+            self.on_reconfigure("remove", nid)
+
+    def _rejoin(self, nid: str) -> None:
+        """A removed node's heartbeats are flowing again: re-attach it."""
+        if nid not in self.removed:
+            return
+        orig_parent = self.removed.pop(nid)
+        # Re-attach under the original parent only when that parent is in
+        # the live tree and not itself under suspicion — otherwise a child
+        # evicted because its parent crashed would flap: rejoin under the
+        # crashed parent, starve again, get evicted again.
+        parent = (
+            orig_parent
+            if orig_parent is not None
+            and orig_parent in self.tree
+            and orig_parent not in self.removed
+            and not self.detector.is_suspected(orig_parent)
+            else self.tree.root
+        )
+        self.tree.join(nid, parent)
+        node = self.nodes[nid]
+        node.detached = False
+        self._wire(nid, parent)
+        self.rejoins += 1
+        if self.on_reconfigure is not None:
+            self.on_reconfigure("rejoin", nid)

@@ -8,7 +8,7 @@ from typing import Dict
 
 from repro.coordination.aggregation import VectorAggregate
 
-__all__ = ["QueueReport", "AggregateBroadcast", "MessageCounter"]
+__all__ = ["QueueReport", "AggregateBroadcast", "Heartbeat", "MessageCounter"]
 
 
 @dataclass(frozen=True)
@@ -29,16 +29,33 @@ class AggregateBroadcast:
     issued_at: float
 
 
+@dataclass(frozen=True)
+class Heartbeat:
+    """Liveness beacon between tree neighbours (failure detection).
+
+    Heartbeats ride the same links as protocol traffic, so a partition or
+    lossy link starves them exactly as it starves reports — which is what
+    the :class:`repro.coordination.failure.FailureDetector` keys on.
+    """
+
+    sender: str
+    seq: int
+    sent_at: float
+
+
 @dataclass
 class MessageCounter:
     """Counts protocol traffic by message type."""
 
     reports: int = 0
     broadcasts: int = 0
+    heartbeats: int = 0
     by_link: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
+        """Aggregation traffic only — heartbeats are control-plane overhead
+        and tracked separately (the 2(n-1) ablation counts rounds)."""
         return self.reports + self.broadcasts
 
     def count(self, msg: object, link_name: str = "") -> None:
@@ -46,5 +63,7 @@ class MessageCounter:
             self.reports += 1
         elif isinstance(msg, AggregateBroadcast):
             self.broadcasts += 1
+        elif isinstance(msg, Heartbeat):
+            self.heartbeats += 1
         if link_name:
             self.by_link[link_name] = self.by_link.get(link_name, 0) + 1

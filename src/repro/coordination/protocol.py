@@ -15,22 +15,40 @@ even if some children have not reported (their contribution is simply
 missing from that round); reports arriving after the flush are dropped and
 counted as late.  Rounds pipeline freely — round k+1 may start while k is
 still propagating.
+
+Failure semantics (driven by :mod:`repro.faults` via
+:class:`repro.coordination.membership.ResilientTree`):
+
+- a *crashed* node (``alive=False``) drops every message, starts no rounds
+  and sends no heartbeats until :meth:`AggregationNode.restart`;
+- a *detached* node (``detached=True``) is one the membership layer has
+  evicted from the overlay: it keeps sampling locally but must not act as
+  a root for its own fragment — otherwise an isolated redirector would
+  mistake its local demand for the global aggregate and over-allocate.
+  Its view simply goes stale, which is what triggers the allocator's
+  conservative 1/R degradation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Mapping, Optional
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.coordination.aggregation import VectorAggregate
-from repro.coordination.messages import AggregateBroadcast, MessageCounter, QueueReport
+from repro.coordination.messages import (
+    AggregateBroadcast,
+    Heartbeat,
+    MessageCounter,
+    QueueReport,
+)
 from repro.coordination.tree import CombiningTree
 from repro.sim.engine import Simulator
 from repro.sim.network import Endpoint, Link
+from repro.sim.rng import RngStreams
 
-__all__ = ["GlobalView", "AggregationNode", "build_protocol"]
+__all__ = ["GlobalView", "AggregationNode", "build_protocol", "link_stream_name"]
 
 NodeId = Hashable
 
@@ -99,6 +117,10 @@ class AggregationNode(Endpoint):
         self.counter = counter
         self.view = GlobalView()
         self.late_reports = 0
+        # Failure-model state (see module docstring).
+        self.alive = True
+        self.detached = False
+        self.on_heartbeat: Optional[Callable[[str], None]] = None
 
         self.up_link: Optional[Link] = None            # to parent
         self.down_links: Dict[NodeId, Link] = {}       # to children
@@ -109,6 +131,7 @@ class AggregationNode(Endpoint):
         self._sent: set = set()
         self._local_history: Dict[int, VectorAggregate] = {}
         self._round = 0
+        self._min_round = 0
         sim.process(self._round_driver(), name=f"agg[{node_id}]")
 
     # -- protocol rounds ----------------------------------------------------
@@ -131,6 +154,8 @@ class AggregationNode(Endpoint):
             yield self.period
 
     def _start_round(self, r: int) -> None:
+        if not self.alive:
+            return
         local = VectorAggregate.local(self.local_supplier())
         self._local_history[r] = local
         self._pending[r] = self._pending[r].merge(local) if r in self._pending else local
@@ -148,13 +173,17 @@ class AggregationNode(Endpoint):
         self._send(r)
 
     def _flush(self, r: int) -> None:
-        if r not in self._sent and r in self._pending:
+        if self.alive and r not in self._sent and r in self._pending:
             self._send(r)
 
     def _send(self, r: int) -> None:
         self._sent.add(r)
         agg = self._pending.pop(r)
         self._reported_children.pop(r, None)
+        if self.detached:
+            # Evicted from the overlay: no parent to report to, and acting
+            # as a fragment root would pass local data off as global.
+            return
         if self.up_link is None:
             # Root: round complete — broadcast the global aggregate.
             self._deliver_global(agg, r)
@@ -172,9 +201,15 @@ class AggregationNode(Endpoint):
     # -- message handling ------------------------------------------------------
 
     def on_message(self, msg, sender) -> None:
+        if not self.alive:
+            return  # a crashed node drops everything on the floor
+        if isinstance(msg, Heartbeat):
+            if self.on_heartbeat is not None:
+                self.on_heartbeat(msg.sender)
+            return
         if isinstance(msg, QueueReport):
             r = msg.round_id
-            if r in self._sent:
+            if r in self._sent or r < self._min_round:
                 self.late_reports += 1
                 return
             self._pending[r] = (
@@ -191,6 +226,42 @@ class AggregationNode(Endpoint):
         else:  # pragma: no cover - defensive
             raise TypeError(f"unexpected message {msg!r}")
 
+    # -- failure / reconfiguration ------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: drop all traffic and stop participating in rounds."""
+        self.alive = False
+
+    def restart(self) -> None:
+        """Recover from a crash with amnesia: all protocol state is reset
+        (a real restarted daemon has no memory of in-flight rounds)."""
+        if self.alive:
+            return
+        self.alive = True
+        self.view = GlobalView()
+        self._pending.clear()
+        self._reported_children.clear()
+        self._sent = set()
+        self._local_history.clear()
+        # Reports for rounds begun before the crash are stale on arrival.
+        self._min_round = self._round
+
+    def set_parent_link(self, link: Optional[Link]) -> None:
+        """Rewire (or drop) the report path; used by the membership layer."""
+        self.up_link = link
+
+    def add_child_link(self, child: NodeId, link: Link) -> None:
+        self.down_links[child] = link
+        self._expected_children = len(self.down_links)
+
+    def remove_child_link(self, child: NodeId) -> None:
+        """Stop expecting reports from a dead child and release rounds that
+        were only waiting on it."""
+        self.down_links.pop(child, None)
+        self._expected_children = len(self.down_links)
+        for r in sorted(self._pending):
+            self._maybe_send(r)
+
     def _deliver_global(self, agg: VectorAggregate, round_id: int) -> None:
         if round_id >= self.view.round_id:
             self.view = GlobalView(
@@ -203,6 +274,11 @@ class AggregationNode(Endpoint):
             self.on_global(agg, round_id)
 
 
+def link_stream_name(src: NodeId, dst: NodeId) -> str:
+    """Canonical substream name for the directed link ``src -> dst``."""
+    return f"link:{src}->{dst}"
+
+
 def build_protocol(
     sim: Simulator,
     tree: CombiningTree,
@@ -213,18 +289,32 @@ def build_protocol(
     jitter: float = 0.0,
     loss: float = 0.0,
     rng: Optional[np.random.Generator] = None,
+    streams: Optional[RngStreams] = None,
     counter: Optional[MessageCounter] = None,
     flush_after: Optional[float] = None,
+    link_registry: Optional[Dict[Tuple[NodeId, NodeId], Link]] = None,
 ) -> Dict[NodeId, AggregationNode]:
     """Wire up :class:`AggregationNode` s and links for an entire tree.
 
     ``link_delay`` applies symmetrically to every tree edge (Fig 8 uses a
     delay large enough that broadcasts lag by ~10 s).
 
+    Stochastic link behaviour (``jitter``/``loss``) draws per-link: pass
+    ``streams`` and every link gets its own spawned substream named
+    ``link:src->dst``, so one link's draws never perturb another's and a
+    fault plan that raises loss on one link replays bit-identically
+    everywhere else.  The legacy ``rng`` argument shares one generator
+    across all links and is kept only for existing callers; ``streams``
+    wins when both are given.
+
     ``flush_after`` defaults to ``0.9 * period + 2.5 * height * link_delay``:
     an interior node must wait long enough for its children's reports to
     cross the links before giving up on a round, otherwise every aggregate
     would be forwarded partial and the reports dropped as late.
+
+    ``link_registry`` (when given) is filled with ``(src, dst) -> Link``
+    for every directed tree edge — the handle the fault injector and the
+    membership layer use to perturb or rewire specific links.
     """
     callbacks = dict(on_global or {})
     if flush_after is None:
@@ -243,16 +333,21 @@ def build_protocol(
             flush_after=flush_after,
             counter=counter,
         )
+
+    def _make_link(src: NodeId, dst: NodeId) -> Link:
+        link_rng = streams.get(link_stream_name(src, dst)) if streams is not None else rng
+        link = Link(
+            sim, nodes[src], nodes[dst], delay=link_delay, jitter=jitter,
+            loss=loss, rng=link_rng, name=link_stream_name(src, dst),
+        )
+        if link_registry is not None:
+            link_registry[(src, dst)] = link
+        return link
+
     for nid in tree.nodes:
         par = tree.parent(nid)
         if par is None:
             continue
-        nodes[nid].up_link = Link(
-            sim, nodes[nid], nodes[par], delay=link_delay, jitter=jitter,
-            loss=loss, rng=rng,
-        )
-        nodes[par].down_links[nid] = Link(
-            sim, nodes[par], nodes[nid], delay=link_delay, jitter=jitter,
-            loss=loss, rng=rng,
-        )
+        nodes[nid].up_link = _make_link(nid, par)
+        nodes[par].down_links[nid] = _make_link(par, nid)
     return nodes

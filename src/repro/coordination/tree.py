@@ -113,6 +113,9 @@ class CombiningTree:
     def __len__(self) -> int:
         return len(self._parent)
 
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._parent
+
     def parent(self, node: NodeId) -> Optional[NodeId]:
         return self._parent[node]
 
@@ -164,6 +167,44 @@ class CombiningTree:
         self._children[par].remove(node)
         del self._parent[node]
         self._children.pop(node, None)
+
+    def remove_failed(self, node: NodeId) -> Dict[NodeId, NodeId]:
+        """Remove a *crashed* node, healing the overlay around it.
+
+        Unlike :meth:`leave` this also handles the root: the failed root's
+        first child (in attachment order — deterministic) is promoted to
+        root and its orphaned siblings reparent under the promoted node.
+        Interior/leaf failures reparent orphans to the grandparent, exactly
+        like :meth:`leave`.
+
+        Returns the reparenting map ``{orphan: new_parent}`` so a live
+        protocol layer can rewire links for precisely the edges that
+        changed.  After healing, :meth:`messages_per_round` is again
+        ``2(n-1)`` over the survivors.
+        """
+        if node not in self._parent:
+            raise ValueError(f"{node!r} not in tree")
+        if len(self._parent) == 1:
+            raise ValueError("cannot remove the last node")
+        moved: Dict[NodeId, NodeId] = {}
+        if node != self.root:
+            par = self._parent[node]
+            assert par is not None
+            for child in self._children.get(node, []):
+                moved[child] = par
+            self.leave(node)
+            return moved
+        orphans = list(self._children.get(node, []))
+        promoted = orphans[0]
+        self._parent[promoted] = None
+        self.root = promoted
+        for sibling in orphans[1:]:
+            self._parent[sibling] = promoted
+            self._children[promoted].append(sibling)
+            moved[sibling] = promoted
+        del self._parent[node]
+        self._children.pop(node, None)
+        return moved
 
     # -- internal -----------------------------------------------------------------
 

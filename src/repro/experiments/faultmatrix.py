@@ -1,0 +1,167 @@
+"""Fault-matrix experiment: enforcement through a partition and its heal.
+
+A fig8-style world — one 320 req/s server S, principal A [0.8, 1.0] with
+two 135 req/s clients at redirector R1, principal B [0.2, 1.0] with one
+135 req/s client at R2, a dedicated aggregator root — run through three
+phases:
+
+1. **agreed** — both redirectors coordinate; the community LP converges to
+   the agreed (A 255, B 65) split.
+2. **partition** — the coordination links between R2 and the root are cut.
+   R2's view goes stale, the allocator snaps to the conservative 1/R
+   fallback, and B is *held at* (not below) its ``0.2 × 320 / 2 = 32``
+   req/s mandatory floor while the membership layer evicts the unreachable
+   node; A, still coordinated, expands into the freed capacity.
+3. **heal** — links are restored, heartbeats resume, R2 rejoins the tree,
+   and both principals re-converge to the agreed split within a bounded
+   number of scheduling windows (asserted by the invariant checker's
+   liveness ledger when enabled).
+
+The partition never silences the *request* path — clients keep talking to
+their redirector — so the phase-2 rates demonstrate exactly the paper's
+degradation story: losing coordination costs optional capacity, never the
+mandatory guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.agreements import Agreement, AgreementGraph
+from repro.experiments.harness import FigureResult, PhaseExpectation, Scenario
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan, PartitionFault
+
+__all__ = [
+    "run_fault_matrix",
+    "fault_matrix_scenario",
+    "canonical_plan",
+    "CONSERVATIVE_B",
+]
+
+# B's conservative floor: 1/R of its mandatory entitlement (R = 2).
+CONSERVATIVE_B = 0.2 * 320.0 / 2.0
+
+# Re-convergence budget after the heal: 30 windows of 0.1 s.
+K_WINDOWS = 30
+
+AGREED = {"A": 255.0, "B": 65.0}
+
+
+def _graph() -> AgreementGraph:
+    g = AgreementGraph()
+    g.add_principal("S", capacity=320.0)
+    g.add_principal("A")
+    g.add_principal("B")
+    g.add_agreement(Agreement("S", "A", 0.8, 1.0))
+    g.add_agreement(Agreement("S", "B", 0.2, 1.0))
+    return g
+
+
+def canonical_plan(duration_scale: float = 1.0) -> FaultPlan:
+    """The fault matrix's default fault: partition R2 for the middle third."""
+    phase = max(8.0, 20.0 * duration_scale)
+    return FaultPlan(
+        events=[PartitionFault(
+            at=phase, until=2.0 * phase, groups=(("R2",), ("__root__", "R1")),
+        )],
+        name="coordination-partition",
+    )
+
+
+def fault_matrix_scenario(
+    duration_scale: float = 1.0,
+    seed: int = 0,
+    lp_cache: bool = True,
+    fast_lane: bool = True,
+    fast_periodic: bool = True,
+    check_invariants: Optional[bool] = None,
+    plan: Optional[FaultPlan] = None,
+    heartbeat_period: float = 0.25,
+    stale_after: float = 1.0,
+) -> Tuple[Scenario, FaultInjector, Tuple[float, float, float]]:
+    """Build (and run) the fault-matrix world; returns it with its timeline.
+
+    ``plan=None`` uses the canonical coordination partition of R2 during
+    the middle third; pass any :class:`FaultPlan` (e.g. from ``repro
+    chaos --random``) to drive the same world through different faults.
+    """
+    phase = max(8.0, 20.0 * duration_scale)
+    t1, t2 = phase, 2.0 * phase
+    end = 3.0 * phase
+    sc = Scenario(
+        _graph(), seed=seed, bin_width=0.5, lp_cache=lp_cache,
+        fast_lane=fast_lane, fast_periodic=fast_periodic,
+        check_invariants=check_invariants,
+    )
+    server = sc.server("S", "S", 320.0)
+    r1 = sc.l7("R1", {"S": server}, n_redirectors=2, stale_after=stale_after)
+    r2 = sc.l7("R2", {"S": server}, n_redirectors=2, stale_after=stale_after)
+    sc.connect_tree(
+        link_delay=0.01, extra_root=True, resilient=True,
+        heartbeat_period=heartbeat_period,
+    )
+    sc.client("C1", "A", r1, rate=135.0)
+    sc.client("C2", "A", r1, rate=135.0)
+    sc.client("C3", "B", r2, rate=135.0)
+    canonical = plan is None
+    if plan is None:
+        plan = canonical_plan(duration_scale)
+    injector = FaultInjector(sc, plan)
+    # The liveness ledger's deadline assumes the canonical timeline; a
+    # caller-supplied plan may still be faulted at t2.
+    if canonical and sc.invariants is not None:
+        sc.invariants.arm_liveness(
+            sc.sim, sc.meter, AGREED,
+            heal_at=t2, k_windows=K_WINDOWS, window=sc.window.length,
+        )
+    sc.run(end)
+    return sc, injector, (t1, t2, end)
+
+
+def run_fault_matrix(
+    duration_scale: float = 1.0,
+    seed: int = 0,
+    lp_cache: bool = True,
+    fast_lane: bool = True,
+    fast_periodic: bool = True,
+    check_invariants: Optional[bool] = None,
+) -> FigureResult:
+    """The fault matrix as a figure: rates per phase, floor + recovery."""
+    sc, injector, (t1, t2, end) = fault_matrix_scenario(
+        duration_scale=duration_scale, seed=seed, lp_cache=lp_cache,
+        fast_lane=fast_lane, fast_periodic=fast_periodic,
+        check_invariants=check_invariants,
+    )
+    # Degradation needs stale_after + failure detection to kick in; the
+    # recovery window is bounded by K_WINDOWS after the heal.
+    settle = 3.0
+    phases = [
+        ("p1_agreed", settle, t1),
+        ("p2_partition", t1 + settle, t2),
+        ("p3_recovered", t2 + settle, end),
+    ]
+    membership = sc.membership
+    assert membership is not None
+    return FigureResult(
+        figure="faultmatrix",
+        title="Enforcement through coordination partition and heal",
+        phases=sc.phase_rates(phases, keys=["A", "B"], settle=0.0),
+        expected=[
+            PhaseExpectation("p1_agreed", dict(AGREED)),
+            # Partition: B held at its conservative floor (not starved),
+            # A expands into the capacity B's optional share released.
+            PhaseExpectation(
+                "p2_partition", {"A": 270.0, "B": CONSERVATIVE_B},
+                tolerance=0.3,
+            ),
+            PhaseExpectation("p3_recovered", dict(AGREED)),
+        ],
+        series=sc.series(["A", "B"]),
+        notes=(
+            f"partition [{t1:.0f}s, {t2:.0f}s): R2 cut from the tree; "
+            f"evictions={membership.reconfigurations} "
+            f"rejoins={membership.rejoins} "
+            f"degraded_windows={sc.l7_redirectors['R2'].allocator.degraded_windows}"
+        ),
+    )

@@ -509,6 +509,13 @@ def run_fig10(
     )
 
 
+def run_faultmatrix(**kw) -> FigureResult:
+    """Fault-matrix (partition → degrade → heal); see experiments.faultmatrix."""
+    from repro.experiments.faultmatrix import run_fault_matrix
+
+    return run_fault_matrix(**kw)
+
+
 ALL_FIGURES = {
     "fig1": run_fig1,
     "fig1d": run_fig1_distributed,
@@ -518,4 +525,5 @@ ALL_FIGURES = {
     "fig8": run_fig8,
     "fig9": run_fig9,
     "fig10": run_fig10,
+    "faultmatrix": run_faultmatrix,
 }

@@ -16,6 +16,7 @@ import numpy as np
 from repro.analysis.invariants import InvariantChecker, check_enabled
 from repro.cluster.client import ClientMachine
 from repro.cluster.server import Server
+from repro.coordination.membership import ResilientTree
 from repro.coordination.messages import MessageCounter
 from repro.coordination.protocol import build_protocol
 from repro.coordination.tree import CombiningTree
@@ -186,8 +187,8 @@ class Scenario:
             return
         inner = allocator.compute
 
-        def traced(local):
-            alloc = inner(local)
+        def traced(local, now=None):
+            alloc = inner(local, now=now)
             self.tracer.record(
                 self.sim.now, "allocation", node=name,
                 quotas=dict(alloc.quotas), fallback=alloc.used_fallback,
@@ -276,12 +277,25 @@ class Scenario:
         fanout: int = 2,
         period: Optional[float] = None,
         extra_root: bool = False,
+        loss: float = 0.0,
+        jitter: float = 0.0,
+        resilient: bool = False,
+        heartbeat_period: float = 0.5,
+        failure_timeout: Optional[float] = None,
     ) -> CombiningTree:
         """Wire every redirector (L7 and L4) into one combining tree.
 
         ``extra_root=True`` inserts a dedicated aggregator root that is not
         itself a redirector, making up+down latency symmetric for all
         redirectors (used by the Fig 8 delay experiment).
+
+        ``resilient=True`` builds the tree through
+        :class:`repro.coordination.membership.ResilientTree` — heartbeats,
+        failure detection and automatic healing — and exposes it as
+        ``self.membership``.  Stochastic link impairments (``loss``,
+        ``jitter``) always draw from per-link spawned RNG substreams, and
+        every directed link is registered in ``self.protocol_links`` for
+        the fault injector.
         """
         if self._tree_built:
             raise RuntimeError("tree already built")
@@ -310,10 +324,25 @@ class Scenario:
                 tree = CombiningTree.chain(ids)
             else:
                 tree = CombiningTree.balanced(ids, fanout)
-        nodes = build_protocol(
-            self.sim, tree, period=period or self.window.length,
-            suppliers=suppliers, link_delay=link_delay, counter=self.counter,
-        )
+        if resilient:
+            self.membership = ResilientTree(
+                self.sim, tree, period or self.window.length, suppliers,
+                link_delay=link_delay, jitter=jitter, loss=loss,
+                streams=self.streams, counter=self.counter,
+                heartbeat_period=heartbeat_period,
+                failure_timeout=failure_timeout,
+            )
+            nodes = self.membership.nodes
+            self.protocol_links = self.membership.links
+        else:
+            self.membership = None
+            self.protocol_links = {}
+            nodes = build_protocol(
+                self.sim, tree, period=period or self.window.length,
+                suppliers=suppliers, link_delay=link_delay, jitter=jitter,
+                loss=loss, streams=self.streams, counter=self.counter,
+                link_registry=self.protocol_links,
+            )
         for nid in ids:
             participants[nid].attach(nodes[nid])  # type: ignore[attr-defined]
         self._tree_built = True

@@ -90,9 +90,9 @@ def run_scaling_point(
 
     # Wall-clock here times the *solver*, not simulated behaviour: the
     # measured milliseconds never feed back into the event stream.
-    def timed(local):
+    def timed(local, now=None):
         t0 = time.perf_counter()  # simlint: disable=SIM001
-        out = inner(local)
+        out = inner(local, now=now)
         lp_times.append((time.perf_counter() - t0) * 1000.0)  # simlint: disable=SIM001
         return out
 

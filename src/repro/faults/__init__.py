@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the resource-sharing simulation.
+
+``plan`` declares *what* goes wrong and when (a seeded, serialisable
+:class:`FaultPlan`); ``inject`` binds a plan to a running
+:class:`repro.experiments.harness.Scenario` and executes it through the
+event kernel.  Same seed + same plan => bit-identical run.
+"""
+
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    LinkDegrade,
+    NodeCrash,
+    PartitionFault,
+    RedirectorCrash,
+    ServerCrash,
+    random_plan,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegrade",
+    "NodeCrash",
+    "PartitionFault",
+    "RedirectorCrash",
+    "ServerCrash",
+    "random_plan",
+]

@@ -1,0 +1,258 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a list of timestamped fault events — link
+impairment, network partition, node/server/redirector crash — that is
+independent of any particular run: it can be serialised to JSON, hashed
+(:meth:`FaultPlan.digest`), shipped to CI, and replayed bit-identically
+against the same scenario seed.  The plan carries no randomness of its
+own; stochastic impairments (loss/duplication/reorder/jitter) are
+*probabilities* whose draws come from per-link spawned RNG substreams
+inside :class:`repro.sim.network.Link`, and :func:`random_plan` derives a
+random plan from an explicit generator (normally the scenario's
+``streams.get("faults:plan")`` substream).
+
+Event semantics:
+
+- :class:`LinkDegrade` — set loss/duplicate/reorder/delay/jitter on a
+  directed coordination link at ``at``; ``symmetric=True`` also applies to
+  the reverse link; ``until`` reverts to the pre-fault values.
+- :class:`PartitionFault` — cut every link whose endpoints fall in
+  different ``groups`` during ``[at, until)``; nodes not named in any
+  group are unaffected.  Overlapping partitions compose (a link stays cut
+  while *any* active partition crosses it).
+- :class:`NodeCrash` — fail-stop an aggregation-protocol node; ``until``
+  restarts it (with amnesia).
+- :class:`ServerCrash` — fail-stop a backend server (queue and in-service
+  request are lost); ``until`` restarts it empty.
+- :class:`RedirectorCrash` — the redirector process itself: clients get
+  no answer and its protocol node goes silent; ``until`` restarts both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "LinkDegrade",
+    "PartitionFault",
+    "NodeCrash",
+    "ServerCrash",
+    "RedirectorCrash",
+    "FaultPlan",
+    "random_plan",
+]
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    at: float
+    src: str
+    dst: str
+    loss: Optional[float] = None
+    duplicate: Optional[float] = None
+    reorder: Optional[float] = None
+    delay: Optional[float] = None
+    jitter: Optional[float] = None
+    until: Optional[float] = None
+    symmetric: bool = True
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    at: float
+    until: float
+    groups: Tuple[Tuple[str, ...], ...]
+
+    def group_of(self, node: str) -> Optional[int]:
+        for i, grp in enumerate(self.groups):
+            if node in grp:
+                return i
+        return None
+
+    def crosses(self, src: str, dst: str) -> bool:
+        a, b = self.group_of(src), self.group_of(dst)
+        return a is not None and b is not None and a != b
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    at: float
+    node: str
+    until: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ServerCrash:
+    at: float
+    server: str
+    until: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RedirectorCrash:
+    at: float
+    redirector: str
+    until: Optional[float] = None
+
+
+FaultEvent = Union[LinkDegrade, PartitionFault, NodeCrash, ServerCrash, RedirectorCrash]
+
+_KINDS: Dict[str, type] = {
+    "link": LinkDegrade,
+    "partition": PartitionFault,
+    "node_crash": NodeCrash,
+    "server_crash": ServerCrash,
+    "redirector_crash": RedirectorCrash,
+}
+_KIND_OF = {cls: kind for kind, cls in _KINDS.items()}
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, serialisable set of fault events."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        for ev in self.events:
+            if ev.at < 0:
+                raise ValueError(f"event time must be >= 0: {ev}")
+            until = getattr(ev, "until", None)
+            if until is not None and until <= ev.at:
+                raise ValueError(f"until must be > at: {ev}")
+            if isinstance(ev, PartitionFault):
+                if len(ev.groups) < 2:
+                    raise ValueError("partition needs at least two groups")
+                seen: set = set()
+                for grp in ev.groups:
+                    for n in grp:
+                        if n in seen:
+                            raise ValueError(f"node {n!r} in two partition groups")
+                        seen.add(n)
+            if isinstance(ev, LinkDegrade):
+                for label in ("loss", "duplicate", "reorder"):
+                    p = getattr(ev, label)
+                    if p is not None and not 0.0 <= p < 1.0:
+                        raise ValueError(f"{label} must be in [0, 1): {ev}")
+
+    def sorted_events(self) -> List[FaultEvent]:
+        """Events by time, stable on plan order for ties."""
+        return sorted(self.events, key=lambda ev: ev.at)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last scheduled action (including heals/restarts)."""
+        times = [ev.at for ev in self.events]
+        times += [
+            ev.until for ev in self.events
+            if getattr(ev, "until", None) is not None
+        ]
+        return max(times, default=0.0)
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = []
+        for ev in self.events:
+            d = asdict(ev)
+            if isinstance(ev, PartitionFault):
+                d["groups"] = [list(g) for g in ev.groups]
+            d["kind"] = _KIND_OF[type(ev)]
+            out.append(d)
+        return {"name": self.name, "events": out}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        events: List[FaultEvent] = []
+        for d in data.get("events", []):
+            d = dict(d)
+            kind = d.pop("kind")
+            ev_cls = _KINDS.get(kind)
+            if ev_cls is None:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            if ev_cls is PartitionFault:
+                d["groups"] = tuple(tuple(g) for g in d["groups"])
+            events.append(ev_cls(**d))
+        return cls(events=events, name=data.get("name", ""))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form — names a plan exactly."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def random_plan(
+    rng: np.random.Generator,
+    duration: float,
+    nodes: Sequence[str] = (),
+    servers: Sequence[str] = (),
+    links: Sequence[Tuple[str, str]] = (),
+    n_faults: int = 5,
+    min_gap: float = 1.0,
+    mean_outage: float = 3.0,
+    name: str = "random",
+) -> FaultPlan:
+    """Chaos-mode plan: ``n_faults`` random faults over ``[min_gap, duration)``.
+
+    All draws come from ``rng`` — pass a named substream (e.g.
+    ``streams.get("faults:plan")``) so plan generation is reproducible and
+    independent of every other consumer of the seed.
+    """
+    kinds: List[str] = []
+    if links:
+        kinds.append("link")
+    if nodes:
+        kinds.append("node_crash")
+    if len(nodes) >= 2:
+        kinds.append("partition")
+    if servers:
+        kinds.append("server_crash")
+    if not kinds:
+        raise ValueError("no fault targets given")
+    events: List[FaultEvent] = []
+    for _ in range(int(n_faults)):
+        at = float(rng.uniform(min_gap, max(min_gap * 2, duration * 0.7)))
+        outage = float(rng.exponential(mean_outage)) + min_gap
+        until = min(at + outage, duration - min_gap)
+        if until <= at:
+            until = at + min_gap
+        kind = kinds[int(rng.integers(len(kinds)))]
+        if kind == "link":
+            src, dst = links[int(rng.integers(len(links)))]
+            events.append(LinkDegrade(
+                at=at, src=src, dst=dst, until=until,
+                loss=round(float(rng.uniform(0.05, 0.5)), 3),
+            ))
+        elif kind == "node_crash":
+            events.append(NodeCrash(
+                at=at, node=nodes[int(rng.integers(len(nodes)))], until=until,
+            ))
+        elif kind == "server_crash":
+            events.append(ServerCrash(
+                at=at, server=servers[int(rng.integers(len(servers)))],
+                until=until,
+            ))
+        else:
+            cut = nodes[int(rng.integers(len(nodes)))]
+            rest = tuple(n for n in nodes if n != cut)
+            events.append(PartitionFault(
+                at=at, until=until, groups=((cut,), rest),
+            ))
+    return FaultPlan(events=events, name=name)

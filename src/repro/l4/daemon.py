@@ -43,6 +43,7 @@ class L4Daemon:
         backend: str = "auto",
         conntrack_sweep: float = 10.0,
         lp_cache: bool = True,
+        stale_after: Optional[float] = None,
     ):
         self.sim = sim
         self.name = name
@@ -61,6 +62,7 @@ class L4Daemon:
                 for owner, pool in switch.servers.items()
             },
             lp_cache=lp_cache,
+            stale_after=stale_after,
         )
         self.last_allocation: Optional[Allocation] = None
         self.windows = 0
@@ -87,7 +89,9 @@ class L4Daemon:
     def _driver(self):
         while True:
             yield self.window.length
-            alloc = self.allocator.compute(self.switch.local_demand())
+            alloc = self.allocator.compute(
+                self.switch.local_demand(), now=self.sim.now
+            )
             self.last_allocation = alloc
             self.windows += 1
             self.switch.install(alloc)

@@ -27,6 +27,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.cluster.client import Decision, Defer, Drop, Held
+from repro.cluster.health import BackendHealthChecker
 from repro.cluster.request import Request
 from repro.cluster.server import Server
 from repro.l4.conntrack import ConnTracker
@@ -57,6 +58,7 @@ class L4Switch:
         affinity: bool = True,
         spread_reinjection: bool = True,
         smoothing: float = 0.7,
+        health: Optional[BackendHealthChecker] = None,
     ):
         self.sim = sim
         self.name = name
@@ -68,6 +70,10 @@ class L4Switch:
         self.affinity_enabled = bool(affinity)
         self.spread_reinjection = bool(spread_reinjection)
         self.smoothing = float(smoothing)
+        # Fault model: when a health checker is attached, NAT forwarding
+        # only targets backends in rotation (down/draining ones are
+        # skipped); without one, a crashed backend surfaces as drops.
+        self.health = health
 
         self.servers: Dict[str, List[Server]] = {}
         self._server_by_name: Dict[str, Tuple[str, Server]] = {}
@@ -250,12 +256,19 @@ class L4Switch:
         owner, srv = self._server_by_name[server]
         self.nat.install(pkt.four_tuple, server, self.virtual_port, self.sim.now)
         self.conntrack.open(pkt.four_tuple, server, p, self.sim.now)
-        self.admitted[p] += 1
         rewritten = pkt.rewritten(server, self.virtual_port)
-        srv.submit(
+        accepted = srv.submit(
             rewritten.request,  # type: ignore[arg-type]
             done=lambda req, t=pkt.four_tuple, d=done: self._on_response(req, t, d),
         )
+        if not accepted:
+            # Backend refused (crashed or overflowed): tear the flow back
+            # down so no NAT/conntrack state leaks for a dead connection.
+            self.conntrack.close(pkt.four_tuple)
+            self.nat.remove(pkt.four_tuple)
+            self.dropped[p] += 1
+            return False
+        self.admitted[p] += 1
         return True
 
     def _on_response(
@@ -277,6 +290,9 @@ class L4Switch:
         if done is not None:
             done(request)
 
+    def _usable(self, name: str) -> bool:
+        return self.health is None or self.health.is_healthy(name)
+
     def _pick_server(self, principal: str, client_ip: str) -> Optional[str]:
         budget = self._server_budget.get(principal) or {}
         used = self._server_used.setdefault(principal, {})
@@ -288,7 +304,11 @@ class L4Switch:
             # agreements": the preferred server must still have unspent
             # allocation this window, otherwise affinity would skew the
             # LP's per-server split and overload that server.
-            if pref is not None and used.get(pref, 0.0) < budget.get(pref, 0.0):
+            if (
+                pref is not None
+                and self._usable(pref)
+                and used.get(pref, 0.0) < budget.get(pref, 0.0)
+            ):
                 used[pref] = used.get(pref, 0.0) + 1.0
                 self.affinity_hits += 1
                 return pref
@@ -297,13 +317,18 @@ class L4Switch:
         best = None
         best_slack = 0.0
         for name, b in budget.items():
+            if not self._usable(name):
+                continue
             slack = b - used.get(name, 0.0)
             if slack > best_slack:
                 best, best_slack = name, slack
         if best is None:
             # Every budget exhausted (demand burst within a window): spill
             # proportionally to the budgets rather than refuse.
-            best = max(budget, key=lambda n: budget[n] - used.get(n, 0.0))
+            usable = [n for n in budget if self._usable(n)]
+            if not usable:
+                return None
+            best = max(usable, key=lambda n: budget[n] - used.get(n, 0.0))
         used[best] = used.get(best, 0.0) + 1.0
         return best
 

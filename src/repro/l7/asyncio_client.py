@@ -3,6 +3,13 @@
 Issues HTTP requests for one principal at a bounded rate, follows 302
 redirects (including self-redirects back to the redirector, after the
 advertised ``Retry-After``), and counts completions per second.
+
+Fault tolerance: every network exchange is bounded by a *connect* timeout
+and a *read* timeout, and transient failures (refused connection, reset,
+timeout) are retried a bounded number of times with exponential backoff
+before the error is surfaced — a hung or crashed redirector costs a
+client at most ``connect_timeout * (retries + 1)`` plus backoff sleeps,
+never a stuck coroutine.
 """
 
 from __future__ import annotations
@@ -16,19 +23,53 @@ from repro.l7.http import HttpError, HttpRequest, parse_response
 __all__ = ["AsyncLoadGenerator", "fetch_once"]
 
 
+async def _exchange(
+    host: str, port: int, path: str,
+    connect_timeout: float, read_timeout: float,
+) -> bytes:
+    """One bounded request/response round trip."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), connect_timeout
+    )
+    try:
+        req = HttpRequest(method="GET", path=path,
+                          headers={"Host": f"{host}:{port}"})
+        writer.write(req.encode())
+        await writer.drain()
+        return await asyncio.wait_for(reader.read(256 * 1024), read_timeout)
+    finally:
+        writer.close()
+
+
 async def fetch_once(
     url_host: str, url_port: int, path: str, max_redirects: int = 8,
     retry_cap: float = 1.0,
+    connect_timeout: float = 5.0,
+    read_timeout: float = 10.0,
+    retries: int = 2,
+    retry_backoff: float = 0.1,
 ) -> Tuple[int, str]:
-    """GET with redirect-following; returns (status, served-by header)."""
+    """GET with redirect-following; returns (status, served-by header).
+
+    Each hop gets at most ``retries`` retransmissions on connection
+    errors or timeouts, with exponentially growing pauses starting at
+    ``retry_backoff`` seconds; an exhausted hop re-raises the last error
+    (``TimeoutError``/``ConnectionError``) to the caller.
+    """
     host, port = url_host, url_port
     for _ in range(max_redirects):
-        reader, writer = await asyncio.open_connection(host, port)
-        req = HttpRequest(method="GET", path=path, headers={"Host": f"{host}:{port}"})
-        writer.write(req.encode())
-        await writer.drain()
-        raw = await reader.read(256 * 1024)
-        writer.close()
+        backoff = retry_backoff
+        for attempt in range(retries + 1):
+            try:
+                raw = await _exchange(
+                    host, port, path, connect_timeout, read_timeout
+                )
+                break
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                if attempt == retries:
+                    raise
+                await asyncio.sleep(backoff)
+                backoff *= 2.0
         try:
             resp, _ = parse_response(raw)
         except HttpError:
@@ -58,6 +99,10 @@ class AsyncLoadGenerator:
         rate: float,
         concurrency: int = 32,
         path_suffix: str = "page",
+        connect_timeout: float = 5.0,
+        read_timeout: float = 10.0,
+        retries: int = 2,
+        retry_backoff: float = 0.1,
     ):
         if rate <= 0:
             raise ValueError("rate must be positive")
@@ -66,8 +111,13 @@ class AsyncLoadGenerator:
         self.rate = float(rate)
         self.concurrency = int(concurrency)
         self.path = f"/svc/{principal}/{path_suffix}"
+        self.connect_timeout = float(connect_timeout)
+        self.read_timeout = float(read_timeout)
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
         self.completed = 0
         self.errors = 0
+        self.timeouts = 0
         self.completion_times: List[float] = []
         self._sem = asyncio.Semaphore(self.concurrency)
         self._tasks: List[asyncio.Task] = []
@@ -104,7 +154,17 @@ class AsyncLoadGenerator:
     async def _one(self) -> None:
         async with self._sem:
             try:
-                status, _served_by = await fetch_once(*self.addr, self.path)
+                status, _served_by = await fetch_once(
+                    *self.addr, self.path,
+                    connect_timeout=self.connect_timeout,
+                    read_timeout=self.read_timeout,
+                    retries=self.retries,
+                    retry_backoff=self.retry_backoff,
+                )
+            except asyncio.TimeoutError:
+                self.timeouts += 1
+                self.errors += 1
+                return
             except (ConnectionError, OSError):
                 self.errors += 1
                 return

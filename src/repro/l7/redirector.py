@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.cluster.client import Decision, Defer, Drop, Held, Redirect
+from repro.cluster.health import BackendHealthChecker
 from repro.cluster.request import Request
 from repro.cluster.server import Server
 from repro.coordination.protocol import AggregationNode
@@ -82,6 +83,8 @@ class L7Redirector:
         defer_delay: float = 0.0,
         max_held: int = 0,
         lp_cache: bool = True,
+        stale_after: Optional[float] = None,
+        health: Optional[BackendHealthChecker] = None,
     ):
         if queuing not in ("implicit", "explicit", "credits"):
             raise ValueError(f"unknown queuing {queuing!r}")
@@ -94,6 +97,12 @@ class L7Redirector:
         self.queuing = queuing
         self.smoothing = float(smoothing)
         self.defer_delay = float(defer_delay)
+        # Fault model: route only to health-checked backends; degrade the
+        # allocator to 1/R when the global view goes stale (partition).
+        # ``alive`` is the redirector process itself — down means clients
+        # get no answer (Drop; their retry loop models failover).
+        self.health = health
+        self.alive = True
 
         self.servers: Dict[str, List[Server]] = {}
         for owner, s in servers.items():
@@ -112,6 +121,7 @@ class L7Redirector:
                 for owner, pool in self.servers.items()
             },
             lp_cache=lp_cache,
+            stale_after=stale_after,
         )
         self.principals: Tuple[str, ...] = access.names
         self._w = access.per_window(window.length)
@@ -151,6 +161,17 @@ class L7Redirector:
     def used_fallback_windows(self) -> int:
         return self.allocator.fallback_windows
 
+    # -- fault model -------------------------------------------------------
+
+    def crash(self) -> None:
+        """The redirector process dies: clients get no response."""
+        self.alive = False
+
+    def restart(self) -> None:
+        """Come back with in-memory state intact (quota counters are
+        per-window and rebuilt at the next boundary anyway)."""
+        self.alive = True
+
     def local_demand(self) -> Dict[str, float]:
         """Supplier callback for the aggregation protocol: per-principal
         demand in requests per window — the smoothed arrival estimate under
@@ -174,7 +195,7 @@ class L7Redirector:
                 alpha * self._arrivals[p] + (1.0 - alpha) * self.demand_estimate[p]
             )
             self._arrivals[p] = 0.0
-        alloc = self.allocator.compute(self.local_demand())
+        alloc = self.allocator.compute(self.local_demand(), now=self.sim.now)
         self.last_allocation = alloc
         self._install(alloc)
         if self.queuing == "explicit":
@@ -196,6 +217,8 @@ class L7Redirector:
 
     def handle(self, request: Request, done: Optional[Callable[[Request], None]] = None) -> Decision:
         """Admission decision for one request (the client-facing API)."""
+        if not self.alive:
+            return Drop()
         p = request.principal
         if p not in self._arrivals:
             return Drop()
@@ -231,17 +254,43 @@ class L7Redirector:
             if not owners:
                 return None
             owner = owners[0]
+        server = self._pool_pick(owner)
+        if server is not None or self.health is None:
+            return server
+        # The chosen owner's whole pool is out of rotation: fail over to
+        # any owner with healthy capacity, in attachment order.
+        for other in self.servers:
+            if other != owner:
+                server = self._pool_pick(other)
+                if server is not None:
+                    return server
+        return None
+
+    def _pool_pick(self, owner: str) -> Optional[Server]:
+        """Pick within one owner's pool, honouring backend health."""
         pool = self.servers.get(owner)
         if not pool:
             return None
-        if len(pool) == 1:
+        if self.health is not None:
+            healthy = [s for s in pool if self.health.is_healthy(s.name)]
+            if not healthy:
+                return None
+            if len(healthy) == 1:
+                return healthy[0]
+        elif len(pool) == 1:
             return pool[0]
         wrr = self._server_wrr.get(owner)
         if wrr is None:
             wrr = SmoothWeightedRoundRobin({s.name: s.capacity for s in pool})
             self._server_wrr[owner] = wrr
-        chosen = wrr.next()
-        return next(s for s in pool if s.name == chosen)
+        # The smooth-WRR state spans the full pool so weights stay stable
+        # across outages; unhealthy picks are skipped (bounded scan).
+        for _ in range(len(pool)):
+            chosen = wrr.next()
+            server = next(s for s in pool if s.name == chosen)
+            if self.health is None or self.health.is_healthy(server.name):
+                return server
+        return None
 
     # -- explicit queuing (ablation) --------------------------------------------------
 

@@ -14,6 +14,13 @@ locally matches the data the LP saw.  When no broadcast has ever arrived,
 it falls back to the conservative ``1/R`` split of mandatory entitlements —
 the behaviour visible in the paper's Fig 8 phase 1, where a redirector with
 no global information uses only half of its principal's mandatory tickets.
+
+Graceful degradation (fault model): with ``stale_after`` set, the same
+conservative split is used whenever the newest broadcast is older than
+``stale_after`` seconds — a partitioned or orphaned redirector snaps back
+to 1/R instead of acting on a frozen world view, and re-converges on the
+first fresh broadcast after the heal.  Degraded windows are counted in
+``degraded_windows`` (a subset of ``fallback_windows``).
 """
 
 from __future__ import annotations
@@ -66,6 +73,7 @@ class WindowAllocator:
         server_capacities: Optional[Mapping[str, float]] = None,
         cache_tolerance: float = 0.05,
         lp_cache: bool = True,
+        stale_after: Optional[float] = None,
     ):
         if mode not in ("community", "provider"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -77,9 +85,13 @@ class WindowAllocator:
         self.n_redirectors = max(1, int(n_redirectors))
         self._w = access.per_window(window.length)
         self.agg_node: Optional[AggregationNode] = None
+        if stale_after is not None and stale_after <= 0:
+            raise ValueError("stale_after must be positive (or None to disable)")
+        self.stale_after = stale_after
         self.lp_solves = 0
         self.cache_hits = 0
         self.fallback_windows = 0
+        self.degraded_windows = 0
         self._server_capacities = dict(server_capacities or {})
         # Demand barely moves between adjacent 100 ms windows in steady
         # state; re-solving a near-identical LP dominates simulation cost.
@@ -138,12 +150,20 @@ class WindowAllocator:
 
     # -- global estimate -----------------------------------------------------
 
-    def global_estimate(self, local: Mapping[str, float]) -> Tuple[Dict[str, float], bool]:
+    def global_estimate(
+        self, local: Mapping[str, float], now: Optional[float] = None
+    ) -> Tuple[Dict[str, float], bool]:
         view = self.agg_node.view if self.agg_node is not None else None
         if view is None or view.aggregate is None:
             if self.agg_node is None:
                 return dict(local), False   # standalone node: local is global
             return dict(local), True        # no broadcast yet
+        if (
+            self.stale_after is not None
+            and now is not None
+            and view.age(now) > self.stale_after
+        ):
+            return dict(local), True        # stale view: degrade to 1/R
         then = view.local_contribution
         est = {}
         for p in self.principals:
@@ -155,10 +175,19 @@ class WindowAllocator:
 
     # -- allocation -------------------------------------------------------------
 
-    def compute(self, local: Mapping[str, float]) -> Allocation:
-        """Allocate one window given this node's local demand (req/window)."""
-        global_est, fallback = self.global_estimate(local)
+    def compute(
+        self, local: Mapping[str, float], now: Optional[float] = None
+    ) -> Allocation:
+        """Allocate one window given this node's local demand (req/window).
+
+        ``now`` enables the ``stale_after`` degradation check; callers that
+        never set ``stale_after`` may omit it.
+        """
+        global_est, fallback = self.global_estimate(local, now)
         if fallback:
+            view = self.agg_node.view if self.agg_node is not None else None
+            if view is not None and view.aggregate is not None:
+                self.degraded_windows += 1   # had a view once — it went stale
             self.fallback_windows += 1
             return Allocation(
                 *self._conservative(local), global_estimate=global_est,

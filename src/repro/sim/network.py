@@ -4,6 +4,23 @@ The combining-tree protocol (paper §3.2) and the Fig 8 WAN-delay experiment
 only require point-to-point delivery with a configurable propagation delay;
 :class:`Link` provides exactly that, with optional jitter and in-order
 delivery (messages on one link never overtake each other, matching TCP).
+
+For the fault-injection subsystem (:mod:`repro.faults`) a link is also the
+natural place to model network misbehaviour, so every impairment a WAN can
+inflict is a link property that can be changed mid-run:
+
+- ``loss`` — drop probability per message;
+- ``duplicate`` — probability a message is delivered twice;
+- ``reorder`` — probability a message may overtake earlier ones (only
+  observable with ``jitter > 0``, which is what spreads arrivals);
+- :meth:`cut` / :meth:`restore` — hard partition: sends are blackholed
+  (messages already in flight still arrive, like packets that left the
+  interface before the cable was pulled).
+
+All stochastic draws come from ``rng`` — in fault scenarios a *per-link
+spawned substream* (see :func:`repro.coordination.protocol.build_protocol`),
+so one link's perturbation never shifts another link's draws and the same
+seed + fault plan replays bit-identically.
 """
 
 from __future__ import annotations
@@ -28,7 +45,8 @@ class Link:
     """Unidirectional point-to-point link with propagation delay.
 
     Delivery is in-order: if jitter would reorder two messages, the later
-    one is held back until the earlier has been delivered.
+    one is held back until the earlier has been delivered — unless a
+    ``reorder`` draw explicitly permits the overtake.
     """
 
     def __init__(
@@ -39,42 +57,106 @@ class Link:
         delay: float = 0.0,
         jitter: float = 0.0,
         loss: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
         rng: Optional[np.random.Generator] = None,
         on_deliver: Optional[Callable[[Any], None]] = None,
+        name: str = "",
     ) -> None:
         if delay < 0 or jitter < 0:
             raise ValueError("delay and jitter must be non-negative")
-        if not 0.0 <= loss < 1.0:
-            raise ValueError("loss probability must be in [0, 1)")
+        for label, p in (("loss", loss), ("duplicate", duplicate), ("reorder", reorder)):
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{label} probability must be in [0, 1)")
         self.sim = sim
         self.src = src
         self.dst = dst
         self.delay = float(delay)
         self.jitter = float(jitter)
         self.loss = float(loss)
+        self.duplicate = float(duplicate)
+        self.reorder = float(reorder)
         self.rng = rng
         self.on_deliver = on_deliver
+        self.name = name
+        self.up = True
         self._last_delivery = 0.0
         self.sent = 0
         self.delivered = 0
         self.lost = 0
+        self.blackholed = 0
+        self.duplicated = 0
+
+    # -- fault controls ----------------------------------------------------
+
+    def cut(self) -> None:
+        """Partition this link: subsequent sends are blackholed."""
+        self.up = False
+
+    def restore(self) -> None:
+        """Heal a cut link: sends flow again."""
+        self.up = True
+
+    def set_delay(self, delay: float, jitter: Optional[float] = None) -> None:
+        """Change propagation delay (and optionally jitter) mid-run."""
+        if delay < 0 or (jitter is not None and jitter < 0):
+            raise ValueError("delay and jitter must be non-negative")
+        self.delay = float(delay)
+        if jitter is not None:
+            self.jitter = float(jitter)
+
+    def set_impairment(
+        self,
+        loss: Optional[float] = None,
+        duplicate: Optional[float] = None,
+        reorder: Optional[float] = None,
+    ) -> None:
+        """Change stochastic impairments mid-run (None leaves one as-is)."""
+        for label, p in (("loss", loss), ("duplicate", duplicate), ("reorder", reorder)):
+            if p is not None and not 0.0 <= p < 1.0:
+                raise ValueError(f"{label} probability must be in [0, 1)")
+        if loss is not None:
+            self.loss = float(loss)
+        if duplicate is not None:
+            self.duplicate = float(duplicate)
+        if reorder is not None:
+            self.reorder = float(reorder)
+
+    # -- transmission ------------------------------------------------------
 
     def send(self, msg: Any) -> None:
-        if (self.jitter > 0.0 or self.loss > 0.0) and self.rng is None:
-            raise ValueError("jitter/loss require an rng")
+        if not self.up:
+            self.sent += 1
+            self.blackholed += 1
+            return
+        stochastic = (
+            self.jitter > 0.0 or self.loss > 0.0
+            or self.duplicate > 0.0 or self.reorder > 0.0
+        )
+        if stochastic and self.rng is None:
+            raise ValueError("jitter/loss/duplicate/reorder require an rng")
         if self.loss > 0.0 and float(self.rng.random()) < self.loss:
             self.sent += 1
             self.lost += 1
             return
-        d = self.delay
-        if self.jitter > 0.0:
-            d += float(self.rng.uniform(0.0, self.jitter))
-        arrival = self.sim.now + d
-        if arrival < self._last_delivery:  # enforce FIFO ordering
-            arrival = self._last_delivery
-        self._last_delivery = arrival
+        copies = 1
+        if self.duplicate > 0.0 and float(self.rng.random()) < self.duplicate:
+            copies = 2
+            self.duplicated += 1
         self.sent += 1
-        self.sim.schedule_at(arrival, self._deliver, msg)
+        for _ in range(copies):
+            d = self.delay
+            if self.jitter > 0.0:
+                d += float(self.rng.uniform(0.0, self.jitter))
+            arrival = self.sim.now + d
+            overtake = (
+                self.reorder > 0.0 and float(self.rng.random()) < self.reorder
+            )
+            if not overtake:
+                if arrival < self._last_delivery:  # enforce FIFO ordering
+                    arrival = self._last_delivery
+                self._last_delivery = arrival
+            self.sim.schedule_at(arrival, self._deliver, msg)
 
     def _deliver(self, msg: Any) -> None:
         self.delivered += 1

@@ -1,0 +1,96 @@
+"""BackendHealthChecker: probes, backoff, recovery, draining.
+
+Server crash/restart semantics (epoch guard, refusals) are covered in
+``test_server.py``; these tests cover the rotation decisions built on top.
+"""
+
+import pytest
+
+from repro.cluster.health import BackendHealthChecker
+from repro.cluster.request import Request
+from repro.cluster.server import Server
+from repro.sim.engine import Simulator
+
+
+def _world(**kw):
+    sim = Simulator()
+    srv = Server(sim, "S", capacity=100.0)
+    events = []
+    checker = BackendHealthChecker(
+        sim, [srv], probe_interval=0.1, fail_after=2, max_interval=0.8,
+        on_change=lambda ev, name: events.append((sim.now, ev, name)),
+        **kw,
+    )
+    return sim, srv, checker, events
+
+
+class TestProbing:
+    def test_healthy_until_fail_after_consecutive_failures(self):
+        sim, srv, checker, events = _world()
+        sim.schedule_at(0.35, srv.crash)
+        sim.run(until=0.45)                  # one failed probe at 0.4
+        assert checker.is_healthy("S")
+        sim.run(until=0.55)                  # second failure confirms
+        assert not checker.is_healthy("S")
+        assert events == [(0.5, "down", "S")]
+        assert checker.marked_down == 1
+
+    def test_down_backend_probed_with_backoff(self):
+        sim, srv, checker, _ = _world()
+        srv.crash()
+        sim.run(until=0.2)                   # marked down at 0.2
+        probes_down = checker.probes
+        # Backoff: probes at 0.4, 0.8, 1.6, 2.4 (interval capped at 0.8).
+        sim.run(until=0.35)
+        assert checker.probes == probes_down
+        sim.run(until=3.0)
+        assert checker.probes - probes_down == 4
+
+    def test_first_successful_probe_restores(self):
+        sim, srv, checker, events = _world()
+        srv.crash()
+        sim.run(until=0.3)
+        assert not checker.is_healthy("S")
+        srv.restart()
+        sim.run(until=1.5)                   # next backoff probe succeeds
+        assert checker.is_healthy("S")
+        assert checker.marked_up == 1
+        assert [ev for _, ev, _ in events] == ["down", "up"]
+
+    def test_unwatched_backend_is_trusted(self):
+        sim, _, checker, _ = _world()
+        assert checker.is_healthy("not-watched")
+
+    def test_parameter_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="probe_interval"):
+            BackendHealthChecker(sim, [], probe_interval=0.0)
+        with pytest.raises(ValueError, match="fail_after"):
+            BackendHealthChecker(sim, [], fail_after=0)
+        with pytest.raises(ValueError, match="backoff"):
+            BackendHealthChecker(sim, [], backoff=0.9)
+
+
+class TestDraining:
+    def test_drained_backend_leaves_rotation_but_serves_out(self):
+        sim, srv, checker, events = _world()
+        done = []
+        for i in range(5):
+            srv.submit(
+                Request(principal="A", client_id=f"c{i}", created_at=0.0),
+                done=lambda r: done.append(r.client_id),
+            )
+        checker.drain("S")
+        assert not checker.is_healthy("S")
+        assert checker.healthy() == []
+        sim.run(until=1.0)
+        assert len(done) == 5                # queued work completed
+        checker.undrain("S")
+        assert checker.is_healthy("S")
+        assert [ev for _, ev, _ in events] == ["drain", "undrain"]
+
+    def test_drain_is_idempotent(self):
+        sim, srv, checker, events = _world()
+        checker.drain("S")
+        checker.drain("S")
+        assert [ev for _, ev, _ in events] == ["drain"]

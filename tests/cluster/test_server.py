@@ -127,3 +127,51 @@ class TestServer:
         srv = Server(Simulator(), "S", capacity=10.0)
         with pytest.raises(ValueError):
             srv.set_capacity(0.0)
+
+
+class TestCrashRestart:
+    def test_crash_loses_queue_and_in_service(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=10.0)
+        done = []
+        for _ in range(5):
+            srv.submit(_req(), done=lambda r: done.append(sim.now))
+        sim.schedule(0.25, srv.crash)        # two served, one mid-service
+        sim.run()
+        assert len(done) == 2
+        assert srv.failed == 3               # 1 in service + 2 queued
+        assert not srv.alive
+
+    def test_stale_completion_voided_by_epoch_guard(self):
+        # The completion event scheduled before the crash still fires;
+        # the epoch guard must turn it into a no-op even after a restart.
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=10.0)
+        done = []
+        srv.submit(_req(), done=lambda r: done.append(r))
+        sim.schedule(0.05, srv.crash)
+        sim.schedule(0.06, srv.restart)
+        sim.run()
+        assert done == []
+        assert srv.completed == {}
+        assert srv.failed == 1
+
+    def test_refuses_while_down_and_serves_after_restart(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=10.0)
+        srv.crash()
+        assert srv.submit(_req()) is False
+        assert srv.refused == 1
+        srv.restart()
+        done = []
+        assert srv.submit(_req(), done=lambda r: done.append(r)) is True
+        sim.run()
+        assert len(done) == 1
+
+    def test_crash_is_idempotent(self):
+        sim = Simulator()
+        srv = Server(sim, "S", capacity=10.0)
+        srv.submit(_req())
+        srv.crash()
+        srv.crash()
+        assert srv.failed == 1

@@ -1,0 +1,72 @@
+"""FailureDetector: suspicion, confirmation, backoff, recovery."""
+
+import pytest
+
+from repro.coordination.failure import FailureDetector
+
+
+def test_two_silent_timeouts_confirm_death():
+    fd = FailureDetector(timeout=1.0)
+    fd.watch("p", now=0.0)
+    assert fd.check(0.9) == []              # within timeout
+    assert fd.check(1.1) == []              # suspected, not confirmed
+    assert fd.is_suspected("p") and not fd.is_dead("p")
+    assert fd.check(2.0) == []              # second timeout not yet over
+    assert fd.check(2.3) == ["p"]           # confirmed once...
+    assert fd.is_dead("p")
+    assert fd.check(3.0) == []              # ...and only once
+
+
+def test_single_missed_heartbeat_never_confirms():
+    fd = FailureDetector(timeout=1.0)
+    fd.watch("p", now=0.0)
+    fd.check(1.5)                           # suspect
+    fd.heard("p", 1.6)                      # it was just slow
+    assert fd.check(2.4) == []
+    assert fd.false_suspicions == 1
+
+
+def test_false_suspicion_doubles_timeout_up_to_cap():
+    fd = FailureDetector(timeout=1.0, backoff=2.0, max_timeout=3.0)
+    fd.watch("p", now=0.0)
+    fd.check(1.5)
+    fd.heard("p", 1.6)                      # timeout -> 2.0
+    assert fd.check(3.5) == []              # 1.9s silent < 2.0: no suspicion
+    assert fd.suspicions == 1
+    fd.check(4.0)                           # 2.4s silent: suspect again
+    fd.heard("p", 4.1)                      # timeout -> 3.0 (capped)
+    fd.check(8.0)
+    fd.heard("p", 8.1)                      # would be 8.0 without the cap
+    assert fd._peers["p"].timeout == 3.0
+
+
+def test_heartbeat_from_the_dead_is_recovery():
+    revived = []
+    fd = FailureDetector(timeout=1.0, on_recovered=revived.append)
+    fd.watch("p", now=0.0)
+    fd.check(1.5)
+    assert fd.check(3.0) == ["p"]
+    fd.heard("p", 5.0)
+    assert revived == ["p"]
+    assert not fd.is_dead("p")
+    assert fd._peers["p"].timeout == 1.0    # back to the base timeout
+
+
+def test_on_dead_callback_and_unwatch():
+    died = []
+    fd = FailureDetector(timeout=1.0, on_dead=died.append)
+    fd.watch("p", now=0.0)
+    fd.watch("q", now=0.0)
+    fd.unwatch("q")
+    fd.heard("q", 0.5)                      # ignored: not watched
+    fd.check(1.5)
+    fd.check(3.0)
+    assert died == ["p"]
+    assert fd.peers == ["p"]
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError, match="timeout"):
+        FailureDetector(timeout=0.0)
+    with pytest.raises(ValueError, match="backoff"):
+        FailureDetector(timeout=1.0, backoff=0.5)

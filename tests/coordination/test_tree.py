@@ -113,3 +113,49 @@ class TestDynamics:
     def test_invalid_parent_map_rejected(self):
         with pytest.raises(ValueError):
             CombiningTree("a", {"b": "zzz"})
+
+
+class TestRemoveFailed:
+    def test_interior_failure_reparents_to_grandparent(self):
+        t = CombiningTree.balanced(["a", "b", "c", "d", "e"], 2)
+        moved = t.remove_failed("b")        # children d, e -> root a
+        assert moved == {"d": "a", "e": "a"}
+        assert t.parent("d") == "a" and t.parent("e") == "a"
+        assert "b" not in t
+
+    def test_leaf_failure_moves_nobody(self):
+        t = CombiningTree.star(["a", "b", "c"])
+        assert t.remove_failed("c") == {}
+        assert set(t.nodes) == {"a", "b"}
+
+    def test_root_failure_promotes_first_child(self):
+        t = CombiningTree.star(["a", "b", "c", "d"])
+        moved = t.remove_failed("a")
+        assert t.root == "b"                # first child, deterministic
+        assert t.parent("b") is None
+        assert moved == {"c": "b", "d": "b"}
+        t._validate()                       # still one connected tree
+
+    def test_unknown_and_last_node_rejected(self):
+        t = CombiningTree.star(["a", "b"])
+        with pytest.raises(ValueError, match="not in tree"):
+            t.remove_failed("zzz")
+        t.remove_failed("b")
+        with pytest.raises(ValueError, match="last node"):
+            t.remove_failed("a")
+
+    def test_message_invariant_restored_after_heal(self):
+        # Whatever fails, the healed overlay costs 2(n-1) per round again.
+        for victim in ("a", "b", "e"):      # root, interior, leaf
+            t = CombiningTree.balanced(["a", "b", "c", "d", "e"], 2)
+            t.remove_failed(victim)
+            assert t.messages_per_round() == 2 * (len(t) - 1)
+            assert len(t) == 4
+
+    def test_sequential_failures_down_to_one(self):
+        t = CombiningTree.balanced([f"n{i}" for i in range(8)], 2)
+        for victim in [f"n{i}" for i in range(7)]:
+            t.remove_failed(victim)
+            t._validate()
+            assert t.messages_per_round() == 2 * (len(t) - 1)
+        assert t.nodes == ["n7"]

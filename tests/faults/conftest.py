@@ -1,0 +1,39 @@
+"""Shared world builders for the chaos tier.
+
+``small_world`` is a reduced fig8-style scenario — one 80 req/s server,
+principal A (mandatory 0.75) at R1, principal B (mandatory 0.25) at R2,
+a dedicated aggregator root, resilient tree — small enough that a dozen
+fault tests stay fast while still exercising the full stack the injector
+touches.
+"""
+
+import pytest
+
+from repro.core.agreements import Agreement, AgreementGraph
+from repro.experiments.harness import Scenario
+
+
+def build_world(check_invariants=False, heartbeat_period=0.25, **tree_kw):
+    g = AgreementGraph()
+    g.add_principal("S", capacity=80.0)
+    g.add_principal("A")
+    g.add_principal("B")
+    g.add_agreement(Agreement("S", "A", 0.75, 1.0))
+    g.add_agreement(Agreement("S", "B", 0.25, 1.0))
+    sc = Scenario(g, seed=0, bin_width=0.25,
+                  check_invariants=check_invariants)
+    server = sc.server("S", "S", 80.0)
+    r1 = sc.l7("R1", {"S": server}, n_redirectors=2, stale_after=1.0)
+    r2 = sc.l7("R2", {"S": server}, n_redirectors=2, stale_after=1.0)
+    tree_kw.setdefault("link_delay", 0.01)
+    tree_kw.setdefault("extra_root", True)
+    tree_kw.setdefault("resilient", True)
+    sc.connect_tree(heartbeat_period=heartbeat_period, **tree_kw)
+    sc.client("C1", "A", r1, rate=50.0)
+    sc.client("C2", "B", r2, rate=50.0)
+    return sc
+
+
+@pytest.fixture
+def world():
+    return build_world()

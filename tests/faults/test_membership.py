@@ -1,0 +1,179 @@
+"""ResilientTree: detection, eviction, healing, rejoin, lossy links."""
+
+import pytest
+
+from repro.coordination.membership import ResilientTree
+from repro.coordination.messages import MessageCounter
+from repro.coordination.tree import CombiningTree
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan, PartitionFault
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+def build_overlay(ids, kind="balanced", counter=None, loss=0.0, seed=0,
+                  heartbeat_period=0.25, **kw):
+    sim = Simulator()
+    tree = (CombiningTree.balanced(ids, 2) if kind == "balanced"
+            else CombiningTree.star(ids))
+    overlay = ResilientTree(
+        sim, tree, 0.1,
+        suppliers={i: (lambda i=i: {"V": 1.0}) for i in ids},
+        link_delay=0.005, loss=loss,
+        streams=RngStreams(seed), counter=counter,
+        heartbeat_period=heartbeat_period, **kw,
+    )
+    return sim, overlay
+
+
+def view_of(overlay, nid):
+    agg = overlay.node(nid).view.aggregate
+    return agg.get("V") if agg is not None else None
+
+
+class TestHealing:
+    def test_interior_crash_keeps_orphans_alive(self):
+        # b (children d, e) dies; d/e lose their only heartbeat path but
+        # the eviction-time watch links let them announce themselves and
+        # rejoin without b ever coming back.
+        ids = ["a", "b", "c", "d", "e"]
+        sim, overlay = build_overlay(ids)
+        sim.run(until=1.0)
+        overlay.crash("b")
+        sim.run(until=12.0)
+        assert "b" not in overlay.tree
+        assert "d" in overlay.tree and "e" in overlay.tree
+        assert view_of(overlay, "a") == pytest.approx(4.0)  # survivors' sum
+        assert view_of(overlay, "d") == pytest.approx(4.0)
+
+    def test_root_crash_promotes_first_child(self):
+        ids = ["a", "b", "c", "d", "e"]
+        sim, overlay = build_overlay(ids)
+        sim.run(until=1.0)
+        overlay.crash("a")
+        sim.run(until=12.0)
+        assert overlay.tree.root == "b"     # deterministic promotion
+        assert "a" not in overlay.tree
+        for nid in ("b", "c", "d", "e"):
+            assert view_of(overlay, nid) == pytest.approx(4.0)
+
+    def test_restart_rejoins_under_original_parent(self):
+        ids = ["a", "b", "c", "d", "e"]
+        sim, overlay = build_overlay(ids)
+        sim.run(until=1.0)
+        overlay.crash("e")                  # leaf under b
+        sim.run(until=6.0)
+        assert "e" not in overlay.tree
+        overlay.restart("e")
+        sim.run(until=12.0)
+        assert "e" in overlay.tree
+        assert overlay.tree.parent("e") == "b"
+        assert overlay.rejoins == 1
+        for nid in ids:
+            assert view_of(overlay, nid) == pytest.approx(5.0)
+
+    def test_detached_node_view_goes_stale(self):
+        ids = ["a", "b", "c"]
+        sim, overlay = build_overlay(ids)
+        sim.run(until=1.0)
+        overlay.crash("c")
+        sim.run(until=12.0)
+        node = overlay.node("c")
+        assert node.detached
+        # Its last view predates the eviction: stale by seconds.
+        assert node.view.age(sim.now) > 5.0
+
+    def test_message_count_is_2n_minus_2_after_heal(self):
+        # After the overlay re-stabilises, each round costs exactly
+        # 2(n-1) protocol messages over the survivors (heartbeats are
+        # accounted separately and excluded from ``total``).
+        counter = MessageCounter()
+        ids = ["a", "b", "c", "d", "e"]
+        sim, overlay = build_overlay(ids, counter=counter)
+        sim.run(until=1.0)
+        overlay.crash("b")
+        sim.run(until=10.05)                # healed; mid-round offset
+        before = counter.total
+        sim.run(until=11.05)                # exactly 10 periods later
+        per_round = overlay.tree.messages_per_round()
+        assert len(overlay.tree) == 4
+        assert counter.total - before == 10 * per_round
+
+
+class TestLossyLinks:
+    def test_lossy_tree_degrades_without_permanent_eviction(self):
+        # 20% loss on every link, drawn from per-link substreams: rounds
+        # go partial and suspicions fire, but backoff adapts and the
+        # overlay ends the run whole, with views still flowing.
+        ids = ["a", "b", "c", "d", "e"]
+        sim, overlay = build_overlay(
+            ids, loss=0.2, seed=3, failure_timeout=1.5,
+        )
+        sim.run(until=30.0)
+        assert len(overlay.tree) + len(overlay.removed) == 5
+        assert len(overlay.tree) >= 4       # at most one node mid-rejoin
+        for nid in overlay.tree.nodes:
+            v = view_of(overlay, nid)
+            assert v is not None and 1.0 <= v <= 5.0
+
+    def test_lossy_runs_replay_bit_identically(self):
+        def trace(seed):
+            sim, overlay = build_overlay(ids=["a", "b", "c", "d"],
+                                         loss=0.3, seed=seed)
+            out = []
+            sim.every(0.25, lambda: out.append(
+                (view_of(overlay, "a"), len(overlay.tree))
+            ), start=0.5)
+            sim.run(until=15.0)
+            return out
+
+        assert trace(1) == trace(1)         # per-link substreams replay
+        assert trace(1) != trace(2)         # ...and actually drive draws
+
+    def test_false_suspicion_backs_off_instead_of_evicting(self):
+        ids = ["a", "b", "c"]
+        sim, overlay = build_overlay(ids, loss=0.35, seed=5,
+                                     failure_timeout=0.6)
+        sim.run(until=30.0)
+        assert overlay.detector.false_suspicions > 0
+        # Backoff grew some peer's timeout beyond the base value.
+        grown = [
+            st.timeout for st in overlay.detector._peers.values()
+        ]
+        assert max(grown) > 0.6
+
+
+class TestPartitionInteraction:
+    def _stub_world(self, sim, overlay):
+        class World:
+            _tree_built = True
+
+        world = World()
+        world.sim = sim
+        world.protocol_links = overlay.links
+        world.protocol_nodes = overlay.nodes
+        world.membership = overlay
+        world.servers = {}
+        world.l7_redirectors = {}
+        return world
+
+    def test_heal_created_links_respect_active_partitions(self):
+        # d is partitioned away; its eviction creates watch links d<->a
+        # that cross the *still-active* partition — the injector's link
+        # filter must cut them at birth, or the overlay would tunnel
+        # heartbeats through the partition and rejoin d early.
+        ids = ["a", "b", "c", "d"]
+        sim, overlay = build_overlay(ids)
+        world = self._stub_world(sim, overlay)
+        FaultInjector(world, FaultPlan(events=[PartitionFault(
+            at=1.0, until=10.0, groups=(("d",), ("a", "b", "c")),
+        )]))
+        sim.run(until=6.0)
+        assert "d" not in overlay.tree
+        assert ("d", "a") in overlay.links          # watch links exist...
+        assert not overlay.links[("d", "a")].up     # ...but are cut
+        assert not overlay.links[("a", "d")].up
+        assert overlay.rejoins == 0                 # no tunnelling
+        sim.run(until=20.0)
+        assert "d" in overlay.tree                  # heal brought it back
+        assert overlay.rejoins == 1

@@ -1,0 +1,127 @@
+"""FaultPlan: validation, serialisation, digests, random generation."""
+
+import pytest
+
+from repro.faults.plan import (
+    FaultPlan,
+    LinkDegrade,
+    NodeCrash,
+    PartitionFault,
+    RedirectorCrash,
+    ServerCrash,
+    random_plan,
+)
+from repro.sim.rng import RngStreams
+
+
+def _full_plan() -> FaultPlan:
+    return FaultPlan(
+        events=[
+            LinkDegrade(at=1.0, src="a", dst="b", loss=0.3, delay=0.2,
+                        until=4.0),
+            PartitionFault(at=2.0, until=5.0, groups=(("a",), ("b", "c"))),
+            NodeCrash(at=3.0, node="c", until=6.0),
+            ServerCrash(at=3.5, server="S"),
+            RedirectorCrash(at=4.5, redirector="R1", until=7.0),
+        ],
+        name="everything",
+    )
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultPlan(events=[NodeCrash(at=-1.0, node="a")])
+
+    def test_until_before_at_rejected(self):
+        with pytest.raises(ValueError, match="until"):
+            FaultPlan(events=[NodeCrash(at=2.0, node="a", until=1.0)])
+
+    def test_partition_needs_two_groups(self):
+        with pytest.raises(ValueError, match="two groups"):
+            FaultPlan(events=[PartitionFault(at=0.0, until=1.0,
+                                             groups=(("a", "b"),))])
+
+    def test_node_in_two_groups_rejected(self):
+        with pytest.raises(ValueError, match="two partition groups"):
+            FaultPlan(events=[PartitionFault(
+                at=0.0, until=1.0, groups=(("a",), ("a", "b")),
+            )])
+
+    def test_probability_range_enforced(self):
+        with pytest.raises(ValueError, match="loss"):
+            FaultPlan(events=[LinkDegrade(at=0.0, src="a", dst="b", loss=1.0)])
+
+
+class TestPartitionGeometry:
+    def test_crosses_only_between_groups(self):
+        ev = PartitionFault(at=0.0, until=1.0, groups=(("a",), ("b", "c")))
+        assert ev.crosses("a", "b")
+        assert ev.crosses("c", "a")
+        assert not ev.crosses("b", "c")
+
+    def test_unnamed_nodes_unaffected(self):
+        ev = PartitionFault(at=0.0, until=1.0, groups=(("a",), ("b",)))
+        assert not ev.crosses("a", "elsewhere")
+        assert not ev.crosses("elsewhere", "b")
+
+
+class TestSerialisation:
+    def test_json_round_trip_all_kinds(self):
+        plan = _full_plan()
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.digest() == plan.digest()
+
+    def test_digest_names_a_plan_exactly(self):
+        base = _full_plan()
+        shifted = FaultPlan(
+            events=base.events[:-1] + [
+                RedirectorCrash(at=4.6, redirector="R1", until=7.0)
+            ],
+            name=base.name,
+        )
+        assert shifted.digest() != base.digest()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.from_dict({"events": [{"kind": "meteor", "at": 0.0}]})
+
+    def test_sorted_events_and_horizon(self):
+        plan = _full_plan()
+        times = [ev.at for ev in plan.sorted_events()]
+        assert times == sorted(times)
+        assert plan.horizon == 7.0
+        assert FaultPlan().horizon == 0.0
+
+
+class TestRandomPlan:
+    def test_same_substream_same_plan(self):
+        kw = dict(duration=30.0, nodes=("a", "b", "c"), servers=("S",),
+                  links=(("a", "b"),), n_faults=8)
+        p1 = random_plan(RngStreams(7).get("faults:plan"), **kw)
+        p2 = random_plan(RngStreams(7).get("faults:plan"), **kw)
+        assert p1.digest() == p2.digest()
+        p3 = random_plan(RngStreams(8).get("faults:plan"), **kw)
+        assert p3.digest() != p1.digest()
+
+    def test_targets_come_from_the_given_sets(self):
+        plan = random_plan(
+            RngStreams(0).get("faults:plan"), duration=40.0,
+            nodes=("a", "b"), servers=("S",), links=(("a", "b"),),
+            n_faults=20,
+        )
+        assert len(plan.events) == 20
+        for ev in plan.events:
+            assert ev.at >= 1.0
+            if isinstance(ev, NodeCrash):
+                assert ev.node in ("a", "b")
+            elif isinstance(ev, ServerCrash):
+                assert ev.server == "S"
+            elif isinstance(ev, LinkDegrade):
+                assert (ev.src, ev.dst) == ("a", "b")
+                assert 0.0 <= ev.loss < 1.0
+
+    def test_no_targets_rejected(self):
+        with pytest.raises(ValueError, match="no fault targets"):
+            random_plan(RngStreams(0).get("faults:plan"), duration=10.0)

@@ -64,7 +64,7 @@ class TestDaemon:
         before = dict(completions)
         # Emulate daemon death: from now on every "install" just replays
         # the last computed allocation (the kernel module's stale state).
-        daemon.allocator.compute = lambda local: daemon.last_allocation  # type: ignore[assignment]
+        daemon.allocator.compute = lambda local, **kw: daemon.last_allocation  # type: ignore[assignment]
         sim.run(until=20.0)
         after = {p: completions[p] - before[p] for p in completions}
         # Service continues near the pre-death rates (the frozen quota is a

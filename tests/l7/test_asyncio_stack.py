@@ -1,6 +1,7 @@
 """Integration tests for the real asyncio L7 stack on localhost."""
 
 import asyncio
+import time
 
 import pytest
 
@@ -173,6 +174,68 @@ class TestFetchOnce:
             return status
 
         assert _run(body()) == -2   # loop budget exhausted, surfaced
+
+    def test_read_timeout_bounds_a_silent_server(self):
+        """A server that accepts and never answers must cost at most the
+        read timeout per attempt, then surface a timeout."""
+        async def body():
+            async def mute(reader, writer):
+                await asyncio.sleep(10.0)      # never respond
+
+            server = await asyncio.start_server(mute, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            t0 = time.monotonic()
+            with pytest.raises(asyncio.TimeoutError):
+                await fetch_once(
+                    "127.0.0.1", port, "/svc/A/x",
+                    read_timeout=0.1, retries=1, retry_backoff=0.01,
+                )
+            elapsed = time.monotonic() - t0
+            server.close()
+            await server.wait_closed()
+            return elapsed
+
+        elapsed = _run(body())
+        # Two bounded attempts + one short backoff, not a 10 s hang.
+        assert elapsed < 2.0
+
+    def test_connect_refused_retries_then_surfaces(self):
+        async def body():
+            # Grab a port and close it so connections are refused.
+            server = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            with pytest.raises(OSError):
+                await fetch_once(
+                    "127.0.0.1", port, "/svc/A/x",
+                    retries=2, retry_backoff=0.01,
+                )
+
+        _run(body())
+
+    def test_generator_counts_timeouts(self):
+        async def body():
+            async def mute(reader, writer):
+                await asyncio.sleep(10.0)
+
+            server = await asyncio.start_server(mute, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            gen = AsyncLoadGenerator(
+                "A", ("127.0.0.1", port), rate=50.0, concurrency=4,
+                read_timeout=0.05, retries=0,
+            )
+            stats = await gen.run(duration=0.4)
+            server.close()
+            await server.wait_closed()
+            return gen, stats
+
+        gen, stats = _run(body())
+        assert stats["completed"] == 0
+        assert gen.timeouts > 0
+        assert gen.errors == gen.timeouts
 
 
 class TestCombiner:
