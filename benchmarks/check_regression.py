@@ -40,6 +40,11 @@ def main(argv=None) -> int:
                     help="freshly recorded ledger")
     ap.add_argument("--threshold", type=float, default=1.25,
                     help="fail when current > threshold * baseline median")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless NAME was recorded in the current "
+                         "ledger (repeatable); catches a benchmark that "
+                         "silently stopped running")
     args = ap.parse_args(argv)
 
     baseline = load(args.baseline)
@@ -61,6 +66,11 @@ def main(argv=None) -> int:
     for name in sorted(set(baseline) - set(current)):
         print(f"{name:40s} not re-recorded (kept baseline)")
 
+    missing = [name for name in args.require if name not in current]
+    if missing:
+        print(f"\nrequired benchmark(s) missing from {args.current}: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 1
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed beyond "
               f"{args.threshold:.2f}x:", file=sys.stderr)

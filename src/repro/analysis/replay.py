@@ -19,7 +19,10 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["ReplayReport", "scenario_digest", "fig6_replay", "chaos_replay"]
+__all__ = [
+    "ReplayReport", "scenario_digest", "l4_admission_digest",
+    "fig6_replay", "chaos_replay", "l4_replay",
+]
 
 
 def _hash_floats(h: "hashlib._Hash", values: Any) -> None:
@@ -57,6 +60,24 @@ def scenario_digest(sc: Any) -> str:
     if getattr(sc, "tracer", None) is not None:
         for event in sc.tracer.iter():
             h.update(repr(event).encode("utf-8"))
+    return h.hexdigest()
+
+
+def l4_admission_digest(daemon: Any) -> str:
+    """SHA-256 over an :class:`~repro.l4.daemon.L4Daemon`'s per-window
+    admitted/refused traces (exact float bytes of every series).
+
+    This is the quantity the paper's L4 figures plot per window; the
+    fast/scalar lane-parity contract is that this digest — not just the
+    aggregate rates — is identical between the two data paths.
+    """
+    h = hashlib.sha256()
+    meter = daemon.admission_meter
+    for key in sorted(meter.keys):
+        h.update(key.encode("utf-8"))
+        times, rates = meter.series(key)
+        _hash_floats(h, times)
+        _hash_floats(h, rates)
     return h.hexdigest()
 
 
@@ -201,4 +222,70 @@ def chaos_replay(
         meta={"duration_scale": duration_scale, "seed": seed,
               "lp_cache": lp_cache, "fast_lane": fast_lane,
               "plan_digest": plan_digest},
+    )
+
+
+def l4_replay(
+    figure: str = "fig9",
+    duration_scale: float = 0.05,
+    seed: int = 0,
+    runs: int = 2,
+    with_invariants: bool = True,
+    lp_cache: bool = True,
+    fast_lane: bool = True,
+) -> ReplayReport:
+    """Replay an L4 figure on the *fast* and *scalar* switch lanes and diff.
+
+    Unlike :func:`fig6_replay` (same code path, repeated), this harness
+    compares two different data-path implementations: the flow-record fast
+    lane against the per-packet scalar path.  Each run's digest combines
+    the full scenario digest with the daemon's per-window admitted-rate
+    trace digest, so the report is IDENTICAL only when both lanes produce
+    bit-identical observable behaviour — the PR's acceptance contract.
+    """
+    from repro.experiments.figures import fig9_scenario, fig10_scenario
+
+    if figure == "fig9":
+        build = fig9_scenario
+    elif figure == "fig10":
+        build = fig10_scenario
+    else:
+        raise ValueError(f"l4_replay supports fig9/fig10, not {figure!r}")
+    digests: List[str] = []
+    labels: List[str] = []
+    adm_digests: Dict[str, str] = {}
+
+    def one(l4_fast_lane: bool, check: bool, label: str) -> Any:
+        sc, _ = build(
+            duration_scale=duration_scale, seed=seed, lp_cache=lp_cache,
+            fast_lane=fast_lane, l4_fast_lane=l4_fast_lane,
+            check_invariants=check,
+        )
+        daemon = sc.l4_daemons["SW"]
+        full = scenario_digest(sc)
+        adm = l4_admission_digest(daemon)
+        adm_digests[label] = adm
+        combined = hashlib.sha256()
+        combined.update(full.encode("ascii"))
+        combined.update(adm.encode("ascii"))
+        digests.append(combined.hexdigest())
+        labels.append(label)
+        return sc
+
+    for i in range(max(1, runs - 1)):
+        one(True, False, f"fast {i + 1}")
+    one(False, False, "scalar")
+    checker_summary: Optional[Dict[str, int]] = None
+    if with_invariants:
+        sc = one(True, True, "fast +check")
+        assert sc.invariants is not None
+        checker_summary = sc.invariants.summary()
+    return ReplayReport(
+        scenario=figure,
+        digests=digests,
+        labels=labels,
+        checker_summary=checker_summary,
+        meta={"duration_scale": duration_scale, "seed": seed,
+              "lp_cache": lp_cache, "fast_lane": fast_lane,
+              "admission_digests": dict(adm_digests)},
     )

@@ -7,7 +7,7 @@
     python -m repro inspect A:1000 B:1500 C A-B:0.4:0.6 B-C:0.6:1.0
     python -m repro baseline [--duration 20]
     python -m repro lint    [src/repro ...]
-    python -m repro check   [--scenario fig6|faultmatrix] [--runs 2]
+    python -m repro check   [--scenario fig6|faultmatrix|fig9|fig10] [--runs 2]
     python -m repro chaos   [--random N | --plan plan.json] [--replay 2]
 
 ``figures`` reruns the paper's evaluation and prints pass/fail per figure;
@@ -59,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default=True,
                        help="vectorised request-path fast lane "
                             "(--no-fast-lane runs the scalar A/B path)")
+    p_fig.add_argument("--l4-fast-lane", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="L4 switch flow-record fast lane for fig9/fig10 "
+                            "(--no-l4-fast-lane runs the per-packet scalar "
+                            "path; traces are bit-identical either way)")
     p_fig.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the figure batch "
                             "(results are independent of this)")
@@ -99,10 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="replay-determinism harness with runtime invariants"
     )
     p_chk.add_argument("--scenario", type=str, default="fig6",
-                       choices=["fig6", "faultmatrix"],
+                       choices=["fig6", "faultmatrix", "fig9", "fig10"],
                        help="scenario to replay (fig6 covers the full "
                             "stack; faultmatrix adds fault injection, "
-                            "failure detection and tree healing)")
+                            "failure detection and tree healing; fig9/"
+                            "fig10 diff the L4 fast lane against the "
+                            "scalar packet path)")
     p_chk.add_argument("--scale", type=float, default=0.05,
                        help="phase-duration scale for each replay run")
     p_chk.add_argument("--seed", type=int, default=0)
@@ -182,16 +189,18 @@ def _cmd_figures(args) -> int:
     known = [n for n in wanted if n in ALL_FIGURES]
     lp_cache = getattr(args, "lp_cache", True)
     fast_lane = getattr(args, "fast_lane", True)
+    l4_fast_lane = getattr(args, "l4_fast_lane", True)
     jobs = max(1, getattr(args, "jobs", 1))
     if jobs > 1:
         results = dict(run_figures_parallel(
             known, scale=args.scale, seed=args.seed, jobs=jobs,
-            lp_cache=lp_cache, fast_lane=fast_lane,
+            lp_cache=lp_cache, fast_lane=fast_lane, l4_fast_lane=l4_fast_lane,
         ))
     else:
         results = {
             n: ALL_FIGURES[n](**figure_kwargs(n, args.scale, args.seed, lp_cache,
-                                              fast_lane=fast_lane))
+                                              fast_lane=fast_lane,
+                                              l4_fast_lane=l4_fast_lane))
             for n in known
         }
     for name in wanted:
@@ -289,9 +298,17 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    from repro.analysis.replay import chaos_replay, fig6_replay
+    from functools import partial
 
-    replay = fig6_replay if args.scenario == "fig6" else chaos_replay
+    from repro.analysis.replay import chaos_replay, fig6_replay, l4_replay
+
+    if args.scenario == "fig6":
+        replay = fig6_replay
+    elif args.scenario == "faultmatrix":
+        replay = chaos_replay
+    else:
+        # fig9/fig10: fast-vs-scalar L4 lane parity, not just replay.
+        replay = partial(l4_replay, figure=args.scenario)
     report = replay(
         duration_scale=args.scale,
         seed=args.seed,

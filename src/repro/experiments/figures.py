@@ -25,8 +25,8 @@ from repro.sim.monitor import PhaseStats
 
 __all__ = [
     "run_fig1", "run_fig1_distributed", "run_fig3", "run_fig6", "run_fig7",
-    "run_fig8", "run_fig9", "run_fig10", "fig6_scenario", "ALL_FIGURES",
-    "Fig1Result", "Fig3Result",
+    "run_fig8", "run_fig9", "run_fig10", "fig6_scenario", "fig9_scenario",
+    "fig10_scenario", "ALL_FIGURES", "Fig1Result", "Fig3Result",
 ]
 
 
@@ -417,21 +417,27 @@ def _fig8_graph() -> AgreementGraph:
 # Fig 9 — L4: sharing agreements in a community context
 # ---------------------------------------------------------------------------
 
-def run_fig9(
+def fig9_scenario(
     duration_scale: float = 1.0, seed: int = 0,
     lp_cache: bool = True, fast_periodic: bool = True,
-    fast_lane: bool = True,
-) -> FigureResult:
-    """Fig 9: A and B each own a 320 req/s server; B grants A [0.5, 0.5].
-    Four phases: A 2 clients / none / 1 client / none, B always one client;
-    all clients 400 req/s through one L4 switch."""
+    fast_lane: bool = True, l4_fast_lane: bool = True,
+    check_invariants: Optional[bool] = None,
+) -> Tuple[Scenario, float]:
+    """Build and run the fig9 world; returns ``(scenario, phase_length)``.
+
+    Shared between :func:`run_fig9` and the L4 lane-parity replay harness
+    (:func:`repro.analysis.replay.l4_replay`), which runs *this exact
+    scenario* once per lane and diffs the per-window admitted-rate trace
+    digests — the fast lane must be bit-identical to the scalar path.
+    """
     T = 100.0 * duration_scale
     g = AgreementGraph()
     g.add_principal("A", capacity=320.0)
     g.add_principal("B", capacity=320.0)
     g.add_agreement(Agreement("B", "A", 0.5, 0.5))
     sc = Scenario(g, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic,
-                  fast_lane=fast_lane)
+                  fast_lane=fast_lane, l4_fast_lane=l4_fast_lane,
+                  check_invariants=check_invariants)
     sa = sc.server("SA", "A", 320.0)
     sb = sc.server("SB", "B", 320.0)
     switch = sc.l4("SW", {"A": sa, "B": sb})
@@ -439,6 +445,19 @@ def run_fig9(
     sc.client("C2", "A", switch, rate=400.0, windows=[(0, T)])
     sc.client("C3", "B", switch, rate=400.0, windows=[(0, 4 * T)])
     sc.run(4 * T)
+    return sc, T
+
+
+def run_fig9(
+    duration_scale: float = 1.0, seed: int = 0,
+    lp_cache: bool = True, fast_periodic: bool = True,
+    fast_lane: bool = True, l4_fast_lane: bool = True,
+) -> FigureResult:
+    """Fig 9: A and B each own a 320 req/s server; B grants A [0.5, 0.5].
+    Four phases: A 2 clients / none / 1 client / none, B always one client;
+    all clients 400 req/s through one L4 switch."""
+    sc, T = fig9_scenario(duration_scale, seed, lp_cache, fast_periodic,
+                          fast_lane, l4_fast_lane)
     settle = min(5.0, T * 0.2)
     phases = [
         ("phase1", 0.0, T), ("phase2", T, 2 * T),
@@ -463,14 +482,17 @@ def run_fig9(
 # Fig 10 — L4: maximisation of service-provider income
 # ---------------------------------------------------------------------------
 
-def run_fig10(
+def fig10_scenario(
     duration_scale: float = 1.0, seed: int = 0,
     lp_cache: bool = True, fast_periodic: bool = True,
-    fast_lane: bool = True,
-) -> FigureResult:
-    """Fig 10: provider with two 320 req/s servers; A [0.8,1] pays more than
-    B [0.2,1].  Same client timeline as Fig 9; the provider admits the
-    highest payer first while honouring B's mandatory floor."""
+    fast_lane: bool = True, l4_fast_lane: bool = True,
+    check_invariants: Optional[bool] = None,
+) -> Tuple[Scenario, float]:
+    """Build and run the fig10 world; returns ``(scenario, phase_length)``.
+
+    Shared between :func:`run_fig10` and the L4 lane-parity replay
+    harness, like :func:`fig9_scenario` (provider/price mode variant).
+    """
     T = 100.0 * duration_scale
     g = AgreementGraph()
     g.add_principal("P", capacity=640.0)
@@ -479,7 +501,8 @@ def run_fig10(
     g.add_agreement(Agreement("P", "A", 0.8, 1.0))
     g.add_agreement(Agreement("P", "B", 0.2, 1.0))
     sc = Scenario(g, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic,
-                  fast_lane=fast_lane)
+                  fast_lane=fast_lane, l4_fast_lane=l4_fast_lane,
+                  check_invariants=check_invariants)
     s1 = sc.server("S1", "P", 320.0)
     s2 = sc.server("S2", "P", 320.0)
     switch = sc.l4(
@@ -489,6 +512,19 @@ def run_fig10(
     sc.client("C2", "A", switch, rate=400.0, windows=[(0, T)])
     sc.client("C3", "B", switch, rate=400.0, windows=[(0, 4 * T)])
     sc.run(4 * T)
+    return sc, T
+
+
+def run_fig10(
+    duration_scale: float = 1.0, seed: int = 0,
+    lp_cache: bool = True, fast_periodic: bool = True,
+    fast_lane: bool = True, l4_fast_lane: bool = True,
+) -> FigureResult:
+    """Fig 10: provider with two 320 req/s servers; A [0.8,1] pays more than
+    B [0.2,1].  Same client timeline as Fig 9; the provider admits the
+    highest payer first while honouring B's mandatory floor."""
+    sc, T = fig10_scenario(duration_scale, seed, lp_cache, fast_periodic,
+                           fast_lane, l4_fast_lane)
     settle = min(5.0, T * 0.2)
     phases = [
         ("phase1", 0.0, T), ("phase2", T, 2 * T),

@@ -97,6 +97,7 @@ class Scenario:
         lp_cache: bool = True,
         fast_periodic: bool = True,
         fast_lane: bool = True,
+        l4_fast_lane: bool = True,
         check_invariants: Optional[bool] = None,
     ):
         self.graph = graph
@@ -105,6 +106,10 @@ class Scenario:
         self.backend = backend
         self.lp_cache = bool(lp_cache)
         self.fast_lane = bool(fast_lane)
+        # L4 switch data-path lane (flow records + arena tables); kept
+        # separate from the client-side fast_lane so either can be A/B'd
+        # against its scalar path independently.
+        self.l4_fast_lane = bool(l4_fast_lane)
         self.sim = Simulator(fast_periodic=fast_periodic)
         self.streams = RngStreams(seed)
         self.meter = RateMeter(bin_width)
@@ -228,6 +233,7 @@ class Scenario:
         capacity: Optional[float] = None,
         **kw,
     ) -> L4Switch:
+        kw.setdefault("fast_lane", self.l4_fast_lane)
         switch = L4Switch(
             self.sim, name, self.access.names, servers, window=self.window, **kw,
         )

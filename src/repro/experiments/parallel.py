@@ -83,12 +83,15 @@ def figure_kwargs(
     lp_cache: bool = True,
     partition_seeds: bool = False,
     fast_lane: bool = True,
+    l4_fast_lane: bool = True,
 ) -> Dict[str, Any]:
     """Keyword arguments for one ``run_figN`` entry point.
 
     ``partition_seeds=True`` gives every figure its own
     :func:`scenario_seed`-derived stream; the default reuses ``seed``
     verbatim, matching a serial ``for name: run_figN(seed=seed)`` loop.
+    ``l4_fast_lane`` only reaches the L4 figures (fig9/fig10) — the other
+    entry points have no L4 switch to thread it to.
     """
     s = scenario_seed(seed, name) if partition_seeds else seed
     if name in ("fig1", "fig3"):
@@ -96,8 +99,11 @@ def figure_kwargs(
     if name == "fig1d":
         return {"duration": max(20.0, 100.0 * scale), "seed": s,
                 "lp_cache": lp_cache, "fast_lane": fast_lane}
-    return {"duration_scale": scale, "seed": s, "lp_cache": lp_cache,
-            "fast_lane": fast_lane}
+    kwargs = {"duration_scale": scale, "seed": s, "lp_cache": lp_cache,
+              "fast_lane": fast_lane}
+    if name in ("fig9", "fig10"):
+        kwargs["l4_fast_lane"] = l4_fast_lane
+    return kwargs
 
 
 def _figure_task(task: Tuple[str, Dict[str, Any]]) -> Tuple[str, Any]:
@@ -115,6 +121,7 @@ def run_figures_parallel(
     lp_cache: bool = True,
     partition_seeds: bool = False,
     fast_lane: bool = True,
+    l4_fast_lane: bool = True,
 ) -> List[Tuple[str, Any]]:
     """Run paper figures across worker processes.
 
@@ -128,7 +135,8 @@ def run_figures_parallel(
     if unknown:
         raise KeyError(f"unknown figures {unknown}; have {list(ALL_FIGURES)}")
     tasks = [
-        (n, figure_kwargs(n, scale, seed, lp_cache, partition_seeds, fast_lane))
+        (n, figure_kwargs(n, scale, seed, lp_cache, partition_seeds,
+                          fast_lane, l4_fast_lane))
         for n in wanted
     ]
     return parallel_map(_figure_task, tasks, jobs=jobs)

@@ -15,10 +15,15 @@ A model of the paper's Linux Virtual Server-based prototype:
   solves the window LP (via the shared allocator), installs allocations.
 """
 
-from repro.l4.conntrack import ConnTracker
+from repro.l4.conntrack import ArenaConnTracker, ConnTracker
 from repro.l4.daemon import L4Daemon
-from repro.l4.nat import NatTable
-from repro.l4.packets import TcpFlags, TcpPacket
-from repro.l4.switch import L4Switch
+from repro.l4.nat import ArenaNatTable, NatTable
+from repro.l4.packets import FlowRecord, TcpFlags, TcpPacket
+from repro.l4.switch import L4Switch, PortSpaceExhausted
 
-__all__ = ["TcpPacket", "TcpFlags", "NatTable", "ConnTracker", "L4Switch", "L4Daemon"]
+__all__ = [
+    "TcpPacket", "TcpFlags", "FlowRecord",
+    "NatTable", "ArenaNatTable",
+    "ConnTracker", "ArenaConnTracker",
+    "L4Switch", "L4Daemon", "PortSpaceExhausted",
+]

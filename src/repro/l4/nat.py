@@ -10,11 +10,11 @@ implements exactly that pair of rewrites keyed on the client-side 4-tuple.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.l4.packets import FourTuple, TcpPacket
 
-__all__ = ["NatTable", "NatEntry"]
+__all__ = ["NatTable", "ArenaNatTable", "NatEntry"]
 
 
 @dataclass(frozen=True)
@@ -32,11 +32,17 @@ class NatTable:
         # Reverse index: (server_ip, server_port, client_ip, client_port)
         # -> client-side tuple, so response rewriting is O(1).
         self._rev: Dict[Tuple[str, int, str, int], FourTuple] = {}
+        # Read-only alias for hot-path membership tests (the switch's port
+        # allocator probes it directly, skipping a __contains__ frame).
+        self.live: Dict[FourTuple, NatEntry] = self._fwd
         self.rewrites_in = 0
         self.rewrites_out = 0
 
     def __len__(self) -> int:
         return len(self._fwd)
+
+    def __contains__(self, client_tuple: FourTuple) -> bool:
+        return client_tuple in self._fwd
 
     def install(
         self,
@@ -59,13 +65,17 @@ class NatTable:
     def lookup(self, client_tuple: FourTuple) -> Optional[NatEntry]:
         return self._fwd.get(client_tuple)
 
-    def remove(self, client_tuple: FourTuple) -> None:
+    def remove(self, client_tuple: FourTuple) -> Optional[NatEntry]:
+        """Remove a mapping; returns it (or None) so callers can gate
+        follow-up teardown — e.g. ephemeral-port release — on whether the
+        mapping actually existed."""
         entry = self._fwd.pop(client_tuple, None)
         if entry is not None:
             self._rev.pop(
                 (entry.server[0], entry.server[1], client_tuple[0], client_tuple[1]),
                 None,
             )
+        return entry
 
     def translate_in(self, pkt: TcpPacket) -> Optional[TcpPacket]:
         """Client -> server rewrite; None if no mapping exists."""
@@ -88,3 +98,128 @@ class NatTable:
         entry = self._fwd[client_tuple]
         self.rewrites_out += 1
         return pkt.rewritten_source(*entry.virtual)
+
+
+class ArenaNatTable:
+    """Slotted :class:`NatTable` for the L4 fast lane.
+
+    Mapping fields live in parallel slot arrays behind one
+    ``tuple -> slot`` dict (plus the same reverse index the scalar table
+    keeps for response rewriting), so installing a flow writes a few list
+    cells instead of constructing a :class:`NatEntry`.  The packet-facing
+    API (``translate_in``/``translate_out``/``lookup``) is scalar-compat —
+    views are synthesized on demand; the switch's flow path uses
+    :meth:`install_slot` and the counters directly and never builds one.
+    """
+
+    def __init__(self) -> None:
+        self._index: Dict[FourTuple, int] = {}
+        # Read-only alias mirroring :attr:`NatTable.live`.
+        self.live: Dict[FourTuple, int] = self._index
+        self._server_ip: List[str] = []
+        self._server_port: List[int] = []
+        self._virtual_ip: List[str] = []
+        self._virtual_port: List[int] = []
+        self._created: List[float] = []
+        self._free: List[int] = []
+        self._rev: Dict[Tuple[str, int, str, int], FourTuple] = {}
+        self.rewrites_in = 0
+        self.rewrites_out = 0
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, client_tuple: FourTuple) -> bool:
+        return client_tuple in self._index
+
+    def install_slot(
+        self,
+        client_tuple: FourTuple,
+        server_ip: str,
+        server_port: int,
+        now: float,
+    ) -> int:
+        """Fast-path install: record the mapping, return its slot.
+
+        The reverse (response-rewrite) index is *not* written here: flows
+        installed through the slot API complete through the switch's flow
+        record, which never response-SNATs a packet.  Only the
+        scalar-compat :meth:`install` pays for reverse-index maintenance,
+        keeping this path to two dict/list writes.
+        """
+        if client_tuple in self._index:
+            raise ValueError(f"mapping for {client_tuple} already exists")
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._server_ip[slot] = server_ip
+            self._server_port[slot] = server_port
+            self._virtual_ip[slot] = client_tuple[2]
+            self._virtual_port[slot] = client_tuple[3]
+            self._created[slot] = now
+        else:
+            slot = len(self._server_ip)
+            self._server_ip.append(server_ip)
+            self._server_port.append(server_port)
+            self._virtual_ip.append(client_tuple[2])
+            self._virtual_port.append(client_tuple[3])
+            self._created.append(now)
+        self._index[client_tuple] = slot
+        return slot
+
+    def install(
+        self,
+        client_tuple: FourTuple,
+        server_ip: str,
+        server_port: int,
+        now: float,
+    ) -> NatEntry:
+        slot = self.install_slot(client_tuple, server_ip, server_port, now)
+        self._rev[(server_ip, server_port, client_tuple[0], client_tuple[1])] = client_tuple
+        return self._view(slot)
+
+    def _view(self, slot: int) -> NatEntry:
+        return NatEntry(
+            virtual=(self._virtual_ip[slot], self._virtual_port[slot]),
+            server=(self._server_ip[slot], self._server_port[slot]),
+            created_at=self._created[slot],
+        )
+
+    def lookup(self, client_tuple: FourTuple) -> Optional[NatEntry]:
+        slot = self._index.get(client_tuple)
+        return None if slot is None else self._view(slot)
+
+    def remove(self, client_tuple: FourTuple) -> bool:
+        """Remove a mapping; truthy iff one existed (scalar-compat with
+        :meth:`NatTable.remove`, which returns the entry)."""
+        slot = self._index.pop(client_tuple, None)
+        if slot is None:
+            return False
+        if self._rev:
+            self._rev.pop(
+                (self._server_ip[slot], self._server_port[slot],
+                 client_tuple[0], client_tuple[1]),
+                None,
+            )
+        self._free.append(slot)
+        return True
+
+    def translate_in(self, pkt: TcpPacket) -> Optional[TcpPacket]:
+        """Client -> server rewrite; None if no mapping exists."""
+        slot = self._index.get(pkt.four_tuple)
+        if slot is None:
+            return None
+        self.rewrites_in += 1
+        return pkt.rewritten(self._server_ip[slot], self._server_port[slot])
+
+    def translate_out(self, pkt: TcpPacket) -> Optional[TcpPacket]:
+        """Server -> client rewrite: restore the virtual source address."""
+        key = (pkt.src_ip, pkt.src_port, pkt.dst_ip, pkt.dst_port)
+        client_tuple = self._rev.get(key)
+        if client_tuple is None:
+            return None
+        slot = self._index[client_tuple]
+        self.rewrites_out += 1
+        return pkt.rewritten_source(
+            self._virtual_ip[slot], self._virtual_port[slot]
+        )

@@ -5,6 +5,16 @@ an opaque payload.  In the simulation the SYN of each connection carries
 the :class:`repro.cluster.request.Request` it initiates (the paper's
 switch likewise classifies on the connection-establishment packet; the
 request URL identifies the principal owning the target service).
+
+Two representations coexist:
+
+- :class:`TcpPacket` — one immutable record per segment; the scalar A/B
+  path builds a SYN, a rewritten SYN and a response packet per flow.
+- :class:`FlowRecord` — the fast lane's whole-flow object: SYN
+  classification, payload and response sizes ride in one slotted,
+  callable record that doubles as the server completion callback, so an
+  admitted flow costs one allocation instead of four packets plus a
+  closure.
 """
 
 from __future__ import annotations
@@ -12,11 +22,11 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 from repro.cluster.request import Request
 
-__all__ = ["TcpFlags", "TcpPacket", "FourTuple"]
+__all__ = ["TcpFlags", "TcpPacket", "FlowRecord", "FourTuple"]
 
 FourTuple = Tuple[str, int, str, int]
 
@@ -74,3 +84,66 @@ class TcpPacket:
     def rewritten_source(self, src_ip: str, src_port: int) -> "TcpPacket":
         """Source NAT: the switch's outbound (response) rewrite."""
         return replace(self, src_ip=src_ip, src_port=src_port)
+
+
+class FlowRecord:
+    """One admitted (or queued) flow, aggregated to a single object.
+
+    The scalar path materialises four :class:`TcpPacket` instances per
+    flow — the SYN, its DNAT rewrite, the response and its SNAT rewrite —
+    plus a per-flow closure to route the server completion back to the
+    switch.  A ``FlowRecord`` collapses all of that: the client 4-tuple,
+    the request (the SYN's payload), the chosen server and the response
+    size live in one ``__slots__`` object, and the record itself is the
+    server's ``done`` callback (``__call__`` forwards to the switch's
+    flow teardown), so admission allocates nothing else.
+
+    Only representation changes; the admission arithmetic (quota draws,
+    queue checks, server choice) is byte-for-byte the scalar path's, which
+    is what keeps the two lanes' traces bit-identical.
+    """
+
+    __slots__ = ("switch", "request", "done", "tup", "server",
+                 "response_bytes")
+
+    def __init__(
+        self,
+        switch: Any,
+        request: Request,
+        done: Optional[Callable[[Request], None]],
+        tup: FourTuple,
+    ) -> None:
+        self.switch = switch
+        self.request = request
+        self.done = done
+        self.tup = tup
+        self.server: Optional[str] = None
+        self.response_bytes = 0
+
+    @property
+    def principal(self) -> str:
+        return self.request.principal
+
+    @property
+    def src_ip(self) -> str:
+        return self.tup[0]
+
+    @property
+    def src_port(self) -> int:
+        return self.tup[1]
+
+    @property
+    def four_tuple(self) -> FourTuple:
+        return self.tup
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.request.size_bytes
+
+    def __call__(self, request: Request) -> None:
+        """Server completion: the record *is* the ``done`` callback."""
+        self.switch._on_response_flow(self, request)
+
+    def __repr__(self) -> str:
+        return (f"FlowRecord({self.tup!r}, principal={self.principal!r}, "
+                f"server={self.server!r})")

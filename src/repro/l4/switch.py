@@ -18,28 +18,56 @@ Packet path, as in the LVS-based prototype:
 For the experiments the switch also exposes the same ``handle(request)``
 admission API as the L7 redirector, wrapping each request into a SYN so the
 full packet path (NAT, conntrack, affinity, reinjection) is exercised.
+
+Two data-path lanes share the admission arithmetic:
+
+- the **scalar lane** (``fast_lane=False``) materialises every segment as
+  a :class:`TcpPacket`, uses the dict-based NAT/conntrack tables, and
+  schedules one engine event per reinjected SYN — the reference path;
+- the **fast lane** (``fast_lane=True``, default) carries each flow as a
+  single slotted :class:`FlowRecord`, stores state in the arena tables
+  (:class:`ArenaNatTable` / :class:`ArenaConnTracker`), drains each
+  window's reinjection queue through one coalesced pump event, and picks
+  servers from a precomputed best-slack heap.
+
+Quota draws, queue checks, tie-breakers and event times are identical in
+both lanes, so per-window admitted-rate traces are bit-identical — the
+``repro check --scenario fig9|fig10`` harness diffs the two lanes' SHA-256
+trace digests to enforce exactly that.
 """
 
 from __future__ import annotations
 
-import itertools
+import heapq
 from collections import deque
-from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.cluster.client import Decision, Defer, Drop, Held
 from repro.cluster.health import BackendHealthChecker
 from repro.cluster.request import Request
 from repro.cluster.server import Server
-from repro.l4.conntrack import ConnTracker
-from repro.l4.nat import NatTable
-from repro.l4.packets import TcpFlags, TcpPacket
+from repro.l4.conntrack import ArenaConnTracker, ConnTracker
+from repro.l4.nat import ArenaNatTable, NatTable
+from repro.l4.packets import FlowRecord, FourTuple, TcpFlags, TcpPacket
 from repro.scheduling.allocator import Allocation
 from repro.scheduling.queueing import ImplicitQuota
 from repro.scheduling.window import WindowConfig
 from repro.scheduling.wrr import SmoothWeightedRoundRobin
 from repro.sim.engine import Simulator
 
-__all__ = ["L4Switch"]
+__all__ = ["L4Switch", "PortSpaceExhausted"]
+
+# Ephemeral port range modelled after a real stack's net.ipv4.ip_local_port_range.
+_PORT_LO = 10_000
+_PORT_SPAN = 50_000
+
+
+class PortSpaceExhausted(RuntimeError):
+    """Every (client, port) tuple in the ephemeral range is in use.
+
+    Subclasses :class:`RuntimeError` for callers that caught the previous
+    untyped error.
+    """
 
 
 class L4Switch:
@@ -59,6 +87,7 @@ class L4Switch:
         spread_reinjection: bool = True,
         smoothing: float = 0.7,
         health: Optional[BackendHealthChecker] = None,
+        fast_lane: bool = True,
     ):
         self.sim = sim
         self.name = name
@@ -70,6 +99,7 @@ class L4Switch:
         self.affinity_enabled = bool(affinity)
         self.spread_reinjection = bool(spread_reinjection)
         self.smoothing = float(smoothing)
+        self.fast_lane = bool(fast_lane)
         # Fault model: when a health checker is attached, NAT forwarding
         # only targets backends in rotation (down/draining ones are
         # skipped); without one, a crashed backend surfaces as drops.
@@ -83,19 +113,45 @@ class L4Switch:
             for srv in pool:
                 self._server_by_name[srv.name] = (owner, srv)
 
-        self.nat = NatTable()
-        self.conntrack = ConnTracker()
+        if self.fast_lane:
+            self.nat: Union[NatTable, ArenaNatTable] = ArenaNatTable()
+            self.conntrack: Union[ConnTracker, ArenaConnTracker] = ArenaConnTracker()
+            # Slot operations, pre-bound: the flow path calls these tens of
+            # thousands of times per simulated minute, and the attribute
+            # chain + bind per call is measurable there.
+            self._nat_install_slot = self.nat.install_slot
+            self._nat_remove = self.nat.remove
+            self._ct_open_slot = self.conntrack.open_slot
+            self._ct_close = self.conntrack.close
+        else:
+            self.nat = NatTable()
+            self.conntrack = ConnTracker()
+        # Live-tuple mappings, aliased for membership probes in the port
+        # allocator (both lanes): `tup in dict` with no method frame.
+        self._nat_live = self.nat.live
+        self._ct_live = self.conntrack.live
         self.quota = ImplicitQuota(self.principals)
-        self._syn_queues: Dict[str, Deque[Tuple[TcpPacket, Optional[Callable]]]] = {
+        # `quota.principals` is a list-building property; admission tests
+        # membership once per request, so keep a frozen set.
+        self._principal_set = frozenset(self.principals)
+        self._try_admit = self.quota.try_admit
+        # Scalar lane queues (pkt, done) pairs; the fast lane queues
+        # FlowRecords.  A switch only ever runs one lane, so the deques
+        # never mix item kinds.
+        self._syn_queues: Dict[str, Deque[Any]] = {
             p: deque() for p in self.principals
         }
         self._wrr: Dict[str, SmoothWeightedRoundRobin] = {
             p: SmoothWeightedRoundRobin() for p in self.principals
         }
-        # Ephemeral port counter; wraps like a real stack's port space.  A
-        # (client_ip, port) pair only has to stay unique among *live*
-        # connections, and far fewer than 50k are ever concurrently open.
-        self._ports = itertools.cycle(range(10_000, 60_000))
+        # Ephemeral port space, per client IP: freed ports are reused via a
+        # free list; otherwise a wrapping cursor walks the range.  A
+        # (client, port) pair only has to stay unique among *live*
+        # connections, and far fewer than the 50k-port span are ever
+        # concurrently open; a full wrap without a free tuple raises
+        # :class:`PortSpaceExhausted`.
+        self._free_ports: Dict[str, List[int]] = {}
+        self._port_cursor: Dict[str, int] = {}
         self._pending_tuples: set = set()  # tuples of SYNs waiting in kernel queues
         self._arrivals: Dict[str, float] = {p: 0.0 for p in self.principals}
         self.demand_estimate: Dict[str, float] = {p: 0.0 for p in self.principals}
@@ -107,6 +163,17 @@ class L4Switch:
         # has room — "to the extent allowed by the sharing agreements".
         self._server_budget: Dict[str, Dict[str, float]] = {p: {} for p in self.principals}
         self._server_used: Dict[str, Dict[str, float]] = {p: {} for p in self.principals}
+        # Fast lane: per-principal best-slack heap over the window's server
+        # budgets, entries (-slack, insertion_idx, name).  Rebuilt each
+        # install; revalidated lazily (see _pick_from_heap).
+        self._slack_heap: Dict[str, List[Tuple[float, int, str]]] = {
+            p: [] for p in self.principals
+        }
+        # Decisions are frozen dataclasses the clients only type-check, so
+        # the fast lane hands out shared singletons instead of allocating
+        # one per SYN.
+        self._held = Held()
+        self._defer = Defer(self.window.length)
 
         # Telemetry
         self.admitted: Dict[str, int] = {p: 0 for p in self.principals}
@@ -137,6 +204,11 @@ class L4Switch:
                         budget[srv.name] = share * srv.capacity / cap_total + 1.0
             self._server_budget[p] = budget
             self._server_used[p] = {name: 0.0 for name in budget}
+            if self.fast_lane:
+                # used is all-zero here, so slack == budget exactly.
+                heap = [(-b, i, name) for i, (name, b) in enumerate(budget.items())]
+                heapq.heapify(heap)
+                self._slack_heap[p] = heap
         self._end_window_accounting()
         self._schedule_reinjection()
 
@@ -161,7 +233,8 @@ class L4Switch:
         """
         stale = self.conntrack.expire_stale(now)
         for tup in stale:
-            self.nat.remove(tup)
+            if self.nat.remove(tup):
+                self._release_port(tup[0], tup[1])
         return len(stale)
 
     def _end_window_accounting(self) -> None:
@@ -182,8 +255,10 @@ class L4Switch:
         the client's TCP stack would retransmit the SYN after a timeout, and
         the client model's jittered retry emulates that.
         """
-        if request.principal not in self.quota.principals:
+        if request.principal not in self._principal_set:
             return Drop()
+        if self.fast_lane:
+            return self._handle_flow(request, done)
         syn = TcpPacket(
             src_ip=request.client_id,
             src_port=self._free_port(request.client_id),
@@ -196,20 +271,115 @@ class L4Switch:
         return Held() if accepted else Defer(self.window.length)
 
     def _free_port(self, client_ip: str) -> int:
-        """Next ephemeral port whose (client, port) tuple is not in use.
+        """Next ephemeral port whose (client, port) tuple is not in use."""
+        return self._claim_tuple(client_ip)[1]
 
-        The counter wraps like a real port space; a port is reusable once
-        its previous connection's NAT state is gone."""
-        for _ in range(64):
-            port = next(self._ports)
-            tup = (client_ip, port, self.virtual_ip, self.virtual_port)
-            if (
-                self.nat.lookup(tup) is None
-                and self.conntrack.lookup(tup) is None
-                and tup not in self._pending_tuples
-            ):
-                return port
-        raise RuntimeError(f"ephemeral port space exhausted for {client_ip}")
+    def _claim_tuple(self, client_ip: str) -> FourTuple:
+        """Allocate a free (client, port, vip, vport) tuple.
+
+        Freed ports are preferred (LIFO — cache-warm and keeps the cursor
+        from wrapping); each candidate is re-checked against live state, so
+        a stray double-release can never hand out a port that is still in
+        use.  Falls back to a per-client wrapping cursor over the whole
+        range and raises :class:`PortSpaceExhausted` after a full wrap —
+        the previous fixed-probe-count search degraded linearly under
+        pressure and then failed spuriously long before true exhaustion.
+        """
+        nat, ct, pending = self._nat_live, self._ct_live, self._pending_tuples
+        vip, vport = self.virtual_ip, self.virtual_port
+        free = self._free_ports.get(client_ip)
+        while free:
+            port = free.pop()
+            tup = (client_ip, port, vip, vport)
+            if tup not in nat and tup not in ct and tup not in pending:
+                return tup
+        start = self._port_cursor.get(client_ip, 0)
+        for off in range(_PORT_SPAN):
+            idx = start + off
+            if idx >= _PORT_SPAN:
+                idx -= _PORT_SPAN
+            tup = (client_ip, _PORT_LO + idx, vip, vport)
+            if tup not in nat and tup not in ct and tup not in pending:
+                self._port_cursor[client_ip] = idx + 1 if idx + 1 < _PORT_SPAN else 0
+                return tup
+        raise PortSpaceExhausted(
+            f"all {_PORT_SPAN} ephemeral ports for {client_ip} are in use"
+        )
+
+    def _release_port(self, client_ip: str, port: int) -> None:
+        """Return a port to the client's free list once its state is gone."""
+        free = self._free_ports.get(client_ip)
+        if free is None:
+            free = self._free_ports[client_ip] = []
+        free.append(port)
+
+    # -- fast lane (flow records) ------------------------------------------------
+
+    def _handle_flow(
+        self, request: Request, done: Optional[Callable[[Request], None]]
+    ) -> Decision:
+        """Fast-lane admission: same arithmetic as ``_on_syn``, one
+        :class:`FlowRecord` instead of per-segment packets."""
+        p = request.principal
+        cost = request.cost
+        self._arrivals[p] += cost
+        if self._try_admit(p, cost):
+            flow = FlowRecord(
+                self, request, done, self._claim_tuple(request.client_id)
+            )
+            return self._held if self._admit_flow(flow) else self._defer
+        q = self._syn_queues[p]
+        if len(q) >= self.max_syn_queue:
+            # Overflow drop: no port was claimed yet, nothing to release.
+            self.dropped[p] += 1
+            return self._defer
+        flow = FlowRecord(self, request, done, self._claim_tuple(request.client_id))
+        q.append(flow)
+        self._pending_tuples.add(flow.tup)
+        self.queued[p] += 1
+        return self._held
+
+    def _admit_flow(self, flow: FlowRecord) -> bool:
+        """Mirror of ``_admit`` over a flow record: same server choice,
+        same submit time, no packet rewrites."""
+        tup = flow.tup
+        self._pending_tuples.discard(tup)
+        p = flow.request.principal
+        server = self._pick_server(p, tup[0])
+        if server is None:
+            self.dropped[p] += 1
+            self._release_port(tup[0], tup[1])
+            return False
+        srv = self._server_by_name[server][1]
+        now = self.sim.now
+        self._nat_install_slot(tup, server, self.virtual_port, now)
+        self._ct_open_slot(tup, server, p, now)
+        flow.server = server
+        # The record itself is the completion callback — no closure.
+        if not srv.submit(flow.request, done=flow):
+            self._ct_close(tup)
+            if self._nat_remove(tup):
+                self._release_port(tup[0], tup[1])
+            self.dropped[p] += 1
+            return False
+        self.admitted[p] += 1
+        return True
+
+    def _on_response_flow(self, flow: FlowRecord, request: Request) -> None:
+        """Server completed a fast-lane flow: tear down and report.
+
+        The scalar path builds a response packet and SNATs it through the
+        table; here the rewrite is a counter bump — gated, like the port
+        release, on the NAT mapping still existing (a FIN may already have
+        torn the flow down)."""
+        tup = flow.tup
+        flow.response_bytes = request.size_bytes
+        self._ct_close(tup)
+        if self._nat_remove(tup):
+            self.nat.rewrites_out += 1
+            self._release_port(tup[0], tup[1])
+        if flow.done is not None:
+            flow.done(request)
 
     # -- packet path -----------------------------------------------------------------
 
@@ -223,6 +393,11 @@ class L4Switch:
         if conn is None or translated is None:
             return False  # no state: the real switch would RST
         if pkt.flags & TcpFlags.FIN:
+            # The port is NOT released here: the server completion for
+            # this flow may still be in flight and will reference the
+            # tuple; releasing now could hand it to a new flow first.
+            # The tuple becomes reusable through the cursor's own
+            # liveness check instead.
             self.conntrack.close(pkt.four_tuple)
             self.nat.remove(pkt.four_tuple)
         return True
@@ -252,6 +427,7 @@ class L4Switch:
         server = self._pick_server(p, pkt.src_ip)
         if server is None:
             self.dropped[p] += 1
+            self._release_port(pkt.src_ip, pkt.src_port)
             return False
         owner, srv = self._server_by_name[server]
         self.nat.install(pkt.four_tuple, server, self.virtual_port, self.sim.now)
@@ -265,7 +441,8 @@ class L4Switch:
             # Backend refused (crashed or overflowed): tear the flow back
             # down so no NAT/conntrack state leaks for a dead connection.
             self.conntrack.close(pkt.four_tuple)
-            self.nat.remove(pkt.four_tuple)
+            if self.nat.remove(pkt.four_tuple):
+                self._release_port(pkt.src_ip, pkt.src_port)
             self.dropped[p] += 1
             return False
         self.admitted[p] += 1
@@ -286,7 +463,8 @@ class L4Switch:
         )
         self.nat.translate_out(resp)  # restore the virtual source address
         self.conntrack.close(client_tuple)
-        self.nat.remove(client_tuple)
+        if self.nat.remove(client_tuple):
+            self._release_port(client_tuple[0], client_tuple[1])
         if done is not None:
             done(request)
 
@@ -295,33 +473,36 @@ class L4Switch:
 
     def _pick_server(self, principal: str, client_ip: str) -> Optional[str]:
         budget = self._server_budget.get(principal) or {}
-        used = self._server_used.setdefault(principal, {})
         if not budget:
             return None
+        used = self._server_used.get(principal)
+        if used is None:
+            used = self._server_used[principal] = {}
         if self.affinity_enabled:
             pref = self.conntrack.preferred_server(client_ip, principal)
             # Affinity only "to the extent allowed by the sharing
             # agreements": the preferred server must still have unspent
             # allocation this window, otherwise affinity would skew the
             # LP's per-server split and overload that server.
-            if (
-                pref is not None
-                and self._usable(pref)
-                and used.get(pref, 0.0) < budget.get(pref, 0.0)
-            ):
-                used[pref] = used.get(pref, 0.0) + 1.0
-                self.affinity_hits += 1
-                return pref
-        # Otherwise: the server with the most remaining budget this window
-        # (deterministic proportional fill across the allocation).
-        best = None
-        best_slack = 0.0
-        for name, b in budget.items():
-            if not self._usable(name):
-                continue
-            slack = b - used.get(name, 0.0)
-            if slack > best_slack:
-                best, best_slack = name, slack
+            if pref is not None:
+                u = used.get(pref, 0.0)
+                if u < budget.get(pref, 0.0) and self._usable(pref):
+                    used[pref] = u + 1.0
+                    self.affinity_hits += 1
+                    return pref
+        if self.fast_lane:
+            best = self._pick_from_heap(principal, budget, used)
+        else:
+            # The server with the most remaining budget this window
+            # (deterministic proportional fill across the allocation).
+            best = None
+            best_slack = 0.0
+            for name, b in budget.items():
+                if not self._usable(name):
+                    continue
+                slack = b - used.get(name, 0.0)
+                if slack > best_slack:
+                    best, best_slack = name, slack
         if best is None:
             # Every budget exhausted (demand burst within a window): spill
             # proportionally to the budgets rather than refuse.
@@ -332,13 +513,85 @@ class L4Switch:
         used[best] = used.get(best, 0.0) + 1.0
         return best
 
+    def _pick_from_heap(
+        self,
+        principal: str,
+        budget: Dict[str, float],
+        used: Dict[str, float],
+    ) -> Optional[str]:
+        """Max-slack pick via the precomputed heap, O(log n) amortised.
+
+        Entries are lazily revalidated: ``used`` moves under the heap
+        (affinity hits, previous picks), so slack recorded in an entry can
+        only *overstate* the truth.  The top therefore bounds the real
+        maximum; a stale top is corrected in place and the loop retried.
+        Slack is always recomputed from ``budget``/``used`` — never by
+        arithmetic on a previous slack — so the comparison keys are
+        bit-identical to the scalar scan's, and the ``insertion_idx``
+        tie-break reproduces its first-in-dict-order choice exactly.
+        """
+        heap = self._slack_heap.get(principal)
+        if not heap:
+            return None
+        set_aside: List[Tuple[float, int, str]] = []
+        best: Optional[str] = None
+        health = self.health
+        while heap:
+            neg, idx, name = heap[0]
+            slack = budget[name] - used.get(name, 0.0)
+            if -neg != slack:
+                heapq.heapreplace(heap, (-slack, idx, name))
+                continue
+            if slack <= 0.0:
+                break  # true maximum is non-positive -> caller spills
+            if health is not None and not health.is_healthy(name):
+                set_aside.append(heapq.heappop(heap))
+                continue
+            best = name
+            break
+        for entry in set_aside:
+            heapq.heappush(heap, entry)
+        return best
+
     # -- reinjection -------------------------------------------------------------------
 
     def _schedule_reinjection(self) -> None:
         """Kernel thread: reinject queued SYNs as the new window's quota
-        allows, oldest first, optionally spread across the window."""
+        allows, oldest first, optionally spread across the window.
+
+        Both lanes consume quota for every release *here*, at install
+        time, so the per-window admitted counts are fixed before any
+        reinjection fires.  The scalar lane then schedules one engine
+        event per SYN; the fast lane coalesces the whole batch into a
+        single pump event that re-arms itself along the same release
+        times — one outstanding heap entry instead of N.
+        """
+        if self.fast_lane:
+            flows: List[FlowRecord] = []
+            for p in self.principals:
+                q = self._syn_queues[p]
+                while q:
+                    flow = q[0]
+                    if not self._try_admit(p, flow.request.cost):
+                        break
+                    q.popleft()
+                    self.reinjected[p] += 1
+                    flows.append(flow)
+            n = len(flows)
+            if not n:
+                return
+            if not self.spread_reinjection:
+                self.sim.schedule(0.0, self._pump_reinjection, flows, None, 0)
+                return
+            # Absolute release times, computed with the exact float
+            # expression the scalar lane uses (now + (idx / n) * length),
+            # so both lanes admit at bit-identical instants.
+            now = self.sim.now
+            length = self.window.length
+            times = [now + (idx / n) * length for idx in range(n)]
+            self.sim.schedule_at(times[0], self._pump_reinjection, flows, times, 0)
+            return
         releases: List[Tuple[float, TcpPacket, Optional[Callable]]] = []
-        offset = 0
         for p in self.principals:
             q = self._syn_queues[p]
             while q:
@@ -354,6 +607,27 @@ class L4Switch:
         for idx, (_, pkt, done) in enumerate(releases):
             delay = (idx / n) * self.window.length if self.spread_reinjection and n else 0.0
             self.sim.schedule(delay, self._reinject, pkt, done)
+
+    def _pump_reinjection(
+        self,
+        flows: List[FlowRecord],
+        times: Optional[List[float]],
+        i: int,
+    ) -> None:
+        """Fast-lane kernel thread: admit every due release, then re-arm
+        once at the next release time (coalesced drain)."""
+        n = len(flows)
+        if times is None:
+            while i < n:
+                self._admit_flow(flows[i])
+                i += 1
+            return
+        now = self.sim.now
+        while i < n and times[i] <= now:
+            self._admit_flow(flows[i])
+            i += 1
+        if i < n:
+            self.sim.schedule_at(times[i], self._pump_reinjection, flows, times, i)
 
     def _reinject(self, pkt: TcpPacket, done: Optional[Callable]) -> None:
         self._admit(pkt, done)

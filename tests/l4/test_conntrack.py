@@ -1,6 +1,6 @@
 import pytest
 
-from repro.l4.conntrack import ConnTracker
+from repro.l4.conntrack import ArenaConnTracker, ConnTracker
 
 TUP = ("C1", 12345, "10.0.0.1", 80)
 
@@ -74,3 +74,114 @@ class TestAffinity:
         ct.open(TUP, "srv-1", "A", now=0.0)
         ct.forget_affinity("C1", "A")
         assert ct.preferred_server("C1", "A") is None
+
+
+@pytest.fixture(params=[ConnTracker, ArenaConnTracker],
+                ids=["scalar", "arena"])
+def tracker_cls(request):
+    return request.param
+
+
+class TestTrackerApiParity:
+    """The arena tracker is a drop-in for the scalar one: every shared
+    API call must behave identically on both implementations."""
+
+    def test_open_lookup_close(self, tracker_cls):
+        ct = tracker_cls()
+        ct.open(TUP, server="srv-1", principal="A", now=0.0)
+        conn = ct.lookup(TUP)
+        assert (conn.server, conn.principal) == ("srv-1", "A")
+        assert TUP in ct and len(ct) == 1
+        assert ct.close(TUP)
+        assert ct.lookup(TUP) is None
+        assert TUP not in ct and len(ct) == 0
+
+    def test_close_unknown_is_falsy(self, tracker_cls):
+        assert not tracker_cls().close(TUP)
+
+    def test_touch_updates(self, tracker_cls):
+        ct = tracker_cls()
+        ct.open(TUP, "srv-1", "A", now=0.0)
+        conn = ct.touch(TUP, now=5.0)
+        assert conn.last_seen == 5.0
+        assert conn.packets == 2
+        assert ct.touch(("C9", 1, "x", 2), now=5.0) is None
+
+    def test_expiry_and_affinity(self, tracker_cls):
+        ct = tracker_cls(idle_timeout=10.0)
+        ct.open(TUP, "srv-1", "A", now=0.0)
+        other = ("C2", 999, "10.0.0.1", 80)
+        ct.open(other, "srv-2", "A", now=0.0)
+        ct.touch(other, now=25.0)
+        assert ct.expire_stale(now=30.0) == [TUP]
+        assert ct.expired == 1
+        assert ct.lookup(other) is not None
+        assert ct.preferred_server("C2", "A") == "srv-2"
+        ct.forget_affinity("C2", "A")
+        assert ct.preferred_server("C2", "A") is None
+
+    def test_bad_timeout(self, tracker_cls):
+        with pytest.raises(ValueError):
+            tracker_cls(idle_timeout=0.0)
+
+
+class TestArenaRing:
+    """Arena-specific structure: slot recycling and the expiry ring."""
+
+    def test_slot_reuse_after_close(self):
+        ct = ArenaConnTracker()
+        s0 = ct.open_slot(TUP, "srv-1", "A", now=0.0)
+        ct.close(TUP)
+        other = ("C2", 999, "10.0.0.1", 80)
+        assert ct.open_slot(other, "srv-2", "A", now=1.0) == s0
+        assert ct.server_of(other) == "srv-2"
+
+    def test_ring_orders_by_last_seen(self):
+        ct = ArenaConnTracker()
+        tups = [("C1", 1000 + i, "10.0.0.1", 80) for i in range(4)]
+        for i, t in enumerate(tups):
+            ct.open(t, "srv-1", "A", now=float(i))
+        # Touching the oldest moves it behind every untouched flow.
+        ct.touch(tups[0], now=10.0)
+        assert list(ct._conns) == [tups[1], tups[2], tups[3], tups[0]]
+
+    def test_expire_walks_only_the_stale_prefix(self):
+        # The ring is last-seen ordered, so the sweep must stop at the
+        # first fresh entry instead of scanning every live flow.
+        ct = ArenaConnTracker(idle_timeout=10.0)
+        tups = [("C1", 1000 + i, "10.0.0.1", 80) for i in range(5)]
+        for i, t in enumerate(tups):
+            ct.open(t, "srv-1", "A", now=float(i))
+        ct.touch(tups[0], now=50.0)   # resurrect the oldest
+        stale = ct.expire_stale(now=52.0)
+        assert stale == [tups[1], tups[2], tups[3], tups[4]]
+        assert list(ct._conns) == [tups[0]]
+        assert len(ct) == 1
+
+    def test_expired_slots_are_recycled(self):
+        ct = ArenaConnTracker(idle_timeout=1.0)
+        ct.open(TUP, "srv-1", "A", now=0.0)
+        ct.expire_stale(now=5.0)
+        other = ("C2", 999, "10.0.0.1", 80)
+        ct.open(other, "srv-2", "A", now=6.0)
+        # Arena did not grow: the expired slot was reused.
+        assert len(ct._tuples) == 1
+
+    def test_interleaved_churn_keeps_index_consistent(self):
+        ct = ArenaConnTracker(idle_timeout=30.0)
+        live = {}
+        for i in range(500):
+            tup = ("C1", 10_000 + i, "10.0.0.1", 80)
+            ct.open(tup, f"srv-{i % 3}", "A", now=float(i))
+            live[tup] = f"srv-{i % 3}"
+            if i % 3 == 0:
+                victim = ("C1", 10_000 + i // 2, "10.0.0.1", 80)
+                if victim in live:
+                    ct.close(victim)
+                    del live[victim]
+        assert len(ct) == len(live)
+        for tup, server in live.items():
+            assert ct.server_of(tup) == server
+        stale = ct.expire_stale(now=600.0)
+        assert sorted(stale) == sorted(live)
+        assert len(ct) == 0

@@ -1,7 +1,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.l4.nat import NatTable
+from repro.l4.nat import ArenaNatTable, NatTable
 from repro.l4.packets import TcpFlags, TcpPacket
 
 CLIENT = ("C1", 12345, "10.0.0.1", 80)
@@ -85,3 +85,78 @@ class TestNatTable:
                 TcpPacket(server, 8080, client_ip, port, flags=TcpFlags.ACK)
             )
             assert (back.src_ip, back.src_port) == ("10.0.0.1", 80)
+
+
+class TestArenaNatTable:
+    """Slotted fast-lane table: scalar-compatible API plus slot recycling."""
+
+    def test_install_translate_remove(self):
+        nat = ArenaNatTable()
+        nat.install(CLIENT, "srv-1", 8080, now=0.0)
+        out = nat.translate_in(TcpPacket(*CLIENT, flags=TcpFlags.SYN))
+        assert (out.dst_ip, out.dst_port) == ("srv-1", 8080)
+        resp = TcpPacket("srv-1", 8080, "C1", 12345, flags=TcpFlags.ACK)
+        back = nat.translate_out(resp)
+        assert (back.src_ip, back.src_port) == ("10.0.0.1", 80)
+        assert nat.remove(CLIENT)
+        assert len(nat) == 0
+        assert nat.translate_in(TcpPacket(*CLIENT)) is None
+        assert not nat.remove(CLIENT)
+
+    def test_duplicate_install_rejected(self):
+        nat = ArenaNatTable()
+        nat.install_slot(CLIENT, "srv-1", 8080, now=0.0)
+        with pytest.raises(ValueError):
+            nat.install_slot(CLIENT, "srv-2", 8080, now=1.0)
+
+    def test_slot_reuse_after_remove(self):
+        nat = ArenaNatTable()
+        s0 = nat.install_slot(CLIENT, "srv-1", 8080, now=0.0)
+        nat.remove(CLIENT)
+        other = ("C2", 999, "10.0.0.1", 80)
+        assert nat.install_slot(other, "srv-2", 9090, now=1.0) == s0
+        out = nat.translate_in(TcpPacket(*other))
+        assert (out.dst_ip, out.dst_port) == ("srv-2", 9090)
+
+    def test_lookup_view_matches_scalar_entry(self):
+        scalar, arena = NatTable(), ArenaNatTable()
+        e1 = scalar.install(CLIENT, "srv-1", 8080, now=3.0)
+        arena.install(CLIENT, "srv-1", 8080, now=3.0)
+        assert arena.lookup(CLIENT) == e1
+        assert scalar.lookup(CLIENT) == arena.lookup(CLIENT)
+
+    def test_scalar_vs_arena_parity_10k_flows(self):
+        """Satellite acceptance: after 10k mixed install/remove/translate
+        operations driven by one deterministic schedule, the slotted table
+        and the dict table hold identical mappings and counters."""
+        scalar, arena = NatTable(), ArenaNatTable()
+        live = []
+        removed = 0
+        for i in range(10_000):
+            client = f"C{i % 7}"
+            port = 10_000 + i
+            tup = (client, port, "10.0.0.1", 80)
+            server = f"srv-{i % 3}"
+            for nat in (scalar, arena):
+                nat.install(tup, server, 8080, now=i * 1e-3)
+            live.append(tup)
+            if i % 3 == 0:
+                victim = live.pop(removed % len(live))
+                removed += 1
+                assert bool(scalar.remove(victim)) == bool(arena.remove(victim))
+            if i % 5 == 0:
+                pkt = TcpPacket(*tup, flags=TcpFlags.ACK, payload_bytes=64)
+                a, b = scalar.translate_in(pkt), arena.translate_in(pkt)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert (a.dst_ip, a.dst_port) == (b.dst_ip, b.dst_port)
+        assert len(scalar) == len(arena) == len(live)
+        assert scalar.rewrites_in == arena.rewrites_in
+        assert scalar.rewrites_out == arena.rewrites_out
+        for tup in live:
+            a, b = scalar.lookup(tup), arena.lookup(tup)
+            assert a == b
+            resp = TcpPacket(a.server[0], a.server[1], tup[0], tup[1],
+                             flags=TcpFlags.ACK)
+            sa, ar = scalar.translate_out(resp), arena.translate_out(resp)
+            assert (sa.src_ip, sa.src_port) == (ar.src_ip, ar.src_port)

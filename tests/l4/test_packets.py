@@ -1,7 +1,7 @@
 import pytest
 
 from repro.cluster.request import Request
-from repro.l4.packets import TcpFlags, TcpPacket
+from repro.l4.packets import FlowRecord, TcpFlags, TcpPacket
 
 
 def _syn():
@@ -55,3 +55,49 @@ class TestTcpPacket:
         f = TcpFlags.SYN | TcpFlags.ACK
         assert f & TcpFlags.SYN
         assert not (f & TcpFlags.FIN)
+
+
+class _SwitchSpy:
+    def __init__(self):
+        self.responses = []
+
+    def _on_response_flow(self, flow, request):
+        self.responses.append((flow, request))
+
+
+class TestFlowRecord:
+    """The fast lane's whole-flow record: one slotted object instead of a
+    SYN + payload + response packet chain."""
+
+    TUP = ("C1", 12345, "10.0.0.1", 80)
+
+    def _flow(self, switch=None):
+        req = Request(principal="A", client_id="C1", created_at=0.0,
+                      size_bytes=4096)
+        return req, FlowRecord(switch or _SwitchSpy(), req, None, self.TUP)
+
+    def test_mirrors_packet_accessors(self):
+        req, flow = self._flow()
+        assert flow.principal == "A"
+        assert flow.src_ip == "C1"
+        assert flow.src_port == 12345
+        assert flow.four_tuple == self.TUP
+        assert flow.payload_bytes == req.size_bytes
+
+    def test_unassigned_until_admitted(self):
+        _, flow = self._flow()
+        assert flow.server is None
+        assert flow.response_bytes == 0
+
+    def test_record_is_the_completion_callback(self):
+        # The server calls ``done(request)``; the record *is* ``done`` —
+        # no per-admission closure is allocated on the fast lane.
+        spy = _SwitchSpy()
+        req, flow = self._flow(spy)
+        flow(req)
+        assert spy.responses == [(flow, req)]
+
+    def test_no_instance_dict(self):
+        _, flow = self._flow()
+        with pytest.raises(AttributeError):
+            flow.arbitrary_attribute = 1

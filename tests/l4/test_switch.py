@@ -6,7 +6,7 @@ from repro.cluster.client import Defer, Drop, Held
 from repro.cluster.request import Request
 from repro.cluster.server import Server
 from repro.core.access import compute_access_levels
-from repro.l4.switch import L4Switch
+from repro.l4.switch import L4Switch, PortSpaceExhausted
 from repro.l4.packets import TcpFlags, TcpPacket
 from repro.scheduling.allocator import Allocation
 from repro.scheduling.window import WindowConfig
@@ -184,3 +184,144 @@ class TestAffinityAndBudgets:
         for _ in range(6):
             switch.handle(_req("A", client="C1"))
         assert switch.affinity_hits == 0
+
+    def test_affinity_survives_idle_sweep(self, fig9_graph):
+        # Satellite: client affinity is SSL-session-style state, held per
+        # (client, principal) — expiring an idle *connection* must not
+        # erase it, so the next SYN from the same client still lands on
+        # the server the client previously bonded to.
+        sim, _, _, _, switch = _world(fig9_graph)
+        switch.install(_alloc({"A": 10.0}, {"A": {"A": 8.0, "B": 8.0}}))
+        switch.handle(_req("A", client="C1"))
+        pinned = switch.conntrack.preferred_server("C1", "A")
+        assert pinned is not None
+        idle = switch.conntrack.idle_timeout
+        assert switch.sweep_idle(now=idle + 1.0) == 1
+        assert len(switch.conntrack) == 0
+        hits_before = switch.affinity_hits
+        switch.handle(_req("A", client="C1"))
+        assert switch.affinity_hits == hits_before + 1
+        tup = next(iter(switch.conntrack._conns))
+        assert switch.conntrack.lookup(tup).server == pinned
+
+
+class TestLaneParity:
+    """The fast lane must be observationally identical to the scalar
+    lane: same counters, same completion order, same server picks."""
+
+    def _drive(self, fig9_graph, fast_lane):
+        sim, _, sa, sb, switch = _world(fig9_graph, fast_lane=fast_lane)
+        done = []
+        switch.install(_alloc({"A": 3.0, "B": 2.0},
+                              {"A": {"A": 8.0, "B": 4.0},
+                               "B": {"A": 2.0, "B": 6.0}}))
+        for i in range(8):
+            p = "A" if i % 3 else "B"
+            switch.handle(
+                Request(principal=p, client_id=f"c{i % 4}", created_at=0.0),
+                done=lambda r: done.append((sim.now, r.client_id, r.served_by)),
+            )
+        sim.run(until=0.1)
+        # Second window drains part of the queue through reinjection.
+        switch.install(_alloc({"A": 2.0, "B": 2.0},
+                              {"A": {"A": 8.0, "B": 4.0},
+                               "B": {"A": 2.0, "B": 6.0}}))
+        sim.run(until=1.0)
+        counters = dict(
+            admitted=dict(switch.admitted), dropped=dict(switch.dropped),
+            queued=dict(switch.queued), reinjected=dict(switch.reinjected),
+            affinity_hits=switch.affinity_hits,
+            queue_lengths=switch.queue_lengths(),
+            completed={"SA": sa.total_completed(), "SB": sb.total_completed()},
+        )
+        return counters, done
+
+    def test_counters_and_trace_match_scalar(self, fig9_graph):
+        fast, fast_done = self._drive(fig9_graph, fast_lane=True)
+        scalar, scalar_done = self._drive(fig9_graph, fast_lane=False)
+        assert fast == scalar
+        assert fast_done == scalar_done
+
+    def test_pick_server_heap_matches_scalar_scan(self, fig9_graph):
+        # The best-slack heap must reproduce the scalar lane's linear
+        # scan choice-for-choice, including the spill once every
+        # budget is exhausted.
+        _, _, _, _, fast = _world(fig9_graph, affinity=False, fast_lane=True)
+        _, _, _, _, scalar = _world(fig9_graph, affinity=False, fast_lane=False)
+        alloc = _alloc({"A": 6.0}, {"A": {"A": 5.0, "B": 3.0}})
+        fast.install(alloc)
+        scalar.install(alloc)
+        picks = [
+            (fast._pick_server("A", "C1"), scalar._pick_server("A", "C1"))
+            for _ in range(20)  # runs well past budget exhaustion -> spill
+        ]
+        assert [a for a, _ in picks] == [b for _, b in picks]
+
+
+class TestCoalescedReinjection:
+    def _queue_then_fund(self, fig9_graph, fast_lane, n=6):
+        sim, _, _, _, switch = _world(
+            fig9_graph, fast_lane=fast_lane, spread_reinjection=False
+        )
+        switch.install(_alloc({"A": 0.0}, {"A": {"A": 32.0}}))
+        for i in range(n):
+            switch.handle(Request(principal="A", client_id=f"c{i}", created_at=0.0))
+        assert switch.queue_lengths()["A"] == n
+        switch.install(_alloc({"A": float(n)}, {"A": {"A": 32.0}}))
+        return sim, switch
+
+    def test_fast_lane_drains_batch_through_one_event(self, fig9_graph):
+        sim, switch = self._queue_then_fund(fig9_graph, fast_lane=True)
+        assert sim.pending == 1  # one pump event for the whole batch
+        sim.run(until=1.0)
+        assert switch.reinjected["A"] == 6
+        assert switch.admitted["A"] == 6
+
+    def test_scalar_lane_schedules_one_event_per_syn(self, fig9_graph):
+        sim, switch = self._queue_then_fund(fig9_graph, fast_lane=False)
+        assert sim.pending == 6
+        sim.run(until=1.0)
+        assert switch.reinjected["A"] == 6
+        assert switch.admitted["A"] == 6
+
+
+class TestPortSpace:
+    VIP = ("10.0.0.1", 80)
+
+    def test_exhaustion_raises_typed_error(self, fig9_graph):
+        # Regression: the old fixed-probe search failed with an untyped
+        # RuntimeError long before the range was actually full.  Now the
+        # cursor wraps the whole span and only then raises.
+        from repro.l4.switch import _PORT_LO, _PORT_SPAN
+
+        _, _, _, _, switch = _world(fig9_graph)
+        switch._pending_tuples.update(
+            ("C1", _PORT_LO + off, *self.VIP) for off in range(_PORT_SPAN)
+        )
+        with pytest.raises(PortSpaceExhausted):
+            switch._claim_tuple("C1")
+        # Another client's port space is untouched.
+        assert switch._claim_tuple("C2")[0] == "C2"
+        # Freeing one tuple makes the claim succeed again.
+        freed = ("C1", _PORT_LO + 7, *self.VIP)
+        switch._pending_tuples.discard(freed)
+        assert switch._claim_tuple("C1") == freed
+
+    def test_free_list_reuses_released_port(self, fig9_graph):
+        _, _, _, _, switch = _world(fig9_graph)
+        tup = switch._claim_tuple("C1")
+        switch._pending_tuples.add(tup)   # tuple goes live
+        switch._pending_tuples.discard(tup)
+        switch._release_port(tup[0], tup[1])
+        # LIFO free list: the released port comes straight back.
+        assert switch._claim_tuple("C1") == tup
+
+    def test_stray_double_release_is_harmless(self, fig9_graph):
+        # A port released while its tuple is still live must not be
+        # handed out: every free-list candidate is re-checked against
+        # NAT/conntrack/pending state.
+        _, _, _, _, switch = _world(fig9_graph)
+        tup = switch._claim_tuple("C1")
+        switch.nat.install(tup, "SA", 80, now=0.0)   # tuple is live
+        switch._release_port(tup[0], tup[1])         # stray release
+        assert switch._claim_tuple("C1") != tup
