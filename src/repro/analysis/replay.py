@@ -21,7 +21,8 @@ import numpy as np
 
 __all__ = [
     "ReplayReport", "scenario_digest", "l4_admission_digest",
-    "fig6_replay", "chaos_replay", "l4_replay",
+    "l7_admission_digest", "fig6_replay", "chaos_replay", "l4_replay",
+    "columnar_replay",
 ]
 
 
@@ -73,6 +74,20 @@ def l4_admission_digest(daemon: Any) -> str:
     """
     h = hashlib.sha256()
     meter = daemon.admission_meter
+    for key in sorted(meter.keys):
+        h.update(key.encode("utf-8"))
+        times, rates = meter.series(key)
+        _hash_floats(h, times)
+        _hash_floats(h, rates)
+    return h.hexdigest()
+
+
+def l7_admission_digest(redirector: Any) -> str:
+    """SHA-256 over an :class:`~repro.l7.redirector.L7Redirector`'s
+    per-window admitted/refused traces — the L7 counterpart of
+    :func:`l4_admission_digest`, hashed by the three-lane parity check."""
+    h = hashlib.sha256()
+    meter = redirector.admission_meter
     for key in sorted(meter.keys):
         h.update(key.encode("utf-8"))
         times, rates = meter.series(key)
@@ -288,4 +303,70 @@ def l4_replay(
         meta={"duration_scale": duration_scale, "seed": seed,
               "lp_cache": lp_cache, "fast_lane": fast_lane,
               "admission_digests": dict(adm_digests)},
+    )
+
+
+def columnar_replay(
+    figure: str = "fig6",
+    duration_scale: float = 0.05,
+    seed: int = 0,
+    lp_cache: bool = True,
+) -> ReplayReport:
+    """Run one figure on all three lanes — scalar, slotted, columnar — and
+    diff their combined digests.
+
+    Every lane runs the *strict open-loop* variant of the scenario (retry
+    pools off — the columnar lane's operating envelope), so the digests
+    are comparable: each combines the full scenario digest with the
+    per-window admitted/refused trace digests (L7 redirectors' admission
+    meters for fig6, the L4 daemon's for fig9/fig10).  IDENTICAL means the
+    columnar lane's bulk window advance reproduces both event lanes
+    bit-for-bit — the PR 6 acceptance contract, extending the PR 2/5 ones.
+    """
+    from repro.experiments.figures import (
+        fig6_scenario, fig9_scenario, fig10_scenario,
+    )
+
+    builders = {
+        "fig6": fig6_scenario, "fig9": fig9_scenario, "fig10": fig10_scenario,
+    }
+    build = builders.get(figure)
+    if build is None:
+        raise ValueError(
+            f"columnar_replay supports {sorted(builders)}, not {figure!r}"
+        )
+    digests: List[str] = []
+    labels: List[str] = []
+    adm_digests: Dict[str, str] = {}
+    meta: Dict[str, Any] = {
+        "duration_scale": duration_scale, "seed": seed, "lp_cache": lp_cache,
+    }
+    for lane in ("scalar", "slotted", "columnar"):
+        sc, _ = build(
+            duration_scale=duration_scale, seed=seed, lp_cache=lp_cache,
+            check_invariants=False, lane=lane, strict_open_loop=True,
+        )
+        if lane == "columnar":
+            meta["columnar_fallback"] = sc.lane_fallback
+            meta["columnar_requests"] = (
+                sc.columnar.requests if sc.columnar is not None else 0
+            )
+        combined = hashlib.sha256()
+        combined.update(scenario_digest(sc).encode("ascii"))
+        for name in sorted(sc.l7_redirectors):
+            adm = l7_admission_digest(sc.l7_redirectors[name])
+            adm_digests[f"{lane}:{name}"] = adm
+            combined.update(adm.encode("ascii"))
+        for name in sorted(sc.l4_daemons):
+            adm = l4_admission_digest(sc.l4_daemons[name])
+            adm_digests[f"{lane}:{name}"] = adm
+            combined.update(adm.encode("ascii"))
+        digests.append(combined.hexdigest())
+        labels.append(lane)
+    meta["admission_digests"] = adm_digests
+    return ReplayReport(
+        scenario=f"{figure}+columnar",
+        digests=digests,
+        labels=labels,
+        meta=meta,
     )

@@ -8,15 +8,18 @@ the whole benchmark ledger rests on.  This module walks Python source with
 ========  ==============================================================
 SIM001    wall-clock read (``time.time``/``datetime.now``/``perf_counter``
           et al.) outside ``benchmarks/`` — simulations must use ``sim.now``
-SIM002    global ``random`` module, unseeded ``np.random.default_rng()``,
-          or the legacy ``np.random.*`` global state — draws must thread
-          :class:`repro.sim.rng.RngStreams` generators
+SIM002    global ``random`` module or unseeded ``np.random.default_rng()``
+          — draws must thread :class:`repro.sim.rng.RngStreams` generators
 SIM003    iteration over a ``set``/``frozenset`` (unordered) — wrap in
           ``sorted(...)`` so downstream heap/RNG/LP row order is stable
 SIM004    ``heapq.heappush`` of a bare ``(time, payload)`` 2-tuple — heap
           entries need a total-order tie-breaker: ``(time, seq, payload)``
 SIM005    ``threading`` or ``global`` mutable state in parallel job
           payloads (``experiments/`` workers must be share-nothing)
+SIM006    legacy ``np.random.*`` module-level RandomState use
+          (``np.random.rand``, ``np.random.seed``, …) — one hidden global
+          stream breaks substream isolation even when seeded; the columnar
+          lane's bulk draws rely on per-client spawned generators
 ========  ==============================================================
 
 Suppression: append ``# simlint: disable=SIM001`` (comma-separated codes,
@@ -54,6 +57,7 @@ RULES: Dict[str, str] = {
     "SIM003": "iteration over an unordered set (wrap in sorted(...))",
     "SIM004": "heap entry without a total-order tie-breaker",
     "SIM005": "threading / shared mutable global in a parallel payload",
+    "SIM006": "legacy numpy.random module-level RandomState use",
 }
 
 # time-module functions that read host clocks.
@@ -129,7 +133,7 @@ def _dotted_parts(node: ast.AST) -> Optional[List[str]]:
 
 
 class _Linter(ast.NodeVisitor):
-    """Single-pass visitor implementing SIM001–SIM005."""
+    """Single-pass visitor implementing SIM001–SIM006."""
 
     def __init__(
         self,
@@ -235,9 +239,11 @@ class _Linter(ast.NodeVisitor):
                        f"`{full}` draws from the global `random` module; "
                        "thread a repro.sim.rng generator instead")
         elif base == "numpy.random" and attr not in _NP_RANDOM_OK:
-            self._flag(node, "SIM002",
-                       f"`{full}` uses numpy's global RandomState; "
-                       "thread a repro.sim.rng generator instead")
+            self._flag(node, "SIM006",
+                       f"`{full}` uses numpy's module-level RandomState: "
+                       "one hidden global stream, so draw order couples "
+                       "unrelated components and replays diverge; thread "
+                       "a spawned repro.sim.rng generator instead")
         if self.in_experiments and base == "threading":
             self._flag(node, "SIM005",
                        f"`{full}` in an experiments/ module: parallel "
@@ -444,7 +450,7 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
-        prog="simlint", description="simulation determinism lint (SIM001-SIM005)"
+        prog="simlint", description="simulation determinism lint (SIM001-SIM006)"
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint")

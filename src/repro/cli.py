@@ -7,16 +7,17 @@
     python -m repro inspect A:1000 B:1500 C A-B:0.4:0.6 B-C:0.6:1.0
     python -m repro baseline [--duration 20]
     python -m repro lint    [src/repro ...]
-    python -m repro check   [--scenario fig6|faultmatrix|fig9|fig10] [--runs 2]
+    python -m repro check   [--scenario fig6 [--scenario fig9 ...]] [--runs 2]
     python -m repro chaos   [--random N | --plan plan.json] [--replay 2]
 
 ``figures`` reruns the paper's evaluation and prints pass/fail per figure;
 ``report`` renders the full paper-vs-measured markdown; ``inspect`` values
 an agreement graph given on the command line; ``baseline`` compares
 coordinated enforcement against a WRR front end; ``lint`` runs the
-simulation-determinism lint (SIM001–SIM005, see docs/DETERMINISM.md);
-``check`` replays a scenario and compares trace digests, with the runtime
-invariant checker on the final run; ``chaos`` injects faults (the
+simulation-determinism lint (SIM001–SIM006, see docs/DETERMINISM.md);
+``check`` replays one or more scenarios and compares trace digests, with
+the runtime invariant checker on the final run — for fig6/fig9/fig10 it
+also diffs the scalar, slotted and columnar lanes against each other; ``chaos`` injects faults (the
 canonical coordination partition, a seeded random plan, or a JSON plan
 file) into the fault-matrix world and reports degradation and recovery
 (see docs/FAULTS.md).
@@ -64,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="L4 switch flow-record fast lane for fig9/fig10 "
                             "(--no-l4-fast-lane runs the per-packet scalar "
                             "path; traces are bit-identical either way)")
+    p_fig.add_argument("--columnar", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="run fig6/fig9 on the columnar lane (strict "
+                            "open-loop scenario variant, whole workload "
+                            "phases advanced as numpy columns)")
     p_fig.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the figure batch "
                             "(results are independent of this)")
@@ -95,7 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_base.add_argument("--seed", type=int, default=0)
 
     p_lint = sub.add_parser(
-        "lint", help="determinism/conservation static analysis (SIM001-SIM005)"
+        "lint", help="determinism/conservation static analysis (SIM001-SIM006)"
     )
     p_lint.add_argument("paths", nargs="*", default=[],
                         help="files or directories to lint (default: src/repro)")
@@ -103,13 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk = sub.add_parser(
         "check", help="replay-determinism harness with runtime invariants"
     )
-    p_chk.add_argument("--scenario", type=str, default="fig6",
+    p_chk.add_argument("--scenario", type=str, action="append", default=None,
                        choices=["fig6", "faultmatrix", "fig9", "fig10"],
-                       help="scenario to replay (fig6 covers the full "
-                            "stack; faultmatrix adds fault injection, "
-                            "failure detection and tree healing; fig9/"
-                            "fig10 diff the L4 fast lane against the "
-                            "scalar packet path)")
+                       help="scenario to replay; repeatable (default: fig6). "
+                            "fig6 covers the full stack; faultmatrix adds "
+                            "fault injection, failure detection and tree "
+                            "healing; fig9/fig10 diff the L4 fast lane "
+                            "against the scalar packet path")
     p_chk.add_argument("--scale", type=float, default=0.05,
                        help="phase-duration scale for each replay run")
     p_chk.add_argument("--seed", type=int, default=0)
@@ -119,6 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
                        default=True,
                        help="add a final run with the runtime invariant "
                             "checker on; its digest must match too")
+    p_chk.add_argument("--columnar", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="for fig6/fig9/fig10, also require the scalar, "
+                            "slotted and columnar lanes to produce identical "
+                            "digests on the strict open-loop scenario "
+                            "(--no-columnar skips the three-lane diff)")
 
     p_chaos = sub.add_parser(
         "chaos", help="fault injection: partition/heal matrix or a custom plan"
@@ -190,17 +202,20 @@ def _cmd_figures(args) -> int:
     lp_cache = getattr(args, "lp_cache", True)
     fast_lane = getattr(args, "fast_lane", True)
     l4_fast_lane = getattr(args, "l4_fast_lane", True)
+    lane = "columnar" if getattr(args, "columnar", False) else None
     jobs = max(1, getattr(args, "jobs", 1))
     if jobs > 1:
         results = dict(run_figures_parallel(
             known, scale=args.scale, seed=args.seed, jobs=jobs,
             lp_cache=lp_cache, fast_lane=fast_lane, l4_fast_lane=l4_fast_lane,
+            lane=lane,
         ))
     else:
         results = {
             n: ALL_FIGURES[n](**figure_kwargs(n, args.scale, args.seed, lp_cache,
                                               fast_lane=fast_lane,
-                                              l4_fast_lane=l4_fast_lane))
+                                              l4_fast_lane=l4_fast_lane,
+                                              lane=lane))
             for n in known
         }
     for name in wanted:
@@ -300,23 +315,35 @@ def _cmd_lint(args) -> int:
 def _cmd_check(args) -> int:
     from functools import partial
 
-    from repro.analysis.replay import chaos_replay, fig6_replay, l4_replay
-
-    if args.scenario == "fig6":
-        replay = fig6_replay
-    elif args.scenario == "faultmatrix":
-        replay = chaos_replay
-    else:
-        # fig9/fig10: fast-vs-scalar L4 lane parity, not just replay.
-        replay = partial(l4_replay, figure=args.scenario)
-    report = replay(
-        duration_scale=args.scale,
-        seed=args.seed,
-        runs=args.runs,
-        with_invariants=args.check_invariants,
+    from repro.analysis.replay import (
+        chaos_replay, columnar_replay, fig6_replay, l4_replay,
     )
-    print(report.render())
-    return 0 if report.ok else 1
+
+    scenarios = args.scenario or ["fig6"]
+    failures = 0
+    for scenario in scenarios:
+        if scenario == "fig6":
+            replay = fig6_replay
+        elif scenario == "faultmatrix":
+            replay = chaos_replay
+        else:
+            # fig9/fig10: fast-vs-scalar L4 lane parity, not just replay.
+            replay = partial(l4_replay, figure=scenario)
+        report = replay(
+            duration_scale=args.scale,
+            seed=args.seed,
+            runs=args.runs,
+            with_invariants=args.check_invariants,
+        )
+        print(report.render())
+        failures += 0 if report.ok else 1
+        if args.columnar and scenario != "faultmatrix":
+            three = columnar_replay(
+                figure=scenario, duration_scale=args.scale, seed=args.seed,
+            )
+            print(three.render())
+            failures += 0 if three.ok else 1
+    return 1 if failures else 0
 
 
 def _chaos_plan(args):

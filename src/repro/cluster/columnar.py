@@ -1,0 +1,861 @@
+"""Columnar mega-scale lane: vectorized open-loop phases (third tier).
+
+The scalar lane pays one heap event and one Python object per request; the
+slotted fast lanes (PRs 2/5) cut the per-request constant but keep the
+event-per-request shape.  This lane removes it: each open-loop client's
+arrivals live as struct-of-arrays numpy columns (arrival time, principal
+code, cost, assigned server slot, completion time) and the whole window
+advances in one engine event — the :class:`ColumnarEngine` pump.
+
+Determinism contract (the reason this lane can be digest-pinned against
+the other two):
+
+- **Draws** come from the same three spawned child generators as
+  :class:`repro.cluster.workload.WorkloadStream` (``rng.spawn(3)``; the gap
+  stream consumed in blocks — numpy generators are chunk-size invariant, so
+  any batch size reproduces the scalar chain bit-for-bit).
+- **Arrival times** are ``np.cumsum`` chains seeded at the carried cursor:
+  cumsum accumulates left-to-right, so batched restarts equal the scalar
+  ``fl(t + gap)`` recurrence exactly (batch-size invariance by
+  construction).
+- **Admission** replays :class:`repro.scheduling.queueing.ImplicitQuota`
+  arithmetic vectorised against the *live* quota object: budgets are
+  floats minus integer request costs, and float-minus-smaller-integer is
+  exact, so the greedy prefix equals the scalar ``try_admit`` sequence.
+- **Service** replays the server recurrence
+  ``F_i = fl(max(a_i, F_{i-1}) + fl(cost_i / capacity))`` with exact
+  vectorised fast paths (all-idle: ``F = a + s``; all-busy: seeded cumsum)
+  whose preconditions are *checked on the exact values*, falling back to a
+  tight scalar loop for mixed windows.
+- **Ordering** at equal-time events follows the engine's sequence-number
+  rules: the pump is scheduled before any other component (smallest
+  construction seq, re-armed first at every boundary by induction), client
+  streams merge in creation order, and completions/busy-time — whose
+  effects are order-free (bin-keyed meters, integer counters) — commit in
+  per-server batches at the boundary.
+
+Scope: strict open-loop only.  Closed-loop clients, retries
+(``max_retry_pool > 0``), response callbacks, faults/health checks,
+explicit/credit queuing and tracing all fall back to the slotted lane (see
+``Scenario``).  Request costs are integers by construction
+(``max(1, round(size/unit))``), which several exactness arguments above
+rely on.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.client import _merge_windows
+from repro.cluster.workload import RequestMix
+from repro.l7.redirector import L7Redirector
+from repro.scheduling.window import WindowConfig
+from repro.sim.engine import Simulator
+from repro.sim.monitor import RateMeter
+from repro.sim.stats import StreamingStats
+
+__all__ = ["ColumnarClient", "ColumnarEngine", "ColumnarStream"]
+
+_EMPTY = np.empty(0, dtype=float)
+_NEG_INF = float("-inf")
+_INF = float("inf")
+# Same literal arithmetic as ImplicitQuota.try_admit's `cost - 1e-9` at
+# cost=1.0, so the unit-cost comparisons below are bit-identical.
+_UNIT_THR = 1.0 - 1e-9
+
+
+def _unit_admit(budget: float, n: int) -> int:
+    """Number of unit-cost requests the quota admits, scalar-exact.
+
+    ``try_admit`` admits while ``budget - i >= fl(1 - 1e-9)``; for budgets
+    below 2**53 every intermediate ``budget - i`` is exactly representable,
+    so the count is a vectorised prefix length over exact comparisons.
+    """
+    if n <= 0 or budget < _UNIT_THR:
+        return 0
+    m = min(n, int(budget) + 2)
+    k = int(np.count_nonzero((budget - np.arange(m, dtype=float)) >= _UNIT_THR))
+    return min(k, n)
+
+
+def _greedy_admit(budget: float, costs: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Vectorised replay of sequential ``try_admit`` over integer costs.
+
+    Returns (admitted mask, new budget).  Within a run of admits the
+    budget is ``budget - cumsum`` (exact: integer partial sums, and
+    float-minus-integer never rounds while the result stays smaller in
+    magnitude); each refusal consumes no budget, so runs restart after it.
+    """
+    n = costs.shape[0]
+    mask = np.zeros(n, dtype=bool)
+    j = 0
+    while j < n:
+        rem = costs[j:]
+        csum = np.cumsum(rem)
+        prev = csum - rem
+        ok = (budget - prev) >= (rem - 1e-9)
+        if not ok[0]:
+            j += 1
+            continue
+        k = rem.shape[0] if ok.all() else int(np.argmax(~ok))
+        mask[j:j + k] = True
+        budget -= float(csum[k - 1])
+        j += k
+        if j < n:
+            j += 1  # the first over-budget request is refused, budget-free
+    return mask, budget
+
+
+class ColumnarStream:
+    """Bulk gap/cost draws bit-matching :class:`WorkloadStream`'s streams.
+
+    Spawns the identical three child generators (sizes, flags, gaps) from
+    the client RNG.  Sizes/flags are only consumed when the mix uses
+    size-proportional costs — they feed no observable state otherwise, and
+    each child stream is independent, so skipping them cannot perturb the
+    gap draws.
+    """
+
+    __slots__ = (
+        "mix", "arrivals", "spacing", "jitter", "batch",
+        "_size_rng", "_flag_rng", "_gap_rng", "_unit",
+        "_gap_buf", "_gap_i", "_cost_buf", "_cost_i",
+    )
+
+    def __init__(
+        self,
+        mix: RequestMix,
+        rng: np.random.Generator,
+        rate: float,
+        arrivals: str = "uniform",
+        jitter: float = 0.0,
+        batch: int = 65536,
+    ):
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if arrivals not in ("uniform", "poisson"):
+            raise ValueError(f"unknown arrival process {arrivals!r}")
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.mix = mix
+        self.arrivals = arrivals
+        self.spacing = 1.0 / float(rate)
+        self.jitter = float(jitter)
+        self.batch = int(batch)
+        self._size_rng, self._flag_rng, self._gap_rng = rng.spawn(3)
+        self._unit = (
+            (mix.unit_bytes or mix.sampler.mean_bytes) if mix.size_cost else None
+        )
+        self._gap_buf: Optional[np.ndarray] = None
+        self._gap_i = 0
+        self._cost_buf: Optional[np.ndarray] = None
+        self._cost_i = 0
+
+    def gap_view(self) -> np.ndarray:
+        """The remaining buffered gaps (refilled when exhausted)."""
+        buf = self._gap_buf
+        if buf is None or self._gap_i >= buf.shape[0]:
+            n = self.batch
+            if self.arrivals == "poisson":
+                buf = self._gap_rng.exponential(self.spacing, size=n)
+            elif self.jitter > 0:
+                j = self.jitter
+                buf = self.spacing * (1.0 + self._gap_rng.uniform(-j, j, size=n))
+            else:
+                buf = np.full(n, self.spacing)
+            self._gap_buf = buf
+            self._gap_i = 0
+            return buf
+        return buf[self._gap_i:]
+
+    def consume_gaps(self, m: int) -> None:
+        self._gap_i += m
+
+    def take_costs(self, m: int) -> Optional[np.ndarray]:
+        """The next ``m`` request costs (None for unit-cost mixes)."""
+        if self._unit is None:
+            return None
+        out: List[np.ndarray] = []
+        while m:
+            buf = self._cost_buf
+            if buf is None or self._cost_i >= buf.shape[0]:
+                sizes = self.mix.sampler.sample(self._size_rng, size=self.batch)
+                buf = np.maximum(1.0, np.round(sizes / self._unit))
+                self._cost_buf = buf
+                self._cost_i = 0
+            take = min(m, buf.shape[0] - self._cost_i)
+            out.append(buf[self._cost_i:self._cost_i + take])
+            self._cost_i += take
+            m -= take
+        return out[0] if len(out) == 1 else np.concatenate(out)
+
+
+class ColumnarClient:
+    """Open-loop client whose arrivals are generated as columns.
+
+    Mirrors :class:`repro.cluster.client.ClientMachine`'s observable
+    surface (counters, ``response_stats``, activity schedule) but never
+    touches the event heap — the :class:`ColumnarEngine` pump pulls whole
+    windows via :meth:`take_until`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        principal: str,
+        redirector,
+        rate: float,
+        rng: np.random.Generator,
+        active_windows: Optional[Sequence[Tuple[float, float]]] = None,
+        mix: Optional[RequestMix] = None,
+        mode: str = "open",
+        jitter: float = 0.0,
+        arrivals: str = "uniform",
+        max_retry_pool: Optional[int] = 0,
+        retry_delay: float = 0.2,
+        retry_jitter: float = 0.5,
+        on_response=None,
+        batch: int = 65536,
+        rt_reservoir: int = 4096,
+        track_responses: bool = True,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if mode != "open":
+            raise ValueError("columnar lane supports open-loop clients only")
+        if max_retry_pool != 0:
+            raise ValueError(
+                "columnar lane requires max_retry_pool=0 (strict open loop)"
+            )
+        if on_response is not None:
+            raise ValueError("columnar lane does not support on_response hooks")
+        self.sim = sim
+        self.name = name
+        self.principal = principal
+        self.redirector = redirector
+        self.rate = float(rate)
+        self.rng = rng
+        self.active_windows = (
+            list(active_windows) if active_windows is not None else None
+        )
+        self.mix = mix or RequestMix()
+        self.mode = mode
+        self.jitter = float(jitter)
+        self.arrivals = arrivals
+        self.max_retry_pool = 0
+        self.track_responses = bool(track_responses)
+
+        if self.active_windows is None:
+            self._win_starts: Optional[List[float]] = None
+            self._win_ends: Optional[List[float]] = None
+        else:
+            self._win_starts, self._win_ends = _merge_windows(self.active_windows)
+
+        self.issued = 0
+        self.admitted = 0
+        self.completed = 0
+        self.deferred = 0
+        self.dropped = 0
+        self.response_stats = StreamingStats(
+            reservoir=rt_reservoir, seed=zlib.crc32(name.encode("utf-8")) or 1
+        )
+
+        self.stream = ColumnarStream(
+            self.mix, rng, rate=self.rate, arrivals=arrivals,
+            jitter=self.jitter, batch=batch,
+        )
+        # Engine-assigned dense codes (set at registration).
+        self._code = -1
+        self._pcode = -1
+
+        # Cursor: time of the next emitting tick, normalized onto an
+        # active segment (inactive jumps consume no draws, exactly like
+        # the scalar `_open_tick`'s schedule_at(next_start)).
+        t: Optional[float] = 0.0
+        if not self.is_active(0.0):
+            t = self._next_segment_start(0.0)
+        self._t_next = t
+
+    # -- measurements ------------------------------------------------------
+
+    @property
+    def response_times(self) -> List[float]:
+        return self.response_stats.samples
+
+    # -- activity ----------------------------------------------------------
+
+    def is_active(self, t: float) -> bool:
+        starts = self._win_starts
+        if starts is None:
+            return True
+        i = bisect_right(starts, t) - 1
+        return i >= 0 and t < self._win_ends[i]
+
+    def _segment_end(self, t: float) -> float:
+        starts = self._win_starts
+        if starts is None:
+            return _INF
+        i = bisect_right(starts, t) - 1
+        return self._win_ends[i]
+
+    def _next_segment_start(self, t: float) -> Optional[float]:
+        starts = self._win_starts or []
+        i = bisect_right(starts, t)
+        return starts[i] if i < len(starts) else None
+
+    # -- bulk generation ---------------------------------------------------
+
+    def take_until(
+        self, hi: float, closed: bool = False
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """All arrivals with ``t < hi`` (``<= hi`` when closed) as columns.
+
+        Advances the cursor; (times, costs) with costs None for unit-cost
+        mixes.  Each call continues the exact cumsum chain of the previous
+        one, so per-window takes equal one whole-phase take element-wise.
+        """
+        t = self._t_next
+        if t is None:
+            return _EMPTY, None
+        stream = self.stream
+        out: List[np.ndarray] = []
+        m_total = 0
+        while t is not None:
+            if (t > hi) if closed else (t >= hi):
+                break
+            end = self._segment_end(t)
+            while True:
+                gaps = stream.gap_view()
+                chain = np.cumsum(np.concatenate(((t,), gaps)))
+                cand = chain[:-1]
+                ok = cand < end
+                if closed:
+                    ok &= cand <= hi
+                else:
+                    ok &= cand < hi
+                m = int(ok.sum())  # candidates are monotone: prefix length
+                if m:
+                    out.append(cand[:m])
+                    stream.consume_gaps(m)
+                    m_total += m
+                if m == cand.shape[0]:
+                    t = float(chain[-1])
+                    continue  # block exhausted mid-segment: refill
+                t = float(chain[m])
+                break
+            if t >= end:
+                # Tick falls outside the segment: the scalar loop jumps to
+                # the next activity start without consuming a draw.
+                t = self._next_segment_start(t)
+                continue
+            break  # stopped on the window bound, cursor stays mid-segment
+        self._t_next = t
+        if not m_total:
+            return _EMPTY, None
+        times = out[0] if len(out) == 1 else np.concatenate(out)
+        return times, stream.take_costs(m_total)
+
+
+class _ServerLane:
+    """Per-server columnar drain: exact Lindley recurrence over batches."""
+
+    __slots__ = (
+        "engine", "server",
+        "free_at", "_push",
+        "_pf", "_ps", "_psv", "_pcl", "_ppr", "_pcr", "_pco", "_busy_ptr",
+    )
+
+    def __init__(self, engine: "ColumnarEngine", server) -> None:
+        self.engine = engine
+        self.server = server
+        self.free_at = _NEG_INF
+        self._push: List[tuple] = []
+        self._pf = _EMPTY          # completion times (nondecreasing)
+        self._ps = _EMPTY          # service-start times (nondecreasing)
+        self._psv = _EMPTY         # service durations
+        self._pcl = np.empty(0, dtype=np.int64)   # client codes
+        self._ppr = np.empty(0, dtype=np.int64)   # principal codes
+        self._pcr = _EMPTY         # request creation times
+        self._pco: Optional[np.ndarray] = None    # costs (None == all 1.0)
+        self._busy_ptr = 0
+
+    def push(
+        self,
+        times: np.ndarray,
+        costs: Optional[np.ndarray],
+        created: np.ndarray,
+        clients: np.ndarray,
+        prins: np.ndarray,
+    ) -> None:
+        """Queue one group's submissions (already in event order)."""
+        self._push.append((times, costs, created, clients, prins))
+
+    def advance(self, now: float) -> None:
+        if self._push:
+            self._drain(*self._merge_pushes())
+        self._commit(now)
+
+    def _merge_pushes(self):
+        chunks = self._push
+        self._push = []
+        if len(chunks) == 1:
+            ts, costs, created, cl, pr = chunks[0]
+        else:
+            ts = np.concatenate([c[0] for c in chunks])
+            if any(c[1] is not None for c in chunks):
+                costs = np.concatenate([
+                    c[1] if c[1] is not None else np.ones(c[0].shape[0])
+                    for c in chunks
+                ])
+            else:
+                costs = None
+            created = np.concatenate([c[2] for c in chunks])
+            cl = np.concatenate([c[3] for c in chunks])
+            pr = np.concatenate([c[4] for c in chunks])
+            # Same-time submissions from different chunks interleave by
+            # client creation order — the engine's equal-time event order
+            # (chunks never share a client, so this is a total order).
+            order = np.lexsort((cl, ts))
+            ts = ts[order]
+            created = created[order]
+            cl = cl[order]
+            pr = pr[order]
+            if costs is not None:
+                costs = costs[order]
+        return ts, costs, created, cl, pr
+
+    def _drain(self, ts, costs, created, cl, pr) -> None:
+        srv = self.server
+        n = ts.shape[0]
+        if costs is None:
+            sv = np.full(n, 1.0 / srv.capacity)
+        else:
+            sv = costs / srv.capacity
+        f_prev = self.free_at
+        # Three exact paths.  The preconditions are evaluated on the very
+        # values the scalar recurrence would produce, so a passing check
+        # *proves* the vectorised result equals the sequential one.
+        f_idle = ts + sv
+        if ts[0] >= f_prev and (n == 1 or bool(np.all(ts[1:] >= f_idle[:-1]))):
+            F, S = f_idle, ts
+        else:
+            f_sat = np.cumsum(np.concatenate(((f_prev,), sv)))[1:]
+            if ts[0] <= f_prev and (n == 1 or bool(np.all(ts[1:] <= f_sat[:-1]))):
+                F = f_sat
+                S = np.concatenate(((f_prev,), f_sat[:-1]))
+            else:
+                tl = ts.tolist()
+                svl = sv.tolist()
+                starts: List[float] = []
+                fins: List[float] = []
+                f = f_prev
+                ap_s = starts.append
+                ap_f = fins.append
+                for i in range(n):
+                    a = tl[i]
+                    s0 = a if a > f else f
+                    ap_s(s0)
+                    f = s0 + svl[i]
+                    ap_f(f)
+                F = np.asarray(fins)
+                S = np.asarray(starts)
+        self.free_at = float(F[-1])
+        # Append to the uncommitted tail (both F and S are nondecreasing,
+        # within the batch and across batches).
+        if self._pf.shape[0]:
+            self._pf = np.concatenate((self._pf, F))
+            self._ps = np.concatenate((self._ps, S))
+            self._psv = np.concatenate((self._psv, sv))
+            self._pcl = np.concatenate((self._pcl, cl))
+            self._ppr = np.concatenate((self._ppr, pr))
+            self._pcr = np.concatenate((self._pcr, created))
+            if self._pco is not None or costs is not None:
+                old = (
+                    self._pco if self._pco is not None
+                    else np.ones(self._pf.shape[0] - n)
+                )
+                new = costs if costs is not None else np.ones(n)
+                self._pco = np.concatenate((old, new))
+        else:
+            self._pf, self._ps, self._psv = F, S, sv
+            self._pcl, self._ppr, self._pcr = cl, pr, created
+            self._pco = costs
+
+    def _commit(self, now: float) -> None:
+        pf = self._pf
+        if not pf.shape[0]:
+            return
+        srv = self.server
+        # Busy time accrues at service *start*; seeded cumsum replays the
+        # scalar `busy_time += service` adds in order.
+        j = int(np.searchsorted(self._ps, now, side="right"))
+        if j > self._busy_ptr:
+            seg = self._psv[self._busy_ptr:j]
+            srv.busy_time = float(
+                np.cumsum(np.concatenate(((srv.busy_time,), seg)))[-1]
+            )
+            self._busy_ptr = j
+        k = int(np.searchsorted(pf, now, side="right"))
+        if not k:
+            return
+        engine = self.engine
+        meter = engine.meter
+        Fc = pf[:k]
+        clc = self._pcl[:k]
+        prc = self._ppr[:k]
+        crc = self._pcr[:k]
+        coc = self._pco[:k] if self._pco is not None else None
+        meter.record_many(f"server:{srv.name}", Fc)
+        completed = srv.completed
+        for code in np.unique(prc).tolist():
+            pname = engine.principal_names[code]
+            m = prc == code
+            tp = Fc[m]
+            completed[pname] = completed.get(pname, 0) + int(tp.shape[0])
+            meter.record_many(pname, tp)
+            if coc is None:
+                meter.record_many(f"units:{pname}", tp)
+            else:
+                meter.record_many(f"units:{pname}", tp, weights=coc[m])
+        clients = engine.clients_by_code
+        for code in np.unique(clc).tolist():
+            cli = clients[code]
+            m = clc == code
+            cnt = int(np.count_nonzero(m))
+            cli.completed += cnt
+            if cli.track_responses:
+                cli.response_stats.update_many(Fc[m] - crc[m])
+        self._pf = pf[k:]
+        self._ps = self._ps[k:]
+        self._psv = self._psv[k:]
+        self._pcl = self._pcl[k:]
+        self._ppr = self._ppr[k:]
+        self._pcr = self._pcr[k:]
+        if self._pco is not None:
+            self._pco = self._pco[k:]
+        self._busy_ptr -= k
+
+
+class _L7Group:
+    """Columnar drive of one implicit-quota :class:`L7Redirector`."""
+
+    def __init__(self, engine: "ColumnarEngine", red: L7Redirector) -> None:
+        if red.queuing != "implicit":
+            raise ValueError("columnar lane requires implicit queuing")
+        self.engine = engine
+        self.red = red
+        self._clients_by_p: Dict[str, List[ColumnarClient]] = {}
+        self._order: List[ColumnarClient] = []
+        sole = None
+        if red.health is None and len(red.servers) == 1:
+            owner, pool = next(iter(red.servers.items()))
+            if len(pool) == 1:
+                sole = (owner, pool[0])
+        self._sole = sole
+        self._fallback_ok: Dict[str, bool] = {}
+
+    def add_client(self, client: ColumnarClient) -> None:
+        p = client.principal
+        if p not in self.red._arrivals:
+            raise ValueError(f"unknown principal {p!r} for {self.red.name}")
+        self._clients_by_p.setdefault(p, []).append(client)
+        self._order.append(client)
+
+    def advance(self, hi: float, closed: bool) -> None:
+        if self._sole is not None:
+            for p, cs in self._clients_by_p.items():
+                self._advance_fast(p, cs, hi, closed)
+        else:
+            self._advance_loop(hi, closed)
+
+    # -- single-server fast path ------------------------------------------
+
+    def _window_server(self, p: str):
+        """The constant pick `_pick_server(p)` would return all window.
+
+        With one owner and a one-server pool the smooth-WRR choice cannot
+        vary within a window: non-empty weights always yield the sole
+        owner, empty weights fall back to the mandatory-entitlement owner
+        (or None).  Skipping the per-admit WRR state advance is therefore
+        unobservable.
+        """
+        red = self.red
+        owner, srv = self._sole
+        if red._wrr[p]._weights:
+            return srv
+        ok = self._fallback_ok.get(p)
+        if ok is None:
+            i = red.access.index(p)
+            ok = any(
+                k in red.servers and red._w.MI[i, red.access.index(k)] > 1e-12
+                for k in red.principals
+            )
+            self._fallback_ok[p] = ok
+        return srv if ok else None
+
+    def _advance_fast(
+        self, p: str, cs: List[ColumnarClient], hi: float, closed: bool
+    ) -> None:
+        red = self.red
+        engine = self.engine
+        parts: List[np.ndarray] = []
+        codes: List[np.ndarray] = []
+        cost_parts: List[Optional[np.ndarray]] = []
+        total = 0
+        any_costs = False
+        for c in cs:
+            t, cost = c.take_until(hi, closed)
+            n = t.shape[0]
+            if not n:
+                continue
+            c.issued += n
+            parts.append(t)
+            codes.append(np.full(n, c._code, dtype=np.int64))
+            cost_parts.append(cost)
+            if cost is not None:
+                any_costs = True
+            total += n
+        if not total:
+            return
+        engine.requests += total
+        if len(parts) == 1:
+            ts, cl = parts[0], codes[0]
+            costs = cost_parts[0]
+        else:
+            ts = np.concatenate(parts)
+            cl = np.concatenate(codes)
+            costs = None
+            if any_costs:
+                costs = np.concatenate([
+                    cp if cp is not None else np.ones(pp.shape[0])
+                    for cp, pp in zip(cost_parts, parts)
+                ])
+            # Stable sort over per-client sorted blocks concatenated in
+            # creation order == the engine's equal-time event order.
+            order = np.argsort(ts, kind="stable")
+            ts = ts[order]
+            cl = cl[order]
+            if costs is not None:
+                costs = costs[order]
+        # Demand estimate: one bulk add per window from a zeroed counter
+        # equals the scalar's sequential `+= cost` chain (cumsum is
+        # left-to-right; integer unit costs sum exactly).
+        if costs is None:
+            red._arrivals[p] += float(total)
+        else:
+            red._arrivals[p] += float(np.cumsum(costs)[-1])
+        quota = red.quota
+        budget = quota._budget[p]
+        if costs is None:
+            n_adm = _unit_admit(budget, total)
+            new_budget = budget - float(n_adm)
+            adm_t, adm_cl, adm_costs = ts[:n_adm], cl[:n_adm], None
+            ref_cl = cl[n_adm:]
+        else:
+            mask, new_budget = _greedy_admit(budget, costs)
+            n_adm = int(np.count_nonzero(mask))
+            adm_t, adm_cl, adm_costs = ts[mask], cl[mask], costs[mask]
+            ref_cl = cl[~mask]
+        quota._budget[p] = new_budget
+        quota.admitted[p] += n_adm
+        quota.rejected[p] += total - n_adm
+        srv = self._window_server(p) if n_adm else None
+        clients = engine.clients_by_code
+        if n_adm and srv is None:
+            # handle()'s admitted-but-no-usable-server fallthrough.
+            quota.rejected[p] += n_adm
+            red.self_redirects[p] += total
+            for code, cnt in enumerate(np.bincount(cl).tolist()):
+                if cnt:
+                    cli = clients[code]
+                    cli.deferred += cnt
+                    cli.dropped += cnt
+            return
+        red.admitted[p] += n_adm
+        red.self_redirects[p] += total - n_adm
+        if n_adm:
+            for code, cnt in enumerate(np.bincount(adm_cl).tolist()):
+                if cnt:
+                    clients[code].admitted += cnt
+        if ref_cl.shape[0]:
+            for code, cnt in enumerate(np.bincount(ref_cl).tolist()):
+                if cnt:
+                    cli = clients[code]
+                    cli.deferred += cnt
+                    cli.dropped += cnt
+        if n_adm:
+            engine.lane(srv).push(
+                adm_t, adm_costs, adm_t, adm_cl,
+                np.full(n_adm, engine.principal_code(p), dtype=np.int64),
+            )
+
+    # -- general event-loop path ------------------------------------------
+
+    def _advance_loop(self, hi: float, closed: bool) -> None:
+        """Multi-owner/pooled redirectors: per-event replay of ``handle``
+        against the live quota/WRR state (shared ``_server_wrr`` state
+        makes per-principal vectorisation unsafe), still without heap
+        events or Request objects."""
+        red = self.red
+        engine = self.engine
+        parts: List[np.ndarray] = []
+        codes: List[np.ndarray] = []
+        pcs: List[np.ndarray] = []
+        cost_parts: List[Optional[np.ndarray]] = []
+        any_costs = False
+        for c in self._order:
+            t, cost = c.take_until(hi, closed)
+            n = t.shape[0]
+            if not n:
+                continue
+            c.issued += n
+            parts.append(t)
+            codes.append(np.full(n, c._code, dtype=np.int64))
+            pcs.append(np.full(n, c._pcode, dtype=np.int64))
+            cost_parts.append(cost)
+            if cost is not None:
+                any_costs = True
+        if not parts:
+            return
+        ts = np.concatenate(parts)
+        cl = np.concatenate(codes)
+        pc = np.concatenate(pcs)
+        if any_costs:
+            costs = np.concatenate([
+                cp if cp is not None else np.ones(pp.shape[0])
+                for cp, pp in zip(cost_parts, parts)
+            ])
+        else:
+            costs = np.ones(ts.shape[0])
+        order = np.argsort(ts, kind="stable")
+        ts = ts[order]
+        cl = cl[order]
+        pc = pc[order]
+        costs = costs[order]
+        engine.requests += ts.shape[0]
+        quota = red.quota
+        arrivals = red._arrivals
+        clients = engine.clients_by_code
+        names = engine.principal_names
+        subs: Dict[object, List[List]] = {}
+        for t, code, pcode, cost in zip(
+            ts.tolist(), cl.tolist(), pc.tolist(), costs.tolist()
+        ):
+            p = names[pcode]
+            cli = clients[code]
+            arrivals[p] += cost
+            if quota.try_admit(p, cost=cost):
+                server = red._pick_server(p)
+                if server is not None:
+                    red.admitted[p] += 1
+                    cli.admitted += 1
+                    rec = subs.get(id(server))
+                    if rec is None:
+                        rec = subs[id(server)] = [server, [], [], [], []]
+                    rec[1].append(t)
+                    rec[2].append(cost)
+                    rec[3].append(code)
+                    rec[4].append(pcode)
+                    continue
+                quota.rejected[p] += 1
+            red.self_redirects[p] += 1
+            cli.deferred += 1
+            cli.dropped += 1
+        for server, t_l, c_l, cl_l, pc_l in subs.values():
+            t_a = np.asarray(t_l)
+            engine.lane(server).push(
+                t_a,
+                np.asarray(c_l) if any_costs else None,
+                t_a,
+                np.asarray(cl_l, dtype=np.int64),
+                np.asarray(pc_l, dtype=np.int64),
+            )
+
+
+class ColumnarEngine:
+    """One pump event per window boundary driving every columnar group.
+
+    Construct this *before any other scenario component* so the pump's
+    boundary events carry the smallest construction sequence numbers: the
+    pump then fires first at every boundary (before window drivers, daemon
+    accounting and protocol rounds), which is exactly the state a scalar
+    run would present to those components — all intra-window events
+    applied, no boundary events yet.
+    """
+
+    def __init__(self, sim: Simulator, window: WindowConfig, meter: RateMeter):
+        self.sim = sim
+        self.window = window
+        self.meter = meter
+        self.principal_names: List[str] = []
+        self._pcode: Dict[str, int] = {}
+        self.clients_by_code: List[ColumnarClient] = []
+        self._groups: List[object] = []
+        self._group_of: Dict[int, object] = {}
+        self._lanes: Dict[str, _ServerLane] = {}
+        self.requests = 0
+        self._flushed_to: Optional[float] = None
+        sim.schedule(window.length, self._pump)
+
+    def principal_code(self, p: str) -> int:
+        code = self._pcode.get(p)
+        if code is None:
+            code = self._pcode[p] = len(self.principal_names)
+            self.principal_names.append(p)
+        return code
+
+    def register(self, client: ColumnarClient) -> None:
+        red = client.redirector
+        group = self._group_of.get(id(red))
+        if group is None:
+            factory = getattr(red, "columnar_group", None)
+            if factory is not None:
+                group = factory(self)
+            elif isinstance(red, L7Redirector):
+                group = _L7Group(self, red)
+            else:
+                raise ValueError(
+                    f"redirector {red!r} does not support the columnar lane"
+                )
+            self._group_of[id(red)] = group
+            self._groups.append(group)
+        client._code = len(self.clients_by_code)
+        client._pcode = self.principal_code(client.principal)
+        self.clients_by_code.append(client)
+        group.add_client(client)
+
+    def lane(self, server) -> _ServerLane:
+        ln = self._lanes.get(server.name)
+        if ln is None:
+            ln = self._lanes[server.name] = _ServerLane(self, server)
+        return ln
+
+    def _pump(self) -> None:
+        now = self.sim.now
+        self._advance(now, closed=False)
+        self.sim.schedule(self.window.length, self._pump)
+
+    def flush(self, until: float) -> None:
+        """Commit the final partial window.
+
+        Boundaries accumulate as ``fl(b + W)`` and drift above exact
+        multiples, so the last pump usually lies *beyond* the run horizon;
+        the slotted lane still processes arrivals (and completions) up to
+        and including ``until`` as individual events.  Idempotent per
+        horizon.
+        """
+        if self._flushed_to == until:
+            return
+        self._flushed_to = until
+        self._advance(until, closed=True)
+
+    def _advance(self, hi: float, closed: bool) -> None:
+        for group in self._groups:
+            group.advance(hi, closed)
+        for lane in self._lanes.values():
+            lane.advance(hi)

@@ -246,6 +246,7 @@ def fig6_scenario(
     duration_scale: float = 1.0, seed: int = 0,
     lp_cache: bool = True, fast_periodic: bool = True,
     fast_lane: bool = True, check_invariants: Optional[bool] = None,
+    lane: Optional[str] = None, strict_open_loop: Optional[bool] = None,
 ) -> Tuple[Scenario, float]:
     """Build and run the fig6 world; returns ``(scenario, phase_length)``.
 
@@ -253,20 +254,29 @@ def fig6_scenario(
     (:mod:`repro.analysis.replay`), which replays *this exact scenario*
     twice — plus once with ``check_invariants=True`` — and compares trace
     digests.
+
+    ``strict_open_loop`` disables client retry pools (defaults to on for
+    the columnar lane, which requires it; the three-lane parity replays
+    pass it explicitly for *every* lane so all three run the identical
+    strict scenario).
     """
     T = 100.0 * duration_scale
+    if strict_open_loop is None:
+        strict_open_loop = lane == "columnar"
     sc = Scenario(_fig6_graph(320.0, 0.2, 0.8), seed=seed,
                   lp_cache=lp_cache, fast_periodic=fast_periodic,
-                  fast_lane=fast_lane, check_invariants=check_invariants)
+                  fast_lane=fast_lane, check_invariants=check_invariants,
+                  lane=lane)
     server = sc.server("S", "S", 320.0)
     r1 = sc.l7("R1", {"S": server}, n_redirectors=2)
     r2 = sc.l7("R2", {"S": server}, n_redirectors=2)
     sc.connect_tree(link_delay=0.005)
+    ckw = {"max_retry_pool": 0} if strict_open_loop else {}
     a_windows = [(0.0, 3 * T)]
     b_windows = [(0.0, T), (2 * T, 3 * T)]
-    sc.client("C1", "A", r1, rate=135.0, windows=a_windows)
-    sc.client("C2", "A", r1, rate=135.0, windows=a_windows)
-    sc.client("C3", "B", r2, rate=135.0, windows=b_windows)
+    sc.client("C1", "A", r1, rate=135.0, windows=a_windows, **ckw)
+    sc.client("C2", "A", r1, rate=135.0, windows=a_windows, **ckw)
+    sc.client("C3", "B", r2, rate=135.0, windows=b_windows, **ckw)
     sc.run(3 * T)
     return sc, T
 
@@ -274,12 +284,12 @@ def fig6_scenario(
 def run_fig6(
     duration_scale: float = 1.0, seed: int = 0,
     lp_cache: bool = True, fast_periodic: bool = True,
-    fast_lane: bool = True,
+    fast_lane: bool = True, lane: Optional[str] = None,
 ) -> FigureResult:
     """Fig 6: V=320; A [0.2,1] with two 135 req/s clients at R1; B [0.8,1]
     with one client at R2.  Three phases: both active / only A / both."""
     sc, T = fig6_scenario(duration_scale, seed, lp_cache, fast_periodic,
-                          fast_lane)
+                          fast_lane, lane=lane)
     settle = min(5.0, T * 0.2)
     phases = [("phase1", 0.0, T), ("phase2", T, 2 * T), ("phase3", 2 * T, 3 * T)]
     return FigureResult(
@@ -422,6 +432,7 @@ def fig9_scenario(
     lp_cache: bool = True, fast_periodic: bool = True,
     fast_lane: bool = True, l4_fast_lane: bool = True,
     check_invariants: Optional[bool] = None,
+    lane: Optional[str] = None, strict_open_loop: Optional[bool] = None,
 ) -> Tuple[Scenario, float]:
     """Build and run the fig9 world; returns ``(scenario, phase_length)``.
 
@@ -429,21 +440,29 @@ def fig9_scenario(
     (:func:`repro.analysis.replay.l4_replay`), which runs *this exact
     scenario* once per lane and diffs the per-window admitted-rate trace
     digests — the fast lane must be bit-identical to the scalar path.
+
+    ``strict_open_loop`` disables client retry pools (defaults to on for
+    the columnar lane; the three-lane parity replays pass it for every
+    lane so all three run the identical strict scenario).
     """
     T = 100.0 * duration_scale
+    if strict_open_loop is None:
+        strict_open_loop = lane == "columnar"
     g = AgreementGraph()
     g.add_principal("A", capacity=320.0)
     g.add_principal("B", capacity=320.0)
     g.add_agreement(Agreement("B", "A", 0.5, 0.5))
     sc = Scenario(g, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic,
                   fast_lane=fast_lane, l4_fast_lane=l4_fast_lane,
-                  check_invariants=check_invariants)
+                  check_invariants=check_invariants, lane=lane)
     sa = sc.server("SA", "A", 320.0)
     sb = sc.server("SB", "B", 320.0)
     switch = sc.l4("SW", {"A": sa, "B": sb})
-    sc.client("C1", "A", switch, rate=400.0, windows=[(0, T), (2 * T, 3 * T)])
-    sc.client("C2", "A", switch, rate=400.0, windows=[(0, T)])
-    sc.client("C3", "B", switch, rate=400.0, windows=[(0, 4 * T)])
+    ckw = {"max_retry_pool": 0} if strict_open_loop else {}
+    sc.client("C1", "A", switch, rate=400.0, windows=[(0, T), (2 * T, 3 * T)],
+              **ckw)
+    sc.client("C2", "A", switch, rate=400.0, windows=[(0, T)], **ckw)
+    sc.client("C3", "B", switch, rate=400.0, windows=[(0, 4 * T)], **ckw)
     sc.run(4 * T)
     return sc, T
 
@@ -452,12 +471,13 @@ def run_fig9(
     duration_scale: float = 1.0, seed: int = 0,
     lp_cache: bool = True, fast_periodic: bool = True,
     fast_lane: bool = True, l4_fast_lane: bool = True,
+    lane: Optional[str] = None,
 ) -> FigureResult:
     """Fig 9: A and B each own a 320 req/s server; B grants A [0.5, 0.5].
     Four phases: A 2 clients / none / 1 client / none, B always one client;
     all clients 400 req/s through one L4 switch."""
     sc, T = fig9_scenario(duration_scale, seed, lp_cache, fast_periodic,
-                          fast_lane, l4_fast_lane)
+                          fast_lane, l4_fast_lane, lane=lane)
     settle = min(5.0, T * 0.2)
     phases = [
         ("phase1", 0.0, T), ("phase2", T, 2 * T),
@@ -487,13 +507,18 @@ def fig10_scenario(
     lp_cache: bool = True, fast_periodic: bool = True,
     fast_lane: bool = True, l4_fast_lane: bool = True,
     check_invariants: Optional[bool] = None,
+    lane: Optional[str] = None, strict_open_loop: Optional[bool] = None,
 ) -> Tuple[Scenario, float]:
     """Build and run the fig10 world; returns ``(scenario, phase_length)``.
 
     Shared between :func:`run_fig10` and the L4 lane-parity replay
-    harness, like :func:`fig9_scenario` (provider/price mode variant).
+    harness, like :func:`fig9_scenario` (provider/price mode variant —
+    the columnar lane replays admission against the live switch, so the
+    provider's price-ordered picks are exercised identically).
     """
     T = 100.0 * duration_scale
+    if strict_open_loop is None:
+        strict_open_loop = lane == "columnar"
     g = AgreementGraph()
     g.add_principal("P", capacity=640.0)
     g.add_principal("A")
@@ -502,15 +527,17 @@ def fig10_scenario(
     g.add_agreement(Agreement("P", "B", 0.2, 1.0))
     sc = Scenario(g, seed=seed, lp_cache=lp_cache, fast_periodic=fast_periodic,
                   fast_lane=fast_lane, l4_fast_lane=l4_fast_lane,
-                  check_invariants=check_invariants)
+                  check_invariants=check_invariants, lane=lane)
     s1 = sc.server("S1", "P", 320.0)
     s2 = sc.server("S2", "P", 320.0)
     switch = sc.l4(
         "SW", {"P": [s1, s2]}, mode="provider", prices={"A": 2.0, "B": 1.0},
     )
-    sc.client("C1", "A", switch, rate=400.0, windows=[(0, T), (2 * T, 3 * T)])
-    sc.client("C2", "A", switch, rate=400.0, windows=[(0, T)])
-    sc.client("C3", "B", switch, rate=400.0, windows=[(0, 4 * T)])
+    ckw = {"max_retry_pool": 0} if strict_open_loop else {}
+    sc.client("C1", "A", switch, rate=400.0, windows=[(0, T), (2 * T, 3 * T)],
+              **ckw)
+    sc.client("C2", "A", switch, rate=400.0, windows=[(0, T)], **ckw)
+    sc.client("C3", "B", switch, rate=400.0, windows=[(0, 4 * T)], **ckw)
     sc.run(4 * T)
     return sc, T
 
@@ -519,12 +546,13 @@ def run_fig10(
     duration_scale: float = 1.0, seed: int = 0,
     lp_cache: bool = True, fast_periodic: bool = True,
     fast_lane: bool = True, l4_fast_lane: bool = True,
+    lane: Optional[str] = None,
 ) -> FigureResult:
     """Fig 10: provider with two 320 req/s servers; A [0.8,1] pays more than
     B [0.2,1].  Same client timeline as Fig 9; the provider admits the
     highest payer first while honouring B's mandatory floor."""
     sc, T = fig10_scenario(duration_scale, seed, lp_cache, fast_periodic,
-                           fast_lane, l4_fast_lane)
+                           fast_lane, l4_fast_lane, lane=lane)
     settle = min(5.0, T * 0.2)
     phases = [
         ("phase1", 0.0, T), ("phase2", T, 2 * T),

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.analysis.invariants import InvariantChecker, check_enabled
 from repro.cluster.client import ClientMachine
+from repro.cluster.columnar import ColumnarClient, ColumnarEngine
 from repro.cluster.server import Server
 from repro.coordination.membership import ResilientTree
 from repro.coordination.messages import MessageCounter
@@ -22,6 +23,7 @@ from repro.coordination.protocol import build_protocol
 from repro.coordination.tree import CombiningTree
 from repro.core.access import AccessLevels, compute_access_levels
 from repro.core.agreements import AgreementGraph
+from repro.l4.columnar import ColumnarL4Switch
 from repro.l4.daemon import L4Daemon
 from repro.l4.switch import L4Switch
 from repro.l7.redirector import L7Redirector
@@ -99,6 +101,7 @@ class Scenario:
         fast_lane: bool = True,
         l4_fast_lane: bool = True,
         check_invariants: Optional[bool] = None,
+        lane: Optional[str] = None,
     ):
         self.graph = graph
         self.access: AccessLevels = compute_access_levels(graph)
@@ -110,6 +113,21 @@ class Scenario:
         # separate from the client-side fast_lane so either can be A/B'd
         # against its scalar path independently.
         self.l4_fast_lane = bool(l4_fast_lane)
+        # Three-lane selector: ``lane`` overrides the per-layer flags.
+        # "scalar" = per-request events everywhere; "slotted" = the PR 2/5
+        # fast lanes; "columnar" = struct-of-arrays bulk advance with one
+        # pump event per window (strict open loop; unsupported features
+        # fall back to "slotted" and record why in ``lane_fallback``).
+        if lane is not None and lane not in ("scalar", "slotted", "columnar"):
+            raise ValueError(f"unknown lane {lane!r}")
+        if lane == "scalar":
+            self.fast_lane = False
+            self.l4_fast_lane = False
+        elif lane in ("slotted", "columnar"):
+            self.fast_lane = True
+            self.l4_fast_lane = True
+        self.lane: str = lane or ("slotted" if self.fast_lane else "scalar")
+        self.lane_fallback: Optional[str] = None
         self.sim = Simulator(fast_periodic=fast_periodic)
         self.streams = RngStreams(seed)
         self.meter = RateMeter(bin_width)
@@ -129,6 +147,19 @@ class Scenario:
         )
         if self.invariants is not None:
             self.invariants.check_ticket_conservation(graph)
+        # The columnar engine must exist before *any* other component so
+        # its boundary pump carries the smallest event sequence numbers
+        # (fires first at every window boundary — see ColumnarEngine).
+        self.columnar: Optional[ColumnarEngine] = None
+        if self.lane == "columnar":
+            if trace:
+                self.lane = "slotted"
+                self.lane_fallback = "tracing needs per-request events"
+            elif self.invariants is not None:
+                self.lane = "slotted"
+                self.lane_fallback = "invariant hooks need per-request events"
+            else:
+                self.columnar = ColumnarEngine(self.sim, window, self.meter)
         self.servers: Dict[str, Server] = {}
         self.l7_redirectors: Dict[str, L7Redirector] = {}
         self.l4_switches: Dict[str, L4Switch] = {}
@@ -234,7 +265,12 @@ class Scenario:
         **kw,
     ) -> L4Switch:
         kw.setdefault("fast_lane", self.l4_fast_lane)
-        switch = L4Switch(
+        if self.lane == "columnar" and kw.get("health") is not None:
+            # Health-checked pools need the checker's event-path probes.
+            self.lane = "slotted"
+            self.lane_fallback = "health-checked L4 pools need per-flow events"
+        switch_cls = ColumnarL4Switch if self.lane == "columnar" else L4Switch
+        switch = switch_cls(
             self.sim, name, self.access.names, servers, window=self.window, **kw,
         )
         daemon = L4Daemon(
@@ -263,7 +299,34 @@ class Scenario:
         rate: float,
         windows: Optional[Sequence[Tuple[float, float]]] = None,
         **kw,
-    ) -> ClientMachine:
+    ) -> Union[ClientMachine, ColumnarClient]:
+        if self.lane == "columnar":
+            reason = self._columnar_unsupported(redirector, kw)
+            if reason is None:
+                ckw = dict(kw)
+                for drop in ("fast_lane", "users", "think", "stream_chunk"):
+                    ckw.pop(drop, None)
+                client = ColumnarClient(
+                    self.sim, name, principal, redirector, rate,
+                    rng=self.streams.get(f"client:{name}"),
+                    active_windows=list(windows) if windows is not None else None,
+                    **ckw,
+                )
+                assert self.columnar is not None
+                self.columnar.register(client)
+                self.clients[name] = client
+                return client
+            if self.columnar is not None and self.columnar.clients_by_code:
+                # Mixed lanes on one run would break the pump's window
+                # accounting; by now it is too late to demote cleanly.
+                raise ValueError(
+                    f"client {name!r} cannot join the columnar lane "
+                    f"({reason}) after columnar clients were built"
+                )
+            self.lane = "slotted"
+            self.lane_fallback = reason
+        kw.pop("track_responses", None)  # ColumnarClient-only knob
+        kw.pop("batch", None)
         kw.setdefault("fast_lane", self.fast_lane)
         client = ClientMachine(
             self.sim, name, principal, redirector, rate,
@@ -273,6 +336,25 @@ class Scenario:
         )
         self.clients[name] = client
         return client
+
+    @staticmethod
+    def _columnar_unsupported(redirector, kw: Dict) -> Optional[str]:
+        """Why this client cannot run columnar (None when it can)."""
+        if kw.get("mode", "open") != "open":
+            return "closed-loop clients need per-request feedback"
+        if kw.get("max_retry_pool") != 0:
+            return "retry pools are closed-loop feedback"
+        if kw.get("on_response") is not None:
+            return "on_response hooks need per-request events"
+        if hasattr(redirector, "columnar_group"):
+            return None
+        if isinstance(redirector, L7Redirector):
+            if redirector.queuing != "implicit":
+                return f"{redirector.queuing!r} queuing needs per-request events"
+            if redirector.health is not None:
+                return "health-checked pools need per-request events"
+            return None
+        return "redirector type does not support the columnar lane"
 
     # -- coordination -----------------------------------------------------------
 
@@ -361,6 +443,10 @@ class Scenario:
     def run(self, duration: float) -> None:
         if self.invariants is None:
             self.sim.run(until=duration)
+            if self.columnar is not None:
+                # Commit the final partial window (boundary drift means the
+                # last pump usually lies beyond the horizon).
+                self.columnar.flush(duration)
             return
         # Audit every LP solve for primal feasibility while this scenario
         # runs; the hook is process-global, so scope it to the run.

@@ -84,6 +84,7 @@ def figure_kwargs(
     partition_seeds: bool = False,
     fast_lane: bool = True,
     l4_fast_lane: bool = True,
+    lane: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Keyword arguments for one ``run_figN`` entry point.
 
@@ -91,7 +92,8 @@ def figure_kwargs(
     :func:`scenario_seed`-derived stream; the default reuses ``seed``
     verbatim, matching a serial ``for name: run_figN(seed=seed)`` loop.
     ``l4_fast_lane`` only reaches the L4 figures (fig9/fig10) — the other
-    entry points have no L4 switch to thread it to.
+    entry points have no L4 switch to thread it to; ``lane`` only reaches
+    the figures with a columnar-capable scenario (fig6/fig9/fig10).
     """
     s = scenario_seed(seed, name) if partition_seeds else seed
     if name in ("fig1", "fig3"):
@@ -103,6 +105,8 @@ def figure_kwargs(
               "fast_lane": fast_lane}
     if name in ("fig9", "fig10"):
         kwargs["l4_fast_lane"] = l4_fast_lane
+    if lane is not None and name in ("fig6", "fig9", "fig10"):
+        kwargs["lane"] = lane
     return kwargs
 
 
@@ -122,6 +126,7 @@ def run_figures_parallel(
     partition_seeds: bool = False,
     fast_lane: bool = True,
     l4_fast_lane: bool = True,
+    lane: Optional[str] = None,
 ) -> List[Tuple[str, Any]]:
     """Run paper figures across worker processes.
 
@@ -136,7 +141,7 @@ def run_figures_parallel(
         raise KeyError(f"unknown figures {unknown}; have {list(ALL_FIGURES)}")
     tasks = [
         (n, figure_kwargs(n, scale, seed, lp_cache, partition_seeds,
-                          fast_lane, l4_fast_lane))
+                          fast_lane, l4_fast_lane, lane))
         for n in wanted
     ]
     return parallel_map(_figure_task, tasks, jobs=jobs)

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.cluster.client import Decision, Defer, Drop, Held, Redirect
 from repro.cluster.health import BackendHealthChecker
 from repro.cluster.request import Request
@@ -43,6 +45,7 @@ from repro.scheduling.queueing import ImplicitQuota, PrincipalQueues
 from repro.scheduling.window import WindowConfig
 from repro.scheduling.wrr import SmoothWeightedRoundRobin
 from repro.sim.engine import Simulator
+from repro.sim.monitor import RateMeter
 
 __all__ = ["L7Redirector"]
 
@@ -142,6 +145,16 @@ class L7Redirector:
         self.admitted: Dict[str, int] = {p: 0 for p in self.principals}
         self.self_redirects: Dict[str, int] = {p: 0 for p in self.principals}
         self.last_allocation: Optional[Allocation] = None
+        # Per-window admitted/refused traces, binned at window width — the
+        # L7 analogue of L4Daemon.admission_meter, and the series the
+        # three-lane parity digests hash.  Window counts are deltas of the
+        # cumulative telemetry, snapshotted at each boundary *before* the
+        # new window's allocation work, so they are lane-neutral (the
+        # columnar pump fires first at every boundary, leaving exactly the
+        # state a scalar run would show this driver).
+        self.admission_meter = RateMeter(bin_width=window.length)
+        self._last_admitted: Dict[str, int] = dict(self.admitted)
+        self._last_refused: Dict[str, int] = dict(self.self_redirects)
 
         sim.process(self._window_driver(), name=f"l7[{name}]")
 
@@ -189,6 +202,7 @@ class L7Redirector:
             self._end_window()
 
     def _end_window(self) -> None:
+        self._account_window()
         alpha = self.smoothing
         for p in self.principals:
             self.demand_estimate[p] = (
@@ -212,6 +226,28 @@ class L7Redirector:
             self._wrr[p].set_weights(
                 {owner: v for owner, v in w.items() if owner in self.servers}
             )
+
+    def _account_window(self) -> None:
+        t_mid = self.sim.now - self.window.length / 2.0
+        for p in self.principals:
+            adm = self.admitted[p]
+            ref = self.self_redirects[p]
+            d_adm = adm - self._last_admitted[p]
+            d_ref = ref - self._last_refused[p]
+            self._last_admitted[p] = adm
+            self._last_refused[p] = ref
+            # Zero-weight records keep every window in the series: the
+            # trace's shape is part of the parity digest.
+            self.admission_meter.record(f"admitted:{p}", t_mid, weight=d_adm)
+            self.admission_meter.record(f"refused:{p}", t_mid, weight=d_ref)
+
+    def admitted_series(self, principal: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-window admitted counts as (window-midpoint times, rates)."""
+        return self.admission_meter.series(f"admitted:{principal}")
+
+    def refused_series(self, principal: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-window self-redirect counts, same shape as admitted."""
+        return self.admission_meter.series(f"refused:{principal}")
 
     # -- request path -------------------------------------------------------------
 

@@ -43,11 +43,15 @@ class RateMeter:
         idx = int(t // self.bin_width)
         bins[idx] = bins.get(idx, 0.0) + weight
 
-    def record_many(self, key: str, times, weight: float = 1.0) -> None:
+    def record_many(self, key: str, times, weight: float = 1.0, weights=None) -> None:
         """Record a batch of occurrence times for ``key`` in one call.
 
-        Equivalent to ``for t in times: record(key, t, weight)`` but binned
-        with one vectorised floor-divide — the fast lane's bulk path.
+        Equivalent to ``for t, w in zip(times, weights): record(key, t, w)``
+        (or a constant ``weight`` when ``weights`` is None) but binned with
+        one vectorised floor-divide and accumulated via ``np.bincount`` —
+        no intermediate Python list.  ``np.bincount`` sums sequentially in
+        array order, so batches of integer-valued weights reproduce the
+        scalar path's per-bin totals bit-for-bit.
         """
         ts = np.asarray(times, dtype=float)
         if ts.size == 0:
@@ -56,9 +60,19 @@ class RateMeter:
         if bins is None:
             bins = self._bins[key] = {}
         idx = np.floor_divide(ts, self.bin_width).astype(np.int64)
-        uniq, counts = np.unique(idx, return_counts=True)
-        for i, c in zip(uniq.tolist(), counts.tolist()):
-            bins[i] = bins.get(i, 0.0) + weight * c
+        lo = int(idx.min())
+        if weights is not None:
+            w = np.asarray(weights, dtype=float)
+            if w.shape != ts.shape:
+                raise ValueError("weights must match times in shape")
+            counts = np.bincount(idx - lo, weights=w)
+        else:
+            counts = np.bincount(idx - lo).astype(float)
+            if weight != 1.0:
+                counts *= weight
+        for off in np.flatnonzero(counts).tolist():
+            i = lo + off
+            bins[i] = bins.get(i, 0.0) + float(counts[off])
 
     @property
     def keys(self) -> List[str]:

@@ -84,6 +84,97 @@ class StreamingStats:
             self._samples[j] = x
             self._sample_seq[j] = n - 1
 
+    def update_many(self, values, weights=None) -> None:
+        """Fold a batch of observations in — the columnar lane's bulk path.
+
+        Without ``weights`` this is *bit-identical* to ``for x in values:
+        self.add(x)``: Welford's recurrence and the reservoir's xorshift
+        index stream are inherently sequential, so the moments are replayed
+        element-wise with all state hoisted into locals (one method call
+        per batch instead of per sample) and min/max reduced vectorised.
+
+        With ``weights`` the batch is folded as *frequency-weighted*
+        observations (West 1979): ``count`` grows by the weight sum and the
+        moments match repeating each value ``w`` times, but the reservoir
+        only sees the distinct values once — weighted batches are a moments
+        contract, not a sample-stream one.
+        """
+        vals = np.asarray(values, dtype=float)
+        if vals.ndim != 1:
+            vals = vals.ravel()
+        if vals.size == 0:
+            return
+        if weights is not None:
+            w = np.asarray(weights, dtype=float)
+            if w.shape != vals.shape:
+                raise ValueError("weights must match values in shape")
+            if np.any(w < 0):
+                raise ValueError("weights must be non-negative")
+            count = float(self.count)
+            mean = self.mean
+            m2 = self._m2
+            for x, wi in zip(vals.tolist(), w.tolist()):
+                if wi == 0.0:
+                    continue
+                count += wi
+                delta = x - mean
+                mean += (wi / count) * delta
+                m2 += wi * delta * (x - mean)
+            self.count = int(count)
+            self.mean = mean
+            self._m2 = m2
+            # Zero-weight values occurred zero times: exclude from extrema.
+            seen = vals[w > 0.0]
+            if seen.size:
+                lo = float(seen.min())
+                hi = float(seen.max())
+                if lo < self.min:
+                    self.min = lo
+                if hi > self.max:
+                    self.max = hi
+            return
+        lo = float(vals.min())
+        hi = float(vals.max())
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+        n = self.count
+        mean = self.mean
+        m2 = self._m2
+        cap = self._cap
+        samples = self._samples
+        sample_seq = self._sample_seq
+        s = self._state
+        xs = vals.tolist()
+        if not cap:
+            for x in xs:
+                n += 1
+                delta = x - mean
+                mean += delta / n
+                m2 += delta * (x - mean)
+        else:
+            for x in xs:
+                n += 1
+                delta = x - mean
+                mean += delta / n
+                m2 += delta * (x - mean)
+                if n <= cap:
+                    samples.append(x)
+                    sample_seq.append(n - 1)
+                    continue
+                s = (s ^ (s << 13)) & _MASK64
+                s ^= s >> 7
+                s = (s ^ (s << 17)) & _MASK64
+                j = s % n
+                if j < cap:
+                    samples[j] = x
+                    sample_seq[j] = n - 1
+        self.count = n
+        self.mean = mean
+        self._m2 = m2
+        self._state = s
+
     # -- derived moments ---------------------------------------------------
 
     @property

@@ -15,8 +15,10 @@ def codes(source, path=SIM_PATH):
 
 
 class TestRuleTable:
-    def test_all_five_rules_registered(self):
-        assert sorted(RULES) == ["SIM001", "SIM002", "SIM003", "SIM004", "SIM005"]
+    def test_all_six_rules_registered(self):
+        assert sorted(RULES) == [
+            "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+        ]
 
     def test_violation_format(self):
         (v,) = lint_source("import time\nt = time.time()\n", path=SIM_PATH)
@@ -70,9 +72,6 @@ class TestSIM002Rng:
         src = "import random  # simlint: disable=SIM002\nx = random.random()\n"
         assert codes(src) == ["SIM002"]
 
-    def test_numpy_global_state_flagged(self):
-        assert codes("import numpy as np\nx = np.random.rand(3)\n") == ["SIM002"]
-
     def test_unseeded_default_rng_flagged(self):
         src = "import numpy as np\nrng = np.random.default_rng()\n"
         assert codes(src) == ["SIM002"]
@@ -89,6 +88,39 @@ class TestSIM002Rng:
 
     def test_suppression(self):
         assert codes("import random  # simlint: disable=SIM002\n") == []
+
+
+class TestSIM006NumpyGlobalState:
+    def test_np_random_rand_flagged(self):
+        assert codes("import numpy as np\nx = np.random.rand(3)\n") == ["SIM006"]
+
+    def test_np_random_seed_flagged(self):
+        assert codes("import numpy as np\nnp.random.seed(0)\n") == ["SIM006"]
+
+    def test_full_numpy_spelling_flagged(self):
+        src = "import numpy\nx = numpy.random.uniform(0, 1)\n"
+        assert codes(src) == ["SIM006"]
+
+    def test_unimported_np_convention_flagged(self):
+        # np. is resolved by convention even without the import in scope
+        # (fixture snippets, doctest fragments).
+        assert codes("x = np.random.shuffle(xs)\n") == ["SIM006"]
+
+    def test_seeded_default_rng_not_sim006(self):
+        # Construction through the accepted entry points is SIM002's
+        # business (and only when unseeded), never SIM006.
+        assert codes("import numpy as np\nrng = np.random.default_rng(7)\n") == []
+
+    def test_spawned_generator_draws_ok(self):
+        src = ("import numpy as np\n"
+               "rng = np.random.default_rng(7)\n"
+               "gaps = rng.exponential(1.0, 4096)\n")
+        assert codes(src) == []
+
+    def test_suppression(self):
+        src = ("import numpy as np\n"
+               "np.random.seed(0)  # simlint: disable=SIM006\n")
+        assert codes(src) == []
 
 
 class TestSIM003SetIteration:

@@ -113,3 +113,58 @@ class TestScenario:
         series = sc.series(["A"])
         times, rates = series["A"]
         assert len(times) == len(rates) > 0
+
+
+class TestColumnarLane:
+    def test_unknown_lane_rejected(self, fig6_graph):
+        with pytest.raises(ValueError):
+            Scenario(fig6_graph, lane="vectorised")
+
+    def test_lane_resolution(self, fig6_graph):
+        assert Scenario(fig6_graph).lane == "slotted"
+        assert Scenario(fig6_graph, fast_lane=False).lane == "scalar"
+        sc = Scenario(fig6_graph, lane="scalar")
+        assert (sc.lane, sc.fast_lane, sc.l4_fast_lane) == ("scalar", False, False)
+        sc = Scenario(fig6_graph, lane="columnar")
+        assert sc.lane == "columnar" and sc.columnar is not None
+
+    def test_trace_falls_back_to_slotted(self, fig6_graph):
+        sc = Scenario(fig6_graph, lane="columnar", trace=True)
+        assert sc.lane == "slotted"
+        assert sc.columnar is None
+        assert "per-request events" in sc.lane_fallback
+
+    def test_invariants_fall_back_to_slotted(self, fig6_graph):
+        sc = Scenario(fig6_graph, lane="columnar", check_invariants=True)
+        assert sc.lane == "slotted"
+        assert sc.columnar is None
+
+    def test_unsupported_client_demotes_before_any_columnar_client(
+        self, fig6_graph,
+    ):
+        sc = Scenario(fig6_graph, lane="columnar")
+        srv = sc.server("S", "S", 320.0)
+        r1 = sc.l7("R1", {"S": srv})
+        sc.client("C1", "A", r1, rate=50.0, mode="closed", users=4)
+        assert sc.lane == "slotted"
+        assert "closed-loop" in sc.lane_fallback
+
+    def test_unsupported_client_after_columnar_client_raises(
+        self, fig6_graph,
+    ):
+        sc = Scenario(fig6_graph, lane="columnar")
+        srv = sc.server("S", "S", 320.0)
+        r1 = sc.l7("R1", {"S": srv})
+        sc.client("C1", "A", r1, rate=50.0, max_retry_pool=0)
+        assert sc.lane == "columnar"
+        with pytest.raises(ValueError):
+            sc.client("C2", "B", r1, rate=50.0, mode="closed", users=4)
+
+    def test_columnar_run_counts_requests(self, fig6_graph):
+        sc = Scenario(fig6_graph, seed=5, lane="columnar")
+        srv = sc.server("S", "S", 320.0)
+        r1 = sc.l7("R1", {"S": srv})
+        cli = sc.client("C1", "A", r1, rate=100.0, max_retry_pool=0)
+        sc.run(10.0)
+        assert sc.columnar.requests == cli.issued > 0
+        assert sc.meter.total("A", 0, 10.0) > 0

@@ -96,3 +96,12 @@ class TestSweepJobs:
     def test_scaling_sweep_accepts_jobs(self):
         pts = run_scaling_sweep(sizes=(6,), seed=0, duration=2.0, jobs=2)
         assert len(pts) == 1 and pts[0].n_principals == 6
+
+
+class TestLaneThreading:
+    def test_lane_reaches_columnar_capable_figures_only(self):
+        assert figure_kwargs("fig6", 0.3, 7, lane="columnar")["lane"] == "columnar"
+        assert figure_kwargs("fig9", 0.3, 7, lane="columnar")["lane"] == "columnar"
+        assert figure_kwargs("fig10", 0.3, 7, lane="columnar")["lane"] == "columnar"
+        assert "lane" not in figure_kwargs("fig7", 0.3, 7, lane="columnar")
+        assert "lane" not in figure_kwargs("fig6", 0.3, 7)

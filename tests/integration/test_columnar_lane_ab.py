@@ -1,0 +1,107 @@
+"""Acceptance A/B: the columnar lane is bit-identical to both event lanes.
+
+The columnar lane advances whole open-loop phases as numpy columns with
+one engine event per window, so the contract is the strictest in the
+repo: on the strict open-loop variant of a figure scenario (retry pools
+off — the columnar operating envelope), per-window admitted/refused/
+served series, every client/server counter and the combined SHA-256
+digests must be *bit-identical* across all three lanes — scalar (per
+request/packet events), slotted (chunked fast lane) and columnar.
+``repro check --scenario fig6 --scenario fig9`` enforces the same
+property in CI via :func:`repro.analysis.replay.columnar_replay`.
+
+The batch-size invariance tests pin the structural argument: the gap
+chain is a seeded cumsum restarted from the last emitted tick, so the
+refill granularity (1k, 64k, or one whole phase per block) is
+unobservable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.replay import columnar_replay, scenario_digest
+from repro.experiments.figures import fig6_scenario, fig9_scenario
+
+SCALE = 0.05
+
+
+def _series_equal(a, b):
+    assert set(a) == set(b)
+    for key in a:
+        at, av = a[key]
+        bt, bv = b[key]
+        assert np.array_equal(at, bt), key
+        assert np.array_equal(av, bv), key
+
+
+@pytest.mark.parametrize("build", [fig6_scenario, fig9_scenario],
+                         ids=["fig6", "fig9"])
+def test_three_lanes_bit_identical(build):
+    runs = {
+        lane: build(duration_scale=SCALE, seed=0, lane=lane,
+                    strict_open_loop=True)[0]
+        for lane in ("scalar", "slotted", "columnar")
+    }
+    col = runs["columnar"]
+    assert col.lane == "columnar" and col.lane_fallback is None
+    assert col.columnar is not None and col.columnar.requests > 0
+    for other in ("scalar", "slotted"):
+        ref = runs[other]
+        _series_equal(
+            {k: col.meter.series(k) for k in col.meter.keys},
+            {k: ref.meter.series(k) for k in ref.meter.keys},
+        )
+        for name, cli in col.clients.items():
+            peer = ref.clients[name]
+            assert (cli.issued, cli.admitted, cli.completed,
+                    cli.deferred, cli.dropped) == \
+                   (peer.issued, peer.admitted, peer.completed,
+                    peer.deferred, peer.dropped), (other, name)
+        for name, srv in col.servers.items():
+            peer = ref.servers[name]
+            assert srv.completed == peer.completed, (other, name)
+            assert srv.busy_time == peer.busy_time, (other, name)
+        assert scenario_digest(col) == scenario_digest(ref), other
+
+
+@pytest.mark.parametrize("figure", ["fig6", "fig9", "fig10"])
+def test_columnar_replay_digests_identical(figure):
+    """The CLI harness criterion itself: combined scenario + admission
+    digests match across scalar / slotted / columnar runs."""
+    report = columnar_replay(figure=figure, duration_scale=SCALE, seed=0)
+    assert report.labels == ["scalar", "slotted", "columnar"]
+    assert report.meta["columnar_fallback"] is None
+    assert report.meta["columnar_requests"] > 0
+    assert report.identical, report.render()
+    assert report.ok, report.render()
+
+
+@pytest.mark.parametrize("batch", [1024, 65536, 1 << 22],
+                         ids=["1k", "64k", "whole-phase"])
+def test_batch_size_invariance(batch):
+    """The refill block size must be unobservable: every batch reproduces
+    the default's digest bit-for-bit (1<<22 covers any phase whole)."""
+    def run(b):
+        sc, _ = fig6_scenario(duration_scale=SCALE, seed=0, lane="columnar")
+        return sc
+
+    def run_with_batch(b):
+        from repro.experiments.figures import _fig6_graph
+        from repro.experiments.harness import Scenario
+
+        T = 100.0 * SCALE
+        sc = Scenario(_fig6_graph(320.0, 0.2, 0.8), seed=0, lane="columnar")
+        server = sc.server("S", "S", 320.0)
+        r1 = sc.l7("R1", {"S": server}, n_redirectors=2)
+        r2 = sc.l7("R2", {"S": server}, n_redirectors=2)
+        sc.connect_tree(link_delay=0.005)
+        ckw = {"max_retry_pool": 0, "batch": b}
+        sc.client("C1", "A", r1, rate=135.0, windows=[(0.0, 3 * T)], **ckw)
+        sc.client("C2", "A", r1, rate=135.0, windows=[(0.0, 3 * T)], **ckw)
+        sc.client("C3", "B", r2, rate=135.0,
+                  windows=[(0.0, T), (2 * T, 3 * T)], **ckw)
+        sc.run(3 * T)
+        return sc
+
+    reference = scenario_digest(run(None))
+    assert scenario_digest(run_with_batch(batch)) == reference

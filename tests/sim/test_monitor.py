@@ -146,6 +146,25 @@ class TestRecordMany:
         assert m.total("A", 0.0, 1.0) == pytest.approx(5.0)
         assert m.total("A", 1.0, 2.0) == pytest.approx(2.0)
 
+    def test_per_element_weights_match_scalar(self):
+        rng = np.random.default_rng(1)
+        times = rng.uniform(0.0, 20.0, size=800)
+        weights = rng.integers(1, 5, size=800).astype(float)
+        scalar = RateMeter(bin_width=1.0)
+        for t, w in zip(times, weights):
+            scalar.record("A", float(t), weight=float(w))
+        batched = RateMeter(bin_width=1.0)
+        batched.record_many("A", times, weights=weights)
+        st_, sv = scalar.series("A")
+        bt, bv = batched.series("A")
+        np.testing.assert_array_equal(st_, bt)
+        np.testing.assert_array_equal(sv, bv)
+
+    def test_weights_shape_mismatch(self):
+        m = RateMeter(bin_width=1.0)
+        with pytest.raises(ValueError):
+            m.record_many("A", [0.1, 0.2], weights=[1.0])
+
     def test_empty_batch_noop(self):
         m = RateMeter(bin_width=1.0)
         m.record_many("A", [])

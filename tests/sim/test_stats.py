@@ -81,3 +81,80 @@ class TestReservoir:
         assert st.samples == []
         assert st.percentile(50) is None
         assert st.mean == pytest.approx(49.5)
+
+
+class TestUpdateMany:
+    def test_bitwise_equivalence_with_scalar_add(self):
+        # The columnar lane's contract: update_many(xs) IS `for x: add(x)`,
+        # down to the last float bit — moments, extrema, and the reservoir's
+        # xorshift replacement stream all replay identically.
+        rng = np.random.default_rng(3)
+        xs = rng.lognormal(0.0, 1.0, size=4000)
+        scalar = StreamingStats(reservoir=64, seed=7)
+        for x in xs:
+            scalar.add(float(x))
+        batched = StreamingStats(reservoir=64, seed=7)
+        batched.update_many(xs)
+        assert batched.count == scalar.count
+        assert batched.mean == scalar.mean
+        assert batched.variance == scalar.variance
+        assert batched.min == scalar.min
+        assert batched.max == scalar.max
+        assert batched.samples == scalar.samples
+
+    def test_batch_split_invariance(self):
+        rng = np.random.default_rng(4)
+        xs = rng.exponential(2.0, size=3000)
+        whole = StreamingStats(reservoir=32, seed=1)
+        whole.update_many(xs)
+        split = StreamingStats(reservoir=32, seed=1)
+        for chunk in np.array_split(xs, 13):
+            split.update_many(chunk)
+        assert split.mean == whole.mean
+        assert split.variance == whole.variance
+        assert split.samples == whole.samples
+
+    def test_interleaves_with_scalar_add(self):
+        rng = np.random.default_rng(5)
+        xs = rng.uniform(0.0, 9.0, size=500)
+        a = StreamingStats(reservoir=16, seed=2)
+        for x in xs:
+            a.add(float(x))
+        b = StreamingStats(reservoir=16, seed=2)
+        b.update_many(xs[:200])
+        for x in xs[200:300]:
+            b.add(float(x))
+        b.update_many(xs[300:])
+        assert (b.count, b.mean, b.variance) == (a.count, a.mean, a.variance)
+        assert b.samples == a.samples
+
+    def test_weighted_moments_match_repetition(self):
+        vals = [1.5, 2.0, 8.0, 0.25]
+        weights = [3, 1, 2, 5]
+        repeated = StreamingStats(reservoir=0)
+        for v, w in zip(vals, weights):
+            for _ in range(w):
+                repeated.add(v)
+        weighted = StreamingStats(reservoir=0)
+        weighted.update_many(vals, weights=weights)
+        assert weighted.count == repeated.count
+        assert weighted.mean == pytest.approx(repeated.mean, rel=1e-12)
+        assert weighted.variance == pytest.approx(repeated.variance, rel=1e-12)
+
+    def test_zero_weights_skipped(self):
+        st = StreamingStats(reservoir=0)
+        st.update_many([1.0, 99.0, 2.0], weights=[1.0, 0.0, 1.0])
+        assert st.mean == pytest.approx(1.5)
+        assert st.max == 2.0
+
+    def test_empty_batch_noop(self):
+        st = StreamingStats()
+        st.update_many([])
+        assert st.count == 0
+
+    def test_bad_weights(self):
+        st = StreamingStats()
+        with pytest.raises(ValueError):
+            st.update_many([1.0, 2.0], weights=[1.0])
+        with pytest.raises(ValueError):
+            st.update_many([1.0], weights=[-2.0])
