@@ -22,7 +22,7 @@ import numpy as np
 __all__ = [
     "ReplayReport", "scenario_digest", "l4_admission_digest",
     "l7_admission_digest", "fig6_replay", "chaos_replay", "l4_replay",
-    "columnar_replay",
+    "columnar_replay", "sharded_replay",
 ]
 
 
@@ -366,6 +366,54 @@ def columnar_replay(
     meta["admission_digests"] = adm_digests
     return ReplayReport(
         scenario=f"{figure}+columnar",
+        digests=digests,
+        labels=labels,
+        meta=meta,
+    )
+
+
+def sharded_replay(
+    figure: str = "fig6",
+    duration_scale: float = 0.05,
+    seed: int = 0,
+    shards: int = 4,
+    replicas: int = 4,
+    lp_cache: bool = True,
+) -> ReplayReport:
+    """Run one sharded world with ``shards=1`` and ``shards=N`` and diff.
+
+    The shard-parity contract (window-epoch barriers, docs/DETERMINISM.md):
+    partitioning a world's clusters across worker processes must not move
+    a single bit of any observable series, because each cluster owns its
+    RNG substream and state crosses shards only as window-boundary demand
+    aggregates folded in a shard-independent combining-tree order.  The
+    digest deliberately excludes the shard count, so digest equality *is*
+    the proof.  ``replicas`` stamps out enough clusters that every worker
+    owns several (the interesting regime for packing bugs).
+    """
+    from repro.experiments.sharded import run_sharded
+
+    if shards < 2:
+        raise ValueError("shard parity needs shards >= 2 to compare against 1")
+    digests: List[str] = []
+    labels: List[str] = []
+    meta: Dict[str, Any] = {
+        "duration_scale": duration_scale, "seed": seed,
+        "replicas": replicas, "lp_cache": lp_cache,
+    }
+    for r in (1, shards):
+        res = run_sharded(
+            figure, duration_scale=duration_scale, seed=seed, shards=r,
+            replicas=replicas, lp_cache=lp_cache,
+        )
+        digests.append(res.digest())
+        labels.append(f"shards={r}")
+        if r == 1:
+            meta["n_windows"] = res.n_windows
+            meta["clusters"] = len(res.clusters)
+            meta["lp_solves"] = res.lp_solves
+    return ReplayReport(
+        scenario=f"{figure}+sharded",
         digests=digests,
         labels=labels,
         meta=meta,

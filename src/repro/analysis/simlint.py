@@ -20,6 +20,12 @@ SIM006    legacy ``np.random.*`` module-level RandomState use
           (``np.random.rand``, ``np.random.seed``, …) — one hidden global
           stream breaks substream isolation even when seeded; the columnar
           lane's bulk draws rely on per-client spawned generators
+SIM007    shard-unsafe patterns: ``os.cpu_count()`` outside
+          ``default_jobs()`` (ignores affinity masks and cgroup limits —
+          and scatters the worker-count decision), and module-level
+          mutable state read inside worker-executed functions (named
+          ``*_task``/``*_worker``/``*_main`` by convention) — worker
+          processes must receive all state through their task argument
 ========  ==============================================================
 
 Suppression: append ``# simlint: disable=SIM001`` (comma-separated codes,
@@ -40,7 +46,7 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
 
 __all__ = [
     "RULES",
@@ -58,7 +64,18 @@ RULES: Dict[str, str] = {
     "SIM004": "heap entry without a total-order tie-breaker",
     "SIM005": "threading / shared mutable global in a parallel payload",
     "SIM006": "legacy numpy.random module-level RandomState use",
+    "SIM007": "shard-unsafe pattern (cpu_count outside default_jobs, or "
+              "module-level mutable state read in a worker function)",
 }
+
+# Functions executed in worker processes follow this naming convention
+# (parallel.py's _figure_task, sharded.py's _shard_worker_main, ...); the
+# contract is that they receive *all* state through their arguments.
+_WORKER_SUFFIXES = ("_task", "_worker", "_main")
+
+# The one blessed home for a worker-count decision (see
+# repro.experiments.parallel.default_jobs: affinity-aware + env override).
+_CPU_COUNT_FUNCS = frozenset({"os.cpu_count", "multiprocessing.cpu_count"})
 
 # time-module functions that read host clocks.
 _WALL_TIME_FUNCS = frozenset({
@@ -133,7 +150,7 @@ def _dotted_parts(node: ast.AST) -> Optional[List[str]]:
 
 
 class _Linter(ast.NodeVisitor):
-    """Single-pass visitor implementing SIM001–SIM006."""
+    """Single-pass visitor implementing SIM001–SIM007."""
 
     def __init__(
         self,
@@ -154,6 +171,10 @@ class _Linter(ast.NodeVisitor):
         self._from_names: Dict[str, str] = {}
         # lexical scopes for SIM003 set-ness inference (module scope first)
         self._set_scopes: List[Dict[str, bool]] = [{}]
+        # SIM007 state: enclosing function names, and module-level names
+        # bound to mutable containers (collected by visit_Module).
+        self._func_stack: List[str] = []
+        self._mutable_globals: Set[str] = set()
 
     # -- bookkeeping ------------------------------------------------------
 
@@ -248,6 +269,13 @@ class _Linter(ast.NodeVisitor):
             self._flag(node, "SIM005",
                        f"`{full}` in an experiments/ module: parallel "
                        "job payloads must be share-nothing processes")
+        if full in _CPU_COUNT_FUNCS and not self.wall_clock_exempt \
+                and "default_jobs" not in self._func_stack:
+            self._flag(node, "SIM007",
+                       f"`{full}` ignores affinity masks and cgroup CPU "
+                       "limits and scatters the worker-count decision; "
+                       "call repro.experiments.parallel.default_jobs() "
+                       "instead")
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if isinstance(node.ctx, ast.Load):
@@ -368,17 +396,106 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
         self._set_scopes.pop()
 
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+    def _visit_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        self._check_worker_function(node)
+        self._func_stack.append(node.name)
         self._visit_scoped(node)
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._visit_scoped(node)
+        self._visit_function(node)
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         self._visit_scoped(node)
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._visit_scoped(node)
+
+    # -- SIM007: shard-unsafe worker functions -----------------------------
+
+    @staticmethod
+    def _is_mutable_container(node: ast.AST) -> bool:
+        """Literal / constructor expressions yielding a mutable container."""
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name: Optional[str] = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            return name in ("list", "dict", "set", "bytearray", "defaultdict",
+                            "deque", "Counter", "OrderedDict")
+        return False
+
+    def visit_Module(self, node: ast.Module) -> None:
+        # Pre-pass: names bound at module top level to mutable containers.
+        # Reads of these inside worker functions are shard hazards — each
+        # worker process gets its own (possibly stale, never shared) copy.
+        for stmt in node.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets, value = [stmt.target], stmt.value
+            if value is not None and self._is_mutable_container(value):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self._mutable_globals.add(target.id)
+        self.generic_visit(node)
+
+    def _check_worker_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        """Flag reads of module-level mutable state in worker functions.
+
+        Functions named ``*_task``/``*_worker``/``*_main`` run in forked or
+        spawned processes; mutations made there never reach the parent, and
+        under ``spawn`` the module is re-imported so the "global" may not
+        even hold the parent's value.  All state must arrive through the
+        task argument.  The check is syntactic: a name is considered local
+        if it is a parameter, assigned, or imported anywhere in the
+        function body.
+        """
+        if not node.name.endswith(_WORKER_SUFFIXES):
+            return
+        if not self._mutable_globals:
+            return
+        bound: Set[str] = set()
+        arguments = node.args
+        for arg in (*arguments.posonlyargs, *arguments.args,
+                    *arguments.kwonlyargs):
+            bound.add(arg.arg)
+        if arguments.vararg is not None:
+            bound.add(arguments.vararg.arg)
+        if arguments.kwarg is not None:
+            bound.add(arguments.kwarg.arg)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)
+            ):
+                bound.add(sub.id)
+            elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                for alias in sub.names:
+                    bound.add(alias.asname or alias.name.partition(".")[0])
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load) \
+                    and sub.id in self._mutable_globals \
+                    and sub.id not in bound:
+                self._flag(sub, "SIM007",
+                           f"worker function `{node.name}` reads module-"
+                           f"level mutable `{sub.id}`: worker processes "
+                           "see a private (under spawn, freshly re-"
+                           "imported) copy, so shared state silently "
+                           "diverges; pass it through the task argument")
 
     # -- SIM005: shared mutable globals in parallel payloads ---------------
 
@@ -450,7 +567,7 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
-        prog="simlint", description="simulation determinism lint (SIM001-SIM006)"
+        prog="simlint", description="simulation determinism lint (SIM001-SIM007)"
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint")

@@ -14,13 +14,15 @@
 ``report`` renders the full paper-vs-measured markdown; ``inspect`` values
 an agreement graph given on the command line; ``baseline`` compares
 coordinated enforcement against a WRR front end; ``lint`` runs the
-simulation-determinism lint (SIM001–SIM006, see docs/DETERMINISM.md);
+simulation-determinism lint (SIM001–SIM007, see docs/DETERMINISM.md);
 ``check`` replays one or more scenarios and compares trace digests, with
 the runtime invariant checker on the final run — for fig6/fig9/fig10 it
-also diffs the scalar, slotted and columnar lanes against each other; ``chaos`` injects faults (the
-canonical coordination partition, a seeded random plan, or a JSON plan
-file) into the fault-matrix world and reports degradation and recovery
-(see docs/FAULTS.md).
+also diffs the scalar, slotted and columnar lanes against each other, and
+``check --shards N`` instead proves the sharded lane's window-epoch
+barrier parity (``shards=1`` vs ``shards=N`` digests on fig6/fig9);
+``chaos`` injects faults (the canonical coordination partition, a seeded
+random plan, or a JSON plan file) into the fault-matrix world and reports
+degradation and recovery (see docs/FAULTS.md).
 """
 
 from __future__ import annotations
@@ -70,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run fig6/fig9 on the columnar lane (strict "
                             "open-loop scenario variant, whole workload "
                             "phases advanced as numpy columns)")
+    p_fig.add_argument("--shards", type=int, default=0, metavar="R",
+                       help="run fig6/fig9 on the sharded lane with R "
+                            "worker processes synchronised at window-epoch "
+                            "barriers (digests are independent of R)")
     p_fig.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the figure batch "
                             "(results are independent of this)")
@@ -101,7 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_base.add_argument("--seed", type=int, default=0)
 
     p_lint = sub.add_parser(
-        "lint", help="determinism/conservation static analysis (SIM001-SIM006)"
+        "lint", help="determinism/conservation static analysis (SIM001-SIM007)"
     )
     p_lint.add_argument("paths", nargs="*", default=[],
                         help="files or directories to lint (default: src/repro)")
@@ -131,6 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "slotted and columnar lanes to produce identical "
                             "digests on the strict open-loop scenario "
                             "(--no-columnar skips the three-lane diff)")
+    p_chk.add_argument("--shards", type=int, default=0, metavar="R",
+                       help="shard-parity mode: run each scenario's sharded "
+                            "world with shards=1 and shards=R and require "
+                            "bit-identical digests (fig6/fig9 only; skips "
+                            "the ordinary replay diff)")
 
     p_chaos = sub.add_parser(
         "chaos", help="fault injection: partition/heal matrix or a custom plan"
@@ -203,19 +214,20 @@ def _cmd_figures(args) -> int:
     fast_lane = getattr(args, "fast_lane", True)
     l4_fast_lane = getattr(args, "l4_fast_lane", True)
     lane = "columnar" if getattr(args, "columnar", False) else None
+    shards = getattr(args, "shards", 0) or None
     jobs = max(1, getattr(args, "jobs", 1))
     if jobs > 1:
         results = dict(run_figures_parallel(
             known, scale=args.scale, seed=args.seed, jobs=jobs,
             lp_cache=lp_cache, fast_lane=fast_lane, l4_fast_lane=l4_fast_lane,
-            lane=lane,
+            lane=lane, shards=shards,
         ))
     else:
         results = {
             n: ALL_FIGURES[n](**figure_kwargs(n, args.scale, args.seed, lp_cache,
                                               fast_lane=fast_lane,
                                               l4_fast_lane=l4_fast_lane,
-                                              lane=lane))
+                                              lane=lane, shards=shards))
             for n in known
         }
     for name in wanted:
@@ -316,11 +328,25 @@ def _cmd_check(args) -> int:
     from functools import partial
 
     from repro.analysis.replay import (
-        chaos_replay, columnar_replay, fig6_replay, l4_replay,
+        chaos_replay, columnar_replay, fig6_replay, l4_replay, sharded_replay,
     )
 
     scenarios = args.scenario or ["fig6"]
     failures = 0
+    if getattr(args, "shards", 0):
+        # Shard-parity mode: prove the window-epoch barrier moves no bits.
+        for scenario in scenarios:
+            if scenario not in ("fig6", "fig9"):
+                raise ValueError(
+                    f"--shards supports fig6/fig9 worlds, not {scenario!r}"
+                )
+            report = sharded_replay(
+                figure=scenario, duration_scale=args.scale, seed=args.seed,
+                shards=args.shards,
+            )
+            print(report.render())
+            failures += 0 if report.ok else 1
+        return 1 if failures else 0
     for scenario in scenarios:
         if scenario == "fig6":
             replay = fig6_replay

@@ -1,0 +1,200 @@
+"""Window-epoch barrier for sharded single-scenario execution.
+
+The paper's coordination structure (§3.2) makes clusters independent
+*within* a scheduling window: they exchange state only through the
+combining tree at window boundaries, 2(n-1) messages per round.  The
+sharded runner (:mod:`repro.experiments.sharded`) exploits exactly that —
+each worker process simulates its clusters through window *k* to
+completion, then stops at the boundary and exchanges state with the
+parent.  This module is the transport shim for that exchange: typed
+boundary messages over :mod:`multiprocessing` pipes, plus a conservative
+barrier (`EpochBarrier`) that releases no worker into window *k+1* until
+every worker has reported window *k*.
+
+Failure model: a worker that dies mid-window (crash, OOM kill, bug) must
+surface as a typed :class:`ShardWorkerError` in the parent — never a
+hang.  ``gather`` therefore polls each pipe with a bounded interval,
+checks process liveness between polls, and enforces an overall per-epoch
+timeout.  A worker that catches its own exception ships a
+:class:`WorkerFailure` message so the parent can re-raise with the
+original detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import monotonic  # simlint: disable=SIM001  # IPC liveness timeout, not sim time
+from typing import Any, Dict, List, Optional, Sequence, Type, TypeVar
+
+from repro.coordination.aggregation import VectorAggregate
+
+__all__ = [
+    "AllocationMessage",
+    "BoundaryMessage",
+    "FinishMessage",
+    "WorkerFailure",
+    "ShardWorkerError",
+    "EpochBarrier",
+]
+
+M = TypeVar("M")
+
+
+@dataclass(frozen=True)
+class AllocationMessage:
+    """Parent -> workers: release into window ``epoch`` with this policy.
+
+    ``frac`` maps each principal to the globally consistent served
+    fraction ``min(1, x_p / n_p)`` from the window LP on the previous
+    epoch's merged demand; each worker scales it by its clusters' *local*
+    demand, exactly how :class:`~repro.scheduling.allocator.WindowAllocator`
+    applies a combining-tree broadcast.  ``frac=None`` means no global
+    information exists yet (epoch 0): workers fall back to the
+    conservative 1/R mandatory split carried in their static task config,
+    the paper's Fig 8 phase-1 behaviour.
+    """
+
+    epoch: int
+    frac: Optional[Dict[str, float]] = None
+
+
+@dataclass(frozen=True)
+class BoundaryMessage:
+    """Worker -> parent at the window-``epoch`` boundary.
+
+    ``demand`` carries one :class:`VectorAggregate` per cluster (never
+    pre-summed per shard: the parent folds the per-cluster leaves through
+    the combining tree in an order fixed by cluster names, so the merged
+    float totals are independent of how clusters were packed into
+    shards).
+    """
+
+    epoch: int
+    shard: int
+    demand: Dict[str, VectorAggregate] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FinishMessage:
+    """Parent -> workers: the horizon is reached; reply with your summary."""
+
+    epoch: int
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """Worker -> parent: the worker caught a fatal error and is exiting."""
+
+    shard: int
+    detail: str
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker died, timed out, or broke the epoch protocol."""
+
+    def __init__(self, shard: int, detail: str):
+        super().__init__(f"shard worker {shard}: {detail}")
+        self.shard = shard
+        self.detail = detail
+
+
+class EpochBarrier:
+    """Parent-side conservative barrier over worker pipes.
+
+    One connection per worker process.  ``broadcast`` releases all
+    workers into an epoch; ``gather`` blocks until every worker has
+    reported that epoch's boundary message, converting worker death,
+    protocol violations and timeouts into :class:`ShardWorkerError`.
+    """
+
+    def __init__(
+        self,
+        connections: Sequence[Any],
+        processes: Optional[Sequence[Any]] = None,
+        timeout: float = 120.0,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if processes is not None and len(processes) != len(connections):
+            raise ValueError("need one process handle per connection")
+        self.connections = list(connections)
+        self.processes = list(processes) if processes is not None else None
+        self.timeout = float(timeout)
+        self.poll_interval = float(poll_interval)
+
+    def __len__(self) -> int:
+        return len(self.connections)
+
+    def broadcast(self, msg: Any) -> None:
+        for shard, conn in enumerate(self.connections):
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError) as exc:
+                raise ShardWorkerError(
+                    shard, f"pipe closed while sending {type(msg).__name__}: {exc}"
+                ) from exc
+
+    def _alive(self, shard: int) -> bool:
+        if self.processes is None:
+            return True
+        return bool(self.processes[shard].is_alive())
+
+    def _recv_one(self, shard: int, deadline: float) -> Any:
+        conn = self.connections[shard]
+        while True:
+            remaining = deadline - monotonic()  # simlint: disable=SIM001
+            if remaining <= 0:
+                raise ShardWorkerError(
+                    shard, f"no boundary message within {self.timeout:.0f}s (hang?)"
+                )
+            try:
+                if conn.poll(min(self.poll_interval, remaining)):
+                    return conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise self._death_error(shard, exc) from exc
+            if not self._alive(shard) and not conn.poll(0):
+                raise self._death_error(shard, None)
+
+    def _death_error(self, shard: int, cause: Optional[BaseException]) -> ShardWorkerError:
+        """Diagnose an EOF/liveness failure: prefer the exitcode if dead."""
+        if self.processes is not None:
+            proc = self.processes[shard]
+            proc.join(timeout=1.0)
+            if not proc.is_alive():
+                return ShardWorkerError(
+                    shard,
+                    f"worker process died mid-window (exitcode {proc.exitcode})",
+                )
+        return ShardWorkerError(shard, f"pipe closed mid-window: {cause}")
+
+    def gather(self, epoch: int, kind: Type[M]) -> List[M]:
+        """One ``kind`` message per worker for ``epoch``, in shard order."""
+        deadline = monotonic() + self.timeout  # simlint: disable=SIM001
+        out: List[M] = []
+        for shard in range(len(self.connections)):
+            msg = self._recv_one(shard, deadline)
+            if isinstance(msg, WorkerFailure):
+                raise ShardWorkerError(msg.shard, msg.detail)
+            if not isinstance(msg, kind):
+                raise ShardWorkerError(
+                    shard, f"expected {kind.__name__} for epoch {epoch}, "
+                           f"got {type(msg).__name__}"
+                )
+            got = getattr(msg, "epoch", epoch)
+            if got != epoch:
+                raise ShardWorkerError(
+                    shard, f"epoch skew: expected {epoch}, got {got}"
+                )
+            out.append(msg)
+        return out
+
+    def close(self, terminate: bool = False) -> None:
+        for conn in self.connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self.processes is not None:
+            for proc in self.processes:
+                if terminate and proc.is_alive():
+                    proc.terminate()
+                proc.join(timeout=5.0)

@@ -102,6 +102,7 @@ class Scenario:
         l4_fast_lane: bool = True,
         check_invariants: Optional[bool] = None,
         lane: Optional[str] = None,
+        shards: int = 1,
     ):
         self.graph = graph
         self.access: AccessLevels = compute_access_levels(graph)
@@ -128,6 +129,24 @@ class Scenario:
             self.l4_fast_lane = True
         self.lane: str = lane or ("slotted" if self.fast_lane else "scalar")
         self.lane_fallback: Optional[str] = None
+        # Sharded execution is a separate execution model over declarative
+        # worlds (repro.experiments.sharded) — the event kernel is one
+        # serial timeline and cannot be split mid-scenario.  Entry points
+        # that support sharding (fig6/fig9) dispatch to the ShardedRunner
+        # *before* constructing a Scenario; asking an already-built event
+        # Scenario for shards > 1 records a fallback reason, mirroring
+        # ``lane_fallback``.
+        if int(shards) < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = int(shards)
+        self.shard_fallback: Optional[str] = None
+        if self.shards > 1:
+            self.shards = 1
+            self.shard_fallback = (
+                "event-lane scenarios run one serial timeline; use the "
+                "sharded lane entry points (run_fig6/run_fig9 shards=, "
+                "repro figures --shards) for window-epoch sharding"
+            )
         self.sim = Simulator(fast_periodic=fast_periodic)
         self.streams = RngStreams(seed)
         self.meter = RateMeter(bin_width)

@@ -44,7 +44,35 @@ def scenario_seed(base: int, name: str) -> int:
 
 
 def default_jobs() -> int:
-    """Worker count when the caller does not specify one."""
+    """Worker count when the caller does not specify one.
+
+    Resolution order:
+
+    1. ``REPRO_JOBS`` environment override (must be a positive integer) —
+       the explicit knob for CI runners and batch schedulers.
+    2. ``os.sched_getaffinity(0)`` — the CPUs this process may actually
+       run on.  ``os.cpu_count()`` reports the *machine's* cores and so
+       oversubscribes inside containers with cgroup limits and under
+       ``taskset``/slurm CPU masks.
+    3. ``os.cpu_count()`` where affinity is unsupported (macOS, Windows).
+    """
+    env = os.environ.get("REPRO_JOBS")
+    if env is not None:
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be a positive integer, got {env!r}"
+            ) from None
+        if jobs < 1:
+            raise ValueError(f"REPRO_JOBS must be >= 1, got {jobs}")
+        return jobs
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:
+            pass
     return max(1, os.cpu_count() or 1)
 
 
@@ -85,6 +113,7 @@ def figure_kwargs(
     fast_lane: bool = True,
     l4_fast_lane: bool = True,
     lane: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Keyword arguments for one ``run_figN`` entry point.
 
@@ -93,7 +122,8 @@ def figure_kwargs(
     verbatim, matching a serial ``for name: run_figN(seed=seed)`` loop.
     ``l4_fast_lane`` only reaches the L4 figures (fig9/fig10) — the other
     entry points have no L4 switch to thread it to; ``lane`` only reaches
-    the figures with a columnar-capable scenario (fig6/fig9/fig10).
+    the figures with a columnar-capable scenario (fig6/fig9/fig10);
+    ``shards`` only reaches the figures with a sharded world (fig6/fig9).
     """
     s = scenario_seed(seed, name) if partition_seeds else seed
     if name in ("fig1", "fig3"):
@@ -107,6 +137,8 @@ def figure_kwargs(
         kwargs["l4_fast_lane"] = l4_fast_lane
     if lane is not None and name in ("fig6", "fig9", "fig10"):
         kwargs["lane"] = lane
+    if shards is not None and name in ("fig6", "fig9"):
+        kwargs["shards"] = shards
     return kwargs
 
 
@@ -127,11 +159,13 @@ def run_figures_parallel(
     fast_lane: bool = True,
     l4_fast_lane: bool = True,
     lane: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> List[Tuple[str, Any]]:
     """Run paper figures across worker processes.
 
     Returns ``(name, result)`` pairs in the order requested.  Results are
-    bit-identical to the serial path for any ``jobs``.
+    bit-identical to the serial path for any ``jobs`` (and, on the
+    sharded lane, for any ``shards``).
     """
     from repro.experiments.figures import ALL_FIGURES
 
@@ -141,7 +175,7 @@ def run_figures_parallel(
         raise KeyError(f"unknown figures {unknown}; have {list(ALL_FIGURES)}")
     tasks = [
         (n, figure_kwargs(n, scale, seed, lp_cache, partition_seeds,
-                          fast_lane, l4_fast_lane, lane))
+                          fast_lane, l4_fast_lane, lane, shards))
         for n in wanted
     ]
     return parallel_map(_figure_task, tasks, jobs=jobs)

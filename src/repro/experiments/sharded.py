@@ -1,0 +1,785 @@
+"""Sharded single-scenario execution: one world across many cores.
+
+`experiments/parallel.py` parallelises *across* experiments; this module
+parallelises *within* one: a :class:`ShardedRunner` partitions a world's
+clusters into R shards, runs each shard in its own worker process, and
+synchronises only at window boundaries — the paper's own decomposition.
+Clusters are independent within a 100 ms scheduling window (§3.2): they
+exchange state exclusively through the combining tree at window edges,
+2(n-1) messages per round.  The runner makes each window a conservative
+barrier epoch:
+
+1. the parent broadcasts the window-k allocation policy (the globally
+   consistent served fraction per principal, from the LP on window k-1's
+   merged demand; window 0 uses the conservative 1/R fallback),
+2. every worker simulates its clusters through window k to completion and
+   ships one :class:`~repro.coordination.barrier.BoundaryMessage` carrying
+   a per-cluster :class:`~repro.coordination.aggregation.VectorAggregate`
+   of demand,
+3. the parent folds the per-cluster aggregates through the existing
+   :class:`~repro.coordination.tree.CombiningTree` reduction (balanced
+   tree over *sorted cluster names*, so float-sum order never depends on
+   how clusters were packed into shards), solves the window LP via the
+   shared :class:`~repro.scheduling.allocator.WindowAllocator` (reusing
+   its SolveCache), and releases everyone into window k+1.
+
+Determinism is by construction, not by luck: every cluster owns the RNG
+substream ``cluster:<name>`` (PR 4's ``link:<src>-><dst>`` pattern
+generalised) and consumes it in fixed (window, client) order; no other
+state crosses the boundary.  ``shards=1`` runs the identical per-cluster
+math inline, so ``shards=1`` and ``shards=8`` produce bit-identical
+SHA-256 digests — enforced by ``repro check --shards`` exactly like the
+three-way lane digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing as mp
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coordination.aggregation import StreamStats, VectorAggregate
+from repro.coordination.barrier import (
+    AllocationMessage,
+    BoundaryMessage,
+    EpochBarrier,
+    FinishMessage,
+    WorkerFailure,
+)
+from repro.coordination.tree import CombiningTree
+from repro.core.access import compute_access_levels
+from repro.core.agreements import Agreement, AgreementGraph
+from repro.experiments.harness import FigureResult, PhaseExpectation
+from repro.scheduling.allocator import WindowAllocator
+from repro.scheduling.window import WindowConfig
+from repro.sim.monitor import PhaseStats
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "ShardClient",
+    "ShardCluster",
+    "ShardedWorld",
+    "ShardedResult",
+    "ShardedRunner",
+    "sharded_fig6_world",
+    "sharded_fig9_world",
+    "SHARDED_WORLDS",
+    "run_sharded",
+    "run_sharded_figure",
+]
+
+# Deterministic crash hook for tests: "<shard>:<epoch>" makes that worker
+# hard-exit at the start of that epoch (validating the barrier's typed
+# failure path without monkey-patching across process boundaries).
+_FAULT_ENV = "REPRO_SHARD_FAULT"
+
+
+# ---------------------------------------------------------------------------
+# World declaration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardClient:
+    """Open-loop Poisson source bound to one cluster.
+
+    ``windows`` lists (start, end) activity intervals in seconds; ``None``
+    means always active.  Arrival counts per scheduling window are Poisson
+    with mean ``rate × overlap(window, activity)``, drawn from the owning
+    cluster's substream in declaration order.
+    """
+
+    name: str
+    principal: str
+    rate: float
+    windows: Optional[Tuple[Tuple[float, float], ...]] = None
+
+    def overlap(self, t0: float, t1: float) -> float:
+        """Active seconds inside [t0, t1)."""
+        if self.windows is None:
+            return t1 - t0
+        total = 0.0
+        for a, b in self.windows:
+            total += max(0.0, min(b, t1) - max(a, t0))
+        return total
+
+
+@dataclass(frozen=True)
+class ShardCluster:
+    """One cluster: a redirector's worth of clients plus a local server.
+
+    ``capacity`` (req/s) drives the response-time observer — a constant-
+    service Lindley recursion over the cluster's admitted requests.  It
+    does not gate admission; quotas do.
+    """
+
+    name: str
+    clients: Tuple[ShardClient, ...]
+    capacity: float
+
+
+@dataclass(frozen=True)
+class ShardedWorld:
+    """A full declarative scenario for the sharded lane.
+
+    The agreement ``graph`` lives parent-side only (it feeds the window
+    LP); workers receive nothing but their own clusters and the static
+    conservative split.
+    """
+
+    name: str
+    clusters: Tuple[ShardCluster, ...]
+    principals: Tuple[str, ...]
+    duration: float
+    seed: int = 0
+    window: float = 0.1
+    graph: AgreementGraph = field(default_factory=AgreementGraph, repr=False)
+
+    @property
+    def n_windows(self) -> int:
+        return max(1, int(math.ceil(self.duration / self.window - 1e-9)))
+
+
+# ---------------------------------------------------------------------------
+# Worker-side state (identical for shards=1 inline and shards=R processes)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs, shipped once at start (picklable).
+
+    Workers rebuild all state from this task, so fork and spawn start
+    methods are interchangeable; nothing is inherited from parent memory.
+    """
+
+    shard: int
+    clusters: Tuple[ShardCluster, ...]
+    principals: Tuple[str, ...]
+    seed: int
+    window: float
+    n_windows: int
+    # Conservative per-principal mandatory share (requests/window) when no
+    # global information exists: MC_w[p] / n_clusters, the allocator's 1/R
+    # fallback with every cluster counted as a redirector.
+    conservative: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ShardSummary:
+    """Worker -> parent terminal message: the full per-cluster record."""
+
+    epoch: int
+    shard: int
+    # cluster -> principal -> per-window float64 arrays
+    demand: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+    admitted: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+    refused: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+    response: Dict[str, StreamStats] = field(default_factory=dict)
+    clock: Dict[str, float] = field(default_factory=dict)
+
+
+class _ClusterState:
+    """One cluster's private simulation state.
+
+    Self-contained: its arrays depend only on (its substream, the broadcast
+    fraction sequence), never on which shard runs it or which clusters
+    share its worker — the invariant the digest-parity contract rests on.
+    """
+
+    def __init__(self, spec: ShardCluster, task: ShardTask,
+                 streams: RngStreams) -> None:
+        self.spec = spec
+        self.principals = task.principals
+        self.window = task.window
+        self.rng = streams.get(f"cluster:{spec.name}")
+        n = task.n_windows
+        self.demand = {p: np.zeros(n) for p in task.principals}
+        self.admitted = {p: np.zeros(n) for p in task.principals}
+        self.refused = {p: np.zeros(n) for p in task.principals}
+        # Residual-carry admission: fractional quota left over while
+        # quota-limited rolls into the next window (no banking of unused
+        # quota), so long-run admitted rate tracks quota exactly.
+        self.carry = {p: 0.0 for p in task.principals}
+        self.response = StreamStats()
+        self.clock = 0.0           # server-free time for the Lindley observer
+        self.svc = 1.0 / spec.capacity
+
+    def step(self, k: int, frac: Optional[Dict[str, float]],
+             conservative: Mapping[str, float]) -> VectorAggregate:
+        """Simulate window k; returns this cluster's demand aggregate."""
+        w = self.window
+        t0, t1 = k * w, (k + 1) * w
+        demand = {p: 0 for p in self.principals}
+        for client in self.spec.clients:
+            active = client.overlap(t0, t1)
+            if active > 0.0:
+                demand[client.principal] += int(
+                    self.rng.poisson(client.rate * active)
+                )
+        total_adm = 0
+        for p in self.principals:
+            d = demand[p]
+            self.demand[p][k] = d
+            if frac is not None:
+                quota = frac.get(p, 0.0) * d
+            else:
+                quota = min(float(d), conservative.get(p, 0.0))
+            budget = quota + self.carry[p]
+            adm = min(d, int(budget))
+            if adm < d:
+                self.carry[p] = budget - adm
+            else:
+                self.carry[p] = 0.0
+            self.admitted[p][k] = adm
+            self.refused[p][k] = d - adm
+            total_adm += adm
+        if total_adm > 0:
+            self._observe(t0, total_adm)
+        return VectorAggregate.local(
+            {p: float(demand[p]) for p in self.principals}
+        )
+
+    def _observe(self, t0: float, m: int) -> None:
+        """Constant-service Lindley recursion over m in-window arrivals."""
+        arr = t0 + np.sort(self.rng.uniform(0.0, self.window, size=m))
+        svc = self.svc
+        # finish_i = svc*(i+1) + max(clock, max_{j<=i}(arr_j - svc*j))
+        slack = np.maximum.accumulate(arr - svc * np.arange(m))
+        finish = svc * np.arange(1, m + 1) + np.maximum(slack, self.clock)
+        resp = finish - arr
+        self.clock = float(finish[-1])
+        batch = StreamStats(
+            count=m,
+            mean=float(resp.mean()),
+            m2=float(((resp - resp.mean()) ** 2).sum()),
+            min=float(resp.min()),
+            max=float(resp.max()),
+        )
+        self.response = self.response.merge(batch)
+
+
+class ShardState:
+    """All clusters owned by one worker, stepped window-by-window."""
+
+    def __init__(self, task: ShardTask) -> None:
+        self.task = task
+        streams = RngStreams(task.seed)
+        self.clusters = [
+            _ClusterState(spec, task, streams) for spec in task.clusters
+        ]
+
+    def step(self, k: int,
+             frac: Optional[Dict[str, float]]) -> Dict[str, VectorAggregate]:
+        cons = self.task.conservative
+        return {
+            c.spec.name: c.step(k, frac, cons) for c in self.clusters
+        }
+
+    def summary(self) -> ShardSummary:
+        return ShardSummary(
+            epoch=self.task.n_windows,
+            shard=self.task.shard,
+            demand={c.spec.name: c.demand for c in self.clusters},
+            admitted={c.spec.name: c.admitted for c in self.clusters},
+            refused={c.spec.name: c.refused for c in self.clusters},
+            response={c.spec.name: c.response for c in self.clusters},
+            clock={c.spec.name: c.clock for c in self.clusters},
+        )
+
+
+def _shard_worker_main(conn: Any, task: ShardTask) -> None:
+    """Worker process entry point: epoch loop until FinishMessage.
+
+    Module-level (picklable under spawn); receives *all* state through
+    ``task`` — never module globals (SIM007's worker contract).
+    """
+    fault = os.environ.get(_FAULT_ENV, "")
+    try:
+        state = ShardState(task)
+        while True:
+            msg = conn.recv()
+            if isinstance(msg, FinishMessage):
+                conn.send(state.summary())
+                return
+            if fault == f"{task.shard}:{msg.epoch}":
+                os._exit(3)   # deterministic mid-window crash for tests
+            demand = state.step(msg.epoch, msg.frac)
+            conn.send(BoundaryMessage(msg.epoch, task.shard, demand))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        return
+    except Exception as exc:   # ship the failure; never leave a hang
+        try:
+            conn.send(WorkerFailure(task.shard, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Parent-side runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardedResult:
+    """Everything observable from one sharded run.
+
+    ``digest()`` covers every per-cluster series plus the parent-side
+    policy trace; it deliberately omits the shard count, so equality
+    between ``shards=1`` and ``shards=R`` *is* the parity proof.
+    """
+
+    world: ShardedWorld
+    shards: int
+    window: float
+    n_windows: int
+    principals: Tuple[str, ...]
+    clusters: Tuple[str, ...]
+    demand: Dict[str, Dict[str, np.ndarray]]
+    admitted: Dict[str, Dict[str, np.ndarray]]
+    refused: Dict[str, Dict[str, np.ndarray]]
+    response: Dict[str, StreamStats]
+    clock: Dict[str, float]
+    global_demand: Dict[str, np.ndarray]
+    frac: Dict[str, np.ndarray]     # -1.0 sentinel on conservative windows
+    lp_solves: int = 0
+    cache_hits: int = 0
+    fallback_windows: int = 0
+
+    # -- derived views ----------------------------------------------------
+
+    def admitted_series(self, principal: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(window-centre times, admitted req/s) summed over clusters."""
+        times = (np.arange(self.n_windows) + 0.5) * self.window
+        total = np.zeros(self.n_windows)
+        for name in self.clusters:
+            total += self.admitted[name][principal]
+        return times, total / self.window
+
+    def series(self, keys: Sequence[str]) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        return {p: self.admitted_series(p) for p in keys}
+
+    def phase_rates(
+        self,
+        phases: Sequence[Tuple[str, float, float]],
+        keys: Optional[Sequence[str]] = None,
+        settle: float = 0.0,
+    ) -> List[PhaseStats]:
+        """Mean admitted rate per principal over whole windows in a phase."""
+        keys = list(keys) if keys is not None else list(self.principals)
+        idx = np.arange(self.n_windows)
+        w0, w1 = idx * self.window, (idx + 1) * self.window
+        out: List[PhaseStats] = []
+        for name, t0, t1 in phases:
+            sel = (w0 >= t0 + settle - 1e-9) & (w1 <= t1 + 1e-9)
+            span = float(sel.sum()) * self.window
+            stats = PhaseStats(name=name, t0=t0, t1=t1)
+            for p in keys:
+                if span <= 0:
+                    stats.rates[p] = 0.0
+                    continue
+                total = sum(
+                    float(self.admitted[c][p][sel].sum()) for c in self.clusters
+                )
+                stats.rates[p] = total / span
+            out.append(stats)
+        return out
+
+    def digest(self) -> str:
+        """SHA-256 over exact float bytes of all observable state."""
+        h = hashlib.sha256()
+
+        def floats(values: Any) -> None:
+            h.update(np.ascontiguousarray(
+                np.asarray(values, dtype=float)).tobytes())
+
+        for name in sorted(self.clusters):
+            h.update(name.encode("utf-8"))
+            for p in sorted(self.principals):
+                h.update(p.encode("utf-8"))
+                floats(self.demand[name][p])
+                floats(self.admitted[name][p])
+                floats(self.refused[name][p])
+            st = self.response[name]
+            h.update(str(st.count).encode("ascii"))
+            floats([st.mean, st.m2])
+            if st.count:
+                floats([st.min, st.max])
+            floats([self.clock[name]])
+        for p in sorted(self.principals):
+            h.update(p.encode("utf-8"))
+            floats(self.global_demand[p])
+            floats(self.frac[p])
+        return h.hexdigest()
+
+
+class ShardedRunner:
+    """Partition a world's clusters into R shards and run to the horizon.
+
+    ``shards=1`` steps the identical per-cluster state machines inline (no
+    processes, no pickling) — the reference the digest-parity check holds
+    every R against.  Partitioning is round-robin over *sorted* cluster
+    names, so shard membership is a pure function of (world, R); results
+    are a pure function of world alone.
+    """
+
+    def __init__(
+        self,
+        world: ShardedWorld,
+        shards: int = 1,
+        lp_cache: bool = True,
+        backend: str = "auto",
+        epoch_timeout: float = 120.0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if not world.clusters:
+            raise ValueError("world has no clusters")
+        self.world = world
+        self.shards = min(int(shards), len(world.clusters))
+        self.lp_cache = bool(lp_cache)
+        self.backend = backend
+        self.epoch_timeout = float(epoch_timeout)
+        self.access = compute_access_levels(world.graph)
+        self.window_cfg = WindowConfig(world.window)
+        n_clusters = len(world.clusters)
+        self.allocator = WindowAllocator(
+            self.access, self.window_cfg, mode="community",
+            n_redirectors=n_clusters, backend=backend, lp_cache=lp_cache,
+        )
+        w_levels = self.access.per_window(world.window)
+        self._conservative = {
+            p: float(w_levels.MC[self.access.index(p)]) / n_clusters
+            for p in world.principals
+        }
+        ordered = sorted(world.clusters, key=lambda c: c.name)
+        self._partitions: List[Tuple[ShardCluster, ...]] = [
+            tuple(ordered[i::self.shards]) for i in range(self.shards)
+        ]
+        # Reduction order: balanced combining tree over sorted cluster
+        # names — fixed fold order regardless of shard packing.
+        self._tree = CombiningTree.balanced([c.name for c in ordered])
+
+    def _task(self, shard: int) -> ShardTask:
+        return ShardTask(
+            shard=shard,
+            clusters=self._partitions[shard],
+            principals=tuple(self.world.principals),
+            seed=self.world.seed,
+            window=self.world.window,
+            n_windows=self.world.n_windows,
+            conservative=dict(self._conservative),
+        )
+
+    def _reduce(self, leaves: Dict[str, VectorAggregate]) -> VectorAggregate:
+        """Fold per-cluster aggregates in combining-tree order."""
+
+        def fold(node: Any) -> VectorAggregate:
+            agg = leaves[node].copy()
+            for child in self._tree.children(node):
+                agg = agg.merge(fold(child))
+            return agg
+
+        return fold(self._tree.root)
+
+    def _policy(self, merged: VectorAggregate) -> Dict[str, float]:
+        """Window LP on the merged demand -> served fraction per principal."""
+        demand = {p: merged.get(p, 0.0) for p in self.allocator.principals}
+        alloc = self.allocator.compute(demand)
+        frac: Dict[str, float] = {}
+        for p in self.allocator.principals:
+            g = alloc.global_estimate.get(p, 0.0)
+            frac[p] = min(1.0, alloc.quotas[p] / g) if g > 1e-9 else 0.0
+        return frac
+
+    def run(self) -> ShardedResult:
+        n_windows = self.world.n_windows
+        frac_hist = {
+            p: np.full(n_windows, -1.0) for p in self.world.principals
+        }
+        gdemand = {p: np.zeros(n_windows) for p in self.world.principals}
+        fallback_windows = 0
+        frac: Optional[Dict[str, float]] = None
+
+        def policy_step(
+            k: int, leaves: Dict[str, VectorAggregate]
+        ) -> Dict[str, float]:
+            merged = self._reduce(leaves)
+            for p in self.world.principals:
+                gdemand[p][k] = merged.get(p, 0.0)
+            return self._policy(merged)
+
+        if self.shards == 1:
+            state = ShardState(self._task(0))
+            step = state.step
+
+            def finish() -> List[ShardSummary]:
+                return [state.summary()]
+        else:
+            barrier = self._start_workers()
+            step, finish = self._barrier_hooks(barrier)
+        try:
+            for k in range(n_windows):
+                if frac is None:
+                    fallback_windows += 1
+                else:
+                    for p in self.world.principals:
+                        frac_hist[p][k] = frac[p]
+                frac = policy_step(k, step(k, frac))
+            summaries = finish()
+        finally:
+            if self.shards > 1:
+                barrier.close(terminate=True)
+        return self._assemble(summaries, gdemand, frac_hist, fallback_windows)
+
+    def _start_workers(self) -> EpochBarrier:
+        # fork inherits the imported modules cheaply; spawn works the same
+        # because workers rebuild everything from the pickled task.
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        conns, procs = [], []
+        for shard in range(self.shards):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(child, self._task(shard)),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            conns.append(parent)
+            procs.append(proc)
+        return EpochBarrier(conns, procs, timeout=self.epoch_timeout)
+
+    def _barrier_hooks(self, barrier: EpochBarrier) -> Tuple[Any, Any]:
+        """(step, finish) callables mirroring the inline ShardState API."""
+
+        def step(
+            k: int, frac: Optional[Dict[str, float]]
+        ) -> Dict[str, VectorAggregate]:
+            barrier.broadcast(AllocationMessage(k, frac))
+            leaves: Dict[str, VectorAggregate] = {}
+            for msg in barrier.gather(k, BoundaryMessage):
+                leaves.update(msg.demand)
+            return leaves
+
+        def finish() -> List[ShardSummary]:
+            n = self.world.n_windows
+            barrier.broadcast(FinishMessage(n))
+            return barrier.gather(n, ShardSummary)
+
+        return step, finish
+
+    def _assemble(
+        self,
+        summaries: List[ShardSummary],
+        gdemand: Dict[str, np.ndarray],
+        frac_hist: Dict[str, np.ndarray],
+        fallback_windows: int,
+    ) -> ShardedResult:
+        demand: Dict[str, Dict[str, np.ndarray]] = {}
+        admitted: Dict[str, Dict[str, np.ndarray]] = {}
+        refused: Dict[str, Dict[str, np.ndarray]] = {}
+        response: Dict[str, StreamStats] = {}
+        clock: Dict[str, float] = {}
+        for s in summaries:
+            demand.update(s.demand)
+            admitted.update(s.admitted)
+            refused.update(s.refused)
+            response.update(s.response)
+            clock.update(s.clock)
+        return ShardedResult(
+            world=self.world,
+            shards=self.shards,
+            window=self.world.window,
+            n_windows=self.world.n_windows,
+            principals=tuple(self.world.principals),
+            clusters=tuple(sorted(demand)),
+            demand=demand,
+            admitted=admitted,
+            refused=refused,
+            response=response,
+            clock=clock,
+            global_demand=gdemand,
+            frac=frac_hist,
+            lp_solves=self.allocator.lp_solves,
+            cache_hits=self.allocator.cache_hits,
+            fallback_windows=fallback_windows,
+        )
+
+
+# ---------------------------------------------------------------------------
+# World builders (fig6/fig9-shaped, with replica and load knobs)
+# ---------------------------------------------------------------------------
+
+
+def sharded_fig6_world(
+    duration_scale: float = 1.0,
+    seed: int = 0,
+    replicas: int = 1,
+    load_scale: float = 1.0,
+) -> ShardedWorld:
+    """The fig6 world for the sharded lane: V=320·R·s; A [0.2,1] with two
+    135·s req/s clients per R1 cluster, B [0.8,1] with one per R2 cluster.
+
+    ``replicas`` stamps out R independent (R1, R2) cluster pairs against a
+    proportionally larger server principal — the fixed per-cluster-load
+    scaling axis the shard bench sweeps; ``load_scale`` multiplies every
+    client rate and capacity together, holding the LP's shape constant.
+    """
+    T = 100.0 * duration_scale
+    a_windows = ((0.0, 3 * T),)
+    b_windows = ((0.0, T), (2 * T, 3 * T))
+    clusters: List[ShardCluster] = []
+    for i in range(replicas):
+        tag = f"[{i}]" if replicas > 1 else ""
+        clusters.append(ShardCluster(
+            name=f"R1{tag}",
+            clients=(
+                ShardClient(f"C1{tag}", "A", 135.0 * load_scale, a_windows),
+                ShardClient(f"C2{tag}", "A", 135.0 * load_scale, a_windows),
+            ),
+            capacity=320.0 * load_scale,
+        ))
+        clusters.append(ShardCluster(
+            name=f"R2{tag}",
+            clients=(
+                ShardClient(f"C3{tag}", "B", 135.0 * load_scale, b_windows),
+            ),
+            capacity=320.0 * load_scale,
+        ))
+    g = AgreementGraph()
+    g.add_principal("S", capacity=320.0 * replicas * load_scale)
+    g.add_principal("A")
+    g.add_principal("B")
+    g.add_agreement(Agreement("S", "A", 0.2, 1.0))
+    g.add_agreement(Agreement("S", "B", 0.8, 1.0))
+    return ShardedWorld(
+        name="fig6",
+        clusters=tuple(clusters),
+        principals=("A", "B"),
+        duration=3 * T,
+        seed=seed,
+        graph=g,
+    )
+
+
+def sharded_fig9_world(
+    duration_scale: float = 1.0,
+    seed: int = 0,
+    replicas: int = 1,
+    load_scale: float = 1.0,
+) -> ShardedWorld:
+    """The fig9 world: A and B each own 320·R·s req/s; B grants A [0.5,0.5];
+    per replica one switch cluster with the paper's three 400·s clients."""
+    T = 100.0 * duration_scale
+    clusters: List[ShardCluster] = []
+    for i in range(replicas):
+        tag = f"[{i}]" if replicas > 1 else ""
+        clusters.append(ShardCluster(
+            name=f"SW{tag}",
+            clients=(
+                ShardClient(f"C1{tag}", "A", 400.0 * load_scale,
+                            ((0.0, T), (2 * T, 3 * T))),
+                ShardClient(f"C2{tag}", "A", 400.0 * load_scale, ((0.0, T),)),
+                ShardClient(f"C3{tag}", "B", 400.0 * load_scale, ((0.0, 4 * T),)),
+            ),
+            capacity=640.0 * load_scale,
+        ))
+    g = AgreementGraph()
+    g.add_principal("A", capacity=320.0 * replicas * load_scale)
+    g.add_principal("B", capacity=320.0 * replicas * load_scale)
+    g.add_agreement(Agreement("B", "A", 0.5, 0.5))
+    return ShardedWorld(
+        name="fig9",
+        clusters=tuple(clusters),
+        principals=("A", "B"),
+        duration=4 * T,
+        seed=seed,
+        graph=g,
+    )
+
+
+SHARDED_WORLDS = {
+    "fig6": sharded_fig6_world,
+    "fig9": sharded_fig9_world,
+}
+
+
+def run_sharded(
+    figure: str = "fig6",
+    duration_scale: float = 1.0,
+    seed: int = 0,
+    shards: int = 1,
+    replicas: int = 1,
+    load_scale: float = 1.0,
+    lp_cache: bool = True,
+    backend: str = "auto",
+    epoch_timeout: float = 120.0,
+) -> ShardedResult:
+    """Build a named sharded world and run it with R shards."""
+    try:
+        build = SHARDED_WORLDS[figure]
+    except KeyError:
+        raise ValueError(
+            f"sharded lane supports {sorted(SHARDED_WORLDS)}, not {figure!r}"
+        ) from None
+    world = build(duration_scale=duration_scale, seed=seed,
+                  replicas=replicas, load_scale=load_scale)
+    runner = ShardedRunner(world, shards=shards, lp_cache=lp_cache,
+                           backend=backend, epoch_timeout=epoch_timeout)
+    return runner.run()
+
+
+def run_sharded_figure(
+    figure: str,
+    duration_scale: float = 1.0,
+    seed: int = 0,
+    shards: int = 1,
+    lp_cache: bool = True,
+    **_ignored: Any,
+) -> FigureResult:
+    """Run fig6/fig9 on the sharded lane, returning a FigureResult.
+
+    The phase expectations are the event-lane ones: the sharded lane is a
+    different execution model over the same LP and the same offered load,
+    so the paper's phase rates must still come out.
+    """
+    res = run_sharded(figure, duration_scale=duration_scale, seed=seed,
+                      shards=shards, lp_cache=lp_cache)
+    T = 100.0 * duration_scale
+    settle = min(5.0, T * 0.2)
+    if figure == "fig6":
+        phases = [("phase1", 0.0, T), ("phase2", T, 2 * T),
+                  ("phase3", 2 * T, 3 * T)]
+        expected = [
+            PhaseExpectation("phase1", {"A": 185.0, "B": 135.0}),
+            PhaseExpectation("phase2", {"A": 270.0, "B": 0.0}),
+            PhaseExpectation("phase3", {"A": 185.0, "B": 135.0}),
+        ]
+        title = "L7: agreements respected (sharded lane)"
+    else:
+        phases = [("phase1", 0.0, T), ("phase2", T, 2 * T),
+                  ("phase3", 2 * T, 3 * T), ("phase4", 3 * T, 4 * T)]
+        expected = [
+            PhaseExpectation("phase1", {"A": 480.0, "B": 160.0}),
+            PhaseExpectation("phase2", {"A": 0.0, "B": 320.0}),
+            PhaseExpectation("phase3", {"A": 400.0, "B": 240.0}),
+            PhaseExpectation("phase4", {"A": 0.0, "B": 320.0}),
+        ]
+        title = "L4: agreements respected (sharded lane)"
+    return FigureResult(
+        figure=figure,
+        title=title,
+        phases=res.phase_rates(phases, keys=["A", "B"], settle=settle),
+        expected=expected,
+        series=res.series(["A", "B"]),
+        notes=f"sharded lane: shards={res.shards}, "
+              f"{res.n_windows} window epochs, "
+              f"{res.lp_solves} LP solves ({res.cache_hits} cache hits)",
+    )

@@ -15,9 +15,10 @@ def codes(source, path=SIM_PATH):
 
 
 class TestRuleTable:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         assert sorted(RULES) == [
             "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+            "SIM007",
         ]
 
     def test_violation_format(self):
@@ -220,6 +221,83 @@ class TestSIM005ParallelPayloads:
     def test_suppression(self):
         assert codes("import threading  # simlint: disable=SIM005\n",
                      path=EXP_PATH) == []
+
+
+class TestSIM007ShardSafety:
+    def test_os_cpu_count_flagged(self):
+        src = "import os\ndef plan():\n    return os.cpu_count()\n"
+        assert codes(src) == ["SIM007"]
+
+    def test_multiprocessing_cpu_count_flagged(self):
+        src = ("import multiprocessing\n"
+               "def plan():\n    return multiprocessing.cpu_count()\n")
+        assert codes(src) == ["SIM007"]
+
+    def test_from_import_cpu_count_flagged(self):
+        src = "from os import cpu_count\ndef plan():\n    return cpu_count()\n"
+        assert codes(src) == ["SIM007"]
+
+    def test_cpu_count_inside_default_jobs_ok(self):
+        src = ("import os\n"
+               "def default_jobs():\n"
+               "    return max(1, os.cpu_count() or 1)\n")
+        assert codes(src, path=PAR_PATH) == []
+
+    def test_cpu_count_in_benchmarks_ok(self):
+        src = "import os\ndef plan():\n    return os.cpu_count()\n"
+        assert codes(src, path=BENCH_PATH) == []
+
+    def test_sched_getaffinity_ok(self):
+        src = ("import os\n"
+               "def plan():\n    return len(os.sched_getaffinity(0))\n")
+        assert codes(src) == []
+
+    def test_worker_reading_mutable_global_flagged(self):
+        src = ("CACHE = {}\n"
+               "def _shard_worker_main(conn, task):\n"
+               "    return CACHE.get(task)\n")
+        assert codes(src) == ["SIM007"]
+
+    def test_task_suffix_flagged(self):
+        src = ("RESULTS = []\n"
+               "def _figure_task(task):\n"
+               "    RESULTS.append(task)\n")
+        assert codes(src) == ["SIM007"]
+
+    def test_local_shadow_ok(self):
+        src = ("CACHE = {}\n"
+               "def _shard_worker_main(conn, task):\n"
+               "    CACHE = dict(task)\n"
+               "    return CACHE.get(task)\n")
+        assert codes(src) == []
+
+    def test_locally_imported_name_ok(self):
+        # parallel._figure_task pattern: the registry is imported inside
+        # the worker body, never read from module scope.
+        src = ("def _figure_task(task):\n"
+               "    from repro.experiments.figures import ALL_FIGURES\n"
+               "    name, kwargs = task\n"
+               "    return name, ALL_FIGURES[name](**kwargs)\n")
+        assert codes(src) == []
+
+    def test_immutable_globals_ok(self):
+        src = ("LIMIT = 3\n"
+               "NAMES = ('a', 'b')\n"
+               "def _shard_worker_main(conn, task):\n"
+               "    return LIMIT + len(NAMES)\n")
+        assert codes(src) == []
+
+    def test_non_worker_function_ok(self):
+        src = ("CACHE = {}\n"
+               "def main():\n    return CACHE\n"
+               "def lookup(k):\n    return CACHE.get(k)\n")
+        assert codes(src) == []
+
+    def test_suppression(self):
+        src = ("CACHE = {}\n"
+               "def _shard_worker_main(conn, task):\n"
+               "    return CACHE.get(task)  # simlint: disable=SIM007\n")
+        assert codes(src) == []
 
 
 class TestSuppressionSyntax:

@@ -1,0 +1,122 @@
+"""EpochBarrier failure model: every bad outcome is a typed error, fast.
+
+The barrier's contract is that a worker that dies, stalls, or breaks the
+epoch protocol surfaces as :class:`ShardWorkerError` in the parent —
+never a hang.  These tests drive the barrier directly over raw pipes
+(no :class:`ShardedRunner`), so each failure mode is isolated.
+"""
+
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.coordination.barrier import (
+    AllocationMessage,
+    BoundaryMessage,
+    EpochBarrier,
+    FinishMessage,
+    ShardWorkerError,
+    WorkerFailure,
+)
+
+CTX = mp.get_context("fork" if "fork" in mp.get_all_start_methods()
+                     else "spawn")
+
+
+def _echo_worker(conn):
+    """Reply to each AllocationMessage with a matching BoundaryMessage."""
+    while True:
+        msg = conn.recv()
+        if isinstance(msg, FinishMessage):
+            return
+        conn.send(BoundaryMessage(msg.epoch, 0, {}))
+
+
+def _crash_worker(conn):
+    conn.recv()
+    os._exit(7)
+
+
+def _pipe_pair():
+    parent, child = CTX.Pipe()
+    return parent, child
+
+
+class TestHappyPath:
+    def test_broadcast_gather_roundtrip(self):
+        parent, child = _pipe_pair()
+        proc = CTX.Process(target=_echo_worker, args=(child,), daemon=True)
+        proc.start()
+        child.close()
+        barrier = EpochBarrier([parent], [proc], timeout=30.0)
+        try:
+            for epoch in range(3):
+                barrier.broadcast(AllocationMessage(epoch, None))
+                (msg,) = barrier.gather(epoch, BoundaryMessage)
+                assert msg.epoch == epoch
+            barrier.broadcast(FinishMessage(3))
+        finally:
+            barrier.close(terminate=True)
+
+    def test_len_counts_workers(self):
+        a, _ = _pipe_pair()
+        b, _ = _pipe_pair()
+        assert len(EpochBarrier([a, b])) == 2
+
+
+class TestFailureModes:
+    def test_dead_worker_raises_not_hangs(self):
+        parent, child = _pipe_pair()
+        proc = CTX.Process(target=_crash_worker, args=(child,), daemon=True)
+        proc.start()
+        child.close()
+        barrier = EpochBarrier([parent], [proc], timeout=30.0)
+        try:
+            barrier.broadcast(AllocationMessage(0, None))
+            with pytest.raises(ShardWorkerError, match="died mid-window"):
+                barrier.gather(0, BoundaryMessage)
+        finally:
+            barrier.close(terminate=True)
+
+    def test_timeout_raises_typed_error(self):
+        # No process handle and nothing ever arrives: the deadline, not
+        # liveness, must end the wait.
+        parent, _child = _pipe_pair()
+        barrier = EpochBarrier([parent], timeout=0.2, poll_interval=0.05)
+        with pytest.raises(ShardWorkerError, match="no boundary message"):
+            barrier.gather(0, BoundaryMessage)
+
+    def test_worker_failure_message_reraised(self):
+        parent, child = _pipe_pair()
+        child.send(WorkerFailure(0, "ValueError: boom"))
+        barrier = EpochBarrier([parent], timeout=5.0)
+        with pytest.raises(ShardWorkerError, match="ValueError: boom"):
+            barrier.gather(0, BoundaryMessage)
+
+    def test_wrong_message_type_rejected(self):
+        parent, child = _pipe_pair()
+        child.send(FinishMessage(0))
+        barrier = EpochBarrier([parent], timeout=5.0)
+        with pytest.raises(ShardWorkerError, match="expected BoundaryMessage"):
+            barrier.gather(0, BoundaryMessage)
+
+    def test_epoch_skew_rejected(self):
+        parent, child = _pipe_pair()
+        child.send(BoundaryMessage(4, 0, {}))
+        barrier = EpochBarrier([parent], timeout=5.0)
+        with pytest.raises(ShardWorkerError, match="epoch skew"):
+            barrier.gather(3, BoundaryMessage)
+
+    def test_broadcast_to_closed_pipe_raises(self):
+        parent, child = _pipe_pair()
+        parent.close()
+        child.close()
+        barrier = EpochBarrier([parent])
+        with pytest.raises(ShardWorkerError, match="pipe closed"):
+            barrier.broadcast(AllocationMessage(0, None))
+
+    def test_mismatched_process_list_rejected(self):
+        parent, _child = _pipe_pair()
+        with pytest.raises(ValueError):
+            EpochBarrier([parent], processes=[])

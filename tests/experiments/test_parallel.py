@@ -56,6 +56,38 @@ class TestParallelMap:
         assert default_jobs() >= 1
 
 
+class TestDefaultJobs:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            default_jobs()
+
+    def test_env_nonpositive_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ValueError, match=">= 1"):
+            default_jobs()
+
+    def test_affinity_respected(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        if hasattr(os, "sched_getaffinity"):
+            # The affinity mask, not the machine's core count, is the
+            # authority inside cgroup/taskset-limited environments.
+            assert default_jobs() == len(os.sched_getaffinity(0))
+
+    def test_cpu_count_fallback(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        assert default_jobs() == max(1, os.cpu_count() or 1)
+
+
 class TestFigureBatch:
     def test_unknown_figure_rejected(self):
         with pytest.raises(KeyError):
@@ -105,3 +137,17 @@ class TestLaneThreading:
         assert figure_kwargs("fig10", 0.3, 7, lane="columnar")["lane"] == "columnar"
         assert "lane" not in figure_kwargs("fig7", 0.3, 7, lane="columnar")
         assert "lane" not in figure_kwargs("fig6", 0.3, 7)
+
+
+class TestShardThreading:
+    def test_shards_reach_sharded_figures_only(self):
+        assert figure_kwargs("fig6", 0.3, 7, shards=4)["shards"] == 4
+        assert figure_kwargs("fig9", 0.3, 7, shards=4)["shards"] == 4
+        assert "shards" not in figure_kwargs("fig10", 0.3, 7, shards=4)
+        assert "shards" not in figure_kwargs("fig7", 0.3, 7, shards=4)
+        assert "shards" not in figure_kwargs("fig6", 0.3, 7)
+
+    def test_shards_do_not_change_seed(self):
+        base = figure_kwargs("fig6", 0.3, 7, partition_seeds=True)
+        sharded = figure_kwargs("fig6", 0.3, 7, partition_seeds=True, shards=8)
+        assert sharded["seed"] == base["seed"]

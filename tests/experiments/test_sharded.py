@@ -1,0 +1,118 @@
+"""Sharded single-scenario execution: parity, routing, and failure tests.
+
+The sharded lane's whole contract is one equality: ``shards=1`` and
+``shards=R`` produce bit-identical SHA-256 digests for every R.  The
+digest deliberately excludes the shard count, so equality *is* the proof
+that partitioning, boundary messaging and the combining-tree fold carry
+no shard-dependent state.
+"""
+
+import pytest
+
+from repro.coordination.barrier import ShardWorkerError
+from repro.experiments.figures import run_fig6, run_fig9
+from repro.experiments.harness import Scenario
+from repro.experiments.sharded import (
+    ShardedRunner,
+    run_sharded,
+    run_sharded_figure,
+    sharded_fig6_world,
+)
+
+# Small but non-degenerate worlds: 4 replicas give fig6 8 clusters and
+# fig9 4 clusters, so every shard count below actually partitions work.
+SCALE = 0.02
+REPLICAS = 4
+
+
+def digest(figure, shards, seed=0):
+    return run_sharded(figure, duration_scale=SCALE, seed=seed,
+                       shards=shards, replicas=REPLICAS).digest()
+
+
+class TestDigestParity:
+    def test_fig6_bit_identical_across_shard_counts(self):
+        reference = digest("fig6", 1)
+        for shards in (2, 4, 8):
+            assert digest("fig6", shards) == reference
+
+    def test_fig9_bit_identical_across_shard_counts(self):
+        reference = digest("fig9", 1)
+        for shards in (2, 4):
+            assert digest("fig9", shards) == reference
+
+    def test_digest_depends_on_seed_not_shards(self):
+        assert digest("fig6", 1, seed=0) != digest("fig6", 1, seed=1)
+        assert digest("fig6", 4, seed=1) == digest("fig6", 1, seed=1)
+
+    def test_shards_clamped_to_cluster_count(self):
+        world = sharded_fig6_world(duration_scale=SCALE, seed=0, replicas=1)
+        runner = ShardedRunner(world, shards=64)
+        assert runner.shards == len(world.clusters)
+
+    def test_policy_counters_match_inline(self):
+        a = run_sharded("fig6", duration_scale=SCALE, seed=0, shards=1,
+                        replicas=REPLICAS)
+        b = run_sharded("fig6", duration_scale=SCALE, seed=0, shards=4,
+                        replicas=REPLICAS)
+        # The LP runs in the parent either way: identical merged demand
+        # must produce identical solve/cache/fallback counts.
+        assert (a.lp_solves, a.cache_hits, a.fallback_windows) == \
+               (b.lp_solves, b.cache_hits, b.fallback_windows)
+
+
+class TestFigureIntegration:
+    def test_fig6_phase_rates_match_paper(self):
+        res = run_sharded_figure("fig6", duration_scale=0.2, seed=0, shards=2)
+        assert res.ok, res.notes
+        assert "shards=2" in res.notes
+
+    def test_fig9_phase_rates_match_paper(self):
+        res = run_sharded_figure("fig9", duration_scale=0.2, seed=0, shards=2)
+        assert res.ok, res.notes
+
+    def test_run_fig6_routes_to_sharded_lane(self):
+        res = run_fig6(duration_scale=0.2, seed=0, shards=2)
+        assert "sharded lane" in res.notes
+
+    def test_run_fig9_routes_to_sharded_lane(self):
+        res = run_fig9(duration_scale=0.2, seed=0, shards=2)
+        assert "sharded lane" in res.notes
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError, match="sharded lane supports"):
+            run_sharded("fig10")
+
+
+class TestScenarioFallback:
+    def test_event_lane_scenario_falls_back_to_serial(self, fig6_graph):
+        scenario = Scenario(fig6_graph, shards=4)
+        assert scenario.shards == 1
+        assert scenario.shard_fallback is not None
+        assert "sharded lane" in scenario.shard_fallback
+
+    def test_shards_one_is_not_a_fallback(self, fig6_graph):
+        scenario = Scenario(fig6_graph, shards=1)
+        assert scenario.shards == 1
+        assert scenario.shard_fallback is None
+
+    def test_invalid_shards_rejected(self, fig6_graph):
+        with pytest.raises(ValueError):
+            Scenario(fig6_graph, shards=0)
+
+
+class TestWorkerFailure:
+    def test_worker_death_raises_typed_error_not_hang(self, monkeypatch):
+        # Shard 0 calls os._exit(3) at the top of epoch 1; the barrier
+        # must detect the dead process and raise within its timeout.
+        monkeypatch.setenv("REPRO_SHARD_FAULT", "0:1")
+        world = sharded_fig6_world(duration_scale=SCALE, seed=0,
+                                   replicas=REPLICAS)
+        runner = ShardedRunner(world, shards=2, epoch_timeout=30.0)
+        with pytest.raises(ShardWorkerError, match="died mid-window"):
+            runner.run()
+
+    def test_fault_env_ignored_by_other_shards(self, monkeypatch):
+        # A fault address that never fires must leave results untouched.
+        monkeypatch.setenv("REPRO_SHARD_FAULT", "99:0")
+        assert digest("fig6", 2) == digest("fig6", 1)
