@@ -1,0 +1,74 @@
+"""simlint timing pair: cold whole-program lint vs warm-cache re-lint.
+
+The lint is meant to run as a pre-commit/CI gate, so its wall time is a
+product surface: the cold number bounds a fresh checkout, and the warm
+number is what every subsequent run pays.  The warm run re-hashes every
+file but re-parses nothing, so it must come in at >= 5x the cold speed —
+asserted here and recorded in the committed ledger behind the 25%
+regression gate.
+"""
+
+import os
+
+from repro.analysis.simlint import LintCache, lint_project
+from repro.experiments.benchrecord import record_bench
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_core.json")
+SRC_REPRO = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
+)
+
+_WARM_SPEEDUP_FLOOR = 5.0
+
+# Filled by the cold test so the warm test can assert the speedup ratio
+# against the very numbers the ledger records.
+_cold_median_s = [0.0]
+
+
+def _record(benchmark, name, **meta):
+    record_bench(
+        name, benchmark.stats.stats.median * 1000.0, meta=meta, path=BENCH_PATH
+    )
+
+
+def test_simlint_full_repo(benchmark):
+    """Cold lint of src/repro: parse every file, both rule layers."""
+    report = benchmark.pedantic(
+        lambda: lint_project([SRC_REPRO]), rounds=1, iterations=3
+    )
+    assert report.parsed == len(report.files) > 50
+    assert report.violations == []
+    _cold_median_s[0] = benchmark.stats.stats.median
+    _record(benchmark, "simlint_full_repo",
+            files=len(report.files), findings=len(report.violations))
+
+
+def test_simlint_warm_cache(benchmark, tmp_path):
+    """Warm re-lint: hash everything, parse nothing, re-run project rules."""
+    cache_file = str(tmp_path / "simlint-cache.json")
+    prime = LintCache(cache_file)
+    cold = lint_project([SRC_REPRO], cache=prime)
+    prime.save()
+    if _cold_median_s[0] == 0.0:  # warm test run standalone
+        import time
+
+        t0 = time.perf_counter()
+        lint_project([SRC_REPRO])
+        _cold_median_s[0] = time.perf_counter() - t0
+
+    def warm_run():
+        return lint_project([SRC_REPRO], cache=LintCache(cache_file))
+
+    report = benchmark.pedantic(warm_run, rounds=3, iterations=1)
+    assert report.parsed == 0
+    assert report.cache_hits == len(report.files)
+    assert report.violations == cold.violations
+    warm_median = benchmark.stats.stats.median
+    assert warm_median * _WARM_SPEEDUP_FLOOR <= _cold_median_s[0], (
+        f"warm cache too slow: {warm_median * 1e3:.1f}ms warm vs "
+        f"{_cold_median_s[0] * 1e3:.1f}ms cold "
+        f"(need >= {_WARM_SPEEDUP_FLOOR}x)"
+    )
+    _record(benchmark, "simlint_warm_cache",
+            files=len(report.files), cache_hits=report.cache_hits,
+            speedup_floor=_WARM_SPEEDUP_FLOOR)

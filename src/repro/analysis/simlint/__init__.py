@@ -1,0 +1,150 @@
+"""simlint — whole-program static analysis for simulation determinism.
+
+A stray ``time.time()``, an unseeded RNG, a ``for`` loop over a ``set``
+feeding the event heap, or two components sharing one RNG substream
+silently break the bit-identical-replay contract the whole benchmark
+ledger rests on.  This package parses Python source with :mod:`ast` —
+no imports, no execution — builds a project IR (module index, import
+graph, symbol table, bounded call graph; see :mod:`.ir`) and applies:
+
+========  ==============================================================
+SIM001    wall-clock read (``time.time``/``datetime.now``/``perf_counter``
+          et al.) outside ``benchmarks/`` — simulations must use ``sim.now``
+SIM002    global ``random`` module or unseeded ``np.random.default_rng()``
+          — draws must thread :class:`repro.sim.rng.RngStreams` generators
+SIM003    iteration over a ``set``/``frozenset`` (unordered) — wrap in
+          ``sorted(...)`` so downstream heap/RNG/LP row order is stable
+SIM004    ``heapq.heappush`` of a bare ``(time, payload)`` 2-tuple — heap
+          entries need a total-order tie-breaker: ``(time, seq, payload)``
+SIM005    ``threading`` or ``global`` mutable state in parallel job
+          payloads (``experiments/`` workers must be share-nothing)
+SIM006    legacy ``np.random.*`` module-level RandomState use
+          (``np.random.rand``, ``np.random.seed``, …) — one hidden global
+          stream breaks substream isolation even when seeded
+SIM007    shard-unsafe patterns: ``os.cpu_count()`` outside
+          ``default_jobs()``, and module-level mutable state read
+          *directly* inside worker functions (``*_task``/``*_worker``/
+          ``*_main``)
+SIM008    [project] RNG substream label collisions across modules
+          (f-string labels unified by shape: ``f"client:{name}"`` ->
+          ``client:{}``) and labels too dynamic to audit statically
+SIM009    [project] *transitive* impurity in worker functions: the call
+          graph's bounded closure reaches a function (any module) that
+          reads module-level mutable state
+SIM010    float reductions (``sum``/``min``/``max``) over unordered
+          collections — sets anywhere; ``dict.values()``/``.items()`` in
+          digest/stat sink modules where accumulation order becomes
+          recorded bits
+SIM011    key-based ordering without a deterministic tie-breaker: keyed
+          ``sorted``/``nsmallest``/``nlargest`` over a set (ties keep the
+          set's arbitrary order), or heap entries violating the engine's
+          ``(time, seq, payload)`` convention in the second slot
+========  ==============================================================
+
+Suppression: append ``# simlint: disable=SIM001`` (comma-separated codes,
+or bare ``# simlint: disable`` for all) to the flagged line, with a
+nearby rationale comment.  Known findings can instead live in a reviewed
+baseline file (``--baseline`` / ``--update-baseline``,
+:mod:`.baseline`); warm re-lints reuse an incremental content-hash cache
+(:mod:`.cache`); output formats are text, JSON and SARIF 2.1.0
+(:mod:`.output`).  ``repro lint`` exits 0 clean / 1 findings / 2 usage
+error.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.simlint.baseline import DEFAULT_BASELINE_PATH, Baseline
+from repro.analysis.simlint.cache import DEFAULT_CACHE_PATH, LintCache
+from repro.analysis.simlint.engine import (
+    ProjectReport,
+    analyze_source,
+    iter_python_files,
+    lint_project,
+    run,
+)
+from repro.analysis.simlint.ir import ModuleFacts, ProjectIR, collect_facts
+from repro.analysis.simlint.local import RULES, Violation, lint_source
+from repro.analysis.simlint.output import format_json, format_sarif, format_text
+
+__all__ = [
+    "RULES",
+    "Violation",
+    "Baseline",
+    "LintCache",
+    "ModuleFacts",
+    "ProjectIR",
+    "ProjectReport",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_CACHE_PATH",
+    "analyze_source",
+    "collect_facts",
+    "format_json",
+    "format_sarif",
+    "format_text",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_project",
+    "lint_source",
+    "run",
+    "main",
+]
+
+
+def lint_file(path: str) -> List[Violation]:
+    """Per-file rules only (back-compat shim; see :func:`lint_paths`)."""
+    with open(path, encoding="utf-8") as fh:
+        return lint_source(fh.read(), path=path)
+
+
+def lint_paths(paths: Sequence[str]) -> List[Violation]:
+    """Whole-program lint of every ``.py`` file under ``paths``.
+
+    Runs the per-file rules *and* the cross-module rules (SIM008/SIM009)
+    with suppressions applied — the library-call equivalent of
+    ``repro lint`` with no cache and no baseline.
+    """
+    return lint_project(paths, jobs=1, cache=None).violations
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    """``python -m repro.analysis.simlint [paths...]`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="simulation determinism lint (SIM001-SIM011)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint")
+    parser.add_argument("--format", dest="fmt", default="text",
+                        choices=["text", "json", "sarif"],
+                        help="finding output format")
+    parser.add_argument("--output", default="",
+                        help="write formatted findings to a file")
+    parser.add_argument("--baseline", default="",
+                        help="baseline file of accepted findings to subtract")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    parser.add_argument("--cache", default=DEFAULT_CACHE_PATH,
+                        help="incremental cache file (content-hash keyed)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental cache")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parse worker processes (0 = default_jobs())")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return run(
+            args.paths or ["src/repro"],
+            fmt=args.fmt,
+            output=args.output or None,
+            baseline_path=args.baseline or None,
+            update_baseline=args.update_baseline,
+            cache_path=None if args.no_cache else args.cache,
+            jobs=args.jobs,
+        )
+    except ValueError as exc:
+        print(f"simlint: error: {exc}")
+        return 2

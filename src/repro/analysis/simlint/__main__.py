@@ -1,0 +1,6 @@
+"""``python -m repro.analysis.simlint`` — see the package docstring."""
+
+from repro.analysis.simlint import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,163 @@
+"""Committed finding baselines: land new rules without a suppression flood.
+
+A baseline is a reviewed JSON file of known findings.  ``repro lint
+--baseline FILE`` subtracts matching findings from the result (exit 0
+when nothing *new* appears); ``--update-baseline`` rewrites the file from
+the current findings, preserving rationales for entries that survive.
+
+Matching is line-number independent so the baseline does not churn on
+unrelated edits: a finding's fingerprint is ``(code, path, stripped
+source line text)``, with a count per fingerprint so two identical lines
+in one file need two entries.  Every entry carries a ``rationale`` field
+(filled in by the reviewer; ``--update-baseline`` seeds it with TODO) —
+the acceptance bar is an *empty* baseline or entries whose rationale
+explains why the finding is accepted rather than fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.analysis.simlint.local import Violation
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_PATH"]
+
+DEFAULT_BASELINE_PATH = ".simlint-baseline.json"
+
+_TODO_RATIONALE = "TODO: justify or fix"
+
+Fingerprint = Tuple[str, str, str]  # (code, path, stripped line text)
+
+
+def _fingerprint(v: Violation, line_text: str) -> Fingerprint:
+    return (v.code, v.path, line_text.strip())
+
+
+class Baseline:
+    """Known-findings ledger with count-aware matching."""
+
+    def __init__(self) -> None:
+        # fingerprint -> (count, rationale)
+        self.entries: Dict[Fingerprint, Tuple[int, str]] = {}
+
+    # -- persistence -------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; raises ``ValueError`` on malformed JSON."""
+        base = cls()
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            return base
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or not isinstance(
+            data.get("entries"), list
+        ):
+            raise ValueError(f"baseline {path}: expected "
+                             '{"entries": [...]} JSON')
+        for entry in data["entries"]:
+            try:
+                fp = (entry["code"], entry["path"], entry["line_text"])
+                count = int(entry.get("count", 1))
+                rationale = str(entry.get("rationale", ""))
+            except (KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"baseline {path}: malformed entry {entry!r}"
+                ) from exc
+            self_count, _ = base.entries.get(fp, (0, rationale))
+            base.entries[fp] = (self_count + count, rationale)
+        return base
+
+    def save(self, path: str) -> None:
+        payload = {
+            "comment": (
+                "simlint baseline: accepted findings subtracted by "
+                "`repro lint --baseline`.  Each entry must carry a "
+                "rationale; regenerate with --update-baseline."
+            ),
+            "entries": [
+                {
+                    "code": code,
+                    "path": file_path,
+                    "line_text": line_text,
+                    "count": count,
+                    "rationale": rationale,
+                }
+                for (code, file_path, line_text), (count, rationale)
+                in sorted(self.entries.items())
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+
+    # -- matching ----------------------------------------------------------
+
+    def filter(
+        self,
+        violations: List[Violation],
+        sources: Dict[str, List[str]],
+    ) -> Tuple[List[Violation], int]:
+        """(new findings, number suppressed by the baseline).
+
+        ``sources`` maps path -> source lines for fingerprint extraction;
+        a finding whose file has no recorded source never matches (fail
+        open: better a re-reviewed finding than a silently eaten one).
+        """
+        remaining: Counter[Fingerprint] = Counter(
+            {fp: count for fp, (count, _) in self.entries.items()}
+        )
+        kept: List[Violation] = []
+        matched = 0
+        for v in violations:
+            lines = sources.get(v.path)
+            text = ""
+            if lines is not None and 1 <= v.line <= len(lines):
+                text = lines[v.line - 1]
+            fp = _fingerprint(v, text)
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                matched += 1
+            else:
+                kept.append(v)
+        return kept, matched
+
+    # -- regeneration ------------------------------------------------------
+
+    def rebuild(
+        self,
+        violations: List[Violation],
+        sources: Dict[str, List[str]],
+    ) -> "Baseline":
+        """A new baseline covering exactly ``violations``.
+
+        Rationales carry over for fingerprints that persist; new entries
+        get a TODO placeholder for the reviewer to fill in.
+        """
+        out = Baseline()
+        counts: Counter[Fingerprint] = Counter()
+        for v in violations:
+            lines = sources.get(v.path)
+            text = ""
+            if lines is not None and 1 <= v.line <= len(lines):
+                text = lines[v.line - 1]
+            counts[_fingerprint(v, text)] += 1
+        for fp, count in counts.items():
+            _, rationale = self.entries.get(fp, (0, ""))
+            out.entries[fp] = (count, rationale or _TODO_RATIONALE)
+        return out
+
+    def rationales_missing(self) -> List[Fingerprint]:
+        """Fingerprints whose rationale is empty or still the TODO stub."""
+        return sorted(
+            fp for fp, (_, rationale) in self.entries.items()
+            if not rationale.strip() or rationale.strip() == _TODO_RATIONALE
+        )
+
+    def __len__(self) -> int:
+        return sum(count for count, _ in self.entries.values())

@@ -1,0 +1,157 @@
+"""Incremental lint cache keyed on file content hashes.
+
+Parsing and walking ~200 modules dominates a cold lint; the facts the
+rules need are tiny.  The cache stores, per file, the SHA-256 of its
+bytes plus the extracted :class:`ModuleFacts` and the per-file rule
+findings.  A warm re-lint re-hashes every file (cheap), re-parses only
+the changed ones, and re-runs the cross-module rules over the assembled
+facts — so whole-program analysis stays fast enough for a pre-commit
+hook.
+
+The cache is invalidated wholesale when the engine schema changes (rule
+set, fact format): the ``version`` field mixes a schema counter with a
+hash of the rule table, so adding a rule never serves stale results.
+A corrupt or unreadable cache file degrades to a cold run, never an
+error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.simlint.ir import ModuleFacts
+from repro.analysis.simlint.local import RULES, Violation
+
+__all__ = ["LintCache", "content_hash", "cache_version", "DEFAULT_CACHE_PATH"]
+
+DEFAULT_CACHE_PATH = ".simlint-cache.json"
+
+# Bump when the fact or violation serialisation format changes shape.
+_SCHEMA = 1
+
+
+def cache_version() -> str:
+    """Schema counter mixed with the rule table, so rule edits invalidate."""
+    digest = hashlib.sha256(
+        repr(sorted(RULES.items())).encode("utf-8")
+    ).hexdigest()[:16]
+    return f"{_SCHEMA}:{digest}"
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _violation_to_dict(v: Violation) -> Dict[str, Any]:
+    return {"path": v.path, "line": v.line, "col": v.col,
+            "code": v.code, "message": v.message}
+
+
+def _violation_from_dict(d: Dict[str, Any]) -> Violation:
+    return Violation(path=d["path"], line=int(d["line"]), col=int(d["col"]),
+                     code=d["code"], message=d["message"])
+
+
+@dataclass
+class _Entry:
+    sha256: str
+    facts: ModuleFacts
+    violations: List[Violation]
+
+
+class LintCache:
+    """Content-addressed per-file results backed by one JSON file."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._entries: Dict[str, _Entry] = {}
+        self.hits = 0
+        self.misses = 0
+        self._loaded_version: Optional[str] = None
+        if path is not None:
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict):
+            return
+        self._loaded_version = data.get("version")
+        if self._loaded_version != cache_version():
+            return  # schema or rule set changed: full re-lint
+        files = data.get("files")
+        if not isinstance(files, dict):
+            return
+        for file_path, entry in files.items():
+            try:
+                self._entries[file_path] = _Entry(
+                    sha256=entry["sha256"],
+                    facts=ModuleFacts.from_dict(entry["facts"]),
+                    violations=[
+                        _violation_from_dict(v)
+                        for v in entry.get("violations", [])
+                    ],
+                )
+            except (KeyError, TypeError, ValueError):
+                continue  # one bad record never poisons the rest
+
+    def get(
+        self, file_path: str, sha256: str
+    ) -> Optional[Tuple[ModuleFacts, List[Violation]]]:
+        """Cached (facts, per-file violations) when the content matches."""
+        entry = self._entries.get(file_path)
+        if entry is not None and entry.sha256 == sha256:
+            self.hits += 1
+            return entry.facts, entry.violations
+        self.misses += 1
+        return None
+
+    def put(
+        self,
+        file_path: str,
+        sha256: str,
+        facts: ModuleFacts,
+        violations: List[Violation],
+    ) -> None:
+        self._entries[file_path] = _Entry(
+            sha256=sha256, facts=facts, violations=list(violations)
+        )
+
+    def save(self, only: Optional[List[str]] = None) -> None:
+        """Write the cache (optionally trimmed to ``only`` paths)."""
+        if self.path is None:
+            return
+        entries = self._entries
+        if only is not None:
+            keep = set(only)
+            entries = {p: e for p, e in entries.items() if p in keep}
+        payload = {
+            "version": cache_version(),
+            "files": {
+                p: {
+                    "sha256": e.sha256,
+                    "facts": e.facts.to_dict(),
+                    "violations": [
+                        _violation_to_dict(v) for v in e.violations
+                    ],
+                }
+                for p, e in sorted(entries.items())
+            },
+        }
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

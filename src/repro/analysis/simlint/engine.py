@@ -1,0 +1,255 @@
+"""Whole-program lint driver: parse (in parallel), cache, run both rule
+layers, subtract the baseline, format.
+
+The flow per invocation::
+
+    paths -> iter_python_files -> hash each file
+          -> cache hit?  reuse (facts, per-file findings)
+             cache miss? parse once, run per-file rules + fact extraction
+          -> ProjectIR over all facts -> cross-module rules (SIM008/SIM009)
+          -> per-line suppressions -> baseline subtraction -> sorted output
+
+Per-file work parallelises over processes (``jobs``), resolved through
+:func:`repro.experiments.parallel.default_jobs` so affinity masks and the
+``REPRO_JOBS`` override are honoured; results are order-independent
+because every finding list is sorted on ``(path, line, col, code)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, TextIO, Tuple
+
+from repro.analysis.simlint.baseline import Baseline
+from repro.analysis.simlint.cache import LintCache, content_hash
+from repro.analysis.simlint.ir import ModuleFacts, ProjectIR, collect_facts
+from repro.analysis.simlint.local import (
+    Violation,
+    filter_suppressed,
+    lint_tree,
+    suppressions_for,
+)
+from repro.analysis.simlint.output import FORMATS, format_json, format_sarif, format_text
+from repro.analysis.simlint.project import project_violations
+
+__all__ = [
+    "ProjectReport",
+    "analyze_source",
+    "iter_python_files",
+    "lint_project",
+    "run",
+]
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths.
+
+    A path that exists as neither file nor directory is a usage error
+    (``ValueError`` — ``repro lint`` maps it to exit status 2).
+    """
+    seen: List[str] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            seen.extend(str(f) for f in path.rglob("*.py"))
+        elif path.is_file():
+            seen.append(str(path))
+        else:
+            raise ValueError(f"no such file or directory: {p}")
+    yield from sorted(dict.fromkeys(seen))
+
+
+def analyze_source(
+    source: str, path: str = "<string>"
+) -> Tuple[ModuleFacts, List[Violation]]:
+    """Parse once; return (facts for the project rules, per-file findings).
+
+    The findings are *unfiltered* — suppression comments are recorded in
+    ``facts.suppressions`` and applied by the caller, so project-rule
+    findings share the same disable machinery.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise ValueError(f"cannot parse {path}: {exc}") from exc
+    suppressions = suppressions_for(source)
+    facts = collect_facts(tree, path, suppressions=suppressions)
+    return facts, lint_tree(tree, path=path)
+
+
+def _analyze_path(path: str) -> Tuple[str, str, ModuleFacts, List[Violation]]:
+    """Read + analyze one file (picklable unit for the process pool)."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    facts, violations = analyze_source(data.decode("utf-8"), path=path)
+    return path, content_hash(data), facts, violations
+
+
+@dataclass
+class ProjectReport:
+    """One whole-program lint run's outcome."""
+
+    violations: List[Violation]
+    files: List[str] = field(default_factory=list)
+    parsed: int = 0
+    cache_hits: int = 0
+    baselined: int = 0
+    # path -> source lines, for baseline fingerprinting
+    sources: Dict[str, List[str]] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        cached = f", {self.cache_hits} cached" if self.cache_hits else ""
+        base = f", {self.baselined} baselined" if self.baselined else ""
+        return (f"{len(self.files)} file(s) ({self.parsed} parsed{cached})"
+                f", {len(self.violations)} finding(s){base}")
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None or jobs == 0:
+        from repro.experiments.parallel import default_jobs
+
+        return default_jobs()
+    return max(1, int(jobs))
+
+
+def lint_project(
+    paths: Sequence[str],
+    *,
+    jobs: Optional[int] = 1,
+    cache: Optional[LintCache] = None,
+) -> ProjectReport:
+    """Run the full analysis (per-file + cross-module rules) over ``paths``.
+
+    ``jobs``: worker processes for file parsing (``0``/``None`` resolves
+    through ``default_jobs()``); results are independent of it.  A
+    :class:`LintCache` skips parsing for files whose content hash matches;
+    the caller is responsible for ``cache.save()``.
+    """
+    files = list(iter_python_files(paths))
+    hashes: Dict[str, str] = {}
+    raw: Dict[str, bytes] = {}
+    for path in files:
+        with open(path, "rb") as fh:
+            data = fh.read()
+        raw[path] = data
+        hashes[path] = content_hash(data)
+
+    facts_by_path: Dict[str, ModuleFacts] = {}
+    local_by_path: Dict[str, List[Violation]] = {}
+    misses: List[str] = []
+    for path in files:
+        hit = cache.get(path, hashes[path]) if cache is not None else None
+        if hit is not None:
+            facts_by_path[path], local_by_path[path] = hit
+        else:
+            misses.append(path)
+
+    if misses:
+        n_jobs = min(_resolve_jobs(jobs), len(misses))
+        if n_jobs > 1:
+            from repro.experiments.parallel import parallel_map
+
+            analyzed = parallel_map(_analyze_path, misses, jobs=n_jobs)
+        else:
+            analyzed = [_analyze_path(p) for p in misses]
+        for path, sha, facts, violations in analyzed:
+            facts_by_path[path] = facts
+            local_by_path[path] = violations
+            if cache is not None:
+                cache.put(path, sha, facts, violations)
+
+    ir = ProjectIR([facts_by_path[p] for p in files])
+    cross = project_violations(ir)
+
+    all_violations: List[Violation] = []
+    cross_by_path: Dict[str, List[Violation]] = {}
+    for v in cross:
+        cross_by_path.setdefault(v.path, []).append(v)
+    for path in files:
+        merged = local_by_path[path] + cross_by_path.get(path, [])
+        kept = filter_suppressed(merged, facts_by_path[path].suppressions)
+        all_violations.extend(kept)
+    all_violations.sort(key=Violation.sort_key)
+
+    sources = {
+        path: raw[path].decode("utf-8", errors="replace").splitlines()
+        for path in files
+    }
+    return ProjectReport(
+        violations=all_violations,
+        files=files,
+        parsed=len(misses),
+        cache_hits=len(files) - len(misses),
+        sources=sources,
+    )
+
+
+def run(
+    paths: Sequence[str],
+    *,
+    fmt: str = "text",
+    output: Optional[str] = None,
+    baseline_path: Optional[str] = None,
+    update_baseline: bool = False,
+    cache_path: Optional[str] = None,
+    jobs: Optional[int] = 1,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """The ``repro lint`` implementation.  Returns the exit status.
+
+    Exit codes: 0 clean (possibly after baseline subtraction), 1 findings,
+    and usage errors raise ``ValueError`` for the CLI to map to 2.
+    """
+    out: TextIO = stream if stream is not None else sys.stdout
+    if fmt not in FORMATS:
+        raise ValueError(
+            f"unknown format {fmt!r} (choose from {', '.join(FORMATS)})"
+        )
+    cache = LintCache(cache_path) if cache_path else None
+    report = lint_project(paths, jobs=jobs, cache=cache)
+    if cache is not None:
+        cache.save(only=report.files)
+
+    if update_baseline:
+        if not baseline_path:
+            raise ValueError("--update-baseline needs --baseline PATH")
+        previous = Baseline.load(baseline_path)
+        rebuilt = previous.rebuild(report.violations, report.sources)
+        rebuilt.save(baseline_path)
+        print(f"simlint: wrote {baseline_path} "
+              f"({len(rebuilt)} finding(s) baselined)", file=out)
+        todo = rebuilt.rationales_missing()
+        if todo:
+            print(f"simlint: {len(todo)} entr(ies) need a rationale "
+                  "before review", file=out)
+        return 0
+
+    violations = report.violations
+    if baseline_path:
+        baseline = Baseline.load(baseline_path)
+        violations, report.baselined = baseline.filter(
+            violations, report.sources
+        )
+        todo = baseline.rationales_missing()
+        if todo:
+            print(f"simlint: warning: {len(todo)} baseline entr(ies) "
+                  f"in {baseline_path} lack a rationale", file=out)
+
+    formatted = {
+        "text": format_text,
+        "json": format_json,
+        "sarif": format_sarif,
+    }[fmt](violations)
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(formatted)
+            fh.write("\n")
+        print(f"simlint: wrote {output} ({report.summary()})", file=out)
+    else:
+        print(formatted, file=out)
+        if fmt == "text":
+            print(f"simlint: {report.summary()}", file=out)
+    return 1 if violations else 0

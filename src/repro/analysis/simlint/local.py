@@ -1,43 +1,17 @@
-"""simlint — AST lint rules for simulation determinism.
+"""Per-file lint rules SIM001–SIM007, SIM010, SIM011.
 
-A stray ``time.time()``, an unseeded RNG, or a ``for`` loop over a ``set``
-feeding the event heap silently breaks the bit-identical-replay contract
-the whole benchmark ledger rests on.  This module walks Python source with
-:mod:`ast` and flags exactly those hazards:
+These rules need only one module's AST (plus its path for context); the
+cross-module rules SIM008/SIM009 live in :mod:`.project` and run on the
+:class:`~repro.analysis.simlint.ir.ProjectIR`.  See the package docstring
+for the full rule table and :func:`lint_source` for the entry point the
+fixture tests use.
 
-========  ==============================================================
-SIM001    wall-clock read (``time.time``/``datetime.now``/``perf_counter``
-          et al.) outside ``benchmarks/`` — simulations must use ``sim.now``
-SIM002    global ``random`` module or unseeded ``np.random.default_rng()``
-          — draws must thread :class:`repro.sim.rng.RngStreams` generators
-SIM003    iteration over a ``set``/``frozenset`` (unordered) — wrap in
-          ``sorted(...)`` so downstream heap/RNG/LP row order is stable
-SIM004    ``heapq.heappush`` of a bare ``(time, payload)`` 2-tuple — heap
-          entries need a total-order tie-breaker: ``(time, seq, payload)``
-SIM005    ``threading`` or ``global`` mutable state in parallel job
-          payloads (``experiments/`` workers must be share-nothing)
-SIM006    legacy ``np.random.*`` module-level RandomState use
-          (``np.random.rand``, ``np.random.seed``, …) — one hidden global
-          stream breaks substream isolation even when seeded; the columnar
-          lane's bulk draws rely on per-client spawned generators
-SIM007    shard-unsafe patterns: ``os.cpu_count()`` outside
-          ``default_jobs()`` (ignores affinity masks and cgroup limits —
-          and scatters the worker-count decision), and module-level
-          mutable state read inside worker-executed functions (named
-          ``*_task``/``*_worker``/``*_main`` by convention) — worker
-          processes must receive all state through their task argument
-========  ==============================================================
-
-Suppression: append ``# simlint: disable=SIM001`` (comma-separated codes,
-or bare ``# simlint: disable`` for all) to the flagged line.  Each
-suppression should carry a rationale comment; ``repro lint`` treats an
-unsuppressed violation as exit status 1.
-
-The pass is deliberately conservative and syntactic: SIM003 only tracks
-set-ness through local names, literals, comprehensions and set operators
-(attribute-held sets used for membership tests are fine and common), and
-"feeds the event heap" is over-approximated to "is iterated" — sorting an
-iteration that did not need it is cheap; a nondeterministic replay is not.
+The pass is deliberately conservative and syntactic: SIM003/SIM010/SIM011
+only track set-ness through local names, literals, comprehensions and set
+operators (attribute-held sets used for membership tests are fine and
+common), and "feeds the event heap" is over-approximated to "is iterated"
+— sorting an iteration that did not need it is cheap; a nondeterministic
+replay is not.
 """
 
 from __future__ import annotations
@@ -46,15 +20,15 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+from typing import Dict, List, Optional, Set, Union
 
 __all__ = [
     "RULES",
     "Violation",
     "lint_source",
-    "lint_file",
-    "lint_paths",
-    "iter_python_files",
+    "lint_tree",
+    "suppressions_for",
+    "filter_suppressed",
 ]
 
 RULES: Dict[str, str] = {
@@ -66,6 +40,15 @@ RULES: Dict[str, str] = {
     "SIM006": "legacy numpy.random module-level RandomState use",
     "SIM007": "shard-unsafe pattern (cpu_count outside default_jobs, or "
               "module-level mutable state read in a worker function)",
+    "SIM008": "RNG substream label collision or dynamic label "
+              "(labels must be unique literal/f-string shapes per module)",
+    "SIM009": "worker function transitively reaches module-level mutable "
+              "state through its call graph",
+    "SIM010": "float reduction over an unordered collection "
+              "(sum/min/max over a set, or dict views in digest modules)",
+    "SIM011": "key-based ordering without a deterministic tie-breaker "
+              "(keyed sort over a set, or a heap entry whose second slot "
+              "is not a sequence number)",
 }
 
 # Functions executed in worker processes follow this naming convention
@@ -102,6 +85,25 @@ _SET_RETURNING_METHODS = frozenset({
     "union", "intersection", "difference", "symmetric_difference", "copy",
 })
 
+# SIM010's dict-view arm fires only in modules whose *output* is the
+# deterministic record of a run — where float accumulation order becomes
+# part of the digest/stat contract and a refactor that reorders dict
+# insertion silently changes recorded bits.
+_DIGEST_SINK_FILES = frozenset({
+    "stats.py", "trace.py", "replay.py", "monitor.py", "report.py",
+})
+
+# Reductions whose result depends on element order (float rounding) or on
+# tie resolution.  math.fsum is exempt: it is exact, so order cannot
+# change its result.
+_ORDER_SENSITIVE_REDUCTIONS = frozenset({"sum", "min", "max"})
+
+# Second-slot spellings accepted as a monotonic sequence/tie-breaker in
+# heap entries, matching the engine's (time, seq, payload) convention.
+_SEQ_NAME_RE = re.compile(
+    r"(^|_)(seq|idx|index|count|counter|tie|order|pos)(_|$|\d)|^[ijkn]$",
+)
+
 _SUPPRESS_RE = re.compile(
     r"#\s*simlint:\s*disable(?:=(?P<codes>[A-Za-z0-9_, ]+))?"
 )
@@ -120,8 +122,11 @@ class Violation:
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
+    def sort_key(self) -> "tuple[str, int, int, str, str]":
+        return (self.path, self.line, self.col, self.code, self.message)
 
-def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+
+def suppressions_for(source: str) -> Dict[int, Optional[Set[str]]]:
     """Per-line suppressed codes; ``None`` means all codes on that line."""
     out: Dict[int, Optional[Set[str]]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
@@ -134,6 +139,20 @@ def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
         else:
             out[lineno] = {c.strip().upper() for c in codes.split(",") if c.strip()}
     return out
+
+
+def filter_suppressed(
+    violations: List[Violation],
+    suppressed: Dict[int, Optional[Set[str]]],
+) -> List[Violation]:
+    """Drop violations whose line carries a matching disable comment."""
+    kept: List[Violation] = []
+    for v in violations:
+        codes = suppressed.get(v.line, ())
+        if codes is None or (codes and v.code in codes):
+            continue
+        kept.append(v)
+    return kept
 
 
 def _dotted_parts(node: ast.AST) -> Optional[List[str]]:
@@ -150,7 +169,7 @@ def _dotted_parts(node: ast.AST) -> Optional[List[str]]:
 
 
 class _Linter(ast.NodeVisitor):
-    """Single-pass visitor implementing SIM001–SIM007."""
+    """Single-pass visitor implementing the per-file rules."""
 
     def __init__(
         self,
@@ -159,11 +178,13 @@ class _Linter(ast.NodeVisitor):
         wall_clock_exempt: bool,
         in_experiments: bool,
         parallel_module: bool,
+        digest_sink: bool,
     ) -> None:
         self.path = path
         self.wall_clock_exempt = wall_clock_exempt
         self.in_experiments = in_experiments
         self.parallel_module = parallel_module
+        self.digest_sink = digest_sink
         self.violations: List[Violation] = []
         # local alias -> imported module ("np" -> "numpy")
         self._modules: Dict[str, str] = {}
@@ -288,7 +309,87 @@ class _Linter(ast.NodeVisitor):
         if isinstance(node.ctx, ast.Load) and node.id in self._from_names:
             self._check_reference(node, self._from_names[node.id])
 
-    # -- calls (SIM002 default_rng, SIM004 heappush) -----------------------
+    # -- calls (SIM002/SIM004/SIM010/SIM011) -------------------------------
+
+    @staticmethod
+    def _is_seq_like(node: ast.AST) -> bool:
+        """Does this expression read as a monotonic sequence number?"""
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return True
+        if isinstance(node, ast.UnaryOp):
+            return _Linter._is_seq_like(node.operand)
+        if isinstance(node, ast.Call):
+            func = node.func
+            return isinstance(func, ast.Name) and func.id == "next"
+        name: Optional[str] = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None:
+            return bool(_SEQ_NAME_RE.search(name.lower().lstrip("_")))
+        return False
+
+    def _check_heap_entry(self, call: ast.Call, full: str) -> None:
+        if full in ("heapq.heappush", "heapq.heappushpop", "heapq.heapreplace"):
+            if len(call.args) >= 2 and isinstance(call.args[1], ast.Tuple):
+                elts = call.args[1].elts
+                if len(elts) == 2:
+                    self._flag(call.args[1], "SIM004",
+                               "bare (time, payload) heap entry: equal "
+                               "timestamps compare the payloads, which is "
+                               "not a total order; push (time, seq, payload) "
+                               "with a monotonic sequence number")
+                elif len(elts) >= 3 and not self._is_seq_like(elts[1]):
+                    self._flag(call.args[1], "SIM011",
+                               "heap entry's second slot is not a sequence "
+                               "number: the engine's (time, seq, payload) "
+                               "convention needs a monotonic int there so "
+                               "equal keys never compare payloads")
+
+    def _reduction_arg_hazard(self, arg: ast.AST) -> Optional[str]:
+        """Why reducing over ``arg`` is order-hazardous (None when fine)."""
+        if self._is_set_expr(arg):
+            return ("a set's iteration order varies with hash seeding "
+                    "and insertion history")
+        if self.digest_sink and isinstance(arg, ast.Call) \
+                and isinstance(arg.func, ast.Attribute) \
+                and arg.func.attr in ("values", "items") and not arg.args:
+            return ("dict insertion order is a refactor-sensitive detail; "
+                    "in a digest/stat module the accumulation order "
+                    "becomes part of the recorded bits")
+        return None
+
+    def _check_reduction(self, call: ast.Call, full: str) -> None:
+        name = full.rpartition(".")[2]
+        if name not in _ORDER_SENSITIVE_REDUCTIONS or full == "math.fsum":
+            return
+        if not call.args:
+            return
+        hazard = self._reduction_arg_hazard(call.args[0])
+        if hazard is not None:
+            self._flag(call, "SIM010",
+                       f"`{name}()` over an unordered collection: {hazard}; "
+                       "reduce over sorted(...) (or math.fsum for exact "
+                       "float sums)")
+
+    def _check_keyed_order(self, call: ast.Call, full: str) -> None:
+        name = full.rpartition(".")[2]
+        if name not in ("sorted", "nsmallest", "nlargest"):
+            return
+        if not any(kw.arg == "key" for kw in call.keywords):
+            return
+        # sorted(xs, key=f): positional arg 0; nsmallest(n, xs, key=f): 1.
+        idx = 0 if name == "sorted" else 1
+        if len(call.args) <= idx:
+            return
+        if self._is_set_expr(call.args[idx]):
+            self._flag(call, "SIM011",
+                       f"`{name}(..., key=...)` over a set: elements that "
+                       "compare equal under the key keep the set's "
+                       "arbitrary iteration order; sort the set itself "
+                       "first (total order) or add a tie-breaker to the "
+                       "key")
 
     def visit_Call(self, node: ast.Call) -> None:
         full = self._resolve(node.func)
@@ -299,14 +400,9 @@ class _Linter(ast.NodeVisitor):
                                "unseeded np.random.default_rng(): entropy "
                                "comes from the OS, so replays diverge; "
                                "thread a repro.sim.rng generator")
-            if full in ("heapq.heappush", "heapq.heappushpop"):
-                if len(node.args) >= 2 and isinstance(node.args[1], ast.Tuple) \
-                        and len(node.args[1].elts) == 2:
-                    self._flag(node.args[1], "SIM004",
-                               "bare (time, payload) heap entry: equal "
-                               "timestamps compare the payloads, which is "
-                               "not a total order; push (time, seq, payload) "
-                               "with a monotonic sequence number")
+            self._check_heap_entry(node, full)
+            self._check_reduction(node, full)
+            self._check_keyed_order(node, full)
         self.generic_visit(node)
 
     # -- SIM003: set-ness inference and iteration --------------------------
@@ -371,7 +467,7 @@ class _Linter(ast.NodeVisitor):
             self._flag_set_iteration(node.iter)
         self.generic_visit(node)
 
-    def _visit_comprehension(self, node: ast.AST, generators) -> None:
+    def _visit_comprehension(self, node: ast.AST, generators: List[ast.comprehension]) -> None:
         for gen in generators:
             if self._is_set_expr(gen.iter):
                 self._flag_set_iteration(gen.iter)
@@ -509,13 +605,19 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def lint_source(source: str, path: str = "<string>") -> List[Violation]:
-    """Lint one module's source text.
+def lint_tree(tree: ast.Module, path: str = "<string>") -> List[Violation]:
+    """Run the per-file rules on an already-parsed module.
 
     ``path`` decides context: files under a ``benchmarks/`` directory are
     exempt from SIM001 (measuring wall time is their purpose); files under
-    ``experiments/`` activate SIM005's threading check, and modules named
-    ``parallel.py`` its shared-global check.
+    ``experiments/`` activate SIM005's threading check, modules named
+    ``parallel.py`` its shared-global check, and the digest/stat sink
+    modules (``stats.py``, ``trace.py``, ``replay.py``, ``monitor.py``,
+    ``report.py``) arm SIM010's dict-view arm.
+
+    Suppression comments are *not* applied here — the caller filters with
+    :func:`filter_suppressed` so project-rule findings share the same
+    per-line disable machinery.
     """
     parts = Path(path).parts
     linter = _Linter(
@@ -523,68 +625,17 @@ def lint_source(source: str, path: str = "<string>") -> List[Violation]:
         wall_clock_exempt="benchmarks" in parts,
         in_experiments="experiments" in parts,
         parallel_module=Path(path).name == "parallel.py",
+        digest_sink=Path(path).name in _DIGEST_SINK_FILES,
     )
-    tree = ast.parse(source, filename=path)
     linter.visit(tree)
-    suppressed = _suppressions(source)
-    kept = []
-    for v in linter.violations:
-        codes = suppressed.get(v.line, ())
-        if codes is None or (codes and v.code in codes):
-            continue
-        kept.append(v)
-    kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    linter.violations.sort(key=Violation.sort_key)
+    return linter.violations
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Violation]:
+    """Lint one module's source text (per-file rules, suppressions applied)."""
+    tree = ast.parse(source, filename=path)
+    violations = lint_tree(tree, path=path)
+    kept = filter_suppressed(violations, suppressions_for(source))
+    kept.sort(key=Violation.sort_key)
     return kept
-
-
-def lint_file(path: str) -> List[Violation]:
-    with open(path, encoding="utf-8") as fh:
-        return lint_source(fh.read(), path=path)
-
-
-def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
-    """Expand files/directories into a sorted stream of ``.py`` paths."""
-    seen: List[str] = []
-    for p in paths:
-        path = Path(p)
-        if path.is_dir():
-            seen.extend(str(f) for f in path.rglob("*.py"))
-        else:
-            seen.append(str(path))
-    yield from sorted(dict.fromkeys(seen))
-
-
-def lint_paths(paths: Sequence[str]) -> List[Violation]:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
-    out: List[Violation] = []
-    for path in iter_python_files(paths):
-        out.extend(lint_file(path))
-    return out
-
-
-def main(argv: Optional[Iterable[str]] = None) -> int:
-    """``python -m repro.analysis.simlint [paths...]`` entry point."""
-    import argparse
-
-    parser = argparse.ArgumentParser(
-        prog="simlint", description="simulation determinism lint (SIM001-SIM007)"
-    )
-    parser.add_argument("paths", nargs="*", default=["src/repro"],
-                        help="files or directories to lint")
-    args = parser.parse_args(list(argv) if argv is not None else None)
-    violations = lint_paths(args.paths or ["src/repro"])
-    for v in violations:
-        print(v.format())
-    counts: Dict[str, int] = {}
-    for v in violations:
-        counts[v.code] = counts.get(v.code, 0) + 1
-    if violations:
-        summary = ", ".join(f"{c}×{counts[c]}" for c in sorted(counts))
-        print(f"simlint: {len(violations)} violation(s) ({summary})")
-        return 1
-    print("simlint: clean")
-    return 0
-
-
-if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())

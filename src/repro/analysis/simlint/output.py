@@ -1,0 +1,93 @@
+"""Finding formatters: human text, machine JSON, and SARIF 2.1.0 for CI.
+
+SARIF is the interchange format code-scanning UIs ingest; emitting it
+directly means the CI lint job uploads one artifact and the findings are
+browsable per-rule with no extra tooling.  The emitted document is
+minimal but valid: one run, the rule table as ``tool.driver.rules``, one
+``result`` per finding with a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.simlint.local import RULES, Violation
+
+__all__ = ["format_text", "format_json", "format_sarif", "FORMATS"]
+
+FORMATS = ("text", "json", "sarif")
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def format_text(violations: List[Violation]) -> str:
+    """One ``path:line:col: CODE message`` line per finding + a summary."""
+    lines = [v.format() for v in violations]
+    if violations:
+        counts: Dict[str, int] = {}
+        for v in violations:
+            counts[v.code] = counts.get(v.code, 0) + 1
+        summary = ", ".join(f"{c}×{counts[c]}" for c in sorted(counts))
+        lines.append(f"simlint: {len(violations)} violation(s) ({summary})")
+    else:
+        lines.append("simlint: clean")
+    return "\n".join(lines)
+
+
+def format_json(violations: List[Violation]) -> str:
+    """Stable JSON array of finding objects (diffable across runs)."""
+    payload = [
+        {"path": v.path, "line": v.line, "col": v.col,
+         "code": v.code, "message": v.message}
+        for v in violations
+    ]
+    return json.dumps(payload, indent=1)
+
+
+def format_sarif(violations: List[Violation]) -> str:
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": RULES[code]},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code in sorted(RULES)
+    ]
+    rule_index = {code: i for i, code in enumerate(sorted(RULES))}
+    results: List[Dict[str, Any]] = []
+    for v in violations:
+        results.append({
+            "ruleId": v.code,
+            "ruleIndex": rule_index.get(v.code, -1),
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": v.path.replace("\\", "/")},
+                    "region": {
+                        "startLine": v.line,
+                        # SARIF columns are 1-based; ast's are 0-based.
+                        "startColumn": v.col + 1,
+                    },
+                },
+            }],
+        })
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=1)

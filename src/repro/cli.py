@@ -6,7 +6,7 @@
     python -m repro report  [--scale 0.5] [-o EXPERIMENTS.md]
     python -m repro inspect A:1000 B:1500 C A-B:0.4:0.6 B-C:0.6:1.0
     python -m repro baseline [--duration 20]
-    python -m repro lint    [src/repro ...]
+    python -m repro lint    [src/repro ...] [--format sarif] [--baseline F]
     python -m repro check   [--scenario fig6 [--scenario fig9 ...]] [--runs 2]
     python -m repro chaos   [--random N | --plan plan.json] [--replay 2]
 
@@ -14,7 +14,10 @@
 ``report`` renders the full paper-vs-measured markdown; ``inspect`` values
 an agreement graph given on the command line; ``baseline`` compares
 coordinated enforcement against a WRR front end; ``lint`` runs the
-simulation-determinism lint (SIM001–SIM007, see docs/DETERMINISM.md);
+whole-program simulation-determinism lint (SIM001–SIM011, see
+docs/DETERMINISM.md; exit 0 clean / 1 findings / 2 usage error, with
+``--format {text,json,sarif}``, an incremental content-hash cache, a
+reviewed-baseline workflow and ``--jobs N`` parallel parsing);
 ``check`` replays one or more scenarios and compares trace digests, with
 the runtime invariant checker on the final run — for fig6/fig9/fig10 it
 also diffs the scalar, slotted and columnar lanes against each other, and
@@ -107,10 +110,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_base.add_argument("--seed", type=int, default=0)
 
     p_lint = sub.add_parser(
-        "lint", help="determinism/conservation static analysis (SIM001-SIM007)"
+        "lint", help="determinism/conservation static analysis (SIM001-SIM011)"
     )
     p_lint.add_argument("paths", nargs="*", default=[],
                         help="files or directories to lint (default: src/repro)")
+    p_lint.add_argument("--format", dest="fmt", default="text",
+                        choices=["text", "json", "sarif"],
+                        help="finding output format")
+    p_lint.add_argument("--output", default="",
+                        help="write formatted findings to a file")
+    p_lint.add_argument("--baseline", default="",
+                        help="baseline file of accepted findings to subtract")
+    p_lint.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    p_lint.add_argument("--cache", default=".simlint-cache.json",
+                        help="incremental cache file (content-hash keyed)")
+    p_lint.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental cache")
+    p_lint.add_argument("--jobs", type=int, default=1,
+                        help="parse worker processes (0 = default_jobs())")
 
     p_chk = sub.add_parser(
         "check", help="replay-determinism harness with runtime invariants"
@@ -307,21 +325,17 @@ def _cmd_baseline(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.analysis.simlint import lint_paths
+    from repro.analysis.simlint import run
 
-    paths = args.paths or ["src/repro"]
-    violations = lint_paths(paths)
-    for v in violations:
-        print(v.format())
-    if violations:
-        codes: dict = {}
-        for v in violations:
-            codes[v.code] = codes.get(v.code, 0) + 1
-        counts = ", ".join(f"{c}×{n}" for c, n in sorted(codes.items()))
-        print(f"simlint: {len(violations)} violation(s) ({counts})")
-        return 1
-    print("simlint: clean")
-    return 0
+    return run(
+        args.paths or ["src/repro"],
+        fmt=args.fmt,
+        output=args.output or None,
+        baseline_path=args.baseline or None,
+        update_baseline=args.update_baseline,
+        cache_path=None if args.no_cache else args.cache,
+        jobs=args.jobs,
+    )
 
 
 def _cmd_check(args) -> int:

@@ -160,6 +160,12 @@ class ResilientTree:
         link = self.links.get((src, dst))
         if link is not None:
             return link
+        # Deliberately the same substream protocol.py mints for this link:
+        # a link recreated by tree healing continues the original link's
+        # jitter/loss stream, so the draws are a function of (src, dst),
+        # never of heal history.  Minting through link_stream_name keeps
+        # the sharing auditable (simlint SIM008 sanctions one shared
+        # helper origin).
         rng = (
             self.streams.get(link_stream_name(src, dst))
             if self.streams is not None else None

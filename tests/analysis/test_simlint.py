@@ -18,7 +18,7 @@ class TestRuleTable:
     def test_all_rules_registered(self):
         assert sorted(RULES) == [
             "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
-            "SIM007",
+            "SIM007", "SIM008", "SIM009", "SIM010", "SIM011",
         ]
 
     def test_violation_format(self):
@@ -297,6 +297,278 @@ class TestSIM007ShardSafety:
         src = ("CACHE = {}\n"
                "def _shard_worker_main(conn, task):\n"
                "    return CACHE.get(task)  # simlint: disable=SIM007\n")
+        assert codes(src) == []
+
+
+def project_codes(tmp_path, files):
+    """Write a {relpath: source} project and whole-program lint it."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        init = target.parent / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+    return lint_paths([str(tmp_path)])
+
+
+class TestSIM008LabelCollisions:
+    def test_cross_module_collision_flagged_at_both_sites(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/a.py": ("def setup(streams, name):\n"
+                         "    return streams.get(f'client:{name}')\n"),
+            "pkg/b.py": ("def setup(streams, name):\n"
+                         "    return streams.get(f'client:{name}')\n"),
+        })
+        assert [v.code for v in vs] == ["SIM008", "SIM008"]
+        assert {v.path.rsplit("/", 1)[1] for v in vs} == {"a.py", "b.py"}
+        assert "client:{}" in vs[0].message
+
+    def test_same_module_reuse_not_flagged(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/a.py": ("def f(streams):\n"
+                         "    return streams.get('arrivals')\n"
+                         "def g(streams):\n"
+                         "    return streams.get('arrivals')\n"),
+        })
+        assert vs == []
+
+    def test_distinct_shapes_not_flagged(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/a.py": ("def f(streams, n):\n"
+                         "    return streams.get(f'client:{n}')\n"),
+            "pkg/b.py": ("def f(streams, n):\n"
+                         "    return streams.get(f'server:{n}')\n"),
+        })
+        assert vs == []
+
+    def test_shared_helper_origin_sanctioned(self, tmp_path):
+        # Both modules mint the label through one canonical helper: the
+        # helper is the audit point, so the sharing is coordination —
+        # the protocol/membership link-stream continuation pattern.
+        vs = project_codes(tmp_path, {
+            "pkg/names.py": ("def link_name(s, d):\n"
+                             "    return f'link:{s}->{d}'\n"),
+            "pkg/a.py": ("from pkg.names import link_name\n"
+                         "def f(streams, s, d):\n"
+                         "    return streams.get(link_name(s, d))\n"),
+            "pkg/b.py": ("from pkg.names import link_name\n"
+                         "def f(streams, s, d):\n"
+                         "    return streams.get(link_name(s, d))\n"),
+        })
+        assert vs == []
+
+    def test_helper_plus_inline_spelling_still_collides(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/names.py": ("def link_name(s, d):\n"
+                             "    return f'link:{s}->{d}'\n"),
+            "pkg/a.py": ("from pkg.names import link_name\n"
+                         "def f(streams, s, d):\n"
+                         "    return streams.get(link_name(s, d))\n"),
+            "pkg/b.py": ("def f(streams, s, d):\n"
+                         "    return streams.get(f'link:{s}->{d}')\n"),
+        })
+        assert [v.code for v in vs] == ["SIM008", "SIM008"]
+
+    def test_dynamic_label_flagged(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/a.py": ("def f(streams, parts):\n"
+                         "    return streams.get('-'.join(parts))\n"),
+        })
+        assert [v.code for v in vs] == ["SIM008"]
+        assert "not statically resolvable" in vs[0].message
+
+    def test_local_variable_label_resolved(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/a.py": ("def f(streams, n):\n"
+                         "    label = f'node:{n}'\n"
+                         "    return streams.get(label)\n"),
+            "pkg/b.py": ("def f(streams, n):\n"
+                         "    return streams.get(f'node:{n}')\n"),
+        })
+        assert [v.code for v in vs] == ["SIM008", "SIM008"]
+
+    def test_dict_get_not_mistaken_for_stream(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/a.py": ("def f(cache, key):\n"
+                         "    return cache.get(key, None)\n"),
+            "pkg/b.py": ("def f(config):\n"
+                         "    return config.get('mode')\n"),
+        })
+        assert vs == []
+
+    def test_numpy_spawn_int_ignored(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/a.py": ("def f(rng):\n    return rng.spawn(3)\n"),
+            "pkg/b.py": ("def f(rng):\n    return rng.spawn(3)\n"),
+        })
+        assert vs == []
+
+    def test_suppression_applies_to_project_findings(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/a.py": ("def f(streams, n):\n"
+                         "    return streams.get(f'x:{n}')"
+                         "  # simlint: disable=SIM008\n"),
+            "pkg/b.py": ("def f(streams, n):\n"
+                         "    return streams.get(f'x:{n}')"
+                         "  # simlint: disable=SIM008\n"),
+        })
+        assert vs == []
+
+
+class TestSIM009TransitiveImpurity:
+    def test_cross_module_impure_helper_flagged(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/state.py": ("CACHE = {}\n"
+                             "def lookup(k):\n"
+                             "    return CACHE.get(k)\n"),
+            "pkg/work.py": ("from pkg.state import lookup\n"
+                            "def run_task(task):\n"
+                            "    return lookup(task)\n"),
+        })
+        assert [v.code for v in vs] == ["SIM009"]
+        assert "CACHE" in vs[0].message
+        assert vs[0].path.endswith("work.py")
+
+    def test_pure_chain_ok(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/helpers.py": ("def double(x):\n    return 2 * x\n"),
+            "pkg/work.py": ("from pkg.helpers import double\n"
+                            "def run_task(task):\n"
+                            "    return double(task)\n"),
+        })
+        assert vs == []
+
+    def test_two_hop_chain_flagged(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/state.py": ("REGISTRY = []\n"
+                             "def record(x):\n"
+                             "    REGISTRY.append(x)\n"),
+            "pkg/mid.py": ("from pkg.state import record\n"
+                           "def log(x):\n    record(x)\n"),
+            "pkg/work.py": ("from pkg.mid import log\n"
+                            "def run_worker(task):\n"
+                            "    log(task)\n"),
+        })
+        assert [v.code for v in vs] == ["SIM009"]
+        assert "log -> record" in vs[0].message
+
+    def test_cycle_terminates_and_flags(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/a.py": ("from pkg.b import pong\n"
+                         "STATE = {}\n"
+                         "def ping(n):\n"
+                         "    return STATE if n == 0 else pong(n - 1)\n"),
+            "pkg/b.py": ("from pkg.a import ping\n"
+                         "def pong(n):\n    return ping(n)\n"
+                         "def run_task(task):\n    return pong(task)\n"),
+        })
+        assert [v.code for v in vs] == ["SIM009"]
+
+    def test_non_worker_caller_ok(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/state.py": ("CACHE = {}\n"
+                             "def lookup(k):\n    return CACHE.get(k)\n"),
+            "pkg/work.py": ("from pkg.state import lookup\n"
+                            "def query(k):\n    return lookup(k)\n"),
+        })
+        assert vs == []
+
+    def test_direct_read_is_sim007_not_sim009(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/work.py": ("CACHE = {}\n"
+                            "def run_task(task):\n"
+                            "    return CACHE.get(task)\n"),
+        })
+        assert [v.code for v in vs] == ["SIM007"]
+
+    def test_suppression_at_call_site(self, tmp_path):
+        vs = project_codes(tmp_path, {
+            "pkg/state.py": ("CACHE = {}\n"
+                             "def lookup(k):\n    return CACHE.get(k)\n"),
+            "pkg/work.py": ("from pkg.state import lookup\n"
+                            "def run_task(task):\n"
+                            "    return lookup(task)"
+                            "  # simlint: disable=SIM009\n"),
+        })
+        assert vs == []
+
+
+STATS_PATH = "src/repro/analysis/stats.py"  # digest-sink module
+
+
+class TestSIM010OrderSensitiveReductions:
+    def test_sum_over_set_flagged(self):
+        assert codes("total = sum({0.1, 0.2, 0.3})\n") == ["SIM010"]
+
+    def test_sum_over_tracked_set_name_flagged(self):
+        src = "xs = {0.1, 0.2}\ntotal = sum(xs)\n"
+        assert codes(src) == ["SIM010"]
+
+    def test_min_max_over_set_flagged(self):
+        src = "lo = min({1.5, 2.5})\nhi = max({1.5, 2.5})\n"
+        assert codes(src) == ["SIM010", "SIM010"]
+
+    def test_sum_over_list_ok(self):
+        assert codes("total = sum([0.1, 0.2])\n") == []
+
+    def test_sum_over_sorted_set_ok(self):
+        assert codes("total = sum(sorted({0.1, 0.2}))\n") == []
+
+    def test_fsum_exempt(self):
+        src = "import math\ntotal = math.fsum({0.1, 0.2})\n"
+        assert codes(src) == []
+
+    def test_dict_values_flagged_in_digest_sink(self):
+        src = "def digest(d):\n    return sum(d.values())\n"
+        assert codes(src, path=STATS_PATH) == ["SIM010"]
+
+    def test_dict_values_ok_outside_digest_sink(self):
+        src = "def total(d):\n    return sum(d.values())\n"
+        assert codes(src) == []
+
+    def test_suppression(self):
+        src = "total = sum({0.1, 0.2})  # simlint: disable=SIM010\n"
+        assert codes(src) == []
+
+
+class TestSIM011TieBreakers:
+    def test_keyed_sort_over_set_flagged(self):
+        src = ("names = {'b', 'a'}\n"
+               "out = sorted(names, key=len)\n")
+        assert codes(src) == ["SIM011"]
+
+    def test_keyed_sort_over_list_ok(self):
+        assert codes("out = sorted(['b', 'a'], key=len)\n") == []
+
+    def test_unkeyed_sort_over_set_ok(self):
+        # Total order over the elements themselves: no tie hazard.
+        assert codes("out = sorted({'b', 'a'})\n") == []
+
+    def test_nsmallest_over_set_flagged(self):
+        src = ("import heapq\n"
+               "xs = {3, 1, 2}\n"
+               "out = heapq.nsmallest(2, xs, key=abs)\n")
+        assert codes(src) == ["SIM011"]
+
+    def test_heap_triple_without_seq_flagged(self):
+        src = ("import heapq\nh = []\n"
+               "heapq.heappush(h, (1.0, 'payload', object()))\n")
+        assert codes(src) == ["SIM011"]
+
+    def test_heap_triple_with_seq_ok(self):
+        src = ("import heapq\nh = []\nseq = 7\n"
+               "heapq.heappush(h, (1.0, seq, object()))\n")
+        assert codes(src) == []
+
+    def test_heap_triple_with_next_counter_ok(self):
+        src = ("import heapq, itertools\nh = []\nc = itertools.count()\n"
+               "heapq.heappush(h, (1.0, next(c), object()))\n")
+        assert codes(src) == []
+
+    def test_suppression(self):
+        src = ("xs = {1, 2}\n"
+               "out = sorted(xs, key=abs)  # simlint: disable=SIM011\n")
         assert codes(src) == []
 
 

@@ -1,0 +1,218 @@
+"""Engine-level tests: incremental cache, baselines, formats, exit codes."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.simlint import (
+    Baseline,
+    LintCache,
+    format_json,
+    format_sarif,
+    format_text,
+    lint_project,
+    run,
+)
+from repro.analysis.simlint.cache import cache_version, content_hash
+
+DIRTY = "import time\nt = time.time()\n"          # one SIM001 finding
+CLEAN = "def f(sim):\n    return sim.now\n"
+
+
+def write_project(tmp_path, files):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return [str(tmp_path / rel) for rel in files]
+
+
+class TestCache:
+    def test_warm_run_parses_nothing(self, tmp_path):
+        paths = write_project(tmp_path, {"a.py": CLEAN, "b.py": CLEAN})
+        cache_file = str(tmp_path / "cache.json")
+
+        cache = LintCache(cache_file)
+        cold = lint_project(paths, cache=cache)
+        cache.save()
+        assert (cold.parsed, cold.cache_hits) == (2, 0)
+
+        warm_cache = LintCache(cache_file)
+        warm = lint_project(paths, cache=warm_cache)
+        assert (warm.parsed, warm.cache_hits) == (0, 2)
+        assert warm.violations == cold.violations
+
+    def test_edit_invalidates_only_the_changed_file(self, tmp_path):
+        paths = write_project(tmp_path, {"a.py": CLEAN, "b.py": CLEAN})
+        cache_file = str(tmp_path / "cache.json")
+        cache = LintCache(cache_file)
+        lint_project(paths, cache=cache)
+        cache.save()
+
+        (tmp_path / "b.py").write_text(DIRTY)
+        warm = lint_project(paths, cache=LintCache(cache_file))
+        assert (warm.parsed, warm.cache_hits) == (1, 1)
+        assert [v.code for v in warm.violations] == ["SIM001"]
+
+    def test_version_mismatch_degrades_to_cold(self, tmp_path):
+        paths = write_project(tmp_path, {"a.py": CLEAN})
+        cache_file = str(tmp_path / "cache.json")
+        cache = LintCache(cache_file)
+        lint_project(paths, cache=cache)
+        cache.save()
+
+        data = json.loads((tmp_path / "cache.json").read_text())
+        data["version"] = "0:stale"
+        (tmp_path / "cache.json").write_text(json.dumps(data))
+        warm = lint_project(paths, cache=LintCache(cache_file))
+        assert (warm.parsed, warm.cache_hits) == (1, 0)
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        paths = write_project(tmp_path, {"a.py": CLEAN})
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("{not json")
+        report = lint_project(paths, cache=LintCache(str(cache_file)))
+        assert (report.parsed, report.cache_hits) == (1, 0)
+
+    def test_version_mixes_rule_table(self):
+        assert cache_version().startswith("1:")
+        assert content_hash(b"x") != content_hash(b"y")
+
+    def test_parallel_jobs_match_serial(self, tmp_path):
+        files = {f"m{i}.py": (DIRTY if i % 3 == 0 else CLEAN)
+                 for i in range(9)}
+        paths = write_project(tmp_path, files)
+        serial = lint_project(paths, jobs=1)
+        parallel = lint_project(paths, jobs=4)
+        assert serial.violations == parallel.violations
+
+
+class TestBaseline:
+    def test_round_trip_and_filter(self, tmp_path):
+        (path,) = write_project(tmp_path, {"a.py": DIRTY})
+        report = lint_project([path])
+        assert len(report.violations) == 1
+
+        base = Baseline().rebuild(report.violations, report.sources)
+        base_path = str(tmp_path / "base.json")
+        base.save(base_path)
+        loaded = Baseline.load(base_path)
+        assert len(loaded) == 1
+        assert loaded.rationales_missing()  # TODO stub seeded
+
+        kept, matched = loaded.filter(report.violations, report.sources)
+        assert (kept, matched) == ([], 1)
+
+    def test_fingerprint_survives_line_moves(self, tmp_path):
+        (path,) = write_project(tmp_path, {"a.py": DIRTY})
+        report = lint_project([path])
+        base = Baseline().rebuild(report.violations, report.sources)
+
+        (tmp_path / "a.py").write_text("# a comment\n" + DIRTY)
+        moved = lint_project([path])
+        kept, matched = base.filter(moved.violations, moved.sources)
+        assert (kept, matched) == ([], 1)
+
+    def test_new_finding_not_eaten(self, tmp_path):
+        (path,) = write_project(tmp_path, {"a.py": DIRTY})
+        report = lint_project([path])
+        base = Baseline().rebuild(report.violations, report.sources)
+
+        (tmp_path / "a.py").write_text(DIRTY + "u = time.monotonic()\n")
+        grown = lint_project([path])
+        kept, matched = base.filter(grown.violations, grown.sources)
+        assert matched == 1
+        assert [v.line for v in kept] == [3]
+
+    def test_rebuild_preserves_rationales(self, tmp_path):
+        (path,) = write_project(tmp_path, {"a.py": DIRTY})
+        report = lint_project([path])
+        base = Baseline().rebuild(report.violations, report.sources)
+        fp = next(iter(base.entries))
+        base.entries[fp] = (1, "boot wall-clock is pre-simulation")
+
+        again = base.rebuild(report.violations, report.sources)
+        assert again.entries[fp][1] == "boot wall-clock is pre-simulation"
+        assert again.rationales_missing() == []
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(str(tmp_path / "none.json"))) == 0
+
+    def test_malformed_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"entries": "nope"}')
+        with pytest.raises(ValueError):
+            Baseline.load(str(bad))
+
+
+class TestFormats:
+    def violations(self, tmp_path):
+        (path,) = write_project(tmp_path, {"a.py": DIRTY})
+        return lint_project([path]).violations
+
+    def test_text(self, tmp_path):
+        text = format_text(self.violations(tmp_path))
+        assert "SIM001" in text and "1 violation(s)" in text
+        assert format_text([]) == "simlint: clean"
+
+    def test_json(self, tmp_path):
+        payload = json.loads(format_json(self.violations(tmp_path)))
+        assert payload[0]["code"] == "SIM001"
+        assert payload[0]["line"] == 2
+
+    def test_sarif(self, tmp_path):
+        doc = json.loads(format_sarif(self.violations(tmp_path)))
+        assert doc["version"] == "2.1.0"
+        (sarif_run,) = doc["runs"]
+        rules = sarif_run["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules][:2] == ["SIM001", "SIM002"]
+        (result,) = sarif_run["results"]
+        assert result["ruleId"] == "SIM001"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region == {"startLine": 2, "startColumn": 5}
+
+
+class TestRunExitCodes:
+    def test_clean_exits_zero(self, tmp_path):
+        paths = write_project(tmp_path, {"a.py": CLEAN})
+        out = io.StringIO()
+        assert run(paths, stream=out) == 0
+        assert "clean" in out.getvalue()
+
+    def test_findings_exit_one(self, tmp_path):
+        paths = write_project(tmp_path, {"a.py": DIRTY})
+        assert run(paths, stream=io.StringIO()) == 1
+
+    def test_usage_errors_raise_for_exit_two(self, tmp_path):
+        with pytest.raises(ValueError):
+            run([str(tmp_path / "missing.py")], stream=io.StringIO())
+        paths = write_project(tmp_path, {"a.py": CLEAN})
+        with pytest.raises(ValueError):
+            run(paths, fmt="xml", stream=io.StringIO())
+
+    def test_baseline_flow_exits_zero(self, tmp_path):
+        paths = write_project(tmp_path, {"a.py": DIRTY})
+        base = str(tmp_path / "base.json")
+        out = io.StringIO()
+        assert run(paths, baseline_path=base, update_baseline=True,
+                   stream=out) == 0
+        assert run(paths, baseline_path=base, stream=io.StringIO()) == 0
+
+    def test_output_file(self, tmp_path):
+        paths = write_project(tmp_path, {"a.py": DIRTY})
+        target = tmp_path / "findings.sarif"
+        code = run(paths, fmt="sarif", output=str(target),
+                   stream=io.StringIO())
+        assert code == 1
+        doc = json.loads(target.read_text())
+        assert doc["runs"][0]["results"]
+
+    def test_cli_main_maps_usage_errors_to_two(self, tmp_path):
+        from repro import cli
+
+        paths = write_project(tmp_path, {"a.py": CLEAN, "b.py": DIRTY})
+        assert cli.main(["lint", paths[0], "--no-cache"]) == 0
+        assert cli.main(["lint", paths[1], "--no-cache"]) == 1
+        assert cli.main(["lint", str(tmp_path / "gone.py"),
+                         "--no-cache"]) == 2
