@@ -93,7 +93,13 @@ def test_shard_scaling_serial(benchmark):
 
 
 def test_shard_scaling_sharded(benchmark):
-    """Same world across 8 worker processes with window-epoch barriers."""
+    """Same world across 8 worker processes with window-epoch barriers.
+
+    ``poll_wait_ms`` is the parent's cumulative barrier-poll sleep (the
+    capped-exponential-backoff recv loop) and ``checkpoint_kb`` the
+    retained epoch-checkpoint footprint at K=2 — the self-healing
+    machinery's overhead, visible next to the wall-clock it rides on.
+    """
     res = benchmark.pedantic(lambda: _run(SHARDS), rounds=3, iterations=1)
     assert res.shards == SHARDS
     admitted = _admitted(res)
@@ -102,7 +108,10 @@ def test_shard_scaling_sharded(benchmark):
         "shard_scaling_8", median_s * 1000.0,
         meta={"admitted": admitted, "clusters": len(res.clusters),
               "windows": res.n_windows, "cores": _cores(),
-              "reqs_per_s": round(admitted / median_s)},
+              "reqs_per_s": round(admitted / median_s),
+              "barrier_polls": res.barrier_polls,
+              "poll_wait_ms": round(res.barrier_wait_s * 1000.0, 1),
+              "checkpoint_kb": round(res.checkpoint_bytes / 1024.0, 1)},
         path=BENCH_PATH,
     )
 

@@ -379,6 +379,7 @@ def sharded_replay(
     shards: int = 4,
     replicas: int = 4,
     lp_cache: bool = True,
+    with_crashes: bool = False,
 ) -> ReplayReport:
     """Run one sharded world with ``shards=1`` and ``shards=N`` and diff.
 
@@ -390,6 +391,14 @@ def sharded_replay(
     digest deliberately excludes the shard count, so digest equality *is*
     the proof.  ``replicas`` stamps out enough clusters that every worker
     owns several (the interesting regime for packing bugs).
+
+    ``with_crashes`` extends the contract to recovery: a third run kills
+    workers at two distinct epochs (clean-exception path at one, SIGKILL
+    at another) and must respawn from checkpoints to the same digest; a
+    fourth run exhausts a one-restart budget so the dead shard's clusters
+    are *reassigned* to survivors — it must also reach the same digest,
+    and a run that never triggered reassignment is marked divergent (the
+    harness would otherwise silently stop testing degradation).
     """
     from repro.experiments.sharded import run_sharded
 
@@ -401,6 +410,7 @@ def sharded_replay(
         "duration_scale": duration_scale, "seed": seed,
         "replicas": replicas, "lp_cache": lp_cache,
     }
+    final_ckpt = ""
     for r in (1, shards):
         res = run_sharded(
             figure, duration_scale=duration_scale, seed=seed, shards=r,
@@ -412,6 +422,43 @@ def sharded_replay(
             meta["n_windows"] = res.n_windows
             meta["clusters"] = len(res.clusters)
             meta["lp_solves"] = res.lp_solves
+            final_ckpt = res.final_checkpoint_digest
+    if with_crashes:
+        from repro.coordination.checkpoint import RecoveryPolicy
+
+        n = int(meta["n_windows"])
+        e1 = max(1, n // 3)
+        e2 = max(e1 + 1, (2 * n) // 3)
+        crash_faults = [f"0:{e1}:exc", f"{min(1, shards - 1)}:{e2}:kill"]
+        res = run_sharded(
+            figure, duration_scale=duration_scale, seed=seed, shards=shards,
+            replicas=replicas, lp_cache=lp_cache, faults=crash_faults,
+        )
+        digests.append(res.digest())
+        labels.append(f"shards={shards}+crashes")
+        meta["crash_faults"] = list(crash_faults)
+        meta["crash_restarts"] = len(res.restarts)
+        meta["crash_final_checkpoint_match"] = (
+            res.final_checkpoint_digest == final_ckpt
+        )
+        # Budget exhaustion: two kills of shard 0 against a single-restart
+        # budget forces the second death down the reassignment path.
+        res = run_sharded(
+            figure, duration_scale=duration_scale, seed=seed, shards=shards,
+            replicas=replicas, lp_cache=lp_cache,
+            faults=[f"0:{e1}:kill", f"0:{e2}:kill"],
+            recovery=RecoveryPolicy(max_restarts=1, backoff_base=0.01),
+        )
+        d = res.digest()
+        if not res.reassignments:
+            d += ":reassignment-not-triggered"
+        digests.append(d)
+        labels.append(f"shards={shards}+reassign")
+        meta["reassignments"] = [
+            {"epoch": ev.epoch, "shard": ev.shard,
+             "assignments": dict(ev.assignments)}
+            for ev in res.reassignments
+        ]
     return ReplayReport(
         scenario=f"{figure}+sharded",
         digests=digests,

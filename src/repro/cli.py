@@ -22,10 +22,16 @@ reviewed-baseline workflow and ``--jobs N`` parallel parsing);
 the runtime invariant checker on the final run — for fig6/fig9/fig10 it
 also diffs the scalar, slotted and columnar lanes against each other, and
 ``check --shards N`` instead proves the sharded lane's window-epoch
-barrier parity (``shards=1`` vs ``shards=N`` digests on fig6/fig9);
+barrier parity (``shards=1`` vs ``shards=N`` digests on fig6/fig9), and
+``--with-crashes`` additionally kills workers mid-run (exception and
+SIGKILL deaths, plus a forced shard retirement) and requires the
+recovered digests to match bit-for-bit;
 ``chaos`` injects faults (the canonical coordination partition, a seeded
 random plan, or a JSON plan file) into the fault-matrix world and reports
-degradation and recovery (see docs/FAULTS.md).
+degradation and recovery (see docs/FAULTS.md); ``chaos --shards R`` runs
+the crash-recovery matrix on the sharded execution lane instead (a plan
+with ``revoke_shard`` events, or the canonical exc+kill matrix), exit
+0 parity held / 1 diverged / 2 invalid plan.
 """
 
 from __future__ import annotations
@@ -160,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "world with shards=1 and shards=R and require "
                             "bit-identical digests (fig6/fig9 only; skips "
                             "the ordinary replay diff)")
+    p_chk.add_argument("--with-crashes", action="store_true",
+                       help="with --shards: also run the crash-recovery "
+                            "paths — worker deaths (exception and SIGKILL "
+                            "at two distinct epochs) recovered by respawn, "
+                            "and a forced shard retirement recovered by "
+                            "reassignment — all digest-identical")
 
     p_chaos = sub.add_parser(
         "chaos", help="fault injection: partition/heal matrix or a custom plan"
@@ -183,6 +195,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "(includes the post-heal liveness ledger)")
     p_chaos.add_argument("--plot", action="store_true",
                          help="render the A/B rate series as a terminal chart")
+    p_chaos.add_argument("--shards", type=int, default=0, metavar="R",
+                         help="crash-recovery mode: drive the sharded "
+                              "execution lane with R shards through worker "
+                              "deaths (a --plan with revoke_shard events, or "
+                              "the canonical exc+SIGKILL matrix) and require "
+                              "digest parity with the unfaulted shards=1 run")
+    p_chaos.add_argument("--figure", type=str, default="fig6",
+                         choices=["fig6", "fig9"],
+                         help="sharded world for --shards mode")
     return parser
 
 
@@ -357,6 +378,7 @@ def _cmd_check(args) -> int:
             report = sharded_replay(
                 figure=scenario, duration_scale=args.scale, seed=args.seed,
                 shards=args.shards,
+                with_crashes=getattr(args, "with_crashes", False),
             )
             print(report.render())
             failures += 0 if report.ok else 1
@@ -410,11 +432,86 @@ def _chaos_plan(args):
     return None
 
 
+def _cmd_chaos_sharded(args) -> int:
+    """``chaos --shards R``: worker deaths on the sharded execution lane.
+
+    With ``--plan`` the plan's ``revoke_shard`` events are bound to window
+    epochs (a shard index out of range is a typed
+    :class:`~repro.faults.plan.FaultPlanError`, surfaced by :func:`main`
+    as exit 2); without one the canonical crash-recovery matrix runs.
+    Either way the recovered run must reproduce the unfaulted ``shards=1``
+    digest bit-for-bit: exit 0 on parity, 1 on divergence.
+    """
+    from repro.experiments.faultmatrix import (
+        canonical_shard_plan, run_crash_recovery_matrix,
+    )
+
+    if args.random:
+        raise ValueError(
+            "--random drives the fault-matrix world; give --plan with "
+            "revoke_shard events (or no plan for the canonical matrix) "
+            "with --shards"
+        )
+    figure, replicas = args.figure, 4
+    if args.plan:
+        from repro.experiments.sharded import (
+            SHARDED_WORLDS, run_sharded, shard_faults_from_plan,
+        )
+        from repro.faults.plan import FaultPlan
+
+        with open(args.plan) as fh:
+            plan = FaultPlan.from_json(fh.read())
+        world = SHARDED_WORLDS[figure](
+            duration_scale=args.scale, seed=args.seed, replicas=replicas,
+        )
+        bound = shard_faults_from_plan(
+            plan, world.window, world.n_windows, args.shards,
+        )
+        print(f"plan {plan.name or '(unnamed)'}  events={len(plan.events)}  "
+              f"digest={plan.digest()[:16]}")
+        for shard, epoch, mode in bound:
+            print(f"  shard {shard}: {mode} at epoch {epoch}")
+        baseline = run_sharded(figure, duration_scale=args.scale,
+                               seed=args.seed, shards=1, replicas=replicas)
+        res = run_sharded(figure, duration_scale=args.scale, seed=args.seed,
+                          shards=args.shards, replicas=replicas, faults=bound)
+        match = res.digest() == baseline.digest()
+        print(f"  restarts={len(res.restarts)} "
+              f"reassignments={len(res.reassignments)}")
+        print(f"  digest {'match' if match else 'MISMATCH'}: "
+              f"{res.digest()[:16]} vs {baseline.digest()[:16]}")
+        ok = match
+    else:
+        report = run_crash_recovery_matrix(
+            figure=figure, duration_scale=args.scale, seed=args.seed,
+            shards=args.shards, replicas=replicas,
+        )
+        e1, e2 = report["epochs"]
+        print(f"crash-recovery matrix ({figure}, shards={args.shards}, "
+              f"deaths at epochs {e1}/{e2}): "
+              f"{'ok' if report['ok'] else 'FAILED'}")
+        for name, cell in report["cells"].items():
+            print(f"  {name:9s} {'ok' if cell['ok'] else 'FAILED':6s} "
+                  f"digest={'match' if cell['match'] else 'MISMATCH'} "
+                  f"restarts={cell['restarts']} "
+                  f"reassignments={cell['reassignments']}")
+        ok = report["ok"]
+    if args.save_plan:
+        executed = (plan if args.plan
+                    else canonical_shard_plan(figure, args.scale, args.shards))
+        with open(args.save_plan, "w") as fh:
+            fh.write(executed.to_json() + "\n")
+        print(f"wrote {args.save_plan}")
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args) -> int:
     from repro.experiments.faultmatrix import (
         CONSERVATIVE_B, fault_matrix_scenario, run_fault_matrix,
     )
 
+    if getattr(args, "shards", 0):
+        return _cmd_chaos_sharded(args)
     plan = _chaos_plan(args)
     check = True if args.check_invariants else None
     failures = 0

@@ -13,24 +13,30 @@ every worker has reported window *k*.
 
 Failure model: a worker that dies mid-window (crash, OOM kill, bug) must
 surface as a typed :class:`ShardWorkerError` in the parent — never a
-hang.  ``gather`` therefore polls each pipe with a bounded interval,
-checks process liveness between polls, and enforces an overall per-epoch
+hang.  ``recv``/``gather`` therefore poll each pipe with capped
+exponential backoff (``poll_floor`` up to ``poll_interval``), check
+process liveness between polls, and enforce an overall per-epoch
 timeout.  A worker that catches its own exception ships a
 :class:`WorkerFailure` message so the parent can re-raise with the
-original detail.
+original detail.  The barrier itself is policy-free: *recovering* from a
+:class:`ShardWorkerError` (respawn from checkpoint, or reassign the dead
+shard's clusters) is the runner's job, supported here by the slot
+surgery primitives ``replace`` and ``deactivate``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import monotonic  # simlint: disable=SIM001  # IPC liveness timeout, not sim time
-from typing import Any, Dict, List, Optional, Sequence, Type, TypeVar
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, TypeVar
 
 from repro.coordination.aggregation import VectorAggregate
+from repro.coordination.checkpoint import ClusterCheckpoint
 
 __all__ = [
     "AllocationMessage",
     "BoundaryMessage",
+    "ReassignMessage",
     "FinishMessage",
     "WorkerFailure",
     "ShardWorkerError",
@@ -66,17 +72,42 @@ class BoundaryMessage:
     pre-summed per shard: the parent folds the per-cluster leaves through
     the combining tree in an order fixed by cluster names, so the merged
     float totals are independent of how clusters were packed into
-    shards).
+    shards).  ``admitted`` carries the per-principal admitted counts for
+    the same window and ``checkpoints`` the post-window state snapshot
+    per cluster — together they make the parent the sole owner of run
+    history, so a worker death loses at most the in-flight window.
     """
 
     epoch: int
     shard: int
     demand: Dict[str, VectorAggregate] = field(default_factory=dict)
+    admitted: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    checkpoints: Dict[str, ClusterCheckpoint] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ReassignMessage:
+    """Parent -> one survivor: adopt a dead shard's clusters mid-epoch.
+
+    Sent for window ``epoch`` *after* that window's
+    :class:`AllocationMessage`; pipe FIFO ordering therefore guarantees
+    the survivor sees it after finishing its own window, and the adoption
+    reply (a second :class:`BoundaryMessage` covering only the adopted
+    clusters) after its regular boundary report.  ``checkpoints`` holds
+    the adopted clusters' state as of epoch ``epoch - 1`` (empty when the
+    dead shard never completed a window), so the survivor replays the
+    in-flight window for them bit-identically.
+    """
+
+    epoch: int
+    clusters: Tuple[Any, ...] = ()   # ShardCluster specs (typed in sharded.py)
+    checkpoints: Dict[str, ClusterCheckpoint] = field(default_factory=dict)
+    frac: Optional[Dict[str, float]] = None
 
 
 @dataclass(frozen=True)
 class FinishMessage:
-    """Parent -> workers: the horizon is reached; reply with your summary."""
+    """Parent -> workers: the horizon is reached; exit cleanly."""
 
     epoch: int
 
@@ -101,10 +132,19 @@ class ShardWorkerError(RuntimeError):
 class EpochBarrier:
     """Parent-side conservative barrier over worker pipes.
 
-    One connection per worker process.  ``broadcast`` releases all
-    workers into an epoch; ``gather`` blocks until every worker has
-    reported that epoch's boundary message, converting worker death,
+    One connection per worker slot.  ``broadcast`` releases all active
+    workers into an epoch; ``gather`` blocks until every active worker
+    has reported that epoch's boundary message, converting worker death,
     protocol violations and timeouts into :class:`ShardWorkerError`.
+    ``send``/``recv`` are the per-slot primitives a recovering runner
+    needs to retry a single shard without disturbing the rest.
+
+    A slot can be *replaced* (a respawned worker takes over the shard
+    index) or *deactivated* (the shard is gone for good; its connection
+    is closed and its process reaped, and broadcast/gather skip it).
+    ``polls``/``poll_wait_s`` count the parent's poll syscalls and the
+    wall-clock time spent blocked in them, so the scaling bench can
+    report parent-side poll overhead.
     """
 
     def __init__(
@@ -113,33 +153,68 @@ class EpochBarrier:
         processes: Optional[Sequence[Any]] = None,
         timeout: float = 120.0,
         poll_interval: float = 0.05,
+        poll_floor: float = 0.001,
     ) -> None:
         if processes is not None and len(processes) != len(connections):
             raise ValueError("need one process handle per connection")
-        self.connections = list(connections)
-        self.processes = list(processes) if processes is not None else None
+        self.connections: List[Any] = list(connections)
+        self.processes: Optional[List[Any]] = (
+            list(processes) if processes is not None else None
+        )
         self.timeout = float(timeout)
         self.poll_interval = float(poll_interval)
+        self.poll_floor = min(float(poll_floor), self.poll_interval)
+        self.polls = 0
+        self.poll_wait_s = 0.0
 
     def __len__(self) -> int:
         return len(self.connections)
 
+    @property
+    def active(self) -> List[int]:
+        """Shard indices that still have a live connection slot."""
+        return [i for i, conn in enumerate(self.connections) if conn is not None]
+
+    # -- per-slot primitives ------------------------------------------------
+
+    def send(self, shard: int, msg: Any) -> None:
+        conn = self.connections[shard]
+        if conn is None:
+            raise ShardWorkerError(shard, "shard slot is deactivated")
+        try:
+            conn.send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardWorkerError(
+                shard, f"pipe closed while sending {type(msg).__name__}: {exc}"
+            ) from exc
+
     def broadcast(self, msg: Any) -> None:
-        for shard, conn in enumerate(self.connections):
-            try:
-                conn.send(msg)
-            except (BrokenPipeError, OSError) as exc:
-                raise ShardWorkerError(
-                    shard, f"pipe closed while sending {type(msg).__name__}: {exc}"
-                ) from exc
+        for shard in self.active:
+            self.send(shard, msg)
+
+    def recv(self, shard: int, epoch: int, kind: Type[M],
+             deadline: Optional[float] = None) -> M:
+        """One ``kind`` message for ``epoch`` from one shard."""
+        if deadline is None:
+            deadline = monotonic() + self.timeout  # simlint: disable=SIM001
+        msg = self._recv_one(shard, deadline)
+        return self._check(shard, msg, epoch, kind)
+
+    # -- internals ----------------------------------------------------------
 
     def _alive(self, shard: int) -> bool:
-        if self.processes is None:
+        if self.processes is None or self.processes[shard] is None:
             return True
         return bool(self.processes[shard].is_alive())
 
     def _recv_one(self, shard: int, deadline: float) -> Any:
         conn = self.connections[shard]
+        if conn is None:
+            raise ShardWorkerError(shard, "shard slot is deactivated")
+        # Capped exponential backoff: a worker mid-window keeps the parent
+        # nearly idle (sleeps approach poll_interval), while a boundary
+        # message that is about to arrive is picked up within ~poll_floor.
+        wait = self.poll_floor
         while True:
             remaining = deadline - monotonic()  # simlint: disable=SIM001
             if remaining <= 0:
@@ -147,16 +222,21 @@ class EpochBarrier:
                     shard, f"no boundary message within {self.timeout:.0f}s (hang?)"
                 )
             try:
-                if conn.poll(min(self.poll_interval, remaining)):
+                t0 = monotonic()  # simlint: disable=SIM001
+                ready = conn.poll(min(wait, remaining))
+                self.polls += 1
+                self.poll_wait_s += monotonic() - t0  # simlint: disable=SIM001
+                if ready:
                     return conn.recv()
             except (EOFError, BrokenPipeError, OSError) as exc:
                 raise self._death_error(shard, exc) from exc
             if not self._alive(shard) and not conn.poll(0):
                 raise self._death_error(shard, None)
+            wait = min(wait * 2.0, self.poll_interval)
 
     def _death_error(self, shard: int, cause: Optional[BaseException]) -> ShardWorkerError:
         """Diagnose an EOF/liveness failure: prefer the exitcode if dead."""
-        if self.processes is not None:
+        if self.processes is not None and self.processes[shard] is not None:
             proc = self.processes[shard]
             proc.join(timeout=1.0)
             if not proc.is_alive():
@@ -166,35 +246,89 @@ class EpochBarrier:
                 )
         return ShardWorkerError(shard, f"pipe closed mid-window: {cause}")
 
+    def _check(self, shard: int, msg: Any, epoch: int, kind: Type[M]) -> M:
+        if isinstance(msg, WorkerFailure):
+            raise ShardWorkerError(msg.shard, msg.detail)
+        if not isinstance(msg, kind):
+            raise ShardWorkerError(
+                shard, f"expected {kind.__name__} for epoch {epoch}, "
+                       f"got {type(msg).__name__}"
+            )
+        got = getattr(msg, "epoch", epoch)
+        if got != epoch:
+            raise ShardWorkerError(
+                shard, f"epoch skew: expected {epoch}, got {got}"
+            )
+        return msg
+
     def gather(self, epoch: int, kind: Type[M]) -> List[M]:
-        """One ``kind`` message per worker for ``epoch``, in shard order."""
+        """One ``kind`` message per active worker for ``epoch``, in shard order."""
         deadline = monotonic() + self.timeout  # simlint: disable=SIM001
         out: List[M] = []
-        for shard in range(len(self.connections)):
-            msg = self._recv_one(shard, deadline)
-            if isinstance(msg, WorkerFailure):
-                raise ShardWorkerError(msg.shard, msg.detail)
-            if not isinstance(msg, kind):
-                raise ShardWorkerError(
-                    shard, f"expected {kind.__name__} for epoch {epoch}, "
-                           f"got {type(msg).__name__}"
-                )
-            got = getattr(msg, "epoch", epoch)
-            if got != epoch:
-                raise ShardWorkerError(
-                    shard, f"epoch skew: expected {epoch}, got {got}"
-                )
-            out.append(msg)
+        for shard in self.active:
+            out.append(self.recv(shard, epoch, kind, deadline=deadline))
         return out
 
-    def close(self, terminate: bool = False) -> None:
-        for conn in self.connections:
-            try:
-                conn.close()
-            except OSError:
-                pass
+    # -- slot surgery -------------------------------------------------------
+
+    def _reap(self, shard: int) -> None:
+        """Ensure the slot's old process is dead, reaped, and released."""
+        if self.processes is None:
+            return
+        proc = self.processes[shard]
+        if proc is None:
+            return
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+        try:
+            proc.close()
+        except ValueError:
+            pass   # refused to die even after SIGKILL; leave the handle
+        self.processes[shard] = None
+
+    def _close_conn(self, shard: int) -> None:
+        conn = self.connections[shard]
+        if conn is None:
+            return
+        try:
+            conn.close()
+        except OSError:
+            pass
+        self.connections[shard] = None
+
+    def replace(self, shard: int, connection: Any, process: Any) -> None:
+        """Install a respawned worker in a slot (old one is reaped first)."""
+        self._close_conn(shard)
+        self._reap(shard)
+        self.connections[shard] = connection
         if self.processes is not None:
-            for proc in self.processes:
-                if terminate and proc.is_alive():
-                    proc.terminate()
-                proc.join(timeout=5.0)
+            self.processes[shard] = process
+
+    def deactivate(self, shard: int) -> None:
+        """Retire a slot for good: close its pipe end and reap its process."""
+        self._close_conn(shard)
+        self._reap(shard)
+
+    def close(self, terminate: bool = False) -> None:
+        """Tear everything down; no worker process or pipe FD survives.
+
+        Closing the parent pipe ends first gives well-behaved workers an
+        EOF to exit on; ``terminate`` (the failure path) additionally
+        SIGTERMs everything still alive, and anything that survives the
+        join grace is SIGKILLed.  Process handles are always ``close()``d
+        so the semaphores/FDs multiprocessing holds per child are
+        released even when a run fails.
+        """
+        for shard in range(len(self.connections)):
+            self._close_conn(shard)
+        if self.processes is None:
+            return
+        for proc in self.processes:
+            if proc is not None and terminate and proc.is_alive():
+                proc.terminate()
+        for shard in range(len(self.processes)):
+            self._reap(shard)

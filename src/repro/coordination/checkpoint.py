@@ -1,0 +1,294 @@
+"""Epoch checkpoints and recovery policy for the sharded runner.
+
+The paper's enforcement scheme is built to survive node loss — the
+combining tree heals around a dead node and allocation degrades to the
+conservative 1/R split (§3.2).  This module gives the *execution
+substrate* the same property: at every window barrier each worker ships a
+compact :class:`ClusterCheckpoint` per cluster (RNG substream position,
+residual-carry admission state, mergeable response-time
+:class:`~repro.coordination.aggregation.StreamStats`, and the Lindley
+server clock), and the parent retains the last K epochs in a
+:class:`CheckpointStore`.  Because a cluster's entire private state is
+exactly those four things — the per-window history arrays live in the
+parent — a respawned worker restored from the latest checkpoint replays
+the in-flight window bit-identically: the Philox counter resumes at the
+exact draw where the snapshot was taken.
+
+Checkpoints are content-addressed (SHA-256 over a canonical JSON form) so
+recovery can be audited: the digest of the state a worker was restored
+from is recorded in the :class:`ShardRestart` event, and a spill file —
+optional; the store is in-memory by default — is verified against its
+digests on load.
+
+:class:`RecoveryPolicy` governs the parent's reaction to a
+:class:`~repro.coordination.barrier.ShardWorkerError`: how many respawns
+the run may spend in total, how many on a single (shard, epoch), and the
+exponential backoff between attempts.  When the budget is exhausted the
+runner degrades instead of aborting — the dead shard's clusters are
+reassigned round-robin to the survivors (a :class:`ShardReassignment`
+event), mirroring the combining tree's reparent-the-orphans healing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.coordination.aggregation import StreamStats
+
+__all__ = [
+    "ClusterCheckpoint",
+    "CheckpointStore",
+    "RecoveryPolicy",
+    "ShardRestart",
+    "ShardReassignment",
+    "epoch_digest",
+]
+
+
+def _encode(obj: Any) -> Any:
+    """JSON-able form of a checkpoint field (ndarrays become typed lists)."""
+    if isinstance(obj, np.ndarray):
+        return {"__nd__": obj.tolist(), "dtype": str(obj.dtype)}
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, Mapping):
+        return {str(k): _encode(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_encode(v) for v in obj]
+    return obj
+
+
+def _decode(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if "__nd__" in obj:
+            return np.array(obj["__nd__"], dtype=obj["dtype"])
+        return {k: _decode(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_decode(v) for v in obj]
+    return obj
+
+
+@dataclass(frozen=True)
+class ClusterCheckpoint:
+    """One cluster's complete private state at a window boundary.
+
+    ``rng_state`` is the cluster substream's exact bit-generator state
+    (``Generator.bit_generator.state``); restoring it resumes the Philox
+    counter at the precise draw the snapshot captured, which is what makes
+    post-recovery replay bit-identical rather than merely statistically
+    equivalent.  ``carry`` is the residual-carry admission fraction per
+    principal, ``response`` the mergeable response-time summary, and
+    ``clock`` the server-free time of the Lindley observer.
+    """
+
+    rng_state: Mapping[str, Any]
+    carry: Mapping[str, float]
+    response: StreamStats
+    clock: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rng_state": _encode(self.rng_state),
+            "carry": {k: float(v) for k, v in sorted(self.carry.items())},
+            "response": {
+                "count": self.response.count,
+                "mean": self.response.mean,
+                "m2": self.response.m2,
+                "min": self.response.min,
+                "max": self.response.max,
+            },
+            "clock": self.clock,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterCheckpoint":
+        resp = data["response"]
+        return cls(
+            rng_state=_decode(data["rng_state"]),
+            carry={k: float(v) for k, v in data["carry"].items()},
+            response=StreamStats(
+                count=int(resp["count"]), mean=float(resp["mean"]),
+                m2=float(resp["m2"]), min=float(resp["min"]),
+                max=float(resp["max"]),
+            ),
+            clock=float(data["clock"]),
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form — names this state exactly."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def epoch_digest(checkpoints: Mapping[str, ClusterCheckpoint]) -> str:
+    h = hashlib.sha256()
+    for name in sorted(checkpoints):
+        h.update(name.encode("utf-8"))
+        h.update(checkpoints[name].digest().encode("ascii"))
+    return h.hexdigest()
+
+
+class CheckpointStore:
+    """Parent-side retention of the last ``retain`` epochs of checkpoints.
+
+    ``put`` merges one epoch's per-cluster snapshots (already combined
+    across shards by the caller), records the epoch's content digest, and
+    prunes anything older than the retention window.  With
+    ``spill_path`` set, the retained window is also mirrored to a JSON
+    file after every put, and :meth:`load` verifies the per-epoch digests
+    on the way back in — a corrupted spill is an error, never silently
+    different state.
+    """
+
+    def __init__(self, retain: int = 2,
+                 spill_path: Optional[str] = None) -> None:
+        if retain < 1:
+            raise ValueError("retain must be >= 1")
+        self.retain = int(retain)
+        self.spill_path = spill_path
+        self._epochs: "OrderedDict[int, Dict[str, ClusterCheckpoint]]" = \
+            OrderedDict()
+        self.digests: Dict[int, str] = {}   # every epoch ever put (audit log)
+        self.bytes_retained = 0
+        self._sizes: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._epochs)
+
+    @property
+    def epochs(self) -> List[int]:
+        return list(self._epochs)
+
+    def put(self, epoch: int,
+            checkpoints: Mapping[str, ClusterCheckpoint]) -> str:
+        """Retain one epoch's merged snapshots; returns the content digest."""
+        snap = dict(checkpoints)
+        digest = epoch_digest(snap)
+        self._epochs[epoch] = snap
+        self._epochs.move_to_end(epoch)
+        self.digests[epoch] = digest
+        self._sizes[epoch] = len(pickle.dumps(snap,
+                                              protocol=pickle.HIGHEST_PROTOCOL))
+        while len(self._epochs) > self.retain:
+            old, _ = self._epochs.popitem(last=False)
+            self._sizes.pop(old, None)
+        self.bytes_retained = sum(self._sizes.values())
+        if self.spill_path:
+            self._spill()
+        return digest
+
+    def get(self, epoch: int) -> Dict[str, ClusterCheckpoint]:
+        return dict(self._epochs[epoch])
+
+    def latest(self) -> Optional[Tuple[int, Dict[str, ClusterCheckpoint]]]:
+        """(epoch, checkpoints) of the newest retained epoch, or None."""
+        if not self._epochs:
+            return None
+        epoch = next(reversed(self._epochs))
+        return epoch, dict(self._epochs[epoch])
+
+    # -- spill file ---------------------------------------------------------
+
+    def _spill(self) -> None:
+        payload = {
+            "retain": self.retain,
+            "epochs": {
+                str(epoch): {
+                    "digest": self.digests[epoch],
+                    "clusters": {
+                        name: ck.to_dict() for name, ck in snap.items()
+                    },
+                }
+                for epoch, snap in self._epochs.items()
+            },
+        }
+        assert self.spill_path is not None
+        tmp = self.spill_path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        import os
+
+        os.replace(tmp, self.spill_path)
+
+    @classmethod
+    def load(cls, path: str, retain: Optional[int] = None) -> "CheckpointStore":
+        """Rebuild a store from a spill file, verifying content digests."""
+        with open(path) as fh:
+            payload = json.load(fh)
+        store = cls(retain=retain if retain is not None
+                    else int(payload.get("retain", 2)), spill_path=None)
+        for epoch_s in sorted(payload.get("epochs", {}), key=int):
+            entry = payload["epochs"][epoch_s]
+            snap = {
+                name: ClusterCheckpoint.from_dict(d)
+                for name, d in entry["clusters"].items()
+            }
+            digest = store.put(int(epoch_s), snap)
+            if digest != entry["digest"]:
+                raise ValueError(
+                    f"checkpoint spill corrupt: epoch {epoch_s} digest "
+                    f"mismatch ({digest[:12]} != {entry['digest'][:12]})"
+                )
+        store.spill_path = path
+        return store
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the parent spends respawns before degrading to reassignment.
+
+    ``max_restarts`` caps respawns across the whole run; a single
+    (shard, epoch) may burn at most ``per_epoch_retries`` of them — a
+    deterministic crasher must not consume the entire budget replaying
+    one window.  Respawn attempts back off exponentially
+    (``backoff_base × backoff_factor^attempt``, capped) in wall-clock
+    time; simulation state is unaffected, recovery happens *between*
+    epochs.  With ``reassign_on_exhaustion`` (the default) an exhausted
+    budget degrades the run — the dead shard's clusters move to the
+    survivors — instead of aborting it; set it False to get the PR 7
+    fail-stop behaviour once the budget is gone.
+    """
+
+    max_restarts: int = 4
+    per_epoch_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+    reassign_on_exhaustion: bool = True
+
+    def backoff(self, attempt: int) -> float:
+        """Wall-clock delay before respawn ``attempt`` (0-based)."""
+        return min(self.backoff_cap,
+                   self.backoff_base * self.backoff_factor ** attempt)
+
+
+@dataclass(frozen=True)
+class ShardRestart:
+    """One respawn: shard re-forked and restored from ``restored_epoch``."""
+
+    epoch: int
+    shard: int
+    attempt: int
+    restored_epoch: int
+    restored_digest: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class ShardReassignment:
+    """Budget exhausted: a dead shard's clusters moved to the survivors."""
+
+    epoch: int
+    shard: int
+    assignments: Mapping[str, int]   # cluster name -> surviving shard
+    detail: str = ""

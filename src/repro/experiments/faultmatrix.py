@@ -25,17 +25,20 @@ mandatory guarantee.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.agreements import Agreement, AgreementGraph
+from repro.coordination.checkpoint import RecoveryPolicy
 from repro.experiments.harness import FigureResult, PhaseExpectation, Scenario
 from repro.faults.inject import FaultInjector
-from repro.faults.plan import FaultPlan, PartitionFault
+from repro.faults.plan import FaultPlan, PartitionFault, ShardRevoke
 
 __all__ = [
     "run_fault_matrix",
     "fault_matrix_scenario",
     "canonical_plan",
+    "canonical_shard_plan",
+    "run_crash_recovery_matrix",
     "CONSERVATIVE_B",
 ]
 
@@ -165,3 +168,109 @@ def run_fault_matrix(
             f"degraded_windows={sc.l7_redirectors['R2'].allocator.degraded_windows}"
         ),
     )
+
+
+# ---------------------------------------------------------------------------
+# Crash-recovery matrix (sharded execution lane)
+# ---------------------------------------------------------------------------
+
+
+def _crash_epochs(n_windows: int) -> Tuple[int, int]:
+    """Two distinct death epochs: one third and two thirds through the run."""
+    e1 = max(1, n_windows // 3)
+    e2 = max(e1 + 1, (2 * n_windows) // 3)
+    return e1, e2
+
+
+def canonical_shard_plan(
+    figure: str = "fig6",
+    duration_scale: float = 0.05,
+    shards: int = 4,
+    window: float = 0.1,
+) -> FaultPlan:
+    """The canonical worker-revocation plan for ``repro chaos --shards R``.
+
+    Two deaths at distinct epochs, one per crash path: shard 0 raises at a
+    third of the run (the exception path), and a second shard is SIGKILLed
+    at two thirds (the hard-death path).  Epoch binding happens in
+    :func:`repro.experiments.sharded.shard_faults_from_plan`.
+    """
+    horizon = {"fig9": 4.0}.get(figure, 3.0)
+    n_windows = max(1, int(round(horizon * 100.0 * duration_scale / window)))
+    e1, e2 = _crash_epochs(n_windows)
+    return FaultPlan(
+        events=[
+            ShardRevoke(at=e1 * window, shard=0, mode="exc"),
+            ShardRevoke(at=e2 * window, shard=min(1, shards - 1), mode="kill"),
+        ],
+        name=f"shard-crash-{figure}",
+    )
+
+
+def run_crash_recovery_matrix(
+    figure: str = "fig6",
+    duration_scale: float = 0.05,
+    seed: int = 0,
+    shards: int = 4,
+    replicas: int = 4,
+) -> Dict[str, Any]:
+    """Crash-recovery matrix: every death mode must leave the digest intact.
+
+    Runs the sharded world unfaulted at ``shards=1`` for the reference
+    digest, then four faulted cells at ``shards``:
+
+    - ``exc``      worker raises mid-run (WorkerFailure -> respawn);
+    - ``kill``     worker SIGKILLed (EOF on the pipe -> respawn);
+    - ``multi``    both deaths, two distinct epochs, two shards;
+    - ``reassign`` restart budget of 1 vs two kills: the second death
+      retires the shard and its clusters move to the survivors.
+
+    Every cell must reproduce the reference digest bit-identically — the
+    matrix's single pass/fail; ``reassign`` must additionally record at
+    least one :class:`~repro.coordination.checkpoint.ShardReassignment`
+    (otherwise the cell exercised nothing and is marked failed).
+    """
+    from repro.experiments.sharded import run_sharded
+
+    baseline = run_sharded(figure, duration_scale=duration_scale, seed=seed,
+                           shards=1, replicas=replicas)
+    ref = baseline.digest()
+    e1, e2 = _crash_epochs(baseline.n_windows)
+    other = min(1, shards - 1)
+    cells: Dict[str, Dict[str, Any]] = {}
+
+    def cell(name: str, faults, recovery=None, need_reassign=False) -> None:
+        kwargs: Dict[str, Any] = {}
+        if recovery is not None:
+            kwargs["recovery"] = recovery
+        res = run_sharded(figure, duration_scale=duration_scale, seed=seed,
+                          shards=shards, replicas=replicas, faults=faults,
+                          **kwargs)
+        degraded = len(res.reassignments)
+        ok = res.digest() == ref and (degraded > 0 or not need_reassign)
+        cells[name] = {
+            "faults": list(faults),
+            "digest": res.digest(),
+            "match": res.digest() == ref,
+            "restarts": len(res.restarts),
+            "reassignments": degraded,
+            "checkpoint_match":
+                res.final_checkpoint_digest == baseline.final_checkpoint_digest,
+            "ok": ok,
+        }
+
+    cell("exc", [f"0:{e1}:exc"])
+    cell("kill", [f"{other}:{e2}:kill"])
+    cell("multi", [f"0:{e1}:exc", f"{other}:{e2}:kill"])
+    cell("reassign", [f"0:{e1}:kill", f"0:{e2}:kill"],
+         recovery=RecoveryPolicy(max_restarts=1, backoff_base=0.01),
+         need_reassign=True)
+
+    return {
+        "figure": figure,
+        "shards": shards,
+        "epochs": [e1, e2],
+        "baseline_digest": ref,
+        "cells": cells,
+        "ok": all(c["ok"] for c in cells.values()),
+    }

@@ -15,29 +15,56 @@ barrier epoch:
 2. every worker simulates its clusters through window k to completion and
    ships one :class:`~repro.coordination.barrier.BoundaryMessage` carrying
    a per-cluster :class:`~repro.coordination.aggregation.VectorAggregate`
-   of demand,
+   of demand, the per-principal admitted counts, and a
+   :class:`~repro.coordination.checkpoint.ClusterCheckpoint` per cluster,
 3. the parent folds the per-cluster aggregates through the existing
    :class:`~repro.coordination.tree.CombiningTree` reduction (balanced
    tree over *sorted cluster names*, so float-sum order never depends on
    how clusters were packed into shards), solves the window LP via the
    shared :class:`~repro.scheduling.allocator.WindowAllocator` (reusing
-   its SolveCache), and releases everyone into window k+1.
+   its SolveCache), ingests the window's history and checkpoints, and
+   releases everyone into window k+1.
+
+The parent is the sole owner of run history (the per-window series live
+in the parent, never the workers), so a worker holds nothing but its
+clusters' *live* state — and that state is checkpointed every epoch.
+That makes the runner self-healing: on a
+:class:`~repro.coordination.barrier.ShardWorkerError` the parent —
+governed by a :class:`~repro.coordination.checkpoint.RecoveryPolicy` —
+respawns the dead shard from the last checkpoint and replays the
+in-flight window; when the restart budget is exhausted it degrades
+instead, reassigning the dead shard's clusters round-robin to the
+survivors (`ReassignMessage`), exactly the combining tree's
+reparent-the-orphans move one layer down.
 
 Determinism is by construction, not by luck: every cluster owns the RNG
 substream ``cluster:<name>`` (PR 4's ``link:<src>-><dst>`` pattern
-generalised) and consumes it in fixed (window, client) order; no other
-state crosses the boundary.  ``shards=1`` runs the identical per-cluster
-math inline, so ``shards=1`` and ``shards=8`` produce bit-identical
-SHA-256 digests — enforced by ``repro check --shards`` exactly like the
-three-way lane digest.
+generalised) and consumes it in fixed (window, client) order; restoring a
+checkpoint resumes the Philox counter at the exact draw of the snapshot.
+``shards=1`` runs the identical per-cluster math inline, so ``shards=1``,
+``shards=8``, and ``shards=8`` *with worker deaths* all produce
+bit-identical SHA-256 digests — enforced by ``repro check --shards
+[--with-crashes]`` exactly like the three-way lane digest.
+
+Deterministic crash hooks for tests and chaos runs: the
+``REPRO_SHARD_FAULT`` env var (or the ``faults=`` argument, or a
+:class:`~repro.faults.plan.FaultPlan` with ``revoke_shard`` events via
+:func:`shard_faults_from_plan`) holds comma-separated
+``<shard>:<epoch>[:<mode>]`` tokens; ``mode`` is ``exit`` (hard
+``os._exit``, the default), ``exc`` (clean in-worker exception shipped as
+a :class:`WorkerFailure`), or ``kill`` (SIGKILL — nothing in the worker
+runs, the parent sees a dead pipe).
 """
 
 from __future__ import annotations
 
 import hashlib
+import logging
 import math
 import multiprocessing as mp
 import os
+import signal
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -49,12 +76,23 @@ from repro.coordination.barrier import (
     BoundaryMessage,
     EpochBarrier,
     FinishMessage,
+    ReassignMessage,
+    ShardWorkerError,
     WorkerFailure,
+)
+from repro.coordination.checkpoint import (
+    CheckpointStore,
+    ClusterCheckpoint,
+    RecoveryPolicy,
+    ShardReassignment,
+    ShardRestart,
+    epoch_digest,
 )
 from repro.coordination.tree import CombiningTree
 from repro.core.access import compute_access_levels
 from repro.core.agreements import Agreement, AgreementGraph
 from repro.experiments.harness import FigureResult, PhaseExpectation
+from repro.faults.plan import SHARD_REVOKE_MODES, FaultPlan, FaultPlanError, ShardRevoke
 from repro.scheduling.allocator import WindowAllocator
 from repro.scheduling.window import WindowConfig
 from repro.sim.monitor import PhaseStats
@@ -64,8 +102,10 @@ __all__ = [
     "ShardClient",
     "ShardCluster",
     "ShardedWorld",
+    "ShardFault",
     "ShardedResult",
     "ShardedRunner",
+    "shard_faults_from_plan",
     "sharded_fig6_world",
     "sharded_fig9_world",
     "SHARDED_WORLDS",
@@ -73,9 +113,8 @@ __all__ = [
     "run_sharded_figure",
 ]
 
-# Deterministic crash hook for tests: "<shard>:<epoch>" makes that worker
-# hard-exit at the start of that epoch (validating the barrier's typed
-# failure path without monkey-patching across process boundaries).
+_LOG = logging.getLogger("repro.sharded")
+
 _FAULT_ENV = "REPRO_SHARD_FAULT"
 
 
@@ -146,6 +185,70 @@ class ShardedWorld:
 
 
 # ---------------------------------------------------------------------------
+# Fault specs (deterministic worker deaths)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """One scheduled worker death, fired at the start of ``epoch``."""
+
+    epoch: int
+    mode: str = "exit"
+
+
+def _parse_fault_entry(entry: Any) -> Optional[Tuple[int, ShardFault]]:
+    """``"shard:epoch[:mode]"`` or ``(shard, epoch[, mode])`` -> parsed."""
+    if isinstance(entry, str):
+        parts = entry.split(":")
+    elif isinstance(entry, (tuple, list)):
+        parts = [str(x) for x in entry]
+    else:
+        return None
+    if len(parts) not in (2, 3):
+        return None
+    try:
+        shard, epoch = int(parts[0]), int(parts[1])
+    except ValueError:
+        return None
+    mode = parts[2] if len(parts) == 3 else "exit"
+    if mode not in SHARD_REVOKE_MODES or epoch < 0:
+        return None
+    return shard, ShardFault(epoch=epoch, mode=mode)
+
+
+def shard_faults_from_plan(
+    plan: FaultPlan, window: float, n_windows: int, shards: int
+) -> List[Tuple[int, int, str]]:
+    """Bind a plan's ``revoke_shard`` events to epochs: (shard, epoch, mode).
+
+    Raises :class:`FaultPlanError` when an event names a shard index the
+    run does not have — the typed error ``repro chaos`` maps to exit 2.
+    """
+    out: List[Tuple[int, int, str]] = []
+    for ev in plan.events:
+        if not isinstance(ev, ShardRevoke):
+            continue
+        if not 0 <= ev.shard < shards:
+            raise FaultPlanError(
+                f"revoke_shard at t={ev.at:g}: shard {ev.shard} out of "
+                f"range for a {shards}-shard run"
+            )
+        epoch = min(n_windows - 1, int(ev.at / window + 1e-9))
+        out.append((ev.shard, epoch, ev.mode))
+    return out
+
+
+def _fire_fault(mode: str) -> None:
+    """Kill the current worker the way ``mode`` asks.  May not return."""
+    if mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if mode == "exc":
+        raise RuntimeError("injected shard fault (mode=exc)")
+    os._exit(3)
+
+
+# ---------------------------------------------------------------------------
 # Worker-side state (identical for shards=1 inline and shards=R processes)
 # ---------------------------------------------------------------------------
 
@@ -156,6 +259,9 @@ class ShardTask:
 
     Workers rebuild all state from this task, so fork and spawn start
     methods are interchangeable; nothing is inherited from parent memory.
+    A respawned worker's task additionally carries ``restore`` — the
+    last-checkpoint state of its clusters — and only the faults that have
+    not fired yet (a deterministic crasher must not crash-loop).
     """
 
     shard: int
@@ -168,51 +274,41 @@ class ShardTask:
     # global information exists: MC_w[p] / n_clusters, the allocator's 1/R
     # fallback with every cluster counted as a redirector.
     conservative: Dict[str, float] = field(default_factory=dict)
+    faults: Tuple[ShardFault, ...] = ()
+    restore: Dict[str, ClusterCheckpoint] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
-class ShardSummary:
-    """Worker -> parent terminal message: the full per-cluster record."""
-
-    epoch: int
-    shard: int
-    # cluster -> principal -> per-window float64 arrays
-    demand: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
-    admitted: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
-    refused: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
-    response: Dict[str, StreamStats] = field(default_factory=dict)
-    clock: Dict[str, float] = field(default_factory=dict)
+# One window's outcome for one cluster: (demand aggregate, admitted counts).
+ClusterRecord = Tuple[VectorAggregate, Dict[str, float]]
 
 
 class _ClusterState:
     """One cluster's private simulation state.
 
-    Self-contained: its arrays depend only on (its substream, the broadcast
+    Self-contained: its draws depend only on (its substream, the broadcast
     fraction sequence), never on which shard runs it or which clusters
     share its worker — the invariant the digest-parity contract rests on.
+    Everything here round-trips through :meth:`checkpoint`/:meth:`restore`
+    bit-exactly; per-window history lives in the parent.
     """
 
-    def __init__(self, spec: ShardCluster, task: ShardTask,
-                 streams: RngStreams) -> None:
+    def __init__(self, spec: ShardCluster, principals: Tuple[str, ...],
+                 window: float, streams: RngStreams) -> None:
         self.spec = spec
-        self.principals = task.principals
-        self.window = task.window
+        self.principals = principals
+        self.window = window
         self.rng = streams.get(f"cluster:{spec.name}")
-        n = task.n_windows
-        self.demand = {p: np.zeros(n) for p in task.principals}
-        self.admitted = {p: np.zeros(n) for p in task.principals}
-        self.refused = {p: np.zeros(n) for p in task.principals}
         # Residual-carry admission: fractional quota left over while
         # quota-limited rolls into the next window (no banking of unused
         # quota), so long-run admitted rate tracks quota exactly.
-        self.carry = {p: 0.0 for p in task.principals}
+        self.carry = {p: 0.0 for p in principals}
         self.response = StreamStats()
         self.clock = 0.0           # server-free time for the Lindley observer
         self.svc = 1.0 / spec.capacity
 
     def step(self, k: int, frac: Optional[Dict[str, float]],
-             conservative: Mapping[str, float]) -> VectorAggregate:
-        """Simulate window k; returns this cluster's demand aggregate."""
+             conservative: Mapping[str, float]) -> ClusterRecord:
+        """Simulate window k; returns (demand aggregate, admitted counts)."""
         w = self.window
         t0, t1 = k * w, (k + 1) * w
         demand = {p: 0 for p in self.principals}
@@ -222,10 +318,10 @@ class _ClusterState:
                 demand[client.principal] += int(
                     self.rng.poisson(client.rate * active)
                 )
+        admitted: Dict[str, float] = {}
         total_adm = 0
         for p in self.principals:
             d = demand[p]
-            self.demand[p][k] = d
             if frac is not None:
                 quota = frac.get(p, 0.0) * d
             else:
@@ -236,13 +332,13 @@ class _ClusterState:
                 self.carry[p] = budget - adm
             else:
                 self.carry[p] = 0.0
-            self.admitted[p][k] = adm
-            self.refused[p][k] = d - adm
+            admitted[p] = float(adm)
             total_adm += adm
         if total_adm > 0:
             self._observe(t0, total_adm)
-        return VectorAggregate.local(
-            {p: float(demand[p]) for p in self.principals}
+        return (
+            VectorAggregate.local({p: float(demand[p]) for p in self.principals}),
+            admitted,
         )
 
     def _observe(self, t0: float, m: int) -> None:
@@ -263,34 +359,71 @@ class _ClusterState:
         )
         self.response = self.response.merge(batch)
 
+    def checkpoint(self) -> ClusterCheckpoint:
+        return ClusterCheckpoint(
+            rng_state=self.rng.bit_generator.state,
+            carry=dict(self.carry),
+            response=self.response,
+            clock=self.clock,
+        )
+
+    def restore(self, ck: ClusterCheckpoint) -> None:
+        self.rng.bit_generator.state = dict(ck.rng_state)
+        self.carry = dict(ck.carry)
+        self.response = ck.response
+        self.clock = float(ck.clock)
+
 
 class ShardState:
     """All clusters owned by one worker, stepped window-by-window."""
 
     def __init__(self, task: ShardTask) -> None:
         self.task = task
-        streams = RngStreams(task.seed)
+        self.streams = RngStreams(task.seed)
         self.clusters = [
-            _ClusterState(spec, task, streams) for spec in task.clusters
+            self._build(spec, task.restore.get(spec.name))
+            for spec in task.clusters
         ]
 
-    def step(self, k: int,
-             frac: Optional[Dict[str, float]]) -> Dict[str, VectorAggregate]:
-        cons = self.task.conservative
-        return {
-            c.spec.name: c.step(k, frac, cons) for c in self.clusters
-        }
+    def _build(self, spec: ShardCluster,
+               ck: Optional[ClusterCheckpoint]) -> _ClusterState:
+        state = _ClusterState(spec, self.task.principals, self.task.window,
+                              self.streams)
+        if ck is not None:
+            state.restore(ck)
+        return state
 
-    def summary(self) -> ShardSummary:
-        return ShardSummary(
-            epoch=self.task.n_windows,
-            shard=self.task.shard,
-            demand={c.spec.name: c.demand for c in self.clusters},
-            admitted={c.spec.name: c.admitted for c in self.clusters},
-            refused={c.spec.name: c.refused for c in self.clusters},
-            response={c.spec.name: c.response for c in self.clusters},
-            clock={c.spec.name: c.clock for c in self.clusters},
-        )
+    def step(self, k: int,
+             frac: Optional[Dict[str, float]]) -> Dict[str, ClusterRecord]:
+        cons = self.task.conservative
+        return {c.spec.name: c.step(k, frac, cons) for c in self.clusters}
+
+    def adopt(self, specs: Sequence[ShardCluster],
+              checkpoints: Mapping[str, ClusterCheckpoint]) -> List[_ClusterState]:
+        """Take over a dead shard's clusters, restoring their checkpoints."""
+        added = [
+            self._build(spec, checkpoints.get(spec.name)) for spec in specs
+        ]
+        self.clusters.extend(added)
+        return added
+
+    def checkpoints(
+        self, clusters: Optional[Sequence[_ClusterState]] = None
+    ) -> Dict[str, ClusterCheckpoint]:
+        subset = self.clusters if clusters is None else clusters
+        return {c.spec.name: c.checkpoint() for c in subset}
+
+
+def _boundary(epoch: int, shard: int, state: ShardState,
+              records: Dict[str, ClusterRecord],
+              clusters: Optional[List[_ClusterState]] = None) -> BoundaryMessage:
+    return BoundaryMessage(
+        epoch=epoch,
+        shard=shard,
+        demand={name: rec[0] for name, rec in records.items()},
+        admitted={name: rec[1] for name, rec in records.items()},
+        checkpoints=state.checkpoints(clusters),
+    )
 
 
 def _shard_worker_main(conn: Any, task: ShardTask) -> None:
@@ -299,18 +432,27 @@ def _shard_worker_main(conn: Any, task: ShardTask) -> None:
     Module-level (picklable under spawn); receives *all* state through
     ``task`` — never module globals (SIM007's worker contract).
     """
-    fault = os.environ.get(_FAULT_ENV, "")
+    faults = {f.epoch: f.mode for f in task.faults}
     try:
         state = ShardState(task)
         while True:
             msg = conn.recv()
             if isinstance(msg, FinishMessage):
-                conn.send(state.summary())
                 return
-            if fault == f"{task.shard}:{msg.epoch}":
-                os._exit(3)   # deterministic mid-window crash for tests
-            demand = state.step(msg.epoch, msg.frac)
-            conn.send(BoundaryMessage(msg.epoch, task.shard, demand))
+            if isinstance(msg, ReassignMessage):
+                added = state.adopt(msg.clusters, msg.checkpoints)
+                records = {
+                    c.spec.name: c.step(msg.epoch, msg.frac, task.conservative)
+                    for c in added
+                }
+                conn.send(_boundary(msg.epoch, task.shard, state, records,
+                                    clusters=added))
+                continue
+            mode = faults.pop(msg.epoch, None)
+            if mode is not None:
+                _fire_fault(mode)   # deterministic mid-window death
+            records = state.step(msg.epoch, msg.frac)
+            conn.send(_boundary(msg.epoch, task.shard, state, records))
     except (EOFError, BrokenPipeError, KeyboardInterrupt):
         return
     except Exception as exc:   # ship the failure; never leave a hang
@@ -330,8 +472,11 @@ class ShardedResult:
     """Everything observable from one sharded run.
 
     ``digest()`` covers every per-cluster series plus the parent-side
-    policy trace; it deliberately omits the shard count, so equality
-    between ``shards=1`` and ``shards=R`` *is* the parity proof.
+    policy trace; it deliberately omits the shard count *and* the
+    recovery trace, so digest equality between ``shards=1``,
+    ``shards=R``, and ``shards=R`` with worker deaths *is* the parity
+    proof.  ``final_checkpoint_digest`` is a second, independent witness:
+    the SHA-256 of every cluster's terminal state snapshot.
     """
 
     world: ShardedWorld
@@ -350,6 +495,12 @@ class ShardedResult:
     lp_solves: int = 0
     cache_hits: int = 0
     fallback_windows: int = 0
+    restarts: List[ShardRestart] = field(default_factory=list)
+    reassignments: List[ShardReassignment] = field(default_factory=list)
+    final_checkpoint_digest: str = ""
+    checkpoint_bytes: int = 0       # retained store size (sharded runs)
+    barrier_polls: int = 0
+    barrier_wait_s: float = 0.0
 
     # -- derived views ----------------------------------------------------
 
@@ -426,6 +577,16 @@ class ShardedRunner:
     every R against.  Partitioning is round-robin over *sorted* cluster
     names, so shard membership is a pure function of (world, R); results
     are a pure function of world alone.
+
+    ``recovery`` (default :class:`RecoveryPolicy`) makes the sharded path
+    self-healing: respawn-from-checkpoint inside the budget, cluster
+    reassignment to survivors beyond it.  ``recovery=None`` restores the
+    PR 7 fail-stop behaviour (first :class:`ShardWorkerError` aborts).
+    ``faults`` schedules deterministic worker deaths
+    (``"shard:epoch[:mode]"`` entries, strictly validated); when omitted,
+    the ``REPRO_SHARD_FAULT`` env var is consulted with the same syntax
+    (tolerantly: tokens for out-of-range shards are ignored, so one env
+    setting can target a specific matrix cell).
     """
 
     def __init__(
@@ -435,6 +596,10 @@ class ShardedRunner:
         lp_cache: bool = True,
         backend: str = "auto",
         epoch_timeout: float = 120.0,
+        recovery: Optional[RecoveryPolicy] = RecoveryPolicy(),
+        checkpoint_retain: int = 2,
+        checkpoint_spill: Optional[str] = None,
+        faults: Optional[Sequence[Any]] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -445,6 +610,9 @@ class ShardedRunner:
         self.lp_cache = bool(lp_cache)
         self.backend = backend
         self.epoch_timeout = float(epoch_timeout)
+        self.recovery = recovery
+        self.checkpoint_retain = int(checkpoint_retain)
+        self.checkpoint_spill = checkpoint_spill
         self.access = compute_access_levels(world.graph)
         self.window_cfg = WindowConfig(world.window)
         n_clusters = len(world.clusters)
@@ -464,17 +632,68 @@ class ShardedRunner:
         # Reduction order: balanced combining tree over sorted cluster
         # names — fixed fold order regardless of shard packing.
         self._tree = CombiningTree.balanced([c.name for c in ordered])
+        self._fault_specs = self._bind_faults(faults)
+        # Per-run mutable state (set up in run()).
+        self._owned: Dict[int, List[ShardCluster]] = {}
+        self._faults: Dict[int, List[ShardFault]] = {}
+        self._expected: Dict[int, int] = {}
+        self._epoch_attempts: Dict[Tuple[int, int], int] = {}
+        self._store = CheckpointStore(retain=self.checkpoint_retain)
+        self.restarts: List[ShardRestart] = []
+        self.reassignments: List[ShardReassignment] = []
+        self._ctx: Any = None
 
-    def _task(self, shard: int) -> ShardTask:
+    # -- fault binding ------------------------------------------------------
+
+    def _bind_faults(
+        self, faults: Optional[Sequence[Any]]
+    ) -> Dict[int, Tuple[ShardFault, ...]]:
+        specs: Dict[int, List[ShardFault]] = {i: [] for i in range(self.shards)}
+        if faults is not None:
+            for entry in faults:
+                parsed = _parse_fault_entry(entry)
+                if parsed is None:
+                    raise FaultPlanError(
+                        f"malformed shard fault spec {entry!r} "
+                        f"(want 'shard:epoch[:mode]', mode in "
+                        f"{SHARD_REVOKE_MODES})"
+                    )
+                shard, fault = parsed
+                if not 0 <= shard < self.shards:
+                    raise FaultPlanError(
+                        f"shard fault {entry!r}: shard {shard} out of range "
+                        f"for a {self.shards}-shard run"
+                    )
+                specs[shard].append(fault)
+        else:
+            for tok in os.environ.get(_FAULT_ENV, "").split(","):
+                parsed = _parse_fault_entry(tok.strip())
+                if parsed is None:
+                    continue
+                shard, fault = parsed
+                if 0 <= shard < self.shards:
+                    specs[shard].append(fault)
+        return {shard: tuple(fl) for shard, fl in specs.items()}
+
+    # -- task construction --------------------------------------------------
+
+    def _task(
+        self, shard: int,
+        restore: Optional[Mapping[str, ClusterCheckpoint]] = None,
+    ) -> ShardTask:
         return ShardTask(
             shard=shard,
-            clusters=self._partitions[shard],
+            clusters=tuple(self._owned[shard]),
             principals=tuple(self.world.principals),
             seed=self.world.seed,
             window=self.world.window,
             n_windows=self.world.n_windows,
             conservative=dict(self._conservative),
+            faults=tuple(self._faults.get(shard, ())),
+            restore=dict(restore or {}),
         )
+
+    # -- reduction / policy -------------------------------------------------
 
     def _reduce(self, leaves: Dict[str, VectorAggregate]) -> VectorAggregate:
         """Fold per-cluster aggregates in combining-tree order."""
@@ -497,120 +716,268 @@ class ShardedRunner:
             frac[p] = min(1.0, alloc.quotas[p] / g) if g > 1e-9 else 0.0
         return frac
 
+    # -- the run ------------------------------------------------------------
+
     def run(self) -> ShardedResult:
-        n_windows = self.world.n_windows
-        frac_hist = {
-            p: np.full(n_windows, -1.0) for p in self.world.principals
-        }
-        gdemand = {p: np.zeros(n_windows) for p in self.world.principals}
+        world = self.world
+        n_windows = world.n_windows
+        names = [c.name for c in world.clusters]
+        self._dh = {n: {p: np.zeros(n_windows) for p in world.principals}
+                    for n in names}
+        self._ah = {n: {p: np.zeros(n_windows) for p in world.principals}
+                    for n in names}
+        self._rh = {n: {p: np.zeros(n_windows) for p in world.principals}
+                    for n in names}
+        frac_hist = {p: np.full(n_windows, -1.0) for p in world.principals}
+        gdemand = {p: np.zeros(n_windows) for p in world.principals}
         fallback_windows = 0
         frac: Optional[Dict[str, float]] = None
+        self._owned = {i: list(p) for i, p in enumerate(self._partitions)}
+        self._faults = {s: list(fl) for s, fl in self._fault_specs.items()}
+        self._epoch_attempts = {}
+        self._store = CheckpointStore(retain=self.checkpoint_retain,
+                                      spill_path=self.checkpoint_spill)
+        self.restarts = []
+        self.reassignments = []
+        barrier_polls = 0
+        barrier_wait_s = 0.0
 
         def policy_step(
-            k: int, leaves: Dict[str, VectorAggregate]
+            k: int, records: Dict[str, ClusterRecord]
         ) -> Dict[str, float]:
-            merged = self._reduce(leaves)
-            for p in self.world.principals:
+            merged = self._reduce({n: rec[0] for n, rec in records.items()})
+            for p in world.principals:
                 gdemand[p][k] = merged.get(p, 0.0)
             return self._policy(merged)
 
         if self.shards == 1:
             state = ShardState(self._task(0))
-            step = state.step
-
-            def finish() -> List[ShardSummary]:
-                return [state.summary()]
-        else:
-            barrier = self._start_workers()
-            step, finish = self._barrier_hooks(barrier)
-        try:
             for k in range(n_windows):
                 if frac is None:
                     fallback_windows += 1
                 else:
-                    for p in self.world.principals:
+                    for p in world.principals:
                         frac_hist[p][k] = frac[p]
-                frac = policy_step(k, step(k, frac))
-            summaries = finish()
-        finally:
-            if self.shards > 1:
+                records = state.step(k, frac)
+                self._ingest(k, records)
+                frac = policy_step(k, records)
+            final = state.checkpoints()
+        else:
+            barrier = self._start_workers()
+            try:
+                for k in range(n_windows):
+                    if frac is None:
+                        fallback_windows += 1
+                    else:
+                        for p in world.principals:
+                            frac_hist[p][k] = frac[p]
+                    records, ckpts = self._epoch(barrier, k, frac)
+                    self._ingest(k, records)
+                    self._store.put(k, ckpts)
+                    frac = policy_step(k, records)
+                for shard in barrier.active:
+                    try:
+                        barrier.send(shard, FinishMessage(n_windows))
+                    except ShardWorkerError:
+                        pass   # the horizon is reached; a late death is moot
+                latest = self._store.latest()
+                assert latest is not None
+                final = latest[1]
+            finally:
+                barrier_polls = barrier.polls
+                barrier_wait_s = barrier.poll_wait_s
                 barrier.close(terminate=True)
-        return self._assemble(summaries, gdemand, frac_hist, fallback_windows)
 
-    def _start_workers(self) -> EpochBarrier:
-        # fork inherits the imported modules cheaply; spawn works the same
-        # because workers rebuild everything from the pickled task.
-        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-        ctx = mp.get_context(method)
-        conns, procs = [], []
-        for shard in range(self.shards):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_shard_worker_main,
-                args=(child, self._task(shard)),
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            conns.append(parent)
-            procs.append(proc)
-        return EpochBarrier(conns, procs, timeout=self.epoch_timeout)
-
-    def _barrier_hooks(self, barrier: EpochBarrier) -> Tuple[Any, Any]:
-        """(step, finish) callables mirroring the inline ShardState API."""
-
-        def step(
-            k: int, frac: Optional[Dict[str, float]]
-        ) -> Dict[str, VectorAggregate]:
-            barrier.broadcast(AllocationMessage(k, frac))
-            leaves: Dict[str, VectorAggregate] = {}
-            for msg in barrier.gather(k, BoundaryMessage):
-                leaves.update(msg.demand)
-            return leaves
-
-        def finish() -> List[ShardSummary]:
-            n = self.world.n_windows
-            barrier.broadcast(FinishMessage(n))
-            return barrier.gather(n, ShardSummary)
-
-        return step, finish
-
-    def _assemble(
-        self,
-        summaries: List[ShardSummary],
-        gdemand: Dict[str, np.ndarray],
-        frac_hist: Dict[str, np.ndarray],
-        fallback_windows: int,
-    ) -> ShardedResult:
-        demand: Dict[str, Dict[str, np.ndarray]] = {}
-        admitted: Dict[str, Dict[str, np.ndarray]] = {}
-        refused: Dict[str, Dict[str, np.ndarray]] = {}
-        response: Dict[str, StreamStats] = {}
-        clock: Dict[str, float] = {}
-        for s in summaries:
-            demand.update(s.demand)
-            admitted.update(s.admitted)
-            refused.update(s.refused)
-            response.update(s.response)
-            clock.update(s.clock)
         return ShardedResult(
-            world=self.world,
+            world=world,
             shards=self.shards,
-            window=self.world.window,
-            n_windows=self.world.n_windows,
-            principals=tuple(self.world.principals),
-            clusters=tuple(sorted(demand)),
-            demand=demand,
-            admitted=admitted,
-            refused=refused,
-            response=response,
-            clock=clock,
+            window=world.window,
+            n_windows=n_windows,
+            principals=tuple(world.principals),
+            clusters=tuple(sorted(names)),
+            demand=self._dh,
+            admitted=self._ah,
+            refused=self._rh,
+            response={n: ck.response for n, ck in final.items()},
+            clock={n: ck.clock for n, ck in final.items()},
             global_demand=gdemand,
             frac=frac_hist,
             lp_solves=self.allocator.lp_solves,
             cache_hits=self.allocator.cache_hits,
             fallback_windows=fallback_windows,
+            restarts=list(self.restarts),
+            reassignments=list(self.reassignments),
+            final_checkpoint_digest=epoch_digest(final),
+            checkpoint_bytes=self._store.bytes_retained,
+            barrier_polls=barrier_polls,
+            barrier_wait_s=barrier_wait_s,
         )
+
+    def _ingest(self, k: int, records: Dict[str, ClusterRecord]) -> None:
+        """Fold one window's records into the parent-owned history arrays.
+
+        ``refused = demand - admitted`` is exact: both are small-integer
+        counts represented as float64, so the difference is the same float
+        the worker-side subtraction used to produce.
+        """
+        for name, (agg, admitted) in records.items():
+            for p in self.world.principals:
+                d = agg.get(p, 0.0)
+                a = float(admitted.get(p, 0.0))
+                self._dh[name][p][k] = d
+                self._ah[name][p][k] = a
+                self._rh[name][p][k] = d - a
+
+    # -- sharded epoch protocol (with recovery) -----------------------------
+
+    def _epoch(
+        self, barrier: EpochBarrier, k: int, frac: Optional[Dict[str, float]]
+    ) -> Tuple[Dict[str, ClusterRecord], Dict[str, ClusterCheckpoint]]:
+        """Run window ``k`` across the workers; heal failures as they surface."""
+        send_failures: List[ShardWorkerError] = []
+        self._expected = {}
+        for shard in barrier.active:
+            self._expected[shard] = 1
+            try:
+                barrier.send(shard, AllocationMessage(k, frac))
+            except ShardWorkerError as err:
+                send_failures.append(err)
+        for err in send_failures:
+            self._handle_failure(barrier, err.shard, k, frac, err)
+        records: Dict[str, ClusterRecord] = {}
+        ckpts: Dict[str, ClusterCheckpoint] = {}
+        while True:
+            pending = [s for s in sorted(self._expected) if self._expected[s] > 0]
+            if not pending:
+                break
+            shard = pending[0]
+            try:
+                msg = barrier.recv(shard, k, BoundaryMessage)
+            except ShardWorkerError as err:
+                self._handle_failure(barrier, shard, k, frac, err)
+                continue
+            self._expected[shard] -= 1
+            for name, agg in msg.demand.items():
+                records[name] = (agg, dict(msg.admitted.get(name, {})))
+            ckpts.update(msg.checkpoints)
+        missing = [n for n in (c.name for c in self.world.clusters)
+                   if n not in records]
+        if missing:
+            raise ShardWorkerError(
+                -1, f"epoch {k} completed without records for {missing}"
+            )
+        return records, ckpts
+
+    def _handle_failure(
+        self, barrier: EpochBarrier, shard: int, k: int,
+        frac: Optional[Dict[str, float]], err: ShardWorkerError,
+    ) -> None:
+        policy = self.recovery
+        if policy is None:
+            raise err
+        attempt = self._epoch_attempts.get((shard, k), 0)
+        if (len(self.restarts) < policy.max_restarts
+                and attempt < policy.per_epoch_retries):
+            self._respawn(barrier, shard, k, frac, err, attempt)
+        elif policy.reassign_on_exhaustion:
+            self._reassign(barrier, shard, k, frac, err)
+        else:
+            raise err
+
+    def _respawn(
+        self, barrier: EpochBarrier, shard: int, k: int,
+        frac: Optional[Dict[str, float]], err: ShardWorkerError, attempt: int,
+    ) -> None:
+        """Respawn a dead shard from the last checkpoint and replay window k."""
+        time.sleep(self.recovery.backoff(attempt))
+        self._epoch_attempts[(shard, k)] = attempt + 1
+        latest = self._store.latest()
+        restored_epoch, snap = latest if latest is not None else (-1, {})
+        owned = {c.name for c in self._owned[shard]}
+        restore = {n: ck for n, ck in snap.items() if n in owned}
+        # Faults at or before k have fired (that is usually why we are
+        # here); shipping them again would crash-loop the replacement.
+        self._faults[shard] = [
+            f for f in self._faults.get(shard, []) if f.epoch > k
+        ]
+        conn, proc = self._spawn(self._task(shard, restore=restore))
+        barrier.replace(shard, conn, proc)
+        barrier.send(shard, AllocationMessage(k, frac))
+        self.restarts.append(ShardRestart(
+            epoch=k, shard=shard, attempt=attempt + 1,
+            restored_epoch=restored_epoch,
+            restored_digest=self._store.digests.get(restored_epoch, ""),
+            detail=err.detail,
+        ))
+        _LOG.warning(
+            "shard %d respawned at epoch %d (attempt %d, restored from "
+            "epoch %d): %s", shard, k, attempt + 1, restored_epoch, err.detail,
+        )
+
+    def _reassign(
+        self, barrier: EpochBarrier, shard: int, k: int,
+        frac: Optional[Dict[str, float]], err: ShardWorkerError,
+    ) -> None:
+        """Restart budget exhausted: survivors adopt the dead shard's clusters."""
+        barrier.deactivate(shard)
+        self._expected.pop(shard, None)
+        survivors = barrier.active
+        if not survivors:
+            raise ShardWorkerError(
+                shard,
+                f"restart budget exhausted with no surviving shards "
+                f"({err.detail})",
+            )
+        latest = self._store.latest()
+        snap = latest[1] if latest is not None else {}
+        specs = sorted(self._owned[shard], key=lambda c: c.name)
+        assignments = {
+            spec.name: survivors[i % len(survivors)]
+            for i, spec in enumerate(specs)
+        }
+        for target in sorted(set(assignments.values())):
+            tspecs = tuple(s for s in specs if assignments[s.name] == target)
+            barrier.send(target, ReassignMessage(
+                epoch=k,
+                clusters=tspecs,
+                checkpoints={s.name: snap[s.name] for s in tspecs
+                             if s.name in snap},
+                frac=frac,
+            ))
+            self._expected[target] = self._expected.get(target, 0) + 1
+            self._owned[target].extend(tspecs)
+        self._owned[shard] = []
+        event = ShardReassignment(
+            epoch=k, shard=shard, assignments=assignments, detail=err.detail,
+        )
+        self.reassignments.append(event)
+        _LOG.warning(
+            "shard %d retired at epoch %d; clusters reassigned to survivors "
+            "%s: %s", shard, k, assignments, err.detail,
+        )
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _spawn(self, task: ShardTask) -> Tuple[Any, Any]:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker_main, args=(child, task), daemon=True,
+        )
+        proc.start()
+        child.close()
+        return parent, proc
+
+    def _start_workers(self) -> EpochBarrier:
+        # fork inherits the imported modules cheaply; spawn works the same
+        # because workers rebuild everything from the pickled task.
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._ctx = mp.get_context(method)
+        conns, procs = [], []
+        for shard in range(self.shards):
+            conn, proc = self._spawn(self._task(shard))
+            conns.append(conn)
+            procs.append(proc)
+        return EpochBarrier(conns, procs, timeout=self.epoch_timeout)
 
 
 # ---------------------------------------------------------------------------
@@ -721,6 +1088,10 @@ def run_sharded(
     lp_cache: bool = True,
     backend: str = "auto",
     epoch_timeout: float = 120.0,
+    recovery: Optional[RecoveryPolicy] = RecoveryPolicy(),
+    checkpoint_retain: int = 2,
+    checkpoint_spill: Optional[str] = None,
+    faults: Optional[Sequence[Any]] = None,
 ) -> ShardedResult:
     """Build a named sharded world and run it with R shards."""
     try:
@@ -732,7 +1103,11 @@ def run_sharded(
     world = build(duration_scale=duration_scale, seed=seed,
                   replicas=replicas, load_scale=load_scale)
     runner = ShardedRunner(world, shards=shards, lp_cache=lp_cache,
-                           backend=backend, epoch_timeout=epoch_timeout)
+                           backend=backend, epoch_timeout=epoch_timeout,
+                           recovery=recovery,
+                           checkpoint_retain=checkpoint_retain,
+                           checkpoint_spill=checkpoint_spill,
+                           faults=faults)
     return runner.run()
 
 
@@ -781,5 +1156,7 @@ def run_sharded_figure(
         series=res.series(["A", "B"]),
         notes=f"sharded lane: shards={res.shards}, "
               f"{res.n_windows} window epochs, "
-              f"{res.lp_solves} LP solves ({res.cache_hits} cache hits)",
+              f"{res.lp_solves} LP solves ({res.cache_hits} cache hits), "
+              f"{len(res.restarts)} restarts, "
+              f"{len(res.reassignments)} reassignments",
     )

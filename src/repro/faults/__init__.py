@@ -9,21 +9,25 @@ event kernel.  Same seed + same plan => bit-identical run.
 from repro.faults.inject import FaultInjector
 from repro.faults.plan import (
     FaultPlan,
+    FaultPlanError,
     LinkDegrade,
     NodeCrash,
     PartitionFault,
     RedirectorCrash,
     ServerCrash,
+    ShardRevoke,
     random_plan,
 )
 
 __all__ = [
     "FaultInjector",
     "FaultPlan",
+    "FaultPlanError",
     "LinkDegrade",
     "NodeCrash",
     "PartitionFault",
     "RedirectorCrash",
     "ServerCrash",
+    "ShardRevoke",
     "random_plan",
 ]

@@ -25,11 +25,13 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.faults.plan import (
     FaultPlan,
+    FaultPlanError,
     LinkDegrade,
     NodeCrash,
     PartitionFault,
     RedirectorCrash,
     ServerCrash,
+    ShardRevoke,
 )
 from repro.sim.network import Link
 
@@ -46,6 +48,15 @@ class FaultInjector:
     """
 
     def __init__(self, scenario, plan: FaultPlan) -> None:
+        for ev in plan.events:
+            if isinstance(ev, ShardRevoke):
+                # Worker revocation is an execution-substrate fault, not a
+                # simulated-component one; only the sharded runner can
+                # honour it deterministically.
+                raise FaultPlanError(
+                    "revoke_shard targets the sharded execution lane; "
+                    "run this plan via `repro chaos --shards R`"
+                )
         if not getattr(scenario, "_tree_built", False) and any(
             isinstance(ev, (LinkDegrade, PartitionFault, NodeCrash))
             for ev in plan.events

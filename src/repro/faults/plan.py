@@ -26,6 +26,16 @@ Event semantics:
   request are lost); ``until`` restarts it empty.
 - :class:`RedirectorCrash` — the redirector process itself: clients get
   no answer and its protocol node goes silent; ``until`` restarts both.
+- :class:`ShardRevoke` — spot-style revocation of a sharded-lane worker
+  process at ``at`` (``mode``: ``"exit"`` hard ``os._exit``, ``"exc"``
+  clean in-worker exception, ``"kill"`` SIGKILL).  Targets the execution
+  substrate rather than a simulated component, so it is executed by
+  :class:`repro.experiments.sharded.ShardedRunner` (``repro chaos
+  --shards``), not by the event-lane injector.
+
+Validation failures raise :class:`FaultPlanError` (a ``ValueError``), so
+callers — the CLI in particular — can distinguish a malformed plan from
+an infrastructure fault.
 """
 
 from __future__ import annotations
@@ -43,9 +53,19 @@ __all__ = [
     "NodeCrash",
     "ServerCrash",
     "RedirectorCrash",
+    "ShardRevoke",
     "FaultPlan",
+    "FaultPlanError",
     "random_plan",
 ]
+
+# Worker-death modes a ShardRevoke may request (mirrored by the
+# REPRO_SHARD_FAULT env hook in repro.experiments.sharded).
+SHARD_REVOKE_MODES = ("exit", "exc", "kill")
+
+
+class FaultPlanError(ValueError):
+    """A fault plan failed validation (malformed event, bad target)."""
 
 
 @dataclass(frozen=True)
@@ -100,7 +120,17 @@ class RedirectorCrash:
     until: Optional[float] = None
 
 
-FaultEvent = Union[LinkDegrade, PartitionFault, NodeCrash, ServerCrash, RedirectorCrash]
+@dataclass(frozen=True)
+class ShardRevoke:
+    """Revoke a sharded-lane worker process (spot-instance style)."""
+
+    at: float
+    shard: int
+    mode: str = "kill"
+
+
+FaultEvent = Union[LinkDegrade, PartitionFault, NodeCrash, ServerCrash,
+                   RedirectorCrash, ShardRevoke]
 
 _KINDS: Dict[str, type] = {
     "link": LinkDegrade,
@@ -108,6 +138,7 @@ _KINDS: Dict[str, type] = {
     "node_crash": NodeCrash,
     "server_crash": ServerCrash,
     "redirector_crash": RedirectorCrash,
+    "revoke_shard": ShardRevoke,
 }
 _KIND_OF = {cls: kind for kind, cls in _KINDS.items()}
 
@@ -125,24 +156,36 @@ class FaultPlan:
     def validate(self) -> None:
         for ev in self.events:
             if ev.at < 0:
-                raise ValueError(f"event time must be >= 0: {ev}")
+                raise FaultPlanError(f"event time must be >= 0: {ev}")
             until = getattr(ev, "until", None)
             if until is not None and until <= ev.at:
-                raise ValueError(f"until must be > at: {ev}")
+                raise FaultPlanError(f"until must be > at: {ev}")
             if isinstance(ev, PartitionFault):
                 if len(ev.groups) < 2:
-                    raise ValueError("partition needs at least two groups")
+                    raise FaultPlanError("partition needs at least two groups")
                 seen: set = set()
                 for grp in ev.groups:
                     for n in grp:
                         if n in seen:
-                            raise ValueError(f"node {n!r} in two partition groups")
+                            raise FaultPlanError(
+                                f"node {n!r} in two partition groups"
+                            )
                         seen.add(n)
             if isinstance(ev, LinkDegrade):
                 for label in ("loss", "duplicate", "reorder"):
                     p = getattr(ev, label)
                     if p is not None and not 0.0 <= p < 1.0:
-                        raise ValueError(f"{label} must be in [0, 1): {ev}")
+                        raise FaultPlanError(f"{label} must be in [0, 1): {ev}")
+            if isinstance(ev, ShardRevoke):
+                if ev.shard < 0:
+                    raise FaultPlanError(
+                        f"revoke_shard: shard index must be >= 0: {ev}"
+                    )
+                if ev.mode not in SHARD_REVOKE_MODES:
+                    raise FaultPlanError(
+                        f"revoke_shard: mode must be one of "
+                        f"{SHARD_REVOKE_MODES}, got {ev.mode!r}"
+                    )
 
     def sorted_events(self) -> List[FaultEvent]:
         """Events by time, stable on plan order for ties."""

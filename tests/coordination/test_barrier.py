@@ -38,6 +38,23 @@ def _crash_worker(conn):
     os._exit(7)
 
 
+def _stuck_worker(conn):
+    """Never reads, never replies — simulates a wedged worker."""
+    import time
+    while True:
+        time.sleep(60.0)
+
+
+def _slow_echo_worker(conn, delay):
+    import time
+    while True:
+        msg = conn.recv()
+        if isinstance(msg, FinishMessage):
+            return
+        time.sleep(delay)
+        conn.send(BoundaryMessage(msg.epoch, 0, {}))
+
+
 def _pipe_pair():
     parent, child = CTX.Pipe()
     return parent, child
@@ -120,3 +137,118 @@ class TestFailureModes:
         parent, _child = _pipe_pair()
         with pytest.raises(ValueError):
             EpochBarrier([parent], processes=[])
+
+
+class TestTeardown:
+    """Regression: a failed run must leak no worker process or pipe FD.
+
+    The old ``close`` only terminated processes it was asked about and
+    left parent pipe ends open; a wedged worker (or one that outlived a
+    crashed sibling) survived the run.  ``close(terminate=True)`` must
+    now kill and reap *every* slot and null both sides' references.
+    """
+
+    def test_close_reaps_all_workers_even_wedged_ones(self):
+        conns, procs = [], []
+        for _ in range(3):
+            parent, child = _pipe_pair()
+            proc = CTX.Process(target=_stuck_worker, args=(child,), daemon=True)
+            proc.start()
+            child.close()
+            conns.append(parent)
+            procs.append(proc)
+        barrier = EpochBarrier(conns, procs, timeout=5.0)
+        handles = list(procs)
+        barrier.close(terminate=True)
+        # Liveness: every worker is dead and reaped, every slot released.
+        for proc in handles:
+            # A closed handle raises ValueError on is_alive(); either the
+            # handle is closed or the process is provably dead.
+            try:
+                assert not proc.is_alive()
+            except ValueError:
+                pass
+        assert barrier.connections == [None, None, None]
+        assert barrier.processes == [None, None, None]
+
+    def test_close_closes_parent_pipe_ends(self):
+        parent, child = _pipe_pair()
+        proc = CTX.Process(target=_echo_worker, args=(child,), daemon=True)
+        proc.start()
+        child.close()
+        barrier = EpochBarrier([parent], [proc], timeout=5.0)
+        barrier.close(terminate=True)
+        with pytest.raises(OSError):
+            parent.send(AllocationMessage(0, None))
+
+    def test_close_without_processes_just_closes_pipes(self):
+        parent, _child = _pipe_pair()
+        barrier = EpochBarrier([parent])
+        barrier.close()
+        assert barrier.connections == [None]
+
+
+class TestSlotSurgery:
+    def test_deactivate_retires_slot(self):
+        a, _ca = _pipe_pair()
+        b, _cb = _pipe_pair()
+        barrier = EpochBarrier([a, b], timeout=5.0)
+        barrier.deactivate(0)
+        assert barrier.active == [1]
+        with pytest.raises(ShardWorkerError, match="deactivated"):
+            barrier.send(0, AllocationMessage(0, None))
+
+    def test_replace_installs_new_worker(self):
+        parent, child = _pipe_pair()
+        proc = CTX.Process(target=_crash_worker, args=(child,), daemon=True)
+        proc.start()
+        child.close()
+        barrier = EpochBarrier([parent], [proc], timeout=5.0)
+        barrier.broadcast(AllocationMessage(0, None))
+        with pytest.raises(ShardWorkerError):
+            barrier.gather(0, BoundaryMessage)
+        parent2, child2 = _pipe_pair()
+        proc2 = CTX.Process(target=_echo_worker, args=(child2,), daemon=True)
+        proc2.start()
+        child2.close()
+        barrier.replace(0, parent2, proc2)
+        try:
+            barrier.broadcast(AllocationMessage(1, None))
+            (msg,) = barrier.gather(1, BoundaryMessage)
+            assert msg.epoch == 1
+        finally:
+            barrier.close(terminate=True)
+
+
+class TestPollBackoff:
+    """The recv loop backs off exponentially instead of spinning at 50ms."""
+
+    def test_ready_message_needs_one_poll(self):
+        parent, child = _pipe_pair()
+        child.send(BoundaryMessage(0, 0, {}))
+        barrier = EpochBarrier([parent], timeout=5.0)
+        barrier.recv(0, 0, BoundaryMessage)
+        assert barrier.polls == 1
+
+    def test_slow_worker_polls_logarithmically(self):
+        parent, child = _pipe_pair()
+        proc = CTX.Process(target=_slow_echo_worker, args=(child, 0.3),
+                           daemon=True)
+        proc.start()
+        child.close()
+        barrier = EpochBarrier([parent], [proc], timeout=30.0,
+                               poll_interval=0.05, poll_floor=0.001)
+        try:
+            barrier.broadcast(AllocationMessage(0, None))
+            barrier.gather(0, BoundaryMessage)
+            # 0.3s of silence: doubling from 1ms and capping at 50ms needs
+            # ~12 polls; a flat 1ms spin would need ~300.
+            assert 2 <= barrier.polls <= 30
+            assert barrier.poll_wait_s >= 0.2
+        finally:
+            barrier.close(terminate=True)
+
+    def test_poll_floor_clamped_to_interval(self):
+        parent, _child = _pipe_pair()
+        barrier = EpochBarrier([parent], poll_interval=0.01, poll_floor=0.5)
+        assert barrier.poll_floor == 0.01

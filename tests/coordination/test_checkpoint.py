@@ -1,0 +1,157 @@
+"""Checkpoint store and recovery policy: the self-healing substrate.
+
+The recovery contract rests on three properties tested here in
+isolation: a :class:`ClusterCheckpoint` round-trips bit-exactly through
+its dict/JSON form (including the Philox bit-generator state), the
+:class:`CheckpointStore` retains exactly the last K epochs with honest
+content digests, and a spill file that does not match its recorded
+digests is an error — never silently different state.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.coordination.aggregation import StreamStats
+from repro.coordination.checkpoint import (
+    CheckpointStore,
+    ClusterCheckpoint,
+    RecoveryPolicy,
+    epoch_digest,
+)
+from repro.sim.rng import RngStreams
+
+
+def make_checkpoint(seed=0, draws=17, clock=3.25):
+    rng = RngStreams(seed).get("cluster:R1")
+    rng.random(draws)
+    stats = StreamStats()
+    for x in (0.5, 1.5, 9.0):
+        stats.observe(x)
+    return ClusterCheckpoint(
+        rng_state=rng.bit_generator.state,
+        carry={"A": 0.125, "B": 0.75},
+        response=stats,
+        clock=clock,
+    ), rng
+
+
+class TestClusterCheckpoint:
+    def test_round_trip_is_bit_exact(self):
+        ck, _ = make_checkpoint()
+        back = ClusterCheckpoint.from_dict(ck.to_dict())
+        assert back.digest() == ck.digest()
+        assert back.carry == ck.carry
+        assert back.clock == ck.clock
+        assert back.response.count == ck.response.count
+
+    def test_rng_state_restores_exact_draw_position(self):
+        ck, rng = make_checkpoint(draws=23)
+        expected = rng.random(8)   # the draws a restored worker must make
+        fresh = RngStreams(0).get("cluster:R1")
+        fresh.bit_generator.state = dict(ck.rng_state)
+        assert np.array_equal(fresh.random(8), expected)
+
+    def test_round_trip_survives_json(self):
+        ck, _ = make_checkpoint()
+        back = ClusterCheckpoint.from_dict(json.loads(json.dumps(ck.to_dict())))
+        assert back.digest() == ck.digest()
+
+    def test_digest_sensitive_to_every_field(self):
+        ck, _ = make_checkpoint()
+        variants = [
+            ClusterCheckpoint(ck.rng_state, {"A": 0.126, "B": 0.75},
+                              ck.response, ck.clock),
+            ClusterCheckpoint(ck.rng_state, ck.carry, ck.response, 99.0),
+            make_checkpoint(draws=18)[0],
+        ]
+        digests = {ck.digest()} | {v.digest() for v in variants}
+        assert len(digests) == 4
+
+    def test_epoch_digest_order_independent(self):
+        a, _ = make_checkpoint(draws=3)
+        b, _ = make_checkpoint(draws=5)
+        assert epoch_digest({"R1": a, "R2": b}) == \
+               epoch_digest(dict([("R2", b), ("R1", a)]))
+        assert epoch_digest({"R1": a}) != epoch_digest({"R1": b})
+
+
+class TestCheckpointStore:
+    def test_retains_last_k_epochs(self):
+        store = CheckpointStore(retain=2)
+        for epoch in range(5):
+            ck, _ = make_checkpoint(draws=epoch + 1)
+            store.put(epoch, {"R1": ck})
+        assert store.epochs == [3, 4]
+        assert len(store) == 2
+        with pytest.raises(KeyError):
+            store.get(1)
+
+    def test_latest_and_audit_digests(self):
+        store = CheckpointStore(retain=1)
+        first, _ = make_checkpoint(draws=1)
+        second, _ = make_checkpoint(draws=2)
+        d0 = store.put(0, {"R1": first})
+        d1 = store.put(1, {"R1": second})
+        epoch, snap = store.latest()
+        assert epoch == 1 and snap["R1"].digest() == second.digest()
+        # Evicted epochs stay in the audit log.
+        assert store.digests == {0: d0, 1: d1}
+
+    def test_bytes_retained_tracks_window(self):
+        store = CheckpointStore(retain=1)
+        store.put(0, {"R1": make_checkpoint()[0]})
+        one = store.bytes_retained
+        assert one > 0
+        store.put(1, {"R1": make_checkpoint()[0],
+                      "R2": make_checkpoint(draws=9)[0]})
+        assert store.bytes_retained > one      # bigger epoch replaced it
+        assert store.epochs == [1]
+
+    def test_invalid_retain_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointStore(retain=0)
+
+    def test_empty_store_has_no_latest(self):
+        assert CheckpointStore().latest() is None
+
+
+class TestSpill:
+    def test_spill_round_trip_verified(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        store = CheckpointStore(retain=2, spill_path=path)
+        for epoch in range(3):
+            store.put(epoch, {"R1": make_checkpoint(draws=epoch + 1)[0]})
+        loaded = CheckpointStore.load(path)
+        assert loaded.epochs == store.epochs
+        for epoch in store.epochs:
+            assert loaded.digests[epoch] == store.digests[epoch]
+            assert loaded.get(epoch)["R1"].digest() == \
+                   store.get(epoch)["R1"].digest()
+
+    def test_corrupt_spill_is_an_error(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        store = CheckpointStore(retain=1, spill_path=path)
+        store.put(0, {"R1": make_checkpoint()[0]})
+        payload = json.load(open(path))
+        (entry,) = payload["epochs"].values()
+        entry["clusters"]["R1"]["clock"] += 1.0    # tamper, keep digest
+        json.dump(payload, open(path, "w"))
+        with pytest.raises(ValueError, match="spill corrupt"):
+            CheckpointStore.load(path)
+
+
+class TestRecoveryPolicy:
+    def test_backoff_is_capped_exponential(self):
+        policy = RecoveryPolicy(backoff_base=0.05, backoff_factor=2.0,
+                                backoff_cap=0.3)
+        assert policy.backoff(0) == pytest.approx(0.05)
+        assert policy.backoff(1) == pytest.approx(0.10)
+        assert policy.backoff(2) == pytest.approx(0.20)
+        assert policy.backoff(3) == pytest.approx(0.30)   # capped
+        assert policy.backoff(10) == pytest.approx(0.30)
+
+    def test_defaults_degrade_not_abort(self):
+        assert RecoveryPolicy().reassign_on_exhaustion is True
+        assert RecoveryPolicy().max_restarts >= 1

@@ -10,6 +10,7 @@ no shard-dependent state.
 import pytest
 
 from repro.coordination.barrier import ShardWorkerError
+from repro.coordination.checkpoint import RecoveryPolicy
 from repro.experiments.figures import run_fig6, run_fig9
 from repro.experiments.harness import Scenario
 from repro.experiments.sharded import (
@@ -18,6 +19,7 @@ from repro.experiments.sharded import (
     run_sharded_figure,
     sharded_fig6_world,
 )
+from repro.faults.plan import FaultPlanError
 
 # Small but non-degenerate worlds: 4 replicas give fig6 8 clusters and
 # fig9 4 clusters, so every shard count below actually partitions work.
@@ -103,12 +105,14 @@ class TestScenarioFallback:
 
 class TestWorkerFailure:
     def test_worker_death_raises_typed_error_not_hang(self, monkeypatch):
-        # Shard 0 calls os._exit(3) at the top of epoch 1; the barrier
-        # must detect the dead process and raise within its timeout.
+        # Shard 0 calls os._exit(3) at the top of epoch 1; with recovery
+        # disabled the barrier must detect the dead process and raise
+        # within its timeout (the PR 7 fail-stop contract, preserved).
         monkeypatch.setenv("REPRO_SHARD_FAULT", "0:1")
         world = sharded_fig6_world(duration_scale=SCALE, seed=0,
                                    replicas=REPLICAS)
-        runner = ShardedRunner(world, shards=2, epoch_timeout=30.0)
+        runner = ShardedRunner(world, shards=2, epoch_timeout=30.0,
+                               recovery=None)
         with pytest.raises(ShardWorkerError, match="died mid-window"):
             runner.run()
 
@@ -116,3 +120,79 @@ class TestWorkerFailure:
         # A fault address that never fires must leave results untouched.
         monkeypatch.setenv("REPRO_SHARD_FAULT", "99:0")
         assert digest("fig6", 2) == digest("fig6", 1)
+
+    def test_explicit_out_of_range_fault_is_typed_error(self):
+        world = sharded_fig6_world(duration_scale=SCALE, seed=0,
+                                   replicas=REPLICAS)
+        with pytest.raises(FaultPlanError, match="shard 9"):
+            ShardedRunner(world, shards=2, faults=["9:1"])
+
+    def test_explicit_malformed_fault_is_typed_error(self):
+        world = sharded_fig6_world(duration_scale=SCALE, seed=0,
+                                   replicas=REPLICAS)
+        with pytest.raises(FaultPlanError, match="malformed"):
+            ShardedRunner(world, shards=2, faults=["0:1:frobnicate"])
+
+
+def faulted(figure, shards, faults, **kwargs):
+    return run_sharded(figure, duration_scale=SCALE, seed=0, shards=shards,
+                       replicas=REPLICAS, faults=faults, **kwargs)
+
+
+class TestCrashRecovery:
+    """Self-healing: deaths at window barriers leave the digest intact."""
+
+    def test_exception_death_recovers_bit_identical(self):
+        res = faulted("fig6", 2, ["0:3:exc"])
+        assert [r.epoch for r in res.restarts] == [3]
+        assert res.restarts[0].restored_epoch == 2
+        assert res.digest() == digest("fig6", 1)
+
+    def test_sigkill_death_recovers_bit_identical(self):
+        res = faulted("fig6", 2, ["1:4:kill"])
+        assert len(res.restarts) == 1
+        assert res.digest() == digest("fig6", 1)
+
+    def test_two_deaths_two_epochs_both_paths(self):
+        baseline = run_sharded("fig6", duration_scale=SCALE, seed=0,
+                               shards=1, replicas=REPLICAS)
+        res = faulted("fig6", 4, ["0:2:exc", "1:5:kill"])
+        assert [(r.shard, r.epoch) for r in res.restarts] == [(0, 2), (1, 5)]
+        assert res.digest() == baseline.digest()
+        # Recovery restored exactly the state the unfaulted run ends in.
+        assert res.final_checkpoint_digest == baseline.final_checkpoint_digest
+
+    def test_death_at_epoch_zero_rebuilds_fresh(self):
+        res = faulted("fig6", 2, ["0:0:exc"])
+        assert res.restarts[0].restored_epoch == -1
+        assert res.digest() == digest("fig6", 1)
+
+    def test_restart_records_checkpoint_digest(self):
+        res = faulted("fig6", 2, ["0:3:exc"])
+        assert res.restarts[0].restored_digest  # non-empty SHA-256
+        assert res.restarts[0].attempt == 1     # 1-based: first respawn
+
+    def test_budget_exhaustion_reassigns_to_survivors(self):
+        policy = RecoveryPolicy(max_restarts=1, backoff_base=0.01)
+        res = faulted("fig6", 2, ["0:2:kill", "0:4:kill"], recovery=policy)
+        assert len(res.restarts) == 1
+        assert len(res.reassignments) == 1
+        move = res.reassignments[0]
+        assert move.shard == 0 and move.epoch == 4
+        assert set(move.assignments.values()) == {1}   # only survivor
+        assert res.digest() == digest("fig6", 1)
+
+    def test_no_reassign_policy_fails_stop(self):
+        policy = RecoveryPolicy(max_restarts=0, reassign_on_exhaustion=False,
+                                backoff_base=0.01)
+        world = sharded_fig6_world(duration_scale=SCALE, seed=0,
+                                   replicas=REPLICAS)
+        runner = ShardedRunner(world, shards=2, epoch_timeout=30.0,
+                               recovery=policy, faults=["0:2:exc"])
+        with pytest.raises(ShardWorkerError):
+            runner.run()
+
+    def test_fig9_recovery_parity(self):
+        res = faulted("fig9", 2, ["0:3:kill"])
+        assert len(res.restarts) == 1
+        assert res.digest() == digest("fig9", 1)

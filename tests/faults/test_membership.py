@@ -100,6 +100,66 @@ class TestHealing:
         assert counter.total - before == 10 * per_round
 
 
+class TestRepeatedFailures:
+    """Sequential failures: fail, heal, then fail the promoted root.
+
+    Each heal must promote deterministically (the dead node's first
+    child) and leave a well-formed overlay whose steady-state round cost
+    is exactly 2(n-1) messages over the survivors — the §3.2 invariant
+    must hold per round after *every* reconfiguration, not just the
+    first.
+    """
+
+    IDS = ["a", "b", "c", "d", "e", "f", "g"]
+
+    def _assert_round_invariant(self, sim, overlay, counter, start):
+        sim.run(until=start)                 # settle to a mid-round offset
+        before = counter.total
+        sim.run(until=start + 1.0)           # exactly 10 rounds of 0.1s
+        per_round = overlay.tree.messages_per_round()
+        assert per_round == 2 * (len(overlay.tree) - 1)
+        assert counter.total - before == 10 * per_round
+
+    def test_fail_heal_fail_promoted_root(self):
+        counter = MessageCounter()
+        sim, overlay = build_overlay(self.IDS, counter=counter)
+        sim.run(until=1.0)
+
+        overlay.crash("a")                   # root dies
+        sim.run(until=10.05)
+        assert overlay.tree.root == "b"      # first child promoted
+        assert len(overlay.tree) == 6
+        self._assert_round_invariant(sim, overlay, counter, 11.05)
+
+        overlay.crash("b")                   # now fail the promoted root
+        sim.run(until=22.05)
+        # b's death also silences its subtree (d, e): they are co-evicted
+        # in deterministic order, the promotion cascades to c, and the
+        # watch links bring d and e straight back under the new root.
+        assert overlay.tree.root == "c"
+        assert sorted(overlay.tree.nodes) == ["c", "d", "e", "f", "g"]
+        assert overlay.reconfigurations == 4    # a, b, d, e evictions
+        assert overlay.rejoins == 2             # d, e re-attached
+        self._assert_round_invariant(sim, overlay, counter, 23.05)
+        for nid in overlay.tree.nodes:       # survivors all converged
+            assert view_of(overlay, nid) == pytest.approx(5.0)
+
+    def test_promotion_sequence_replays_identically(self):
+        def run_once():
+            sim, overlay = build_overlay(self.IDS)
+            trace = []
+            sim.run(until=1.0)
+            overlay.crash("a")
+            sim.run(until=10.0)
+            trace.append((overlay.tree.root, sorted(overlay.tree.nodes)))
+            overlay.crash(overlay.tree.root)
+            sim.run(until=20.0)
+            trace.append((overlay.tree.root, sorted(overlay.tree.nodes)))
+            return trace
+
+        assert run_once() == run_once()
+
+
 class TestLossyLinks:
     def test_lossy_tree_degrades_without_permanent_eviction(self):
         # 20% loss on every link, drawn from per-link substreams: rounds

@@ -4,11 +4,13 @@ import pytest
 
 from repro.faults.plan import (
     FaultPlan,
+    FaultPlanError,
     LinkDegrade,
     NodeCrash,
     PartitionFault,
     RedirectorCrash,
     ServerCrash,
+    ShardRevoke,
     random_plan,
 )
 from repro.sim.rng import RngStreams
@@ -23,6 +25,7 @@ def _full_plan() -> FaultPlan:
             NodeCrash(at=3.0, node="c", until=6.0),
             ServerCrash(at=3.5, server="S"),
             RedirectorCrash(at=4.5, redirector="R1", until=7.0),
+            ShardRevoke(at=5.0, shard=1, mode="exc"),
         ],
         name="everything",
     )
@@ -51,6 +54,42 @@ class TestValidation:
     def test_probability_range_enforced(self):
         with pytest.raises(ValueError, match="loss"):
             FaultPlan(events=[LinkDegrade(at=0.0, src="a", dst="b", loss=1.0)])
+
+    def test_validation_errors_are_typed(self):
+        # The CLI maps FaultPlanError to exit 2; every validation failure
+        # must be that type (it subclasses ValueError for compatibility).
+        with pytest.raises(FaultPlanError):
+            FaultPlan(events=[NodeCrash(at=-1.0, node="a")])
+
+
+class TestShardRevoke:
+    def test_valid_modes_accepted(self):
+        for mode in ("exit", "exc", "kill"):
+            plan = FaultPlan(events=[ShardRevoke(at=1.0, shard=0, mode=mode)])
+            assert plan.events[0].mode == mode
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(FaultPlanError, match="mode"):
+            FaultPlan(events=[ShardRevoke(at=1.0, shard=0, mode="vaporise")])
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(FaultPlanError, match="shard"):
+            FaultPlan(events=[ShardRevoke(at=1.0, shard=-1)])
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(events=[ShardRevoke(at=2.5, shard=3)])
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.events[0].mode == "kill"   # the default
+
+    def test_injector_refuses_revoke_shard(self):
+        # ShardRevoke is an execution-substrate fault; binding it to a
+        # simulated scenario must fail loudly, not be silently ignored.
+        from repro.faults.inject import FaultInjector
+
+        plan = FaultPlan(events=[ShardRevoke(at=1.0, shard=0)])
+        with pytest.raises(FaultPlanError, match="sharded execution lane"):
+            FaultInjector(object(), plan)
 
 
 class TestPartitionGeometry:

@@ -77,3 +77,63 @@ class TestCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestChaosSharded:
+    """``chaos --shards R`` exit-code contract: 0 parity, 1 diverged,
+    2 invalid plan (typed error on stderr, never a traceback)."""
+
+    SCALE = "0.02"   # 60-epoch fig6 world: fast but non-degenerate
+
+    def _plan(self, tmp_path, shard=0, at=2.0, mode="exc"):
+        from repro.faults.plan import FaultPlan, ShardRevoke
+
+        path = tmp_path / "plan.json"
+        path.write_text(FaultPlan(
+            events=[ShardRevoke(at=at, shard=shard, mode=mode)],
+            name="one-death",
+        ).to_json())
+        return str(path)
+
+    def test_matrix_parity_exits_zero(self, capsys):
+        rc = main(["chaos", "--shards", "2", "--scale", self.SCALE])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "crash-recovery matrix" in out
+        for cell in ("exc", "kill", "multi", "reassign"):
+            assert cell in out
+        assert "MISMATCH" not in out
+
+    def test_plan_with_valid_shard_exits_zero(self, tmp_path, capsys):
+        rc = main(["chaos", "--shards", "2", "--scale", self.SCALE,
+                   "--plan", self._plan(tmp_path, shard=1)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shard 1: exc at epoch" in out
+        assert "digest match" in out
+
+    def test_out_of_range_shard_is_typed_exit_two(self, tmp_path, capsys):
+        rc = main(["chaos", "--shards", "2", "--scale", self.SCALE,
+                   "--plan", self._plan(tmp_path, shard=7)])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "error:" in captured.err
+        assert "shard 7 out of range" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_random_with_shards_rejected(self, capsys):
+        rc = main(["chaos", "--shards", "2", "--random", "3"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "error:" in captured.err
+
+    def test_save_plan_writes_canonical_shard_plan(self, tmp_path, capsys):
+        from repro.faults.plan import FaultPlan, ShardRevoke
+
+        out_file = tmp_path / "shard-plan.json"
+        rc = main(["chaos", "--shards", "2", "--scale", self.SCALE,
+                   "--save-plan", str(out_file)])
+        assert rc == 0
+        plan = FaultPlan.from_json(out_file.read_text())
+        assert all(isinstance(ev, ShardRevoke) for ev in plan.events)
+        assert {ev.mode for ev in plan.events} == {"exc", "kill"}
