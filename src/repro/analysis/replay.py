@@ -380,6 +380,7 @@ def sharded_replay(
     replicas: int = 4,
     lp_cache: bool = True,
     with_crashes: bool = False,
+    transport: str = "shm",
 ) -> ReplayReport:
     """Run one sharded world with ``shards=1`` and ``shards=N`` and diff.
 
@@ -391,6 +392,12 @@ def sharded_replay(
     digest deliberately excludes the shard count, so digest equality *is*
     the proof.  ``replicas`` stamps out enough clusters that every worker
     owns several (the interesting regime for packing bugs).
+
+    The shards=N comparison runs under *both* data planes — the pickled
+    pipe transport and the shared-memory seqlock plane — so one report
+    also proves the transport is digest-invisible (both planes carry the
+    same float64 values bit-exactly; see docs/DETERMINISM.md).  Crash
+    runs use the selected ``transport``.
 
     ``with_crashes`` extends the contract to recovery: a third run kills
     workers at two distinct epochs (clean-exception path at one, SIGKILL
@@ -404,25 +411,38 @@ def sharded_replay(
 
     if shards < 2:
         raise ValueError("shard parity needs shards >= 2 to compare against 1")
+    if transport not in ("pipe", "shm"):
+        raise ValueError(f"transport must be pipe or shm, not {transport!r}")
     digests: List[str] = []
     labels: List[str] = []
     meta: Dict[str, Any] = {
         "duration_scale": duration_scale, "seed": seed,
         "replicas": replicas, "lp_cache": lp_cache,
+        "transport": transport,
     }
     final_ckpt = ""
-    for r in (1, shards):
+    res = run_sharded(
+        figure, duration_scale=duration_scale, seed=seed, shards=1,
+        replicas=replicas, lp_cache=lp_cache, transport=transport,
+    )
+    digests.append(res.digest())
+    labels.append("shards=1")
+    meta["n_windows"] = res.n_windows
+    meta["clusters"] = len(res.clusters)
+    meta["lp_solves"] = res.lp_solves
+    final_ckpt = res.final_checkpoint_digest
+    bytes_per_epoch: Dict[str, int] = {}
+    for plane in ("pipe", "shm"):
         res = run_sharded(
-            figure, duration_scale=duration_scale, seed=seed, shards=r,
-            replicas=replicas, lp_cache=lp_cache,
+            figure, duration_scale=duration_scale, seed=seed, shards=shards,
+            replicas=replicas, lp_cache=lp_cache, transport=plane,
         )
         digests.append(res.digest())
-        labels.append(f"shards={r}")
-        if r == 1:
-            meta["n_windows"] = res.n_windows
-            meta["clusters"] = len(res.clusters)
-            meta["lp_solves"] = res.lp_solves
-            final_ckpt = res.final_checkpoint_digest
+        labels.append(f"shards={shards} {res.data_plane}")
+        bytes_per_epoch[res.data_plane] = res.bytes_per_epoch
+        if plane == "shm" and res.transport_fallback is not None:
+            meta["transport_fallback"] = res.transport_fallback
+    meta["bytes_per_epoch"] = bytes_per_epoch
     if with_crashes:
         from repro.coordination.checkpoint import RecoveryPolicy
 
@@ -433,6 +453,7 @@ def sharded_replay(
         res = run_sharded(
             figure, duration_scale=duration_scale, seed=seed, shards=shards,
             replicas=replicas, lp_cache=lp_cache, faults=crash_faults,
+            transport=transport,
         )
         digests.append(res.digest())
         labels.append(f"shards={shards}+crashes")
@@ -448,6 +469,7 @@ def sharded_replay(
             replicas=replicas, lp_cache=lp_cache,
             faults=[f"0:{e1}:kill", f"0:{e2}:kill"],
             recovery=RecoveryPolicy(max_restarts=1, backoff_base=0.01),
+            transport=transport,
         )
         d = res.digest()
         if not res.reassignments:

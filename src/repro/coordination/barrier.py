@@ -9,7 +9,11 @@ completion, then stops at the boundary and exchanges state with the
 parent.  This module is the transport shim for that exchange: typed
 boundary messages over :mod:`multiprocessing` pipes, plus a conservative
 barrier (`EpochBarrier`) that releases no worker into window *k+1* until
-every worker has reported window *k*.
+every worker has reported window *k*.  Under the shared-memory data
+plane (:mod:`repro.coordination.shm`) the per-epoch boundary payload
+moves out of the pipes entirely; the pipe then carries only low-rate
+control traffic — faults, reassignment, finish, failure — polled through
+:meth:`EpochBarrier.poll_control`.
 
 Failure model: a worker that dies mid-window (crash, OOM kill, bug) must
 surface as a typed :class:`ShardWorkerError` in the parent — never a
@@ -198,6 +202,39 @@ class EpochBarrier:
         if deadline is None:
             deadline = monotonic() + self.timeout  # simlint: disable=SIM001
         msg = self._recv_one(shard, deadline)
+        return self._check(shard, msg, epoch, kind)
+
+    def poll_control(self, shard: int) -> Optional[Any]:
+        """Non-blocking control-pipe check for one shard.
+
+        The shared-memory data plane moves boundary traffic out of the
+        pipes, but the pipe still carries failure and adoption control
+        messages — and worker death still surfaces as EOF/liveness here.
+        Returns a pending message, ``None`` when the pipe is quiet, and
+        raises :class:`ShardWorkerError` for :class:`WorkerFailure`
+        payloads, EOF, or a dead process with a drained pipe.
+        """
+        conn = self.connections[shard]
+        if conn is None:
+            raise ShardWorkerError(shard, "shard slot is deactivated")
+        try:
+            self.polls += 1
+            if conn.poll(0):
+                msg = conn.recv()
+                if isinstance(msg, WorkerFailure):
+                    raise ShardWorkerError(msg.shard, msg.detail)
+                return msg
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise self._death_error(shard, exc) from exc
+        if not self._alive(shard) and not conn.poll(0):
+            raise self._death_error(shard, None)
+        return None
+
+    def try_recv(self, shard: int, epoch: int, kind: Type[M]) -> Optional[M]:
+        """Non-blocking typed receive: ``None`` when nothing is pending."""
+        msg = self.poll_control(shard)
+        if msg is None:
+            return None
         return self._check(shard, msg, epoch, kind)
 
     # -- internals ----------------------------------------------------------

@@ -18,7 +18,19 @@ Checkpoints are content-addressed (SHA-256 over a canonical JSON form) so
 recovery can be audited: the digest of the state a worker was restored
 from is recorded in the :class:`ShardRestart` event, and a spill file —
 optional; the store is in-memory by default — is verified against its
-digests on load.
+digests on load.  Digesting is *lazy*: the steady-state epoch loop never
+JSON-canonicalizes or hashes anything — digests are computed (and cached)
+only on spill, restore verification, and audit.
+
+Checkpoints also have a fixed-layout binary form (:func:`pack_checkpoint`
+/ :func:`unpack_checkpoint`): one ``uint64`` row of
+``RECORD_BASE_WORDS + P`` words per cluster, holding the complete Philox
+bit-generator state, the :class:`StreamStats` moments, the Lindley clock
+and the per-principal carry.  The shared-memory data plane
+(:mod:`repro.coordination.shm`) writes these rows into a K-deep ring at
+every barrier — zero pickling — and the round-trip is bit-exact, so a
+checkpoint restored from the binary form digests identically to one that
+crossed a pipe.
 
 :class:`RecoveryPolicy` governs the parent's reaction to a
 :class:`~repro.coordination.barrier.ShardWorkerError`: how many respawns
@@ -33,10 +45,9 @@ from __future__ import annotations
 
 import hashlib
 import json
-import pickle
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,7 +60,41 @@ __all__ = [
     "ShardRestart",
     "ShardReassignment",
     "epoch_digest",
+    "RECORD_BASE_WORDS",
+    "record_words",
+    "record_nbytes",
+    "pack_checkpoint",
+    "unpack_checkpoint",
 ]
+
+# -- fixed binary record layout ---------------------------------------------
+#
+# One cluster checkpoint is a row of uint64 words; float fields are stored
+# as their IEEE-754 bit patterns via ``.view(np.float64)``.  The layout is
+# Philox-specific on purpose: the sharded lane seeds every cluster substream
+# from ``np.random.Philox``, whose state is fixed-size (counter 4 words,
+# key 2, buffer 4, plus three scalar fields), which is what makes a
+# zero-pickle data plane possible at all.
+#
+#   word  0.. 3   philox counter          (uint64 x 4)
+#   word  4.. 5   philox key              (uint64 x 2)
+#   word  6.. 9   philox buffer           (uint64 x 4)
+#   word 10       buffer_pos              (uint64)
+#   word 11       has_uint32              (uint64)
+#   word 12       uinteger                (uint64)
+#   word 13       response.count          (uint64)
+#   word 14..17   response mean/m2/min/max (float64 bits)
+#   word 18       clock                   (float64 bits)
+#   word 19..     carry, one float64 per principal in caller-fixed order
+RECORD_BASE_WORDS = 19
+
+
+def record_words(n_principals: int) -> int:
+    return RECORD_BASE_WORDS + int(n_principals)
+
+
+def record_nbytes(n_principals: int) -> int:
+    return 8 * record_words(n_principals)
 
 
 def _encode(obj: Any) -> Any:
@@ -94,6 +139,8 @@ class ClusterCheckpoint:
     carry: Mapping[str, float]
     response: StreamStats
     clock: float
+    _digest: Optional[str] = field(default=None, init=False, repr=False,
+                                   compare=False)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -124,10 +171,19 @@ class ClusterCheckpoint:
         )
 
     def digest(self) -> str:
-        """SHA-256 over the canonical JSON form — names this state exactly."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True,
-                               separators=(",", ":"))
-        return hashlib.sha256(canonical.encode()).hexdigest()
+        """SHA-256 over the canonical JSON form — names this state exactly.
+
+        Lazy and cached: the steady-state epoch loop never calls this; it
+        runs only on spill, restore verification and audit, and the first
+        computation is memoized on the (frozen) instance.
+        """
+        if self._digest is None:
+            canonical = json.dumps(self.to_dict(), sort_keys=True,
+                                   separators=(",", ":"))
+            object.__setattr__(self, "_digest",
+                               hashlib.sha256(canonical.encode()).hexdigest())
+        assert self._digest is not None
+        return self._digest
 
 
 def epoch_digest(checkpoints: Mapping[str, ClusterCheckpoint]) -> str:
@@ -138,16 +194,93 @@ def epoch_digest(checkpoints: Mapping[str, ClusterCheckpoint]) -> str:
     return h.hexdigest()
 
 
+# -- binary codec -----------------------------------------------------------
+
+
+def pack_checkpoint(ck: ClusterCheckpoint, principals: Sequence[str],
+                    out: np.ndarray) -> None:
+    """Pack ``ck`` into a preallocated uint64 row (see layout above).
+
+    ``principals`` fixes the carry column order; it must be the same
+    sequence on both sides of the plane (the world's principal tuple).
+    Raises ``ValueError`` for non-Philox generators — the binary plane is
+    deliberately tied to the fixed-size Philox state.
+    """
+    if out.dtype != np.uint64 or out.shape != (record_words(len(principals)),):
+        raise ValueError("pack_checkpoint: wrong row shape/dtype")
+    state = ck.rng_state
+    if state.get("bit_generator") != "Philox":
+        raise ValueError(
+            f"binary checkpoint records require Philox, got "
+            f"{state.get('bit_generator')!r}"
+        )
+    inner = state["state"]
+    out[0:4] = np.asarray(inner["counter"], dtype=np.uint64)
+    out[4:6] = np.asarray(inner["key"], dtype=np.uint64)
+    out[6:10] = np.asarray(state["buffer"], dtype=np.uint64)
+    out[10] = int(state["buffer_pos"])
+    out[11] = int(state["has_uint32"])
+    out[12] = int(state["uinteger"])
+    out[13] = int(ck.response.count)
+    flt = out.view(np.float64)
+    flt[14] = ck.response.mean
+    flt[15] = ck.response.m2
+    flt[16] = ck.response.min
+    flt[17] = ck.response.max
+    flt[18] = ck.clock
+    for i, p in enumerate(principals):
+        flt[RECORD_BASE_WORDS + i] = float(ck.carry[p])
+
+
+def unpack_checkpoint(row: np.ndarray,
+                      principals: Sequence[str]) -> ClusterCheckpoint:
+    """Rebuild a checkpoint from its binary row, bit-exactly.
+
+    The reconstructed ``rng_state`` uses the same container types numpy's
+    ``Generator.bit_generator.state`` produces (uint64 arrays for
+    counter/key/buffer, plain ints for the scalars), so the canonical JSON
+    form — and therefore :meth:`ClusterCheckpoint.digest` — is identical
+    to the pipe-transported original.
+    """
+    if row.dtype != np.uint64 or row.shape != (record_words(len(principals)),):
+        raise ValueError("unpack_checkpoint: wrong row shape/dtype")
+    row = np.ascontiguousarray(row)
+    flt = row.view(np.float64)
+    rng_state = {
+        "bit_generator": "Philox",
+        "state": {
+            "counter": row[0:4].copy(),
+            "key": row[4:6].copy(),
+        },
+        "buffer": row[6:10].copy(),
+        "buffer_pos": int(row[10]),
+        "has_uint32": int(row[11]),
+        "uinteger": int(row[12]),
+    }
+    response = StreamStats(
+        count=int(row[13]), mean=float(flt[14]), m2=float(flt[15]),
+        min=float(flt[16]), max=float(flt[17]),
+    )
+    carry = {p: float(flt[RECORD_BASE_WORDS + i])
+             for i, p in enumerate(principals)}
+    return ClusterCheckpoint(rng_state=rng_state, carry=carry,
+                             response=response, clock=float(flt[18]))
+
+
 class CheckpointStore:
     """Parent-side retention of the last ``retain`` epochs of checkpoints.
 
     ``put`` merges one epoch's per-cluster snapshots (already combined
-    across shards by the caller), records the epoch's content digest, and
-    prunes anything older than the retention window.  With
-    ``spill_path`` set, the retained window is also mirrored to a JSON
-    file after every put, and :meth:`load` verifies the per-epoch digests
-    on the way back in — a corrupted spill is an error, never silently
-    different state.
+    across shards by the caller) and prunes anything older than the
+    retention window.  It performs **no pickling and no hashing**: size
+    accounting comes from the fixed binary record layout
+    (:func:`record_nbytes`), and content digests are computed lazily by
+    :meth:`digest` — on spill, restore verification, or audit — and cached
+    in :attr:`digests`.  With ``spill_path`` set, the retained window is
+    also mirrored to a JSON file after every put (digesting at spill time;
+    spilling is the documented expensive audit path), and :meth:`load`
+    verifies the per-epoch digests on the way back in — a corrupted spill
+    is an error, never silently different state.
     """
 
     def __init__(self, retain: int = 2,
@@ -158,7 +291,7 @@ class CheckpointStore:
         self.spill_path = spill_path
         self._epochs: "OrderedDict[int, Dict[str, ClusterCheckpoint]]" = \
             OrderedDict()
-        self.digests: Dict[int, str] = {}   # every epoch ever put (audit log)
+        self.digests: Dict[int, str] = {}   # lazily digested epochs (audit log)
         self.bytes_retained = 0
         self._sizes: Dict[int, int] = {}
 
@@ -170,22 +303,40 @@ class CheckpointStore:
         return list(self._epochs)
 
     def put(self, epoch: int,
-            checkpoints: Mapping[str, ClusterCheckpoint]) -> str:
-        """Retain one epoch's merged snapshots; returns the content digest."""
+            checkpoints: Mapping[str, ClusterCheckpoint]) -> None:
+        """Retain one epoch's merged snapshots.
+
+        Digest-free and pickle-free: sizes come from the binary record
+        layout arithmetic, content digests from the lazy :meth:`digest`.
+        """
         snap = dict(checkpoints)
-        digest = epoch_digest(snap)
         self._epochs[epoch] = snap
         self._epochs.move_to_end(epoch)
-        self.digests[epoch] = digest
-        self._sizes[epoch] = len(pickle.dumps(snap,
-                                              protocol=pickle.HIGHEST_PROTOCOL))
+        self._sizes[epoch] = sum(record_nbytes(len(ck.carry))
+                                 for ck in snap.values())
         while len(self._epochs) > self.retain:
             old, _ = self._epochs.popitem(last=False)
             self._sizes.pop(old, None)
         self.bytes_retained = sum(self._sizes.values())
         if self.spill_path:
             self._spill()
-        return digest
+
+    def digest(self, epoch: int) -> str:
+        """Content digest of a retained (or previously digested) epoch.
+
+        Computed on first request and cached in :attr:`digests` — the
+        audit log keeps digests of evicted epochs alive as long as they
+        were digested (spilled, restored from, or audited) before
+        eviction.
+        """
+        if epoch not in self.digests:
+            if epoch not in self._epochs:
+                raise KeyError(
+                    f"epoch {epoch} is neither retained nor previously "
+                    f"digested"
+                )
+            self.digests[epoch] = epoch_digest(self._epochs[epoch])
+        return self.digests[epoch]
 
     def get(self, epoch: int) -> Dict[str, ClusterCheckpoint]:
         return dict(self._epochs[epoch])
@@ -204,7 +355,7 @@ class CheckpointStore:
             "retain": self.retain,
             "epochs": {
                 str(epoch): {
-                    "digest": self.digests[epoch],
+                    "digest": self.digest(epoch),
                     "clusters": {
                         name: ck.to_dict() for name, ck in snap.items()
                     },
@@ -233,7 +384,8 @@ class CheckpointStore:
                 name: ClusterCheckpoint.from_dict(d)
                 for name, d in entry["clusters"].items()
             }
-            digest = store.put(int(epoch_s), snap)
+            store.put(int(epoch_s), snap)
+            digest = store.digest(int(epoch_s))
             if digest != entry["digest"]:
                 raise ValueError(
                     f"checkpoint spill corrupt: epoch {epoch_s} digest "

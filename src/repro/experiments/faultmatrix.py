@@ -213,6 +213,7 @@ def run_crash_recovery_matrix(
     seed: int = 0,
     shards: int = 4,
     replicas: int = 4,
+    transport: str = "shm",
 ) -> Dict[str, Any]:
     """Crash-recovery matrix: every death mode must leave the digest intact.
 
@@ -229,6 +230,10 @@ def run_crash_recovery_matrix(
     matrix's single pass/fail; ``reassign`` must additionally record at
     least one :class:`~repro.coordination.checkpoint.ShardReassignment`
     (otherwise the cell exercised nothing and is marked failed).
+
+    ``transport`` selects the faulted cells' data plane (pipe or shm); the
+    shards=1 reference runs inline either way, so matrix parity also
+    proves recovery is digest-identical on the chosen transport.
     """
     from repro.experiments.sharded import run_sharded
 
@@ -245,7 +250,7 @@ def run_crash_recovery_matrix(
             kwargs["recovery"] = recovery
         res = run_sharded(figure, duration_scale=duration_scale, seed=seed,
                           shards=shards, replicas=replicas, faults=faults,
-                          **kwargs)
+                          transport=transport, **kwargs)
         degraded = len(res.reassignments)
         ok = res.digest() == ref and (degraded > 0 or not need_reassign)
         cells[name] = {
@@ -269,6 +274,7 @@ def run_crash_recovery_matrix(
     return {
         "figure": figure,
         "shards": shards,
+        "transport": transport,
         "epochs": [e1, e2],
         "baseline_digest": ref,
         "cells": cells,

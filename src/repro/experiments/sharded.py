@@ -46,6 +46,20 @@ checkpoint resumes the Philox counter at the exact draw of the snapshot.
 bit-identical SHA-256 digests — enforced by ``repro check --shards
 [--with-crashes]`` exactly like the three-way lane digest.
 
+Two data planes carry the boundary exchange.  The default ``transport=
+"shm"`` uses the zero-copy shared-memory plane
+(:mod:`repro.coordination.shm`): the parent seqlock-publishes each
+epoch's allocation into a control block, workers write demand/admitted
+columns and binary checkpoint records into per-shard ring slots, and the
+parent folds allocations straight out of the arrays — the steady-state
+epoch does zero pickling and zero hashing, and pipes carry only control
+traffic (faults, reassignment, finish, failure).  ``transport="pipe"``
+keeps the PR 7/9 pickled-message plane; the runner also falls back to it
+automatically (recorded in ``ShardedResult.transport_fallback``) when
+shared memory is unavailable.  The transport is digest-invisible: both
+planes move the same float64 values bit-exactly and fold them in the
+same order.
+
 Deterministic crash hooks for tests and chaos runs: the
 ``REPRO_SHARD_FAULT`` env var (or the ``faults=`` argument, or a
 :class:`~repro.faults.plan.FaultPlan` with ``revoke_shard`` events via
@@ -63,10 +77,12 @@ import logging
 import math
 import multiprocessing as mp
 import os
+import pickle
 import signal
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from time import monotonic  # simlint: disable=SIM001  # IPC deadlines, not sim time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -88,6 +104,7 @@ from repro.coordination.checkpoint import (
     ShardRestart,
     epoch_digest,
 )
+from repro.coordination.shm import PlaneSpec, ShmDataPlane, ShmUnavailable
 from repro.coordination.tree import CombiningTree
 from repro.core.access import compute_access_levels
 from repro.core.agreements import Agreement, AgreementGraph
@@ -276,6 +293,12 @@ class ShardTask:
     conservative: Dict[str, float] = field(default_factory=dict)
     faults: Tuple[ShardFault, ...] = ()
     restore: Dict[str, ClusterCheckpoint] = field(default_factory=dict)
+    # Shared-memory data plane: when set, the worker attaches to the
+    # parent's segment and the pipe carries only control traffic.
+    plane: Optional[PlaneSpec] = None
+    # First epoch this worker will execute (respawned workers resume at
+    # the in-flight window; the allocation control block already shows it).
+    resume_epoch: int = 0
 
 
 # One window's outcome for one cluster: (demand aggregate, admitted counts).
@@ -426,12 +449,34 @@ def _boundary(epoch: int, shard: int, state: ShardState,
     )
 
 
+def _plane_rows(
+    state: ShardState, records: Dict[str, ClusterRecord],
+    principals: Tuple[str, ...],
+    clusters: Optional[List[_ClusterState]] = None,
+) -> Dict[str, Tuple[List[float], List[float], ClusterCheckpoint]]:
+    """Boundary records in the shared-memory row form (dense columns)."""
+    cks = state.checkpoints(clusters)
+    return {
+        name: (
+            [agg.get(p, 0.0) for p in principals],
+            [float(admitted.get(p, 0.0)) for p in principals],
+            cks[name],
+        )
+        for name, (agg, admitted) in records.items()
+    }
+
+
 def _shard_worker_main(conn: Any, task: ShardTask) -> None:
     """Worker process entry point: epoch loop until FinishMessage.
 
     Module-level (picklable under spawn); receives *all* state through
     ``task`` — never module globals (SIM007's worker contract).
+    Dispatches to the shared-memory loop when the task carries a plane
+    spec; otherwise runs the pipe-message loop.
     """
+    if task.plane is not None:
+        _shard_worker_shm(conn, task)
+        return
     faults = {f.epoch: f.mode for f in task.faults}
     try:
         state = ShardState(task)
@@ -460,6 +505,78 @@ def _shard_worker_main(conn: Any, task: ShardTask) -> None:
             conn.send(WorkerFailure(task.shard, f"{type(exc).__name__}: {exc}"))
         except Exception:
             pass
+
+
+# Worker-side allocation poll backoff: tiny floor keeps barrier latency in
+# the tens of microseconds, tiny cap keeps a waiting worker nearly idle
+# without ever adding more than ~2 ms to an epoch boundary.
+_WORKER_POLL_FLOOR = 0.0002
+_WORKER_POLL_CAP = 0.002
+
+
+def _shard_worker_shm(conn: Any, task: ShardTask) -> None:
+    """Shared-memory worker loop: allocations and boundaries via the plane.
+
+    The pipe is polled non-blockingly for control traffic only.  A
+    ``ReassignMessage`` for epoch *k* is deferred until this worker has
+    published its *own* epoch-*k* rows — publishing the adopted rows first
+    would mark the slot's seqlock as epoch-*k*-complete while the owned
+    rows were still stale.  Adoption replies go back over the pipe (they
+    are rare control traffic), but the adopted rows are *also* published
+    into this worker's ring slot so later restores can decode them.
+    """
+    assert task.plane is not None
+    faults = {f.epoch: f.mode for f in task.faults}
+    plane = ShmDataPlane.attach(task.plane)
+    try:
+        state = ShardState(task)
+        principals = task.principals
+        last = task.resume_epoch - 1
+        pending: List[ReassignMessage] = []
+        wait = _WORKER_POLL_FLOOR
+        while True:
+            if conn.poll(0):
+                msg = conn.recv()
+                if isinstance(msg, FinishMessage):
+                    return
+                if isinstance(msg, ReassignMessage):
+                    pending.append(msg)
+                    continue
+            while pending and pending[0].epoch <= last:
+                msg = pending.pop(0)
+                added = state.adopt(msg.clusters, msg.checkpoints)
+                records = {
+                    c.spec.name: c.step(msg.epoch, msg.frac, task.conservative)
+                    for c in added
+                }
+                plane.publish(task.shard, msg.epoch,
+                              _plane_rows(state, records, principals,
+                                          clusters=added))
+                conn.send(_boundary(msg.epoch, task.shard, state, records,
+                                    clusters=added))
+            ready, frac = plane.poll_allocation(last + 1)
+            if not ready:
+                time.sleep(wait)
+                wait = min(wait * 2.0, _WORKER_POLL_CAP)
+                continue
+            wait = _WORKER_POLL_FLOOR
+            k = last + 1
+            mode = faults.pop(k, None)
+            if mode is not None:
+                _fire_fault(mode)   # deterministic mid-window death
+            records = state.step(k, frac)
+            plane.publish(task.shard, k,
+                          _plane_rows(state, records, principals))
+            last = k
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        return
+    except Exception as exc:   # ship the failure; never leave a hang
+        try:
+            conn.send(WorkerFailure(task.shard, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        plane.close()
 
 
 # ---------------------------------------------------------------------------
@@ -501,6 +618,21 @@ class ShardedResult:
     checkpoint_bytes: int = 0       # retained store size (sharded runs)
     barrier_polls: int = 0
     barrier_wait_s: float = 0.0
+    # Data-plane accounting.  ``data_plane`` is what actually carried the
+    # boundary exchange: "inline" (shards=1), "pipe", or "shm";
+    # ``transport_fallback`` records why a requested shm plane fell back
+    # to pipes.  ``bytes_per_epoch`` is the per-epoch boundary payload the
+    # parent handles: pickled message bytes for the pipe plane (probed
+    # once on a steady-state epoch), copied row/control bytes for the shm
+    # plane.  ``ring_bytes_per_epoch`` is the checkpoint-record bytes
+    # workers write in place per epoch (shm only; decoded only on
+    # restore/spill/audit, never crossing to the parent in steady state).
+    data_plane: str = "inline"
+    transport_fallback: Optional[str] = None
+    bytes_per_epoch: int = 0
+    ring_bytes_per_epoch: int = 0
+    plane_polls: int = 0
+    plane_wait_s: float = 0.0
 
     # -- derived views ----------------------------------------------------
 
@@ -600,12 +732,17 @@ class ShardedRunner:
         checkpoint_retain: int = 2,
         checkpoint_spill: Optional[str] = None,
         faults: Optional[Sequence[Any]] = None,
+        transport: str = "shm",
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if not world.clusters:
             raise ValueError("world has no clusters")
+        if transport not in ("pipe", "shm"):
+            raise ValueError(f"transport must be 'pipe' or 'shm', "
+                             f"not {transport!r}")
         self.world = world
+        self.transport = transport
         self.shards = min(int(shards), len(world.clusters))
         self.lp_cache = bool(lp_cache)
         self.backend = backend
@@ -642,6 +779,15 @@ class ShardedRunner:
         self.restarts: List[ShardRestart] = []
         self.reassignments: List[ShardReassignment] = []
         self._ctx: Any = None
+        self._plane: Optional[ShmDataPlane] = None
+        self.transport_fallback: Optional[str] = None
+        # Cluster -> shard that published it during the last completed
+        # epoch: the owner map a ring-decoded restore reads with.
+        self._ring_owner: Optional[Dict[str, int]] = None
+        self._plane_polls = 0
+        self._plane_wait_s = 0.0
+        self._bytes_per_epoch = 0
+        self._probe_epoch = 0
 
     # -- fault binding ------------------------------------------------------
 
@@ -680,6 +826,7 @@ class ShardedRunner:
     def _task(
         self, shard: int,
         restore: Optional[Mapping[str, ClusterCheckpoint]] = None,
+        resume_epoch: int = 0,
     ) -> ShardTask:
         return ShardTask(
             shard=shard,
@@ -691,6 +838,8 @@ class ShardedRunner:
             conservative=dict(self._conservative),
             faults=tuple(self._faults.get(shard, ())),
             restore=dict(restore or {}),
+            plane=self._plane.spec if self._plane is not None else None,
+            resume_epoch=int(resume_epoch),
         )
 
     # -- reduction / policy -------------------------------------------------
@@ -741,6 +890,15 @@ class ShardedRunner:
         self.reassignments = []
         barrier_polls = 0
         barrier_wait_s = 0.0
+        self._plane = None
+        self.transport_fallback = None
+        self._ring_owner = None
+        self._plane_polls = 0
+        self._plane_wait_s = 0.0
+        self._bytes_per_epoch = 0
+        # Probe pipe-plane bytes on a steady-state epoch (epoch 0's
+        # allocation is None, so it under-counts).
+        self._probe_epoch = min(1, n_windows - 1)
 
         def policy_step(
             k: int, records: Dict[str, ClusterRecord]
@@ -763,6 +921,25 @@ class ShardedRunner:
                 frac = policy_step(k, records)
             final = state.checkpoints()
         else:
+            # fork inherits the imported modules cheaply; spawn works the
+            # same because workers rebuild everything from the pickled
+            # task.  Chosen before plane creation: spawn workers get their
+            # own resource tracker and must unregister on attach.
+            method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            self._mp_method = method
+            if self.transport == "shm":
+                try:
+                    self._plane = ShmDataPlane.create(
+                        sorted(names), world.principals, self.shards,
+                        depth=max(2, self.checkpoint_retain),
+                        unregister_on_attach=(method != "fork"),
+                    )
+                except ShmUnavailable as exc:
+                    self.transport_fallback = str(exc)
+                    _LOG.warning(
+                        "shm data plane unavailable, falling back to the "
+                        "pipe plane: %s", exc,
+                    )
             barrier = self._start_workers()
             try:
                 for k in range(n_windows):
@@ -771,22 +948,41 @@ class ShardedRunner:
                     else:
                         for p in world.principals:
                             frac_hist[p][k] = frac[p]
-                    records, ckpts = self._epoch(barrier, k, frac)
+                    if self._plane is not None:
+                        records = self._epoch_shm(barrier, k, frac)
+                        self._ring_owner = {c.name: s
+                                            for s, cl in self._owned.items()
+                                            for c in cl}
+                        if self.checkpoint_spill:
+                            # Documented expensive audit path: decode the
+                            # ring so the spill mirror stays complete.
+                            self._store.put(k, self._plane.read_checkpoints(
+                                k, self._ring_owner))
+                    else:
+                        records, ckpts = self._epoch(barrier, k, frac)
+                        self._store.put(k, ckpts)
                     self._ingest(k, records)
-                    self._store.put(k, ckpts)
                     frac = policy_step(k, records)
                 for shard in barrier.active:
                     try:
                         barrier.send(shard, FinishMessage(n_windows))
                     except ShardWorkerError:
                         pass   # the horizon is reached; a late death is moot
-                latest = self._store.latest()
-                assert latest is not None
-                final = latest[1]
+                if self._plane is not None:
+                    assert self._ring_owner is not None
+                    final = self._plane.read_checkpoints(n_windows - 1,
+                                                         self._ring_owner)
+                else:
+                    latest = self._store.latest()
+                    assert latest is not None
+                    final = latest[1]
             finally:
                 barrier_polls = barrier.polls
                 barrier_wait_s = barrier.poll_wait_s
                 barrier.close(terminate=True)
+                if self._plane is not None:
+                    self._plane.close()
+                    self._plane.unlink()
 
         return ShardedResult(
             world=world,
@@ -811,6 +1007,16 @@ class ShardedRunner:
             checkpoint_bytes=self._store.bytes_retained,
             barrier_polls=barrier_polls,
             barrier_wait_s=barrier_wait_s,
+            data_plane=("inline" if self.shards == 1
+                        else "shm" if self._plane is not None else "pipe"),
+            transport_fallback=self.transport_fallback,
+            bytes_per_epoch=(self._plane.boundary_bytes_per_epoch
+                             if self._plane is not None
+                             else self._bytes_per_epoch),
+            ring_bytes_per_epoch=(self._plane.ring_bytes_per_epoch
+                                  if self._plane is not None else 0),
+            plane_polls=self._plane_polls,
+            plane_wait_s=self._plane_wait_s,
         )
 
     def _ingest(self, k: int, records: Dict[str, ClusterRecord]) -> None:
@@ -835,11 +1041,18 @@ class ShardedRunner:
     ) -> Tuple[Dict[str, ClusterRecord], Dict[str, ClusterCheckpoint]]:
         """Run window ``k`` across the workers; heal failures as they surface."""
         send_failures: List[ShardWorkerError] = []
+        probe = (k == self._probe_epoch)
         self._expected = {}
         for shard in barrier.active:
             self._expected[shard] = 1
+            msg_out = AllocationMessage(k, frac)
+            if probe:
+                # One-time pipe-plane cost probe on a steady-state epoch:
+                # what actually crosses per epoch, pickled.
+                self._bytes_per_epoch += len(
+                    pickle.dumps(msg_out, pickle.HIGHEST_PROTOCOL))
             try:
-                barrier.send(shard, AllocationMessage(k, frac))
+                barrier.send(shard, msg_out)
             except ShardWorkerError as err:
                 send_failures.append(err)
         for err in send_failures:
@@ -857,6 +1070,9 @@ class ShardedRunner:
                 self._handle_failure(barrier, shard, k, frac, err)
                 continue
             self._expected[shard] -= 1
+            if probe:
+                self._bytes_per_epoch += len(
+                    pickle.dumps(msg, pickle.HIGHEST_PROTOCOL))
             for name, agg in msg.demand.items():
                 records[name] = (agg, dict(msg.admitted.get(name, {})))
             ckpts.update(msg.checkpoints)
@@ -867,6 +1083,142 @@ class ShardedRunner:
                 -1, f"epoch {k} completed without records for {missing}"
             )
         return records, ckpts
+
+    # Parent-side seqlock poll backoff (shm plane): each poll is a couple
+    # of numpy scalar reads, so the floor can sit well under the pipe
+    # plane's 1 ms syscall floor without burning a core.
+    _PARENT_POLL_FLOOR = 0.00005
+    _PARENT_POLL_CAP = 0.002
+
+    def _epoch_shm(
+        self, barrier: EpochBarrier, k: int, frac: Optional[Dict[str, float]]
+    ) -> Dict[str, ClusterRecord]:
+        """Window ``k`` over the shared-memory plane; heal failures inline.
+
+        The allocation is seqlock-published once (replacing per-shard
+        pipe sends); the gather loop then polls every pending shard's
+        slot, folding rows the moment they publish, and interleaves
+        non-blocking pipe checks so worker death (or an adoption reply)
+        surfaces between slot polls.  ``self._expected`` counts pending
+        pipe-borne adoption replies, exactly as in the pipe plane.
+        """
+        plane = self._plane
+        assert plane is not None
+        plane.write_allocation(k, frac)
+        self._expected = {}
+        need: Set[int] = {s for s in barrier.active if self._owned[s]}
+        records: Dict[str, ClusterRecord] = {}
+        principals = self.world.principals
+        deadline = monotonic() + self.epoch_timeout  # simlint: disable=SIM001
+        wait = 0.0
+        while need or any(v > 0 for v in self._expected.values()):
+            if wait > 0.0:
+                time.sleep(wait)
+                self._plane_wait_s += wait
+            progress = False
+            for shard in sorted(need):
+                names = [c.name for c in self._owned[shard]]
+                self._plane_polls += 1
+                rows = None
+                failure: Optional[ShardWorkerError] = None
+                try:
+                    rows = plane.try_read_boundary(shard, k, names)
+                    if rows is None:
+                        # Quiet slot: give death/typed failure a chance to
+                        # surface instead of spinning until the deadline.
+                        stray = barrier.poll_control(shard)
+                        if stray is not None:
+                            failure = ShardWorkerError(
+                                shard,
+                                f"unexpected {type(stray).__name__} during "
+                                f"epoch {k}",
+                            )
+                except ShardWorkerError as err:
+                    failure = err
+                if failure is not None:
+                    self._handle_failure(barrier, shard, k, frac, failure)
+                    if (barrier.connections[shard] is None
+                            or not self._owned[shard]):
+                        need.discard(shard)   # reassigned away
+                    progress = True
+                    continue
+                if rows is not None:
+                    for name, (dvec, avec) in rows.items():
+                        records[name] = (
+                            VectorAggregate.from_columns(principals, dvec),
+                            {p: float(v) for p, v in zip(principals, avec)},
+                        )
+                    need.discard(shard)
+                    progress = True
+            for shard in [s for s in sorted(self._expected)
+                          if self._expected[s] > 0]:
+                try:
+                    msg = barrier.try_recv(shard, k, BoundaryMessage)
+                except ShardWorkerError as err:
+                    self._handle_failure(barrier, shard, k, frac, err)
+                    if (barrier.connections[shard] is not None
+                            and self._owned[shard]):
+                        # The respawned survivor replays *all* its clusters
+                        # (own + adopted) and publishes them via the plane;
+                        # no pipe reply is coming any more.
+                        self._expected[shard] = 0
+                        need.add(shard)
+                    progress = True
+                    continue
+                if msg is not None:
+                    self._expected[shard] -= 1
+                    for name, agg in msg.demand.items():
+                        records[name] = (agg, dict(msg.admitted.get(name, {})))
+                    progress = True
+            if progress:
+                deadline = monotonic() + self.epoch_timeout  # simlint: disable=SIM001
+                wait = 0.0
+            else:
+                if monotonic() > deadline:  # simlint: disable=SIM001
+                    pending = sorted(need) + [
+                        s for s in sorted(self._expected)
+                        if self._expected[s] > 0
+                    ]
+                    raise ShardWorkerError(
+                        pending[0] if pending else -1,
+                        f"no boundary publication for epoch {k} within "
+                        f"{self.epoch_timeout:.0f}s (hang?)",
+                    )
+                wait = min(max(wait * 2.0, self._PARENT_POLL_FLOOR),
+                           self._PARENT_POLL_CAP)
+        missing = [n for n in (c.name for c in self.world.clusters)
+                   if n not in records]
+        if missing:
+            raise ShardWorkerError(
+                -1, f"epoch {k} completed without records for {missing}"
+            )
+        return records
+
+    def _restore_snapshot(
+        self, k: int
+    ) -> Tuple[int, Dict[str, ClusterCheckpoint]]:
+        """(restored_epoch, full snapshot) a recovery at epoch ``k`` uses.
+
+        Pipe plane: the checkpoint store's newest retained epoch (always
+        ``k-1`` during epoch ``k``).  Shm plane: decode epoch ``k-1`` from
+        the ring via the owner map of the last completed epoch — the
+        deferred-digest path, paid only on recovery.
+        """
+        if self._plane is not None:
+            if k == 0 or self._ring_owner is None:
+                return -1, {}
+            return k - 1, self._plane.read_checkpoints(k - 1, self._ring_owner)
+        latest = self._store.latest()
+        return latest if latest is not None else (-1, {})
+
+    def _restored_digest(self, restored_epoch: int,
+                         snap: Dict[str, ClusterCheckpoint]) -> str:
+        """Audit digest of the state a recovery restored from (lazy)."""
+        if restored_epoch < 0:
+            return ""
+        if self._plane is None:
+            return self._store.digest(restored_epoch)
+        return epoch_digest(snap)
 
     def _handle_failure(
         self, barrier: EpochBarrier, shard: int, k: int,
@@ -891,8 +1243,7 @@ class ShardedRunner:
         """Respawn a dead shard from the last checkpoint and replay window k."""
         time.sleep(self.recovery.backoff(attempt))
         self._epoch_attempts[(shard, k)] = attempt + 1
-        latest = self._store.latest()
-        restored_epoch, snap = latest if latest is not None else (-1, {})
+        restored_epoch, snap = self._restore_snapshot(k)
         owned = {c.name for c in self._owned[shard]}
         restore = {n: ck for n, ck in snap.items() if n in owned}
         # Faults at or before k have fired (that is usually why we are
@@ -900,13 +1251,17 @@ class ShardedRunner:
         self._faults[shard] = [
             f for f in self._faults.get(shard, []) if f.epoch > k
         ]
-        conn, proc = self._spawn(self._task(shard, restore=restore))
+        conn, proc = self._spawn(self._task(shard, restore=restore,
+                                            resume_epoch=k))
         barrier.replace(shard, conn, proc)
-        barrier.send(shard, AllocationMessage(k, frac))
+        if self._plane is None:
+            barrier.send(shard, AllocationMessage(k, frac))
+        # (shm plane: the control block already shows epoch k; the
+        # respawned worker resumes there without any pipe traffic.)
         self.restarts.append(ShardRestart(
             epoch=k, shard=shard, attempt=attempt + 1,
             restored_epoch=restored_epoch,
-            restored_digest=self._store.digests.get(restored_epoch, ""),
+            restored_digest=self._restored_digest(restored_epoch, snap),
             detail=err.detail,
         ))
         _LOG.warning(
@@ -928,8 +1283,7 @@ class ShardedRunner:
                 f"restart budget exhausted with no surviving shards "
                 f"({err.detail})",
             )
-        latest = self._store.latest()
-        snap = latest[1] if latest is not None else {}
+        _, snap = self._restore_snapshot(k)
         specs = sorted(self._owned[shard], key=lambda c: c.name)
         assignments = {
             spec.name: survivors[i % len(survivors)]
@@ -968,9 +1322,8 @@ class ShardedRunner:
         return parent, proc
 
     def _start_workers(self) -> EpochBarrier:
-        # fork inherits the imported modules cheaply; spawn works the same
-        # because workers rebuild everything from the pickled task.
-        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        method = getattr(self, "_mp_method", None) or (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn")
         self._ctx = mp.get_context(method)
         conns, procs = [], []
         for shard in range(self.shards):
@@ -1092,6 +1445,7 @@ def run_sharded(
     checkpoint_retain: int = 2,
     checkpoint_spill: Optional[str] = None,
     faults: Optional[Sequence[Any]] = None,
+    transport: str = "shm",
 ) -> ShardedResult:
     """Build a named sharded world and run it with R shards."""
     try:
@@ -1107,7 +1461,7 @@ def run_sharded(
                            recovery=recovery,
                            checkpoint_retain=checkpoint_retain,
                            checkpoint_spill=checkpoint_spill,
-                           faults=faults)
+                           faults=faults, transport=transport)
     return runner.run()
 
 
@@ -1117,6 +1471,7 @@ def run_sharded_figure(
     seed: int = 0,
     shards: int = 1,
     lp_cache: bool = True,
+    transport: str = "shm",
     **_ignored: Any,
 ) -> FigureResult:
     """Run fig6/fig9 on the sharded lane, returning a FigureResult.
@@ -1126,7 +1481,7 @@ def run_sharded_figure(
     so the paper's phase rates must still come out.
     """
     res = run_sharded(figure, duration_scale=duration_scale, seed=seed,
-                      shards=shards, lp_cache=lp_cache)
+                      shards=shards, lp_cache=lp_cache, transport=transport)
     T = 100.0 * duration_scale
     settle = min(5.0, T * 0.2)
     if figure == "fig6":
@@ -1155,6 +1510,7 @@ def run_sharded_figure(
         expected=expected,
         series=res.series(["A", "B"]),
         notes=f"sharded lane: shards={res.shards}, "
+              f"data plane {res.data_plane}, "
               f"{res.n_windows} window epochs, "
               f"{res.lp_solves} LP solves ({res.cache_hits} cache hits), "
               f"{len(res.restarts)} restarts, "

@@ -2,13 +2,18 @@
 
 The recovery contract rests on three properties tested here in
 isolation: a :class:`ClusterCheckpoint` round-trips bit-exactly through
-its dict/JSON form (including the Philox bit-generator state), the
-:class:`CheckpointStore` retains exactly the last K epochs with honest
-content digests, and a spill file that does not match its recorded
-digests is an error — never silently different state.
+its dict/JSON form *and* its fixed binary record form (including the
+Philox bit-generator state), the :class:`CheckpointStore` retains
+exactly the last K epochs with honest content digests, and a spill file
+that does not match its recorded digests is an error — never silently
+different state.  Digesting and size accounting are additionally
+required to be *cheap*: ``put()`` must perform no pickling and no
+hashing (the steady-state epoch loop calls it every window), with
+digests computed lazily and cached.
 """
 
 import json
+import pickle
 
 import numpy as np
 import pytest
@@ -19,6 +24,10 @@ from repro.coordination.checkpoint import (
     ClusterCheckpoint,
     RecoveryPolicy,
     epoch_digest,
+    pack_checkpoint,
+    record_nbytes,
+    record_words,
+    unpack_checkpoint,
 )
 from repro.sim.rng import RngStreams
 
@@ -76,6 +85,63 @@ class TestClusterCheckpoint:
                epoch_digest(dict([("R2", b), ("R1", a)]))
         assert epoch_digest({"R1": a}) != epoch_digest({"R1": b})
 
+    def test_digest_is_cached_on_the_instance(self):
+        ck, _ = make_checkpoint()
+        assert ck._digest is None          # never computed eagerly
+        first = ck.digest()
+        assert ck._digest == first         # memoized
+        assert ck.digest() is first        # same cached string object
+
+
+class TestBinaryRecord:
+    """The fixed-layout uint64 row the shared-memory ring stores."""
+
+    PRINCIPALS = ["A", "B"]
+
+    def pack(self, ck):
+        row = np.zeros(record_words(len(self.PRINCIPALS)), dtype=np.uint64)
+        pack_checkpoint(ck, self.PRINCIPALS, row)
+        return row
+
+    def test_round_trip_is_bit_exact(self):
+        ck, rng = make_checkpoint(draws=23)
+        back = unpack_checkpoint(self.pack(ck), self.PRINCIPALS)
+        # Bit-exact means the canonical JSON — hence the digest — is
+        # identical, not merely approximately equal state.
+        assert json.dumps(back.to_dict(), sort_keys=True) == \
+               json.dumps(ck.to_dict(), sort_keys=True)
+        assert back.digest() == ck.digest()
+
+    def test_restored_rng_resumes_exact_draws(self):
+        ck, rng = make_checkpoint(draws=29)
+        expected = rng.random(8)
+        back = unpack_checkpoint(self.pack(ck), self.PRINCIPALS)
+        fresh = RngStreams(0).get("cluster:R1")
+        fresh.bit_generator.state = back.rng_state
+        assert np.array_equal(fresh.random(8), expected)
+
+    def test_empty_stats_infinities_survive(self):
+        ck, _ = make_checkpoint()
+        empty = ClusterCheckpoint(ck.rng_state, ck.carry, StreamStats(), 0.0)
+        back = unpack_checkpoint(self.pack(empty), self.PRINCIPALS)
+        assert back.response.count == 0
+        assert back.response.min == np.inf and back.response.max == -np.inf
+        assert back.digest() == empty.digest()
+
+    def test_non_philox_state_rejected(self):
+        ck, _ = make_checkpoint()
+        bogus = ClusterCheckpoint({"bit_generator": "PCG64"},
+                                  ck.carry, ck.response, 0.0)
+        row = np.zeros(record_words(2), dtype=np.uint64)
+        with pytest.raises(ValueError, match="Philox"):
+            pack_checkpoint(bogus, self.PRINCIPALS, row)
+
+    def test_wrong_row_shape_rejected(self):
+        ck, _ = make_checkpoint()
+        with pytest.raises(ValueError, match="row shape"):
+            pack_checkpoint(ck, self.PRINCIPALS,
+                            np.zeros(3, dtype=np.uint64))
+
 
 class TestCheckpointStore:
     def test_retains_last_k_epochs(self):
@@ -88,25 +154,49 @@ class TestCheckpointStore:
         with pytest.raises(KeyError):
             store.get(1)
 
-    def test_latest_and_audit_digests(self):
+    def test_latest_and_lazy_audit_digests(self):
         store = CheckpointStore(retain=1)
         first, _ = make_checkpoint(draws=1)
         second, _ = make_checkpoint(draws=2)
-        d0 = store.put(0, {"R1": first})
-        d1 = store.put(1, {"R1": second})
+        store.put(0, {"R1": first})
+        d0 = store.digest(0)               # digested while retained...
+        store.put(1, {"R1": second})       # ...then evicted
         epoch, snap = store.latest()
         assert epoch == 1 and snap["R1"].digest() == second.digest()
-        # Evicted epochs stay in the audit log.
+        d1 = store.digest(1)
+        # Digested-then-evicted epochs stay in the audit log.
         assert store.digests == {0: d0, 1: d1}
+        assert d0 == epoch_digest({"R1": first})
 
-    def test_bytes_retained_tracks_window(self):
+    def test_digest_of_unretained_undigested_epoch_is_an_error(self):
         store = CheckpointStore(retain=1)
-        store.put(0, {"R1": make_checkpoint()[0]})
+        store.put(0, {"R1": make_checkpoint(draws=1)[0]})
+        store.put(1, {"R1": make_checkpoint(draws=2)[0]})   # evicts 0
+        with pytest.raises(KeyError):
+            store.digest(0)
+
+    def test_put_performs_no_pickling_or_hashing(self, monkeypatch):
+        # The steady-state epoch loop calls put() every window; the whole
+        # point of the binary accounting is that it never serializes.
+        def boom(*a, **k):
+            raise AssertionError("pickle.dumps called inside put()")
+        monkeypatch.setattr(pickle, "dumps", boom)
+        store = CheckpointStore(retain=2)
+        ck, _ = make_checkpoint()
+        store.put(0, {"R1": ck})
+        # Digests stay lazy too: nothing was hashed on the way in.
+        assert store.digests == {}
+        assert ck._digest is None
+
+    def test_bytes_retained_is_binary_record_arithmetic(self):
+        store = CheckpointStore(retain=1)
+        ck = make_checkpoint()[0]
+        store.put(0, {"R1": ck})
         one = store.bytes_retained
-        assert one > 0
+        assert one == record_nbytes(len(ck.carry))
         store.put(1, {"R1": make_checkpoint()[0],
                       "R2": make_checkpoint(draws=9)[0]})
-        assert store.bytes_retained > one      # bigger epoch replaced it
+        assert store.bytes_retained == 2 * one   # bigger epoch replaced it
         assert store.epochs == [1]
 
     def test_invalid_retain_rejected(self):

@@ -1,10 +1,12 @@
 """Sharded single-scenario execution: parity, routing, and failure tests.
 
 The sharded lane's whole contract is one equality: ``shards=1`` and
-``shards=R`` produce bit-identical SHA-256 digests for every R.  The
-digest deliberately excludes the shard count, so equality *is* the proof
-that partitioning, boundary messaging and the combining-tree fold carry
-no shard-dependent state.
+``shards=R`` produce bit-identical SHA-256 digests for every R — and,
+since the zero-copy data plane landed, for either transport.  The digest
+deliberately excludes both the shard count and the transport, so equality
+*is* the proof that partitioning, boundary publication (pickled pipe
+messages or shared-memory seqlock slots) and the combining-tree fold
+carry no shard- or transport-dependent state.
 """
 
 import pytest
@@ -27,21 +29,24 @@ SCALE = 0.02
 REPLICAS = 4
 
 
-def digest(figure, shards, seed=0):
+def digest(figure, shards, seed=0, transport="shm"):
     return run_sharded(figure, duration_scale=SCALE, seed=seed,
-                       shards=shards, replicas=REPLICAS).digest()
+                       shards=shards, replicas=REPLICAS,
+                       transport=transport).digest()
 
 
 class TestDigestParity:
-    def test_fig6_bit_identical_across_shard_counts(self):
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_fig6_bit_identical_across_shard_counts(self, transport):
         reference = digest("fig6", 1)
         for shards in (2, 4, 8):
-            assert digest("fig6", shards) == reference
+            assert digest("fig6", shards, transport=transport) == reference
 
-    def test_fig9_bit_identical_across_shard_counts(self):
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_fig9_bit_identical_across_shard_counts(self, transport):
         reference = digest("fig9", 1)
         for shards in (2, 4):
-            assert digest("fig9", shards) == reference
+            assert digest("fig9", shards, transport=transport) == reference
 
     def test_digest_depends_on_seed_not_shards(self):
         assert digest("fig6", 1, seed=0) != digest("fig6", 1, seed=1)
@@ -61,6 +66,41 @@ class TestDigestParity:
         # must produce identical solve/cache/fallback counts.
         assert (a.lp_solves, a.cache_hits, a.fallback_windows) == \
                (b.lp_solves, b.cache_hits, b.fallback_windows)
+
+
+class TestDataPlane:
+    """Transport selection and the byte accounting the bench gates on."""
+
+    def test_invalid_transport_rejected(self):
+        world = sharded_fig6_world(duration_scale=SCALE, seed=0,
+                                   replicas=REPLICAS)
+        with pytest.raises(ValueError, match="transport"):
+            ShardedRunner(world, shards=2, transport="carrier-pigeon")
+
+    def test_inline_run_reports_inline_plane(self):
+        res = run_sharded("fig6", duration_scale=SCALE, seed=0, shards=1,
+                          replicas=REPLICAS)
+        assert res.data_plane == "inline"
+
+    def test_shm_moves_an_order_of_magnitude_fewer_bytes(self):
+        pipe = run_sharded("fig6", duration_scale=SCALE, seed=0, shards=4,
+                           replicas=REPLICAS, transport="pipe")
+        shm = run_sharded("fig6", duration_scale=SCALE, seed=0, shards=4,
+                          replicas=REPLICAS, transport="shm")
+        assert pipe.data_plane == "pipe" and pipe.bytes_per_epoch > 0
+        if shm.data_plane != "shm":        # platform without POSIX shm
+            assert shm.transport_fallback
+            pytest.skip(f"shm unavailable: {shm.transport_fallback}")
+        assert shm.transport_fallback is None
+        # The PR's headline number: >= 10x fewer parent-handled bytes.
+        assert pipe.bytes_per_epoch >= 10 * shm.bytes_per_epoch
+        # The deferred checkpoint ring is accounted, not hidden.
+        assert shm.ring_bytes_per_epoch > 0
+
+    def test_figure_notes_name_the_data_plane(self):
+        res = run_sharded_figure("fig6", duration_scale=SCALE, seed=0,
+                                 shards=2, transport="pipe")
+        assert "data plane pipe" in res.notes
 
 
 class TestFigureIntegration:
@@ -140,16 +180,24 @@ def faulted(figure, shards, faults, **kwargs):
 
 
 class TestCrashRecovery:
-    """Self-healing: deaths at window barriers leave the digest intact."""
+    """Self-healing: deaths at window barriers leave the digest intact.
 
-    def test_exception_death_recovers_bit_identical(self):
-        res = faulted("fig6", 2, ["0:3:exc"])
+    Parametrized cells run on both data planes — recovery under shm
+    restores from the shared checkpoint ring (decoded binary records)
+    rather than the parent's pickled store, and must land on the same
+    digests.
+    """
+
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_exception_death_recovers_bit_identical(self, transport):
+        res = faulted("fig6", 2, ["0:3:exc"], transport=transport)
         assert [r.epoch for r in res.restarts] == [3]
         assert res.restarts[0].restored_epoch == 2
         assert res.digest() == digest("fig6", 1)
 
-    def test_sigkill_death_recovers_bit_identical(self):
-        res = faulted("fig6", 2, ["1:4:kill"])
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_sigkill_death_recovers_bit_identical(self, transport):
+        res = faulted("fig6", 2, ["1:4:kill"], transport=transport)
         assert len(res.restarts) == 1
         assert res.digest() == digest("fig6", 1)
 
@@ -172,9 +220,11 @@ class TestCrashRecovery:
         assert res.restarts[0].restored_digest  # non-empty SHA-256
         assert res.restarts[0].attempt == 1     # 1-based: first respawn
 
-    def test_budget_exhaustion_reassigns_to_survivors(self):
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_budget_exhaustion_reassigns_to_survivors(self, transport):
         policy = RecoveryPolicy(max_restarts=1, backoff_base=0.01)
-        res = faulted("fig6", 2, ["0:2:kill", "0:4:kill"], recovery=policy)
+        res = faulted("fig6", 2, ["0:2:kill", "0:4:kill"], recovery=policy,
+                      transport=transport)
         assert len(res.restarts) == 1
         assert len(res.reassignments) == 1
         move = res.reassignments[0]
@@ -192,7 +242,8 @@ class TestCrashRecovery:
         with pytest.raises(ShardWorkerError):
             runner.run()
 
-    def test_fig9_recovery_parity(self):
-        res = faulted("fig9", 2, ["0:3:kill"])
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_fig9_recovery_parity(self, transport):
+        res = faulted("fig9", 2, ["0:3:kill"], transport=transport)
         assert len(res.restarts) == 1
         assert res.digest() == digest("fig9", 1)
